@@ -1,0 +1,160 @@
+"""Ablations — design choices DESIGN.md calls out, measured.
+
+Not in the paper's evaluation, but each quantifies a knob the design
+discussion raises:
+
+- **FFD vs BFD** (§4.1 offers both): packing time and fakes shipped;
+- **fake strategy (i) EQUAL vs (ii) SIMULATED** (§3): bandwidth cost of
+  the simple strategy vs the bin-aware one;
+- **bitonic vs column sort** (§4.3 fn.5): in-enclave sort cost for
+  batches that do / don't fit the EPC model;
+- **max-cells-per-bin cap** (reproduction extension): the Concealer+
+  oblivious-schedule cost against the extra fakes the cap costs;
+- **super-bins** (§8): retrieval skew with and without, under the
+  uniform workload of Example 8.1.
+"""
+
+import random
+
+import pytest
+
+from repro.core.binning import pack_bins
+from repro.core.superbin import build_super_bins, retrieval_skew
+from repro.enclave.sort import bitonic_sort, column_sort
+
+from harness import EPOCH, paper_row, save_result
+
+
+@pytest.fixture(scope="module")
+def c_tuple(large_stack):
+    _, service = large_stack
+    return list(service.context_for(EPOCH).c_tuple)
+
+
+@pytest.mark.parametrize("algorithm", ["ffd", "bfd"])
+def test_ablation_packing_algorithm(benchmark, algorithm, c_tuple):
+    layout = benchmark.pedantic(
+        lambda: pack_bins(c_tuple, algorithm=algorithm), rounds=3, iterations=1
+    )
+    benchmark.extra_info.update(
+        algorithm=algorithm, bins=len(layout.bins), fakes=layout.total_fakes
+    )
+    print(paper_row("ablation-packing", algorithm,
+                    bins=len(layout.bins), fakes=layout.total_fakes))
+    save_result("ablations", {
+        f"packing_{algorithm}": {
+            "bins": len(layout.bins),
+            "fakes": layout.total_fakes,
+            "mean_s": benchmark.stats.stats.mean,
+        }
+    })
+
+
+def test_ablation_fake_strategy_bandwidth(c_tuple):
+    """Strategy (i) ships n fakes; (ii) ships only what the bins need."""
+    total_real = sum(c_tuple)
+    simulated = pack_bins(c_tuple).total_fakes
+    print(paper_row("ablation-fakes", "EQUAL vs SIMULATED",
+                    equal_fakes=total_real, simulated_fakes=simulated,
+                    saving=round(1 - simulated / total_real, 3)))
+    save_result("ablations", {
+        "fake_strategy": {
+            "equal_fakes": total_real,
+            "simulated_fakes": simulated,
+        }
+    })
+    assert simulated <= total_real + max(c_tuple)
+
+
+@pytest.mark.parametrize("sorter", ["bitonic", "column"])
+def test_ablation_oblivious_sorts(benchmark, sorter):
+    rng = random.Random(10)
+    data = [(rng.randrange(10**6), i) for i in range(2048)]
+    sort = bitonic_sort if sorter == "bitonic" else column_sort
+
+    out = benchmark.pedantic(
+        lambda: sort(data, key=lambda kv: kv[0]), rounds=3, iterations=1
+    )
+    assert [k for k, _ in out] == sorted(k for k, _ in data)
+    print(paper_row("ablation-sort", sorter,
+                    n=len(data), mean_s=round(benchmark.stats.stats.mean, 4)))
+    save_result("ablations", {
+        f"sort_{sorter}_2048": {"mean_s": benchmark.stats.stats.mean}
+    })
+
+
+@pytest.mark.parametrize("cap", [4, 8, 16, None])
+def test_ablation_max_cells_per_bin(cap, c_tuple):
+    """The cap bounds #Cmax (oblivious cost) at the price of fakes."""
+    layout = pack_bins(c_tuple, max_cells_per_bin=cap)
+    cells_max = max(len(b.cell_ids) for b in layout.bins)
+    schedule_slots = cells_max * layout.bin_size
+    print(paper_row("ablation-cap", f"cap={cap}",
+                    cells_max=cells_max, bins=len(layout.bins),
+                    fakes=layout.total_fakes, oblivious_slots=schedule_slots))
+    save_result("ablations", {
+        f"cells_cap_{cap}": {
+            "cells_max": cells_max,
+            "bins": len(layout.bins),
+            "fakes": layout.total_fakes,
+            "oblivious_slots": schedule_slots,
+        }
+    })
+    if cap is not None:
+        assert cells_max <= cap
+
+
+def test_ablation_key_rotation(benchmark, wifi_small_records):
+    """Rotation throughput: enclave-side re-encryption of a whole epoch."""
+    import random
+
+    from repro import DataProvider, ServiceProvider, WIFI_SCHEMA
+    from repro.core.rotation import rotate_service_keys, rotation_token
+    from harness import MASTER_KEY, SMALL_SPEC, EPOCH, TIME_STEP
+
+    new_master = b"\x83" * 32
+
+    def build_service():
+        provider = DataProvider(
+            WIFI_SCHEMA, SMALL_SPEC, EPOCH, master_key=MASTER_KEY,
+            time_granularity=TIME_STEP, rng=random.Random(99),
+        )
+        service = ServiceProvider(WIFI_SCHEMA)
+        provider.provision_enclave(service.enclave)
+        service.ingest_epoch(provider.encrypt_epoch(wifi_small_records, EPOCH))
+        return (service,), {}
+
+    def rotate(service):
+        return rotate_service_keys(
+            service, new_master, rotation_token(MASTER_KEY, new_master)
+        )
+
+    rotated = benchmark.pedantic(rotate, setup=build_service, rounds=1, iterations=1)
+    rows_per_second = rotated / benchmark.stats.stats.mean
+    print(paper_row("ablation-rotation", "epoch re-encryption",
+                    rows=rotated, rows_per_second=int(rows_per_second)))
+    save_result("ablations", {
+        "key_rotation": {
+            "rows": rotated,
+            "rows_per_second": rows_per_second,
+        }
+    })
+
+
+def test_ablation_super_bins(c_tuple):
+    """§8 balancing over the real epoch's bins."""
+    layout = pack_bins(c_tuple)
+    uniques = [len(b.cell_ids) for b in layout.bins]
+    # largest non-trivial divisor of the bin count, capped at 16
+    divisors = [d for d in range(2, min(len(uniques), 17))
+                if len(uniques) % d == 0]
+    f = max(divisors) if divisors else 1
+    grouped = build_super_bins(uniques, f=f)
+    raw = retrieval_skew(uniques)
+    balanced = retrieval_skew(grouped.expected_retrievals(uniques))
+    print(paper_row("ablation-superbin", f"f={f}",
+                    raw_skew=round(raw, 2), grouped_skew=round(balanced, 2)))
+    save_result("ablations", {
+        "super_bins": {"f": f, "raw_skew": raw, "grouped_skew": balanced}
+    })
+    assert balanced <= raw

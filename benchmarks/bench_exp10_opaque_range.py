@@ -1,0 +1,85 @@
+"""Exp 10, Table 7 — Opaque vs Concealer, range queries (§9.3).
+
+Paper (large dataset, Q1–Q5):
+
+    Opaque                  > 10 min each
+    Concealer eBPB          2.8–4 s
+    Concealer winSecRange   67.2–71.9 s
+
+Shape to reproduce: Opaque ≫ winSecRange ≫ eBPB, with winSecRange
+paying roughly an order of magnitude over eBPB for the stronger
+sliding-window security.
+"""
+
+import pytest
+
+from repro.baselines import OpaqueBaseline
+from repro.core.schema import WIFI_SCHEMA
+
+from harness import EPOCH, paper_row, save_result
+
+# Scale adaptation: the paper's 20-minute queries touch ~0.007% of its
+# 202-day dataset.  Our epoch is four hours, so a 5-minute range keeps
+# the query slice small relative to the table — the regime Table 7 is
+# about.  (At 20 minutes over 4 hours, every method — including
+# Opaque's scan — converges, which is a scale artefact, not a finding.)
+RANGE_MINUTES = 5
+QUERIES = ["q1", "q2", "q3", "q4", "q5"]
+
+
+def _build_query(name, records, start, end):
+    from repro.workloads.queries import build_q1, build_q2, build_q3, build_q4, build_q5
+
+    locations = tuple(sorted({r[0] for r in records}))
+    device = records[len(records) // 2][2]
+    if name == "q1":
+        return build_q1(locations[0], start, end)
+    if name == "q2":
+        return build_q2(locations, start, end, k=5)
+    if name == "q3":
+        return build_q3(locations, start, end, threshold=10)
+    if name == "q4":
+        return build_q4(device, locations, start, end)
+    return build_q5(device, locations[0], start, end)
+
+
+@pytest.fixture(scope="module")
+def opaque(large_stack, wifi_large_records):
+    _, service = large_stack
+    baseline = OpaqueBaseline(WIFI_SCHEMA, service.enclave)
+    baseline.ingest(wifi_large_records, EPOCH)
+    return baseline
+
+
+@pytest.mark.parametrize("query_name", QUERIES)
+@pytest.mark.parametrize("system", ["opaque", "ebpb", "winsecrange"])
+def test_exp10_table7(
+    benchmark, system, query_name, opaque, large_stack, wifi_large_records
+):
+    _, service = large_stack
+    start = EPOCH + 1200
+    end = start + RANGE_MINUTES * 60 - 1
+    query = _build_query(query_name, wifi_large_records, start, end)
+
+    if system == "opaque":
+        def run():
+            return opaque.execute_range(query, EPOCH)
+        rounds = 1
+    else:
+        def run():
+            return service.execute_range(query, method=system)
+        rounds = 2
+
+    _, stats = benchmark.pedantic(run, rounds=rounds, iterations=1)
+    mean = benchmark.stats.stats.mean
+    benchmark.extra_info.update(
+        system=system, query=query_name, rows=stats.rows_fetched
+    )
+    print(paper_row("exp10-table7", f"{system}/{query_name}",
+                    mean_s=round(mean, 3), rows=stats.rows_fetched))
+    save_result("exp10_table7", {
+        f"{system}_{query_name}": {
+            "measured_mean_s": mean,
+            "rows_fetched": stats.rows_fetched,
+        }
+    })

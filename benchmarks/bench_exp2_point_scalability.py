@@ -1,0 +1,94 @@
+"""Exp 2, Table 5 — point-query scalability (§9.2).
+
+Paper (26M / 136M rows):
+
+    Cleartext processing           0.03s / 0.05s
+    Concealer (secure SGX)         0.23s / 0.90s
+    Concealer+ (non-secure SGX)    0.37s / 1.38s
+
+Shape to reproduce: cleartext < Concealer < Concealer+, with Concealer
+a small constant factor over cleartext (the bin over-fetch) and
+Concealer+ a further ~1.5–4x (oblivious trapdoors + filtering), and
+both growing with dataset size through the bin size.
+"""
+
+import pytest
+
+from repro import PointQuery
+from repro.baselines import CleartextBaseline
+from repro.core.schema import WIFI_SCHEMA
+
+from harness import paper_row, sample_probes, save_result
+
+PAPER = {
+    "cleartext": {"small": 0.03, "large": 0.05},
+    "concealer": {"small": 0.23, "large": 0.90},
+    "concealer_plus": {"small": 0.37, "large": 1.38},
+}
+
+
+def _run_point(service, probes, benchmark):
+    cursor = {"i": 0}
+
+    def one_query():
+        location, timestamp = probes[cursor["i"] % len(probes)]
+        cursor["i"] += 1
+        return service.execute_point(
+            PointQuery(index_values=(location,), timestamp=timestamp)
+        )
+
+    _, stats = benchmark.pedantic(one_query, rounds=5, warmup_rounds=1, iterations=1)
+    return stats
+
+
+@pytest.mark.parametrize("size", ["small", "large"])
+def test_exp2_cleartext_point(benchmark, size, request):
+    records = request.getfixturevalue(f"wifi_{size}_records")
+    clear = CleartextBaseline(WIFI_SCHEMA)
+    clear.ingest(records, 0)
+    probes = sample_probes(records, 5)
+    cursor = {"i": 0}
+
+    def one_query():
+        location, timestamp = probes[cursor["i"] % len(probes)]
+        cursor["i"] += 1
+        return clear.execute_point(
+            PointQuery(index_values=(location,), timestamp=timestamp), 0
+        )
+
+    benchmark.pedantic(one_query, rounds=5, warmup_rounds=1, iterations=1)
+    _record(benchmark, "cleartext", size, len(records))
+
+
+@pytest.mark.parametrize("size", ["small", "large"])
+def test_exp2_concealer_point(benchmark, size, request):
+    records = request.getfixturevalue(f"wifi_{size}_records")
+    _, service = request.getfixturevalue(f"{size}_stack")
+    stats = _run_point(service, sample_probes(records, 5), benchmark)
+    benchmark.extra_info["rows_fetched"] = stats.rows_fetched
+    _record(benchmark, "concealer", size, len(records))
+
+
+@pytest.mark.parametrize("size", ["small", "large"])
+def test_exp2_concealer_plus_point(benchmark, size, request):
+    records = request.getfixturevalue(f"wifi_{size}_records")
+    _, service = request.getfixturevalue(f"{size}_stack_oblivious")
+    stats = _run_point(service, sample_probes(records, 5), benchmark)
+    benchmark.extra_info["rows_fetched"] = stats.rows_fetched
+    _record(benchmark, "concealer_plus", size, len(records))
+
+
+def _record(benchmark, system: str, size: str, rows: int) -> None:
+    mean = benchmark.stats.stats.mean
+    benchmark.extra_info["system"] = system
+    benchmark.extra_info["dataset_rows"] = rows
+    print(paper_row("exp2-table5", f"{system}/{size}",
+                    mean_s=round(mean, 4), paper_s=PAPER[system][size],
+                    rows=rows))
+    save_result("exp2_table5", {
+        f"{system}_{size}": {
+            "measured_mean_s": mean,
+            "paper_s": PAPER[system][size],
+            "dataset_rows": rows,
+        }
+    })

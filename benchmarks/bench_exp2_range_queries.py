@@ -1,0 +1,93 @@
+"""Exp 2, Figures 3 & 4 — range queries Q1–Q5 (§9.2).
+
+Paper: for a default 20-minute range, per query Q1–Q5 and per method
+(BPB = multi-point, eBPB, winSecRange), on the small (Fig 3) and large
+(Fig 4) datasets.  Expected shape:
+
+- eBPB fastest (fetches only the covering cells),
+- BPB in the middle (fetches whole point-query bins),
+- winSecRange slowest by an order of magnitude (fetches whole λ
+  windows) but immune to the Example 5.2.2 sliding-window attack,
+- Concealer+ (oblivious) a constant factor over Concealer.
+"""
+
+import pytest
+
+from harness import EPOCH, paper_row, save_result
+
+RANGE_MINUTES = 20
+QUERIES = ["q1", "q2", "q3", "q4", "q5"]
+METHODS = ["multipoint", "ebpb", "winsecrange"]
+
+
+def _build_query(name: str, records, start: int, end: int):
+    from repro.workloads.queries import build_q1, build_q2, build_q3, build_q4, build_q5
+
+    locations = tuple(sorted({r[0] for r in records}))
+    busiest = locations[0]
+    device = records[len(records) // 2][2]
+    if name == "q1":
+        return build_q1(busiest, start, end)
+    if name == "q2":
+        return build_q2(locations, start, end, k=5)
+    if name == "q3":
+        return build_q3(locations, start, end, threshold=10)
+    if name == "q4":
+        return build_q4(device, locations, start, end)
+    return build_q5(device, busiest, start, end)
+
+
+def _bench_range(benchmark, service, records, query_name, method, exp, size):
+    start = EPOCH + 1200
+    end = start + RANGE_MINUTES * 60 - 1
+    query = _build_query(query_name, records, start, end)
+
+    def run():
+        return service.execute_range(query, method=method)
+
+    _, stats = benchmark.pedantic(run, rounds=3, warmup_rounds=1, iterations=1)
+    mean = benchmark.stats.stats.mean
+    benchmark.extra_info.update(
+        method=method, query=query_name, rows_fetched=stats.rows_fetched
+    )
+    print(paper_row(exp, f"{query_name}/{method}",
+                    mean_s=round(mean, 4), rows_fetched=stats.rows_fetched))
+    save_result(exp, {
+        f"{query_name}_{method}": {
+            "measured_mean_s": mean,
+            "rows_fetched": stats.rows_fetched,
+            "dataset": size,
+        }
+    })
+
+
+@pytest.mark.parametrize("method", METHODS)
+@pytest.mark.parametrize("query_name", QUERIES)
+def test_exp2_fig3_small(benchmark, query_name, method, small_stack, wifi_small_records):
+    _, service = small_stack
+    _bench_range(
+        benchmark, service, wifi_small_records, query_name, method,
+        "exp2_fig3_small", "small",
+    )
+
+
+@pytest.mark.parametrize("method", METHODS)
+@pytest.mark.parametrize("query_name", QUERIES)
+def test_exp2_fig4_large(benchmark, query_name, method, large_stack, wifi_large_records):
+    _, service = large_stack
+    _bench_range(
+        benchmark, service, wifi_large_records, query_name, method,
+        "exp2_fig4_large", "large",
+    )
+
+
+@pytest.mark.parametrize("method", METHODS)
+def test_exp2_fig4_concealer_plus_q1(
+    benchmark, method, large_stack_oblivious, wifi_large_records
+):
+    """The Concealer+ overhead series of Fig 4 (Q1 representative)."""
+    _, service = large_stack_oblivious
+    _bench_range(
+        benchmark, service, wifi_large_records, "q1", method,
+        "exp2_fig4_large_plus", "large",
+    )

@@ -1,0 +1,42 @@
+"""Exp 3, Figure 5 — impact of range length (§9.2).
+
+Paper: Q1 over the large dataset with growing time ranges.  BPB and
+eBPB latency grows with the range (more bins / cells fetched);
+winSecRange is flat until the range outgrows one λ window, since it
+always fetches whole windows.
+"""
+
+import pytest
+
+from repro.workloads.queries import build_q1
+
+from harness import EPOCH, paper_row, save_result
+
+LENGTHS_MIN = [5, 10, 20, 30, 45]
+METHODS = ["multipoint", "ebpb", "winsecrange"]
+
+
+@pytest.mark.parametrize("method", METHODS)
+@pytest.mark.parametrize("minutes", LENGTHS_MIN)
+def test_exp3_range_length(benchmark, minutes, method, large_stack, wifi_large_records):
+    _, service = large_stack
+    location = sorted({r[0] for r in wifi_large_records})[0]
+    start = EPOCH + 600
+    query = build_q1(location, start, start + minutes * 60 - 1)
+
+    def run():
+        return service.execute_range(query, method=method)
+
+    _, stats = benchmark.pedantic(run, rounds=3, warmup_rounds=1, iterations=1)
+    mean = benchmark.stats.stats.mean
+    benchmark.extra_info.update(
+        minutes=minutes, method=method, rows_fetched=stats.rows_fetched
+    )
+    print(paper_row("exp3-fig5", f"{method}/{minutes}min",
+                    mean_s=round(mean, 4), rows_fetched=stats.rows_fetched))
+    save_result("exp3_fig5", {
+        f"{method}_{minutes}min": {
+            "measured_mean_s": mean,
+            "rows_fetched": stats.rows_fetched,
+        }
+    })

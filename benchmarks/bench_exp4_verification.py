@@ -1,0 +1,89 @@
+"""Exp 4, Table 6 — verification overhead (§9.2).
+
+Paper (retrieved rows → verification time):
+
+    point query   2,376 rows → 0.09s   |   6,095 rows → 0.16s
+    winSecRange   70,000 rows → 0.8s   |   400,000 rows → 3s
+
+Shape: verification cost is linear in retrieved rows and a modest
+fraction of total query time ("not very high").
+"""
+
+import pytest
+
+from repro import PointQuery
+from repro.workloads.queries import build_q1
+
+from harness import (
+    EPOCH,
+    LARGE_SPEC,
+    build_wifi_stack,
+    paper_row,
+    sample_probes,
+    save_result,
+)
+
+
+
+@pytest.fixture(scope="module")
+def verified_stack(wifi_large_records):
+    return build_wifi_stack(wifi_large_records, LARGE_SPEC, verify=True)
+
+
+@pytest.fixture(scope="module")
+def unverified_stack(large_stack):
+    return large_stack
+
+
+@pytest.mark.parametrize("verify", [False, True])
+def test_exp4_point_verification(
+    benchmark, verify, verified_stack, unverified_stack, wifi_large_records
+):
+    _, service = verified_stack if verify else unverified_stack
+    probes = sample_probes(wifi_large_records, 5, seed=4)
+    cursor = {"i": 0}
+
+    def run():
+        location, timestamp = probes[cursor["i"] % len(probes)]
+        cursor["i"] += 1
+        return service.execute_point(
+            PointQuery(index_values=(location,), timestamp=timestamp)
+        )
+
+    _, stats = benchmark.pedantic(run, rounds=4, warmup_rounds=1, iterations=1)
+    label = "verified" if verify else "unverified"
+    mean = benchmark.stats.stats.mean
+    benchmark.extra_info.update(verify=verify, rows_fetched=stats.rows_fetched)
+    print(paper_row("exp4-table6", f"point/{label}",
+                    mean_s=round(mean, 4), rows_fetched=stats.rows_fetched))
+    save_result("exp4_table6", {
+        f"point_{label}": {
+            "measured_mean_s": mean,
+            "rows_fetched": stats.rows_fetched,
+        }
+    })
+
+
+@pytest.mark.parametrize("verify", [False, True])
+def test_exp4_winsecrange_verification(
+    benchmark, verify, verified_stack, unverified_stack, wifi_large_records
+):
+    _, service = verified_stack if verify else unverified_stack
+    location = sorted({r[0] for r in wifi_large_records})[0]
+    query = build_q1(location, EPOCH + 600, EPOCH + 600 + 1199)
+
+    def run():
+        return service.execute_range(query, method="winsecrange")
+
+    _, stats = benchmark.pedantic(run, rounds=2, warmup_rounds=1, iterations=1)
+    label = "verified" if verify else "unverified"
+    mean = benchmark.stats.stats.mean
+    benchmark.extra_info.update(verify=verify, rows_fetched=stats.rows_fetched)
+    print(paper_row("exp4-table6", f"winsecrange/{label}",
+                    mean_s=round(mean, 4), rows_fetched=stats.rows_fetched))
+    save_result("exp4_table6", {
+        f"winsecrange_{label}": {
+            "measured_mean_s": mean,
+            "rows_fetched": stats.rows_fetched,
+        }
+    })

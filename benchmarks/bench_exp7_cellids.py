@@ -1,0 +1,76 @@
+"""Exp 7, Figure 7 — impact of the number of cell-ids (§9.2).
+
+Paper: with few cell-ids many grid cells share one id, so bins are
+huge and a point query drags in a lot of data; growing the cell-id
+count shrinks per-id populations and the fetched volume drops.
+
+Here: re-encrypt the small dataset under sweeps of ``u`` and measure a
+point query's fetched rows and latency at each setting.
+"""
+
+import pytest
+
+from repro import PointQuery
+
+from harness import (
+    SMALL_SPEC,
+    build_wifi_stack,
+    paper_row,
+    sample_probes,
+    save_result,
+)
+
+CELL_ID_SWEEP = [64, 128, 256, 512, 1024, 2048]
+
+
+@pytest.fixture(scope="module")
+def stacks(wifi_small_records):
+    built = {}
+    for u in CELL_ID_SWEEP:
+        built[u] = build_wifi_stack(
+            wifi_small_records, SMALL_SPEC, cell_id_count=u
+        )
+    return built
+
+
+@pytest.mark.parametrize("u", CELL_ID_SWEEP)
+def test_exp7_cellid_sweep(benchmark, u, stacks, wifi_small_records):
+    _, service = stacks[u]
+    probes = sample_probes(wifi_small_records, 5, seed=7)
+    cursor = {"i": 0}
+
+    def run():
+        location, timestamp = probes[cursor["i"] % len(probes)]
+        cursor["i"] += 1
+        return service.execute_point(
+            PointQuery(index_values=(location,), timestamp=timestamp)
+        )
+
+    _, stats = benchmark.pedantic(run, rounds=4, warmup_rounds=1, iterations=1)
+    mean = benchmark.stats.stats.mean
+    benchmark.extra_info.update(cell_ids=u, rows_fetched=stats.rows_fetched)
+    print(paper_row("exp7-fig7", f"u={u}",
+                    rows_fetched=stats.rows_fetched, mean_s=round(mean, 4)))
+    save_result("exp7_fig7", {
+        f"u_{u}": {
+            "rows_fetched": stats.rows_fetched,
+            "measured_mean_s": mean,
+        }
+    })
+
+
+def test_exp7_monotone_shape(stacks, wifi_small_records):
+    """The Fig 7 claim: fetched volume decreases as cell-ids increase."""
+    probes = sample_probes(wifi_small_records, 1, seed=7)
+    volumes = {}
+    for u, (_, service) in stacks.items():
+        _, stats = service.execute_point(
+            PointQuery(index_values=(probes[0][0],), timestamp=probes[0][1])
+        )
+        volumes[u] = stats.rows_fetched
+    print(paper_row("exp7-fig7", "volume vs u", **{str(u): v for u, v in volumes.items()}))
+    save_result("exp7_fig7", {"volume_by_u": volumes})
+    ordered = [volumes[u] for u in CELL_ID_SWEEP]
+    # Non-strict monotone decrease (skew can flatten neighbouring steps).
+    assert ordered[0] > ordered[-1]
+    assert all(a >= b * 0.8 for a, b in zip(ordered, ordered[1:]))

@@ -1,0 +1,85 @@
+"""Exp 9 — Opaque vs Concealer, point queries (§9.3).
+
+Paper: Opaque reads the *entire* dataset into the enclave per query —
+>10 minutes on both WiFi datasets — while Concealer answers the same
+point query from one bin in ≤0.23s/0.9s and Concealer+ in ≈1.4s.
+
+Shape to reproduce: Opaque slower than Concealer by orders of
+magnitude, growing linearly with dataset size while Concealer grows
+only with the bin size.
+"""
+
+import pytest
+
+from repro import PointQuery
+from repro.baselines import OpaqueBaseline
+from repro.core.schema import WIFI_SCHEMA
+
+from harness import EPOCH, paper_row, sample_probes, save_result
+
+
+@pytest.fixture(scope="module")
+def opaque_small(small_stack, wifi_small_records):
+    _, service = small_stack
+    opaque = OpaqueBaseline(WIFI_SCHEMA, service.enclave)
+    opaque.ingest(wifi_small_records, EPOCH)
+    return opaque
+
+
+@pytest.fixture(scope="module")
+def opaque_large(large_stack, wifi_large_records):
+    _, service = large_stack
+    opaque = OpaqueBaseline(WIFI_SCHEMA, service.enclave)
+    opaque.ingest(wifi_large_records, EPOCH)
+    return opaque
+
+
+@pytest.mark.parametrize("size", ["small", "large"])
+def test_exp9_opaque_point(benchmark, size, request):
+    records = request.getfixturevalue(f"wifi_{size}_records")
+    opaque = request.getfixturevalue(f"opaque_{size}")
+    probes = sample_probes(records, 2, seed=9)
+
+    def run():
+        return opaque.execute_point(
+            PointQuery(index_values=(probes[0][0],), timestamp=probes[0][1]),
+            EPOCH,
+        )
+
+    _, stats = benchmark.pedantic(run, rounds=1, warmup_rounds=1, iterations=1)
+    mean = benchmark.stats.stats.mean
+    benchmark.extra_info.update(system="opaque", rows_scanned=stats.rows_fetched)
+    print(paper_row("exp9", f"opaque/{size}",
+                    mean_s=round(mean, 3), rows_scanned=stats.rows_fetched,
+                    paper="over 600s"))
+    save_result("exp9_opaque_point", {
+        f"opaque_{size}": {
+            "measured_mean_s": mean,
+            "rows_scanned": stats.rows_fetched,
+        }
+    })
+
+
+@pytest.mark.parametrize("size", ["small", "large"])
+def test_exp9_concealer_point_reference(benchmark, size, request):
+    """The Concealer side of the comparison, on the same data."""
+    records = request.getfixturevalue(f"wifi_{size}_records")
+    _, service = request.getfixturevalue(f"{size}_stack")
+    probes = sample_probes(records, 2, seed=9)
+
+    def run():
+        return service.execute_point(
+            PointQuery(index_values=(probes[0][0],), timestamp=probes[0][1])
+        )
+
+    _, stats = benchmark.pedantic(run, rounds=3, warmup_rounds=1, iterations=1)
+    mean = benchmark.stats.stats.mean
+    benchmark.extra_info.update(system="concealer", rows_fetched=stats.rows_fetched)
+    print(paper_row("exp9", f"concealer/{size}",
+                    mean_s=round(mean, 4), rows_fetched=stats.rows_fetched))
+    save_result("exp9_opaque_point", {
+        f"concealer_{size}": {
+            "measured_mean_s": mean,
+            "rows_fetched": stats.rows_fetched,
+        }
+    })

@@ -1,0 +1,75 @@
+"""Session-scoped fixtures shared by the experiment benchmarks.
+
+Datasets and encrypted stacks are expensive to build (Algorithm 1 over
+~150K rows), so each is constructed once per pytest session and shared
+across bench modules.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from harness import (  # noqa: E402
+    LARGE_SPEC,
+    LARGE_WIFI,
+    SMALL_SPEC,
+    SMALL_WIFI,
+    build_tpch_rows,
+    build_tpch_stack,
+    build_wifi_records,
+    build_wifi_stack,
+)
+
+
+@pytest.fixture(scope="session")
+def wifi_small_records():
+    return build_wifi_records(SMALL_WIFI)
+
+
+@pytest.fixture(scope="session")
+def wifi_large_records():
+    return build_wifi_records(LARGE_WIFI)
+
+
+@pytest.fixture(scope="session")
+def small_stack(wifi_small_records):
+    """(provider, service) — plain Concealer over the small dataset."""
+    return build_wifi_stack(wifi_small_records, SMALL_SPEC)
+
+
+@pytest.fixture(scope="session")
+def large_stack(wifi_large_records):
+    """(provider, service) — plain Concealer over the large dataset."""
+    return build_wifi_stack(wifi_large_records, LARGE_SPEC)
+
+
+@pytest.fixture(scope="session")
+def small_stack_oblivious(wifi_small_records):
+    """Concealer+ (oblivious §4.3 paths) over the small dataset."""
+    return build_wifi_stack(wifi_small_records, SMALL_SPEC, oblivious=True)
+
+
+@pytest.fixture(scope="session")
+def large_stack_oblivious(wifi_large_records):
+    """Concealer+ over the large dataset."""
+    return build_wifi_stack(wifi_large_records, LARGE_SPEC, oblivious=True)
+
+
+@pytest.fixture(scope="session")
+def tpch_rows():
+    return build_tpch_rows()
+
+
+@pytest.fixture(scope="session")
+def tpch_2d(tpch_rows):
+    return build_tpch_stack(tpch_rows, "2d")
+
+
+@pytest.fixture(scope="session")
+def tpch_4d(tpch_rows):
+    return build_tpch_stack(tpch_rows, "4d")

@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Aggregate application: a building occupancy map (Q1–Q3 of Table 4).
+
+The paper's motivating aggregate application (§1): a third party builds
+occupancy dashboards from encrypted WiFi data without ever seeing a
+cleartext reading.  This example:
+
+- outsources a morning of campus WiFi traffic,
+- renders an occupancy heat strip per access point over the morning
+  (repeated Q1 range counts),
+- reports the top-5 busiest locations (Q2) and every location above an
+  occupancy threshold (Q3),
+
+and prints what the adversary observed: a single fetch volume per
+query, regardless of how busy each location actually was.
+
+Run:  python examples/occupancy_map.py
+"""
+
+import random
+
+from repro import (
+    Aggregate,
+    Client,
+    DataProvider,
+    FakeStrategy,
+    GridSpec,
+    ServiceProvider,
+    WIFI_SCHEMA,
+)
+from repro.workloads import WifiConfig, build_q1, build_q2, build_q3, generate_wifi_epoch
+from repro.workloads.queries import apply_q3_threshold
+
+EPOCH_DURATION = 4 * 3600  # a four-hour morning
+TIME_STEP = 60
+BUCKETS = 8                # heat-strip resolution
+
+
+def heat_char(count: int, peak: int) -> str:
+    """Map a count to a five-level heat glyph."""
+    if peak == 0:
+        return "."
+    level = min(4, count * 5 // (peak + 1))
+    return " .:*#"[level]
+
+
+def main() -> None:
+    spec = GridSpec(
+        dimension_sizes=(16, 64), cell_id_count=256, epoch_duration=EPOCH_DURATION
+    )
+    provider = DataProvider(
+        WIFI_SCHEMA, spec, first_epoch_id=0,
+        time_granularity=TIME_STEP, rng=random.Random(11),
+        # Range-heavy workloads pad with many fakes; ship a full pool.
+        fake_strategy=FakeStrategy.EQUAL,
+    )
+    service = ServiceProvider(WIFI_SCHEMA)
+    provider.provision_enclave(service.enclave)
+    credential = provider.register_user("facilities-dashboard")
+    service.install_registry(provider.sealed_registry())
+
+    config = WifiConfig(access_points=12, devices=200, seed=11)
+    records = generate_wifi_epoch(config, 0, EPOCH_DURATION)
+    service.ingest_epoch(provider.encrypt_epoch(records, epoch_id=0))
+    print(f"outsourced {len(records)} readings over {EPOCH_DURATION // 3600}h\n")
+
+    client = Client(service, credential)
+    locations = sorted({r[0] for r in records})
+    bucket = EPOCH_DURATION // BUCKETS
+
+    # --- Q1 heat strips -------------------------------------------------
+    counts: dict[str, list[int]] = {}
+    volumes = set()
+    for location in locations:
+        row = []
+        for b in range(BUCKETS):
+            query = build_q1(location, b * bucket, (b + 1) * bucket - 1)
+            answer, stats = service.execute_range(query, method="ebpb")
+            row.append(answer)
+            volumes.add(stats.rows_fetched)
+        counts[location] = row
+    peak = max(max(row) for row in counts.values())
+
+    print("occupancy heat map (rows: access points, cols: time buckets)")
+    for location in locations:
+        strip = "".join(heat_char(c, peak) for c in counts[location])
+        print(f"  {location}  |{strip}|  total {sum(counts[location]):4d}")
+
+    # --- Q2: top-5 busiest ----------------------------------------------
+    q2 = build_q2(locations, 0, EPOCH_DURATION - 1, k=5)
+    top5, _ = service.execute_range(q2, method="winsecrange")
+    print("\ntop-5 busiest locations (Q2):")
+    for location, count in top5:
+        print(f"  {location}: {count}")
+
+    # --- Q3: threshold --------------------------------------------------
+    threshold = peak * BUCKETS // 4
+    q3 = build_q3(locations, 0, EPOCH_DURATION - 1, threshold)
+    ranked, _ = service.execute_range(q3, method="winsecrange")
+    busy = apply_q3_threshold(ranked, threshold)
+    print(f"\nlocations with >= {threshold} observations (Q3): {busy}")
+
+    # --- the adversary's view -------------------------------------------
+    print(
+        f"\nadversary-visible fetch volumes across all Q1 queries: "
+        f"{sorted(volumes)} — a single constant per eBPB budget; "
+        "occupancy skew is invisible in the volumes"
+    )
+    assert len(volumes) == 1, "volume hiding violated"
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,101 @@
+"""Concealer (EDBT 2021) — a full Python reproduction.
+
+Concealer lets a trusted data provider outsource encrypted spatial
+time-series data to an untrusted service provider hosting a secure
+enclave, which answers aggregation queries over a stock DBMS index
+while hiding output sizes (fixed-size bins of real+fake tuples),
+partially hiding access patterns, and supporting hash-chain
+verifiability, forward-private dynamic insertion, and workload-attack
+defences.
+
+Quick start::
+
+    from repro import (
+        DataProvider, ServiceProvider, Client, GridSpec, WIFI_SCHEMA,
+    )
+
+    spec = GridSpec(dimension_sizes=(16, 64), cell_id_count=256,
+                    epoch_duration=3600)
+    provider = DataProvider(WIFI_SCHEMA, spec, first_epoch_id=0)
+    service = ServiceProvider(WIFI_SCHEMA)
+    provider.provision_enclave(service.enclave)
+
+    credential = provider.register_user("alice", device_id="dev-1")
+    service.install_registry(provider.sealed_registry())
+
+    records = [("ap1", 120, "dev-1"), ("ap2", 130, "dev-2")]
+    service.ingest_epoch(provider.encrypt_epoch(records, epoch_id=0))
+
+    client = Client(service, credential)
+    print(client.point_count(("ap1",), 120).answer)   # -> 1
+
+Package map: :mod:`repro.core` (the paper's contribution),
+:mod:`repro.crypto` / :mod:`repro.storage` / :mod:`repro.enclave`
+(substrates), :mod:`repro.workloads` (WiFi + TPC-H generators),
+:mod:`repro.baselines` (Opaque-style scan, cleartext, leaky DET),
+:mod:`repro.analysis` (leakage profiles and attacks).
+"""
+
+from repro.core import (
+    Aggregate,
+    Bin,
+    BinLayout,
+    Client,
+    DataProvider,
+    DatasetSchema,
+    DynamicConcealer,
+    EpochEncryptor,
+    EpochPackage,
+    FakeStrategy,
+    Grid,
+    GridSpec,
+    MultiIndexDeployment,
+    PointQuery,
+    QueryResult,
+    RangeQuery,
+    Registry,
+    ServiceProvider,
+    TPCH_2D_SCHEMA,
+    TPCH_4D_SCHEMA,
+    UserCredential,
+    WIFI_OBS_SCHEMA,
+    WIFI_SCHEMA,
+    pack_bins,
+)
+from repro.core.queries import Predicate, QueryStats
+from repro.core.service import ServiceConfig
+from repro.exceptions import ConcealerError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Aggregate",
+    "Bin",
+    "BinLayout",
+    "Client",
+    "ConcealerError",
+    "DataProvider",
+    "DatasetSchema",
+    "DynamicConcealer",
+    "EpochEncryptor",
+    "EpochPackage",
+    "FakeStrategy",
+    "Grid",
+    "GridSpec",
+    "MultiIndexDeployment",
+    "PointQuery",
+    "Predicate",
+    "QueryResult",
+    "QueryStats",
+    "RangeQuery",
+    "Registry",
+    "ServiceConfig",
+    "ServiceProvider",
+    "TPCH_2D_SCHEMA",
+    "TPCH_4D_SCHEMA",
+    "UserCredential",
+    "WIFI_OBS_SCHEMA",
+    "WIFI_SCHEMA",
+    "pack_bins",
+    "__version__",
+]

@@ -1,0 +1,35 @@
+"""Leakage analysis: what an honest-but-curious service provider learns.
+
+The paper's security section (§7) argues informally; a reproduction can
+do better by *measuring*.  This package consumes the adversary-visible
+artefacts the substrates expose — the storage
+:class:`~repro.storage.pager.AccessLog`, stored ciphertext columns, and
+the enclave's side-channel trace — and runs the attacks the paper cites:
+
+- :mod:`repro.analysis.leakage` — leakage-profile bookkeeping: setup
+  leakage L_s, per-query output sizes, access-pattern overlap;
+- :mod:`repro.analysis.adversary` — concrete attacks: ciphertext
+  frequency analysis (Naveed et al. [31] style), output-size / volume
+  reconstruction (Kellaris et al. [22] style), and the §8 workload
+  frequency attack — shown to *succeed* against the DET baseline and
+  *fail* against Concealer.
+"""
+
+from repro.analysis.adversary import (
+    frequency_attack,
+    reconstruction_accuracy,
+    sliding_window_attack,
+    volume_attack,
+    workload_attack,
+)
+from repro.analysis.leakage import LeakageProfile, profile_queries
+
+__all__ = [
+    "LeakageProfile",
+    "frequency_attack",
+    "profile_queries",
+    "reconstruction_accuracy",
+    "sliding_window_attack",
+    "volume_attack",
+    "workload_attack",
+]

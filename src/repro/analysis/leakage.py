@@ -1,0 +1,90 @@
+"""Leakage-profile bookkeeping (§7's L_s and L_q, made measurable).
+
+IND-CKA [13] allows a scheme to leak its *setup leakage* L_s (database
+and index sizes) and *query leakage* L_q (search/access patterns).
+Concealer's claim is that, beyond those, per-query **output size is
+constant** — so nothing about data distribution flows through volumes.
+
+:func:`profile_queries` distils a storage access log into the
+quantities those claims are about: per-query volumes, their spread, and
+pairwise access-pattern overlap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.storage.pager import AccessLog
+
+
+@dataclass
+class LeakageProfile:
+    """The adversary's aggregate view of a query workload.
+
+    ``volumes`` maps query-id → rows fetched.  ``distinct_volumes`` is
+    the key security number: Concealer's point queries must yield
+    exactly one distinct volume (the bin size); a leaky scheme yields
+    as many volumes as there are result sizes.
+    """
+
+    volumes: dict[int, int] = field(default_factory=dict)
+    row_sets: dict[int, frozenset[int]] = field(default_factory=dict)
+
+    @property
+    def query_count(self) -> int:
+        """Number of queries in the profile."""
+        return len(self.volumes)
+
+    @property
+    def distinct_volumes(self) -> set[int]:
+        """The set of observed per-query fetch volumes."""
+        return set(self.volumes.values())
+
+    @property
+    def volume_spread(self) -> int:
+        """max - min fetched volume; 0 means perfect volume hiding."""
+        if not self.volumes:
+            return 0
+        values = list(self.volumes.values())
+        return max(values) - min(values)
+
+    def overlap(self, query_a: int, query_b: int) -> float:
+        """Jaccard overlap of two queries' accessed row sets.
+
+        1.0 between queries hitting the same bin (Concealer's partial
+        access-pattern hiding makes same-bin queries *identical* to the
+        adversary); low values expose which queries differ.
+        """
+        a = self.row_sets.get(query_a, frozenset())
+        b = self.row_sets.get(query_b, frozenset())
+        if not a and not b:
+            return 1.0
+        union = a | b
+        return len(a & b) / len(union) if union else 1.0
+
+    def identical_access_groups(self) -> list[list[int]]:
+        """Group query ids whose accessed row sets are exactly equal.
+
+        Each group is an anonymity set: the adversary cannot tell its
+        members apart by access pattern.
+        """
+        groups: dict[frozenset[int], list[int]] = {}
+        for query_id, rows in self.row_sets.items():
+            groups.setdefault(rows, []).append(query_id)
+        return [sorted(members) for members in groups.values()]
+
+
+def profile_queries(log: AccessLog, query_ids: list[int] | None = None) -> LeakageProfile:
+    """Build a profile from an access log, optionally scoped to queries."""
+    profile = LeakageProfile()
+    all_volumes = log.per_query_volumes()
+    selected = query_ids if query_ids is not None else sorted(all_volumes)
+    for query_id in selected:
+        profile.volumes[query_id] = all_volumes.get(query_id, 0)
+        profile.row_sets[query_id] = frozenset(log.row_ids_fetched(query_id))
+    return profile
+
+
+def setup_leakage(row_count: int, index_entries: int) -> dict[str, int]:
+    """The scheme-independent L_s the adversary always sees."""
+    return {"rows": row_count, "index_entries": index_entries}

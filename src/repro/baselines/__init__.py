@@ -1,0 +1,21 @@
+"""Comparison systems (§9.3 and Table 1).
+
+- :mod:`repro.baselines.opaque` — an Opaque-style [48] SGX system: data
+  is encrypted with *randomized* encryption (no index possible), and
+  every query reads the **entire table into the enclave**, decrypts,
+  and filters.  Strong against distribution leakage at rest, but
+  linear-time per query — the shape Exp 9/10 demonstrate.
+- :mod:`repro.baselines.cleartext` — plaintext MySQL stand-in: rows
+  and index in the clear.  The Table 5 reference row and the zero-
+  security lower bound on latency.
+- :mod:`repro.baselines.det_index` — a naive deterministic-encryption
+  index (Table 1's "DET / Always Encrypt" row): fast and indexable but
+  leaks data distribution and output sizes; exists so the leakage
+  attacks in :mod:`repro.analysis` have a vulnerable target.
+"""
+
+from repro.baselines.cleartext import CleartextBaseline
+from repro.baselines.det_index import DetIndexBaseline
+from repro.baselines.opaque import OpaqueBaseline
+
+__all__ = ["CleartextBaseline", "DetIndexBaseline", "OpaqueBaseline"]

@@ -1,0 +1,106 @@
+"""Cleartext baseline: the Table 5 "Cleartext processing" row.
+
+Rows are stored in the clear with a stock B+-tree over the
+(location, time) pair — what a plain MySQL deployment would do.  No
+security whatsoever; it exists as the latency floor the encrypted
+systems are measured against (0.03s/0.05s in the paper's Table 5).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.aggregation import evaluate_aggregate
+from repro.core.queries import PointQuery, QueryStats, RangeQuery
+from repro.core.schema import DatasetSchema, encode_values
+from repro.storage.engine import StorageEngine
+
+
+class CleartextBaseline:
+    """Unencrypted storage + index; direct query evaluation."""
+
+    def __init__(self, schema: DatasetSchema):
+        self.schema = schema
+        self.engine = StorageEngine()
+        self._tables: set[int] = set()
+
+    def _index_key(self, index_values: Sequence, timestamp: int) -> bytes:
+        """The composite (index attributes, time) key the B+-tree stores."""
+        return encode_values([*index_values, timestamp])
+
+    def ingest(self, records: Sequence[tuple], epoch_id: int) -> None:
+        """Store records and index them on (index attributes, time)."""
+        table = f"clear_{epoch_id}"
+        if epoch_id not in self._tables:
+            self.engine.create_table(table, [*self.schema.attributes, "_key"])
+            self.engine.create_index(table, "_key")
+            self._tables.add(epoch_id)
+        for record in records:
+            index_values = [
+                self.schema.value(record, attr)
+                for attr in self.schema.index_attributes
+            ]
+            key = self._index_key(index_values, self.schema.time_of(record))
+            self.engine.insert(table, [*record, key])
+
+    def execute_point(
+        self, query: PointQuery, epoch_id: int
+    ) -> tuple[object, QueryStats]:
+        """Index point lookup, then aggregate."""
+        stats = QueryStats()
+        table = f"clear_{epoch_id}"
+        key = self._index_key(list(query.index_values), query.timestamp)
+        self.engine.access_log.begin_query()
+        try:
+            rows = self.engine.lookup(table, "_key", key)
+        finally:
+            self.engine.access_log.end_query()
+        stats.rows_fetched = len(rows)
+        stats.rows_matched = len(rows)
+        records = [row.columns[: len(self.schema.attributes)] for row in rows]
+        answer = evaluate_aggregate(
+            query.aggregate, records, self.schema, query.target, query.k
+        )
+        return answer, stats
+
+    def execute_range(
+        self, query: RangeQuery, epoch_id: int, time_step: int = 1
+    ) -> tuple[object, QueryStats]:
+        """Point lookups across the range's (candidate, timestamp) grid."""
+        stats = QueryStats()
+        table = f"clear_{epoch_id}"
+        matched: list[tuple] = []
+        self.engine.access_log.begin_query()
+        try:
+            for combo in query.candidate_combinations():
+                for t in range(query.time_start, query.time_end + 1, time_step):
+                    rows = self.engine.lookup(
+                        table, "_key", self._index_key(list(combo), t)
+                    )
+                    stats.rows_fetched += len(rows)
+                    matched.extend(
+                        row.columns[: len(self.schema.attributes)] for row in rows
+                    )
+        finally:
+            self.engine.access_log.end_query()
+        if query.predicate is not None:
+            matched = [
+                record
+                for record in matched
+                if _predicate_matches(self.schema, query.predicate, record)
+            ]
+        stats.rows_matched = len(matched)
+        answer = evaluate_aggregate(
+            query.aggregate, matched, self.schema, query.target, query.k
+        )
+        return answer, stats
+
+
+def _predicate_matches(schema: DatasetSchema, predicate, record: tuple) -> bool:
+    """Evaluate a Concealer predicate on a cleartext record."""
+    for attr, wanted in zip(predicate.group, predicate.values):
+        actual = schema.value(record, attr)
+        options = wanted if isinstance(wanted, (tuple, list)) else (wanted,)
+        if actual not in options:
+            return False
+    return True

@@ -1,0 +1,125 @@
+"""Naive deterministic-encryption index — Table 1's leaky strawman.
+
+Encrypt every attribute with plain (unsalted) DET and index the
+ciphertexts: the "DET (Always Encrypt)" row of Table 1.  Insertion and
+querying are as fast as Concealer's, but:
+
+- **at rest**, equal values produce equal ciphertexts, so ciphertext
+  frequency = plaintext frequency (data-distribution leakage);
+- **per query**, the index returns exactly the matching rows, so the
+  adversary reads off the true output size (volume leakage).
+
+:mod:`repro.analysis.adversary` runs the frequency-reconstruction and
+output-size attacks against this baseline to show they succeed — and
+against Concealer to show they fail.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.aggregation import evaluate_aggregate
+from repro.core.queries import Aggregate, PointQuery, QueryStats
+from repro.core.schema import DatasetSchema, encode_values
+from repro.crypto.det import DeterministicCipher
+from repro.crypto.keys import derive_epoch_key
+from repro.storage.engine import StorageEngine
+
+
+class DetIndexBaseline:
+    """Unsalted DET over (index attributes, time); indexed ciphertexts."""
+
+    def __init__(self, schema: DatasetSchema, master_key: bytes):
+        self.schema = schema
+        self.engine = StorageEngine()
+        self._master_key = master_key
+        self._tables: set[int] = set()
+
+    def _cipher(self, epoch_id: int) -> DeterministicCipher:
+        return DeterministicCipher(derive_epoch_key(self._master_key, epoch_id))
+
+    def _det_key(
+        self, cipher: DeterministicCipher, index_values: Sequence, timestamp: int
+    ) -> bytes:
+        """Unsalted DET of the composite key — the leak: no per-row salt."""
+        return cipher.encrypt(b"det" + encode_values([*index_values, timestamp]))
+
+    def ingest(self, records: Sequence[tuple], epoch_id: int) -> None:
+        """Encrypt and index; identical keys collide visibly.
+
+        Every attribute is also stored as its own unsalted-DET column —
+        column-wise deterministic encryption is what "Always Encrypted"
+        style systems do, and it is the frequency-analysis target.
+        """
+        table = f"det_{epoch_id}"
+        cipher = self._cipher(epoch_id)
+        if epoch_id not in self._tables:
+            columns = ["payload", "det_key", *[f"det_{a}" for a in self.schema.attributes]]
+            self.engine.create_table(table, columns)
+            self.engine.create_index(table, "det_key")
+            self._tables.add(epoch_id)
+        for record in records:
+            index_values = [
+                self.schema.value(record, attr)
+                for attr in self.schema.index_attributes
+            ]
+            key = self._det_key(cipher, index_values, self.schema.time_of(record))
+            payload = cipher.encrypt(self.schema.payload_plaintext(record))
+            attribute_cts = [
+                cipher.encrypt(b"col" + encode_values([attr, value]))
+                for attr, value in zip(self.schema.attributes, record)
+            ]
+            self.engine.insert(table, [payload, key, *attribute_cts])
+
+    def execute_point(
+        self, query: PointQuery, epoch_id: int
+    ) -> tuple[object, QueryStats]:
+        """One index lookup returning exactly the matching rows."""
+        stats = QueryStats()
+        table = f"det_{epoch_id}"
+        cipher = self._cipher(epoch_id)
+        key = self._det_key(cipher, list(query.index_values), query.timestamp)
+        self.engine.access_log.begin_query()
+        try:
+            rows = self.engine.lookup(table, "det_key", key)
+        finally:
+            self.engine.access_log.end_query()
+        stats.rows_fetched = len(rows)       # <- the true output size, leaked
+        stats.rows_matched = len(rows)
+        if query.aggregate is Aggregate.COUNT:
+            return len(rows), stats
+        records = [
+            self.schema.decode_payload(cipher.decrypt(row[0])) for row in rows
+        ]
+        stats.rows_decrypted = len(records)
+        answer = evaluate_aggregate(
+            query.aggregate, records, self.schema, query.target, query.k
+        )
+        return answer, stats
+
+    def ciphertext_histogram(self, epoch_id: int) -> dict[bytes, int]:
+        """Frequency of each index ciphertext — the at-rest leak.
+
+        An adversary computes this by just looking at the stored
+        column; it equals the plaintext key-frequency histogram.
+        """
+        table = f"det_{epoch_id}"
+        histogram: dict[bytes, int] = {}
+        for row in self.engine.scan(table):
+            histogram[row[1]] = histogram.get(row[1], 0) + 1
+        return histogram
+
+    def attribute_histogram(self, epoch_id: int, attribute: str) -> dict[bytes, int]:
+        """Frequency of one column-wise DET ciphertext — the classic
+        frequency-analysis target (e.g. the location column)."""
+        table = f"det_{epoch_id}"
+        position = 2 + self.schema.position(attribute)
+        histogram: dict[bytes, int] = {}
+        for row in self.engine.scan(table):
+            histogram[row[position]] = histogram.get(row[position], 0) + 1
+        return histogram
+
+    def attribute_ciphertext(self, epoch_id: int, attribute: str, value) -> bytes:
+        """The DET ciphertext a given value maps to (scoring helper)."""
+        cipher = self._cipher(epoch_id)
+        return cipher.encrypt(b"col" + encode_values([attribute, value]))

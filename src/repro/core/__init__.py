@@ -1,0 +1,74 @@
+"""Concealer's core: the paper's contribution (§2–§8).
+
+Modules, in the order the paper presents them:
+
+- :mod:`repro.core.schema` — dataset schemas and records (relation
+  ``R(L, T, O)`` and the multi-column TPC-H variants).
+- :mod:`repro.core.grid` — §3's x×y grid, keyed placement hash, cell-id
+  allocation, and the ``cell_id[]`` / ``c_tuple[]`` vectors.
+- :mod:`repro.core.epoch` — the encrypted epoch package a data provider
+  ships to a service provider (Table 2c plus encrypted vectors and
+  verifiable tags).
+- :mod:`repro.core.encryptor` — Algorithm 1, the data-provider-side
+  epoch encryption (DET tuple encryption, fake-tuple generation, hash
+  chains, permutation).
+- :mod:`repro.core.binning` — §4.1 FFD/BFD bin packing with equi-sized
+  padding and the Theorem 4.1 bounds.
+- :mod:`repro.core.point_query` — Algorithm 2 (BPB) and its §4.3
+  oblivious variant (Concealer+).
+- :mod:`repro.core.range_query` — §5: multi-point BPB, eBPB, and
+  winSecRange.
+- :mod:`repro.core.dynamic` — §6 multi-epoch insertion and the
+  ORAM-inspired cross-round query execution with rewrites.
+- :mod:`repro.core.superbin` — §8 super-bins against query-workload
+  frequency attacks.
+- :mod:`repro.core.registry` — the R2 user registry and authentication.
+- :mod:`repro.core.provider` / :mod:`repro.core.service` /
+  :mod:`repro.core.client` — the Figure 1 entities (DP, SP, user).
+"""
+
+from repro.core.binning import Bin, BinLayout, pack_bins
+from repro.core.client import Client, QueryResult
+from repro.core.dynamic import DynamicConcealer
+from repro.core.encryptor import EpochEncryptor, FakeStrategy
+from repro.core.epoch import EpochPackage
+from repro.core.grid import Grid, GridSpec
+from repro.core.multi_index import MultiIndexDeployment
+from repro.core.provider import DataProvider
+from repro.core.queries import Aggregate, PointQuery, RangeQuery
+from repro.core.registry import Registry, UserCredential
+from repro.core.schema import (
+    DatasetSchema,
+    TPCH_2D_SCHEMA,
+    TPCH_4D_SCHEMA,
+    WIFI_OBS_SCHEMA,
+    WIFI_SCHEMA,
+)
+from repro.core.service import ServiceProvider
+
+__all__ = [
+    "Aggregate",
+    "Bin",
+    "BinLayout",
+    "Client",
+    "DataProvider",
+    "DatasetSchema",
+    "DynamicConcealer",
+    "EpochEncryptor",
+    "EpochPackage",
+    "FakeStrategy",
+    "Grid",
+    "GridSpec",
+    "MultiIndexDeployment",
+    "PointQuery",
+    "QueryResult",
+    "RangeQuery",
+    "Registry",
+    "ServiceProvider",
+    "TPCH_2D_SCHEMA",
+    "TPCH_4D_SCHEMA",
+    "UserCredential",
+    "WIFI_OBS_SCHEMA",
+    "WIFI_SCHEMA",
+    "pack_bins",
+]

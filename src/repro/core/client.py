@@ -1,0 +1,170 @@
+"""The user / data consumer U (Figure 1, bottom).
+
+A registered user formulates queries (Phase 2), authenticates to the
+enclave, and decrypts answers (Phase 4).  The client wraps the
+challenge-response dance and the two application families:
+
+- **aggregate** queries (Q1–Q3): occupancy counts, top-k locations —
+  over anyone's data, gated by ``aggregate_allowed``;
+- **individualized** queries (Q4–Q5): over the user's *own* device id
+  only — the enclave authorizes against the registry entry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.queries import Aggregate, PointQuery, Predicate, QueryStats, RangeQuery
+from repro.core.registry import Registry, UserCredential, unseal_answer
+from repro.core.service import ServiceProvider
+from repro.exceptions import QueryError
+
+
+@dataclass
+class QueryResult:
+    """What the user ends up with: the answer plus execution stats."""
+
+    answer: object
+    stats: QueryStats
+
+
+class Client:
+    """A registered user of one service provider."""
+
+    def __init__(self, service: ServiceProvider, credential: UserCredential):
+        self.service = service
+        self.credential = credential
+
+    # ----------------------------------------------------------- authenticate
+
+    def _login(self):
+        """Challenge-response authentication; returns the registry entry."""
+        challenge = self.service.challenge()
+        response = self.credential.answer_challenge(challenge)
+        return self.service.authenticate(self.credential, challenge, response)
+
+    # ------------------------------------------------------------- aggregate
+
+    def point_count(self, index_values: tuple, timestamp: int) -> QueryResult:
+        """Q1 variant: count observations at one (values, time) point."""
+        entry = self._login()
+        Registry.authorize_aggregate(entry)
+        query = PointQuery(
+            index_values=index_values,
+            timestamp=timestamp,
+            aggregate=Aggregate.COUNT,
+        )
+        sealed, stats = self.service.execute_point_sealed(query, entry)
+        answer = unseal_answer(self.credential.secret, sealed)
+        return QueryResult(answer=answer, stats=stats)
+
+    def range_aggregate(
+        self,
+        index_values: tuple,
+        time_start: int,
+        time_end: int,
+        aggregate: Aggregate = Aggregate.COUNT,
+        target: str | None = None,
+        k: int = 1,
+        method: str = "ebpb",
+        predicate: Predicate | None = None,
+    ) -> QueryResult:
+        """Q1–Q3: aggregate over a time range."""
+        entry = self._login()
+        Registry.authorize_aggregate(entry)
+        query = RangeQuery(
+            index_values=index_values,
+            time_start=time_start,
+            time_end=time_end,
+            aggregate=aggregate,
+            target=target,
+            k=k,
+            predicate=predicate,
+        )
+        sealed, stats = self.service.execute_range_sealed(query, entry, method=method)
+        answer = unseal_answer(self.credential.secret, sealed)
+        return QueryResult(answer=answer, stats=stats)
+
+    # --------------------------------------------------------- individualized
+
+    def my_locations(
+        self,
+        location_domain: tuple,
+        time_start: int,
+        time_end: int,
+        method: str = "winsecrange",
+    ) -> QueryResult:
+        """Q4: which locations saw *my* device during the range.
+
+        The enclave authorizes the observation value against the
+        registry entry's device id, so a user can never target another
+        device.
+        """
+        entry = self._login()
+        if not entry.device_id:
+            raise QueryError(
+                f"user {entry.user_id!r} has no registered device id"
+            )
+        Registry.authorize_individualized(entry, entry.device_id)
+        schema = self.service.schema
+        observation_group = None
+        for group in schema.filter_groups:
+            if schema.time_attribute not in group and "observation" in group and len(group) == 1:
+                observation_group = group
+                break
+        if observation_group is None:
+            raise QueryError(
+                f"schema {schema.name!r} has no observation filter group"
+            )
+        query = RangeQuery(
+            index_values=(location_domain,),
+            time_start=time_start,
+            time_end=time_end,
+            aggregate=Aggregate.COLLECT,
+            predicate=Predicate(group=observation_group, values=(entry.device_id,)),
+        )
+        sealed, stats = self.service.execute_range_sealed(query, entry, method=method)
+        answer = unseal_answer(self.credential.secret, sealed)
+        position = schema.position("location")
+        locations = sorted({record[position] for record in answer})
+        return QueryResult(answer=locations, stats=stats)
+
+    def my_visits_count(
+        self,
+        location: str,
+        location_domain: tuple,
+        time_start: int,
+        time_end: int,
+        method: str = "winsecrange",
+    ) -> QueryResult:
+        """Q5: how often *my* device was observed at one location."""
+        entry = self._login()
+        if not entry.device_id:
+            raise QueryError(
+                f"user {entry.user_id!r} has no registered device id"
+            )
+        Registry.authorize_individualized(entry, entry.device_id)
+        schema = self.service.schema
+        combined_group = None
+        for group in schema.filter_groups:
+            if set(group) == {"location", "observation"}:
+                combined_group = group
+                break
+        if combined_group is None:
+            raise QueryError(
+                f"schema {schema.name!r} has no (location, observation) group"
+            )
+        values = tuple(
+            location if attr == "location" else entry.device_id
+            for attr in combined_group
+        )
+        query = RangeQuery(
+            index_values=(location,),
+            time_start=time_start,
+            time_end=time_end,
+            aggregate=Aggregate.COUNT,
+            predicate=Predicate(group=combined_group, values=values),
+        )
+        sealed, stats = self.service.execute_range_sealed(query, entry, method=method)
+        answer = unseal_answer(self.credential.secret, sealed)
+        return QueryResult(answer=answer, stats=stats)

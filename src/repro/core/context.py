@@ -1,0 +1,381 @@
+"""Enclave-resident per-epoch state and shared query machinery.
+
+When the first query touches an epoch, the enclave decrypts that
+epoch's metadata vectors (``cell_id[]``, ``c_tuple[]``, per-cell
+counts), rebuilds the grid from the sealed master key, and runs the
+deterministic bin packing (STEP 0 of Algorithm 2).  All of that is
+cached here as an :class:`EpochContext`, charged against the simulated
+EPC budget.
+
+The context also provides the building blocks every executor shares:
+
+- trapdoor generation for a set of cell-ids + fake ids (STEP 3),
+- DET filter generation for predicates over timestamp sets,
+- hash-chain verification of fetched rows against the verifiable tags,
+- plain and oblivious row filtering (STEP 4 and §4.3).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.core.binning import Bin, BinLayout, pack_bins
+from repro.core.epoch import (
+    EpochPackage,
+    fake_index_plaintext,
+    index_plaintext,
+)
+from repro.core.grid import Grid
+from repro.core.queries import Predicate, QueryStats
+from repro.core.schema import DatasetSchema
+from repro.crypto.det import DeterministicCipher
+from repro.crypto.hashchain import HashChain
+from repro.crypto.keys import derive_epoch_key
+from repro.crypto.nondet import RandomizedCipher
+from repro.enclave.enclave import Enclave
+from repro.enclave.sort import bitonic_sort, column_sort
+from repro.exceptions import DecryptionError, IntegrityError, QueryError
+from repro.storage.engine import StorageEngine
+from repro.storage.table import Row
+
+
+# Rough per-item resident estimate for the footnote-5 sorter choice
+# (a (flag, ciphertext/row) pair with framing).
+_ROW_ESTIMATE_BYTES = 512
+
+# Batches at least this large route through the vectorised bitonic
+# network; below it the pure-Python reference is faster than the numpy
+# setup cost.
+_VECTOR_SORT_THRESHOLD = 512
+
+
+class EpochContext:
+    """Decrypted, enclave-private view of one outsourced epoch."""
+
+    def __init__(
+        self,
+        enclave: Enclave,
+        package: EpochPackage,
+        schema: DatasetSchema,
+        table_name: str | None = None,
+    ):
+        enclave.require_provisioned()
+        self.enclave = enclave
+        self.schema = schema
+        self.package = package
+        self.epoch_id = package.epoch_id
+        self.table_name = table_name or f"epoch_{package.epoch_id}"
+
+        epoch_key = derive_epoch_key(enclave.master_key, package.epoch_id)
+        self.det = DeterministicCipher(epoch_key)
+        self.nd = RandomizedCipher(epoch_key)
+        grid_key = (
+            self.nd.decrypt(package.enc_grid_key)
+            if package.enc_grid_key
+            else None
+        )
+        self.grid = Grid(
+            package.grid_spec, schema, enclave.master_key, package.epoch_id,
+            grid_key=grid_key,
+        )
+
+        with enclave.trace.disabled():
+            self.cell_id_vector = package.decrypt_cell_id_vector(self.nd)
+            self.c_tuple = package.decrypt_c_tuple_vector(self.nd)
+            self.cell_counts = package.decrypt_cell_counts(self.nd)
+        # The §9.1 observation that the vectors are small enough for the
+        # enclave: charge them against the EPC budget (8 bytes/int).
+        self._metadata_charge = 8 * (
+            len(self.cell_id_vector) + len(self.c_tuple) + len(self.cell_counts)
+        )
+        enclave.charge_memory(self._metadata_charge)
+
+        self.layout: BinLayout = pack_bins(
+            self.c_tuple,
+            bin_size=package.bin_size,
+            max_cells_per_bin=package.max_cells_per_bin,
+        )
+        self.fake_pool_size = package.fake_count
+        self._super_layouts: dict[int, object] = {}
+
+    def super_layout(self, super_bin_count: int):
+        """The §8 super-bin grouping of this epoch's bins, cached per f.
+
+        ``super_bin_count`` is the requested number of super-bins; the
+        largest divisor of the bin count not exceeding it is used (§8
+        requires f to divide the bin count evenly).  Bin "uniqueness" is
+        proxied by its number of cell-ids — the quantity that drives
+        retrieval frequency under a uniform per-cell-id workload.
+        """
+        from repro.core.superbin import build_super_bins
+
+        if super_bin_count not in self._super_layouts:
+            bin_count = len(self.layout.bins)
+            f = max(
+                d for d in range(1, min(super_bin_count, bin_count) + 1)
+                if bin_count % d == 0
+            )
+            uniques = [len(b.cell_ids) for b in self.layout.bins]
+            self._super_layouts[super_bin_count] = build_super_bins(uniques, f)
+        return self._super_layouts[super_bin_count]
+
+    def release(self) -> None:
+        """Return this context's EPC charge (drop the cached metadata)."""
+        self.enclave.release_memory(self._metadata_charge)
+
+    # --------------------------------------------------------------- filters
+
+    def filter_group_position(self, group: tuple[str, ...]) -> int:
+        """Which stored filter column corresponds to a predicate group."""
+        try:
+            return self.schema.filter_groups.index(group)
+        except ValueError:
+            raise QueryError(
+                f"schema {self.schema.name!r} has no filter group {group}"
+            ) from None
+
+    def filters_for(
+        self, predicate: Predicate, timestamps: Iterable[int]
+    ) -> list[bytes]:
+        """DET filter ciphertexts for (predicate values × timestamps).
+
+        Table 4's "SM using the filters E_k(l|t_1) ... E_k(l|t_x)".
+        """
+        return [
+            self.det.encrypt(
+                self.schema.filter_plaintext_for_values(
+                    predicate.group, predicate.values, t
+                )
+            )
+            for t in timestamps
+        ]
+
+    def query_timestamps(self, start: int, end: int) -> list[int]:
+        """Enumerate the discrete reading timestamps in ``[start, end]``."""
+        step = self.package.time_granularity
+        first = start + (-start) % step if start % step else start
+        return list(range(first, end + 1, step))
+
+    # ------------------------------------------------------------- trapdoors
+
+    def trapdoors_for_cell_ids(
+        self, cell_ids: Sequence[int], fake_ids: Sequence[int] = ()
+    ) -> list[bytes]:
+        """STEP 3: index-key ciphertexts for whole cell-ids plus fakes."""
+        trapdoors = [
+            self.det.encrypt(index_plaintext(cid, j))
+            for cid in cell_ids
+            for j in range(1, self.c_tuple[cid] + 1)
+        ]
+        trapdoors.extend(
+            self.det.encrypt(fake_index_plaintext(fid)) for fid in fake_ids
+        )
+        return trapdoors
+
+    def trapdoors_for_bin(self, chosen: Bin) -> list[bytes]:
+        """All trapdoors retrieving one point-query bin (|b| rows)."""
+        return self.trapdoors_for_cell_ids(chosen.cell_ids, chosen.fake_ids())
+
+    def oblivious_trapdoors_for_bin(self, chosen: Bin) -> list[bytes]:
+        """§4.3 STEP 3: same trapdoors, via a data-independent schedule.
+
+        Generates ``#Cmax × #max`` candidate slots plus ``#fmax`` fake
+        slots for *every* bin, flags each with v ∈ {0,1} using oblivious
+        comparisons, bitonic-sorts by v, and returns the v=1 prefix —
+        exactly ``bin_size`` trapdoors for any bin, with an identical
+        in-enclave event trace for all bins.
+        """
+        trace = self.enclave.trace
+        cells_max = max(len(b.cell_ids) for b in self.layout.bins)
+        tuples_max = max(self.c_tuple) if self.c_tuple else 0
+        fakes_max = max(b.fake_count for b in self.layout.bins)
+        # One event summarises the whole schedule: the slot iteration
+        # order below is a fixed function of these three public maxima,
+        # and each slot's flag is computed branch-free.
+        trace.emit(
+            "oblivious_trapdoor_schedule", cells_max, tuples_max, fakes_max
+        )
+
+        slots: list[tuple[int, bytes]] = []
+        cell_list = list(chosen.cell_ids) + [0] * (cells_max - len(chosen.cell_ids))
+        in_bin_count = len(chosen.cell_ids)
+        for position in range(cells_max):
+            cid = cell_list[position]
+            in_bin = ((position - in_bin_count) >> 63) & 1  # 1 iff slot is used
+            population = self.c_tuple[cid]
+            encrypt = self.det.encrypt
+            for j in range(1, tuples_max + 1):
+                within = ((population - j) >> 63) & 1 ^ 1  # 1 iff j <= population
+                slots.append((in_bin & within, encrypt(index_plaintext(cid, j))))
+        fake_ids = chosen.fake_ids()
+        fake_count = len(fake_ids)
+        for j in range(1, fakes_max + 1):
+            v = ((fake_count - j) >> 63) & 1 ^ 1  # 1 iff j <= fake_count
+            fid = fake_ids[j - 1] if j <= fake_count else 0
+            slots.append((v, self.det.encrypt(fake_index_plaintext(fid))))
+
+        ordered = self._oblivious_sort(slots, key=lambda s: -s[0])
+        return [ct for v, ct in ordered[: self.layout.bin_size]]
+
+    def _oblivious_sort(self, items, key):
+        """Footnote 5 of §4.3: bitonic in-EPC, column sort beyond it.
+
+        The batch's resident footprint is estimated against the free
+        EPC budget; batches that would not fit are sorted with
+        Leighton's column sort, which only ever holds one column of
+        the matrix resident.  In-EPC batches above a small threshold
+        use the vectorised bitonic network (same compare-exchange
+        sequence, numpy-applied).
+        """
+        estimated_bytes = _ROW_ESTIMATE_BYTES * len(items)
+        available = self.enclave.config.epc_bytes - self.enclave.epc_used
+        if estimated_bytes > available and len(items) > 1:
+            return column_sort(items, key=key, recorder=self.enclave.trace)
+        if len(items) >= _VECTOR_SORT_THRESHOLD:
+            from repro.enclave.sort_np import bitonic_sort_np
+
+            return bitonic_sort_np(items, key=key, recorder=self.enclave.trace)
+        return bitonic_sort(items, key=key, recorder=self.enclave.trace)
+
+    # ------------------------------------------------------------------ fetch
+
+    def fetch(
+        self,
+        engine: StorageEngine,
+        trapdoors: Sequence[bytes],
+        stats: QueryStats,
+    ) -> list[Row]:
+        """Submit trapdoors to the DBMS and pull the rows."""
+        stats.trapdoors_generated += len(trapdoors)
+        rows = engine.lookup_many(self.table_name, "index_key", list(trapdoors))
+        stats.rows_fetched += len(rows)
+        return rows
+
+    # ----------------------------------------------------------- verification
+
+    def verify_rows(self, rows: Sequence[Row]) -> None:
+        """STEP 4 (optional): hash-chain verification of fetched rows.
+
+        The enclave decrypts each real row's index key to recover
+        ``(cid, counter)``, orders rows per cell-id by counter, rebuilds
+        the per-column chains and compares against the sealed tags.
+        Raises :class:`IntegrityError` on any inconsistency.
+        """
+        column_count = len(self.schema.filter_groups) + 1
+        per_cid: dict[int, list[tuple[int, Row]]] = {}
+        for row in rows:
+            meta = self._decode_index_key(row)
+            if meta is None:
+                continue  # fake rows are not covered by per-cid tags
+            cid, counter = meta
+            per_cid.setdefault(cid, []).append((counter, row))
+
+        for cid, numbered in per_cid.items():
+            numbered.sort(key=lambda pair: pair[0])
+            counters = [c for c, _ in numbered]
+            if counters != list(range(1, self.c_tuple[cid] + 1)):
+                raise IntegrityError(
+                    f"cell {cid}: expected counters 1..{self.c_tuple[cid]}, "
+                    f"observed {counters[:5]}..."
+                )
+            chains = [HashChain() for _ in range(column_count)]
+            for _, row in numbered:
+                for position in range(column_count):
+                    chains[position].update(row[position])
+            tag = self.package.enc_tags.get(cid)
+            if tag is None:
+                raise IntegrityError(f"cell {cid}: no verifiable tag shipped")
+            for position, sealed in enumerate(tag):
+                expected = self.nd.decrypt(sealed)
+                if expected != chains[position].digest():
+                    raise IntegrityError(
+                        f"cell {cid}: column {position} hash chain mismatch"
+                    )
+
+    def _decode_index_key(self, row: Row) -> tuple[int, int] | None:
+        """Recover (cid, counter) from a row's index key; None for fakes."""
+        from repro.core.schema import unpad_plaintext
+
+        plaintext = unpad_plaintext(self.det.decrypt(row[-1]))
+        parts = plaintext.split(b"\x1f")
+        if parts[0] == b"idx":
+            return int(parts[1]), int(parts[2])
+        return None
+
+    def is_fake_row(self, row: Row) -> bool:
+        """Whether a fetched row is one of the provider's fakes."""
+        return self._decode_index_key(row) is None
+
+    # ------------------------------------------------------------- filtering
+
+    def match_rows(
+        self,
+        rows: Sequence[Row],
+        filters: Sequence[bytes],
+        group: tuple[str, ...],
+        stats: QueryStats,
+    ) -> list[Row]:
+        """Plain (Concealer) string-matching of rows against filters."""
+        position = self.filter_group_position(group)
+        filter_set = set(filters)
+        matched = [row for row in rows if row[position] in filter_set]
+        stats.rows_matched += len(matched)
+        return matched
+
+    def match_rows_oblivious(
+        self,
+        rows: Sequence[Row],
+        filters: Sequence[bytes],
+        group: tuple[str, ...],
+        stats: QueryStats,
+    ) -> list[Row]:
+        """§4.3 STEP 4: oblivious filtering.
+
+        Every row is compared against *every* filter; the match flag is
+        folded branch-free so the trace never reveals which filter
+        hit.  Rows are then bitonic-sorted by flag (matches first) and
+        the matched prefix is returned.  The in-enclave event trace
+        depends only on ``(len(rows), len(filters))``.
+        """
+        trace = self.enclave.trace
+        position = self.filter_group_position(group)
+        trace.emit("oblivious_filter", len(rows), len(filters))
+        # Pre-decode filters once; per (row, filter) the comparison is a
+        # single full-width big-integer XOR (branch-free), and the flag
+        # folds in with bitwise OR.
+        filter_ints = [int.from_bytes(f, "big") for f in filters]
+        max_width = max((len(f) for f in filters), default=0)
+        if rows:
+            max_width = max(max_width, len(rows[0][position]))
+        shift = 8 * max_width + 8
+        flagged: list[tuple[int, Row]] = []
+        for row in rows:
+            cell = int.from_bytes(row[position], "big")
+            v = 0
+            for filter_int in filter_ints:
+                diff = cell ^ filter_int
+                v |= ((-diff) >> shift) & 1 ^ 1  # 1 iff diff == 0
+            flagged.append((v, row))
+        ordered = self._oblivious_sort(flagged, key=lambda fr: -fr[0])
+        matched_count = sum(v for v, _ in flagged)
+        stats.rows_matched += matched_count
+        return [row for _, row in ordered[:matched_count]]
+
+    # ------------------------------------------------------------ decryption
+
+    def decrypt_record(self, row: Row) -> tuple:
+        """Decrypt one row's payload back into a record tuple."""
+        plaintext = self.det.decrypt(row[len(self.schema.filter_groups)])
+        return self.schema.decode_payload(plaintext)
+
+    def decrypt_records(self, rows: Sequence[Row], stats: QueryStats) -> list[tuple]:
+        """Decrypt payloads (skipping any fake rows defensively)."""
+        records = []
+        for row in rows:
+            try:
+                records.append(self.decrypt_record(row))
+            except DecryptionError:
+                continue  # a fake row slipped through matching: not real data
+        stats.rows_decrypted += len(records)
+        return records
+

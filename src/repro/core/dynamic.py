@@ -1,0 +1,294 @@
+"""Dynamic insertion and cross-round query execution (§6).
+
+Inserts are batched into rounds (= epochs); each round is encrypted
+independently by Algorithm 1, which gives forward privacy for free
+(fresh key per round).  But querying a value *across* rounds lets the
+adversary correlate bins between rounds (Example 6.1).  The §6 fix,
+inspired by Path-ORAM:
+
+- a query spanning rounds fetches, **from every round in its span**,
+  the same number of bins: the bins it needs plus randomly chosen
+  extras, ``max(needed, ceil(log2 |Bin|))`` in total — rounds that
+  contribute nothing are indistinguishable from rounds that do;
+- every fetched bin is then *rewritten*: its rows are decrypted,
+  re-encrypted under a fresh per-bin key (``k = s_k ‖ eid ‖ counter``,
+  footnote 7), permuted among their storage slots, and written back —
+  so a later query touching the same logical bin produces unlinkable
+  trapdoors and row contents.
+
+The enclave keeps the per-(round, bin) rewrite generation in sealed
+memory — the "meta-index at the trusted entity" that lets Concealer
+avoid Path-ORAM's external data structure.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.core.aggregation import evaluate_aggregate
+from repro.core.binning import Bin
+from repro.core.context import EpochContext
+from repro.core.epoch import EpochPackage, fake_index_plaintext, index_plaintext
+from repro.core.queries import Aggregate, Predicate, QueryStats, RangeQuery
+from repro.core.service import ServiceProvider
+from repro.crypto.det import DeterministicCipher
+from repro.crypto.keys import derive_rewrite_key
+from repro.exceptions import DecryptionError, QueryError
+from repro.storage.table import Row
+
+
+class DynamicConcealer:
+    """Multi-round store and the §6 query executor.
+
+    Wraps a provisioned :class:`ServiceProvider`; rounds are ingested
+    through :meth:`ingest_round` and cross-round range queries run
+    through :meth:`execute_range`.
+    """
+
+    def __init__(self, service: ServiceProvider, rng: random.Random | None = None):
+        self.service = service
+        self._rng = rng if rng is not None else random.Random()
+        # (epoch_id, bin_index) -> rewrite generation (footnote 7 counter).
+        self._generations: dict[tuple[int, int], int] = {}
+        # (epoch_id, bin_index) -> DET cipher of the current generation.
+        self._ciphers: dict[tuple[int, int], DeterministicCipher] = {}
+
+    # -------------------------------------------------------------- ingestion
+
+    def ingest_round(self, package: EpochPackage) -> None:
+        """Land one round; Algorithm 1 ran independently at the provider."""
+        self.service.ingest_epoch(package)
+
+    def rounds(self) -> list[int]:
+        """Ingested round (epoch) ids, sorted."""
+        return self.service.ingested_epochs()
+
+    def generation(self, epoch_id: int, bin_index: int) -> int:
+        """Rewrite generation of one bin (0 = never rewritten)."""
+        return self._generations.get((epoch_id, bin_index), 0)
+
+    # ----------------------------------------------------------------- query
+
+    def execute_range(self, query: RangeQuery) -> tuple[object, QueryStats]:
+        """Run a range query spanning any number of rounds."""
+        stats = QueryStats()
+        span = self._rounds_in_span(query)
+        if not span:
+            raise QueryError("query range covers no ingested round")
+
+        all_matched: list[tuple[EpochContext, Bin, list[Row]]] = []
+        for epoch_id in span:
+            context = self.service.context_for(epoch_id)
+            needed = self._needed_bins(query, context)
+            fetch_set = self._fetch_set(needed, context)
+            stats.bins_fetched += len(fetch_set)
+
+            self.service.engine.access_log.begin_query()
+            try:
+                for chosen in fetch_set:
+                    rows = self._fetch_bin(context, chosen, stats)
+                    if any(b.index == chosen.index for b in needed):
+                        all_matched.append((context, chosen, rows))
+                    self._rewrite_bin(context, chosen, rows)
+            finally:
+                self.service.engine.access_log.end_query()
+
+        return self._aggregate(query, all_matched, stats)
+
+    # ------------------------------------------------------------- internals
+
+    def _rounds_in_span(self, query: RangeQuery) -> list[int]:
+        rounds = []
+        for epoch_id in self.rounds():
+            ctx_duration = self.service.context_for(epoch_id).grid.spec.epoch_duration
+            if epoch_id <= query.time_end and epoch_id + ctx_duration > query.time_start:
+                rounds.append(epoch_id)
+        return rounds
+
+    def _needed_bins(self, query: RangeQuery, context: EpochContext) -> list[Bin]:
+        """The bins actually satisfying the query within one round."""
+        duration = context.grid.spec.epoch_duration
+        start = max(query.time_start, context.epoch_id)
+        end = min(query.time_end, context.epoch_id + duration - 1)
+        if end < start:
+            return []
+        cids: list[int] = []
+        for combo in query.candidate_combinations():
+            for cid in context.grid.cell_ids_for_range(combo, start, end):
+                if cid not in cids:
+                    cids.append(cid)
+        return context.layout.bins_of_cell_ids(cids)
+
+    def _fetch_set(self, needed: list[Bin], context: EpochContext) -> list[Bin]:
+        """Needed bins plus random decoys, ≥ ceil(log2 |Bin|) in total.
+
+        Rounds with no matching bin still fetch the same floor count,
+        hiding which rounds satisfy the query (§6 step ii).
+        """
+        total_bins = len(context.layout.bins)
+        floor = min(total_bins, max(1, math.ceil(math.log2(max(total_bins, 2)))))
+        target = max(len(needed), floor)
+        chosen = {b.index: b for b in needed}
+        candidates = [b for b in context.layout.bins if b.index not in chosen]
+        self._rng.shuffle(candidates)
+        for decoy in candidates:
+            if len(chosen) >= target:
+                break
+            chosen[decoy.index] = decoy
+        return list(chosen.values())
+
+    def _bin_cipher(self, context: EpochContext, bin_index: int) -> DeterministicCipher:
+        """DET cipher of a bin's current rewrite generation."""
+        key = (context.epoch_id, bin_index)
+        cipher = self._ciphers.get(key)
+        if cipher is None:
+            generation = self._generations.get(key, 0)
+            if generation == 0:
+                cipher = context.det
+            else:
+                cipher = DeterministicCipher(
+                    derive_rewrite_key(
+                        self.service.enclave.master_key, context.epoch_id, generation
+                    )
+                )
+            self._ciphers[key] = cipher
+        return cipher
+
+    def _fetch_bin(
+        self, context: EpochContext, chosen: Bin, stats: QueryStats
+    ) -> list[Row]:
+        """Fetch one bin under its generation's trapdoors."""
+        cipher = self._bin_cipher(context, chosen.index)
+        trapdoors = [
+            cipher.encrypt(index_plaintext(cid, j))
+            for cid in chosen.cell_ids
+            for j in range(1, context.c_tuple[cid] + 1)
+        ]
+        trapdoors.extend(
+            cipher.encrypt(fake_index_plaintext(fid)) for fid in chosen.fake_ids()
+        )
+        stats.trapdoors_generated += len(trapdoors)
+        rows = self.service.engine.lookup_many(
+            context.table_name, "index_key", trapdoors
+        )
+        stats.rows_fetched += len(rows)
+        return rows
+
+    def _rewrite_bin(
+        self, context: EpochContext, chosen: Bin, rows: list[Row]
+    ) -> None:
+        """§6 step iii: permute, re-encrypt with a fresh key, write back."""
+        key = (context.epoch_id, chosen.index)
+        old_cipher = self._bin_cipher(context, chosen.index)
+        new_generation = self._generations.get(key, 0) + 1
+        new_cipher = DeterministicCipher(
+            derive_rewrite_key(
+                self.service.enclave.master_key, context.epoch_id, new_generation
+            )
+        )
+
+        contents = []
+        for row in rows:
+            columns = []
+            for ciphertext in row.columns:
+                try:
+                    columns.append(new_cipher.encrypt(old_cipher.decrypt(ciphertext)))
+                except DecryptionError:
+                    # Fake filter/payload columns are randomized garbage;
+                    # refresh with new garbage of the same length (the
+                    # 32 bytes of E_nd framing stay constant).
+                    body = b"\x00" * max(0, len(ciphertext) - 32)
+                    columns.append(context.nd.encrypt(body))
+            contents.append(columns)
+
+        slots = [row.row_id for row in rows]
+        self._rng.shuffle(contents)
+        for row_id, columns in zip(slots, contents):
+            self.service.engine.overwrite(context.table_name, row_id, columns)
+
+        self._generations[key] = new_generation
+        self._ciphers[key] = new_cipher
+
+    def _aggregate(
+        self,
+        query: RangeQuery,
+        matched_bins: list[tuple[EpochContext, Bin, list[Row]]],
+        stats: QueryStats,
+    ) -> tuple[object, QueryStats]:
+        """Filter the needed bins' rows and fold the aggregate across rounds.
+
+        Note: rows were captured *before* the rewrite, so they decrypt
+        under the generation that fetched them.
+        """
+        records: list[tuple] = []
+        count = 0
+        for context, chosen, rows in matched_bins:
+            cipher = self._bin_cipher_before_rewrite(context, chosen)
+            predicate = self._resolve_predicate(query, context)
+            duration = context.grid.spec.epoch_duration
+            start = max(query.time_start, context.epoch_id)
+            end = min(query.time_end, context.epoch_id + duration - 1)
+            timestamps = context.query_timestamps(start, end)
+            filters = {
+                cipher.encrypt(
+                    context.schema.filter_plaintext_for_values(
+                        predicate.group, values, t
+                    )
+                )
+                for values in self._predicate_combos(predicate)
+                for t in timestamps
+            }
+            position = context.filter_group_position(predicate.group)
+            payload_pos = len(context.schema.filter_groups)
+            for row in rows:
+                if row[position] in filters:
+                    count += 1
+                    if query.aggregate is not Aggregate.COUNT:
+                        plaintext = cipher.decrypt(row[payload_pos])
+                        records.append(context.schema.decode_payload(plaintext))
+        stats.rows_matched = count
+        stats.rows_decrypted = len(records)
+        if query.aggregate is Aggregate.COUNT:
+            return count, stats
+        answer = evaluate_aggregate(
+            query.aggregate, records, self.service.schema, query.target, query.k
+        )
+        return answer, stats
+
+    def _bin_cipher_before_rewrite(
+        self, context: EpochContext, chosen: Bin
+    ) -> DeterministicCipher:
+        """Cipher of the generation the rows were fetched under."""
+        key = (context.epoch_id, chosen.index)
+        generation = self._generations.get(key, 1) - 1
+        if generation <= 0:
+            return context.det
+        return DeterministicCipher(
+            derive_rewrite_key(
+                self.service.enclave.master_key, context.epoch_id, generation
+            )
+        )
+
+    @staticmethod
+    def _predicate_combos(predicate: Predicate) -> list[tuple]:
+        combos: list[list] = [[]]
+        for value in predicate.values:
+            options = list(value) if isinstance(value, (tuple, list)) else [value]
+            combos = [prefix + [opt] for prefix in combos for opt in options]
+        return [tuple(c) for c in combos]
+
+    @staticmethod
+    def _resolve_predicate(query: RangeQuery, context: EpochContext) -> Predicate:
+        if query.predicate is not None:
+            return query.predicate
+        schema = context.schema
+        for group in schema.filter_groups:
+            if group == schema.index_attributes:
+                return Predicate(group=group, values=tuple(query.index_values))
+        group = schema.filter_groups[0]
+        values = tuple(
+            query.index_values[schema.index_attributes.index(attr)]
+            for attr in group
+        )
+        return Predicate(group=group, values=values)

@@ -1,0 +1,262 @@
+"""Algorithm 1: data-provider-side epoch encryption.
+
+For each epoch the data provider:
+
+1. derives the epoch key ``k = KDF(s_k, eid)`` (Line 2);
+2. places every tuple on the grid, bumps the per-cell-id counter, and
+   DET-encrypts the filter columns, the full tuple, and the index key
+   ``E_k(cid ‖ counter)`` (Lines 4–11);
+3. manufactures fake tuples (Lines 12–15) using one of two strategies:
+   ``EQUAL`` ships one fake per real tuple (the worst case Theorem 4.1
+   allows), while ``SIMULATED`` runs the very same deterministic bin
+   packing the enclave will run and ships exactly the fakes the padded
+   bins need;
+4. builds one hash chain per cell-id per encrypted column and seals the
+   final digests as verifiable tags (Lines 16–21);
+5. permutes real and fake rows together and emits the
+   :class:`~repro.core.epoch.EpochPackage` (Lines 22–25).
+
+Throughput of this function is the paper's Exp 1 (≈37,185 rows/min on
+the authors' hardware).
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.core.binning import pack_bins
+from repro.core.epoch import (
+    FAKE_CHAIN_LABEL,
+    EncryptedRow,
+    EpochPackage,
+    encode_int_vector,
+    fake_index_plaintext,
+    index_plaintext,
+)
+from repro.core.grid import Grid, GridSpec, derive_grid_key
+from repro.core.schema import DatasetSchema
+from repro.crypto.det import DeterministicCipher
+from repro.crypto.hashchain import HashChain
+from repro.crypto.keys import derive_epoch_key
+from repro.crypto.nondet import RandomizedCipher
+from repro.exceptions import EpochError
+
+
+class FakeStrategy(str, Enum):
+    """§3's two fake-tuple generation methods."""
+
+    EQUAL = "equal"          # method (i): one fake per real tuple
+    SIMULATED = "simulated"  # method (ii): simulate binning, ship exactly enough
+
+
+@dataclass
+class EncryptionReport:
+    """Accounting emitted alongside a package (drives Exp 1 / Exp 6)."""
+
+    epoch_id: int
+    real_rows: int
+    fake_rows: int
+    bin_size: int
+    bin_count: int
+    metadata_bytes: int
+
+
+class EpochEncryptor:
+    """Runs Algorithm 1 for a fixed schema/grid configuration.
+
+    ``bin_size`` optionally overrides the packing bin size (default:
+    the epoch's maximum cell-id population — the paper's ``|b| = max``).
+    ``rng`` seeds the Line-24 permutation; pass a seeded
+    ``random.Random`` for reproducible packages.
+    """
+
+    def __init__(
+        self,
+        schema: DatasetSchema,
+        grid_spec: GridSpec,
+        master_key: bytes,
+        fake_strategy: FakeStrategy = FakeStrategy.SIMULATED,
+        bin_size: int | None = None,
+        max_cells_per_bin: int | None = None,
+        time_granularity: int = 1,
+        rng: random.Random | None = None,
+    ):
+        self.schema = schema
+        self.grid_spec = grid_spec
+        self.master_key = master_key
+        self.fake_strategy = FakeStrategy(fake_strategy)
+        self.bin_size = bin_size
+        self.max_cells_per_bin = max_cells_per_bin
+        self.time_granularity = time_granularity
+        # §1.2(iii): different per-epoch row counts (day vs night) leak;
+        # optionally pad every shipped epoch to a fixed total row count
+        # with additional fakes.  None disables (the paper's default).
+        self.pad_epoch_rows_to: int | None = None
+        self._rng = rng if rng is not None else random.Random()
+        self.last_report: EncryptionReport | None = None
+
+    def encrypt_epoch(self, records: Sequence[tuple], epoch_id: int) -> EpochPackage:
+        """Encrypt one epoch's records into a transmissible package."""
+        epoch_key = derive_epoch_key(self.master_key, epoch_id)
+        det = DeterministicCipher(epoch_key)
+        nd = RandomizedCipher(epoch_key)
+        grid_key = derive_grid_key(self.master_key, epoch_id)
+        grid = Grid(
+            self.grid_spec, self.schema, self.master_key, epoch_id,
+            grid_key=grid_key,
+        )
+
+        u = self.grid_spec.cell_id_count
+        c_tuple = [0] * u
+        cell_counts = [0] * self.grid_spec.total_cells
+
+        # One hash chain per (cell-id, encrypted column).  Columns are the
+        # filter groups plus the payload.
+        column_count = len(self.schema.filter_groups) + 1
+        chains: dict[int, list[HashChain]] = {}
+
+        real_rows: list[EncryptedRow] = []
+        for record in records:
+            self._check_record(record, epoch_id)
+            flat = grid.flat_index(grid.coords(record))
+            cid = grid.cell_id_of(flat)
+            cell_counts[flat] += 1
+            c_tuple[cid] += 1
+            counter = c_tuple[cid]
+
+            filters = tuple(
+                det.encrypt(self.schema.filter_plaintext(record, group))
+                for group in self.schema.filter_groups
+            )
+            payload = det.encrypt(self.schema.payload_plaintext(record))
+            index_key = det.encrypt(index_plaintext(cid, counter))
+            row = EncryptedRow(filters=filters, payload=payload, index_key=index_key)
+            real_rows.append(row)
+
+            cell_chains = chains.setdefault(
+                cid, [HashChain() for _ in range(column_count)]
+            )
+            for position, ciphertext in enumerate((*filters, payload)):
+                cell_chains[position].update(ciphertext)
+
+        fake_rows = self._make_fake_rows(
+            det, nd, c_tuple, column_count, chains
+        )
+
+        tags = {
+            label: tuple(nd.encrypt(chain.digest()) for chain in cell_chains)
+            for label, cell_chains in chains.items()
+        }
+
+        all_rows = real_rows + fake_rows
+        self._rng.shuffle(all_rows)  # Line 24: mix real and fake tuples
+
+        package = EpochPackage(
+            schema_name=self.schema.name,
+            epoch_id=epoch_id,
+            grid_spec=self.grid_spec,
+            time_granularity=self.time_granularity,
+            rows=all_rows,
+            enc_cell_id_vector=nd.encrypt(encode_int_vector(grid.cell_id_vector())),
+            enc_c_tuple_vector=nd.encrypt(encode_int_vector(c_tuple)),
+            enc_cell_counts=nd.encrypt(encode_int_vector(cell_counts)),
+            enc_tags=tags,
+            real_count=len(real_rows),
+            fake_count=len(fake_rows),
+            bin_size=self.bin_size,
+            max_cells_per_bin=self.max_cells_per_bin,
+            enc_grid_key=nd.encrypt(grid_key),
+        )
+        layout_size = self.bin_size or max(max(c_tuple), 1)
+        self.last_report = EncryptionReport(
+            epoch_id=epoch_id,
+            real_rows=len(real_rows),
+            fake_rows=len(fake_rows),
+            bin_size=layout_size,
+            bin_count=-(-sum(c_tuple) // layout_size) if sum(c_tuple) else 0,
+            metadata_bytes=package.metadata_bytes(),
+        )
+        return package
+
+    # ------------------------------------------------------------------ fakes
+
+    def _make_fake_rows(
+        self,
+        det: DeterministicCipher,
+        nd: RandomizedCipher,
+        c_tuple: list[int],
+        column_count: int,
+        chains: dict[int, list[HashChain]],
+    ) -> list[EncryptedRow]:
+        """Lines 12–15: manufacture ciphertext-secure fake tuples.
+
+        Fake filter/payload columns are randomized garbage (``E_nd``),
+        indistinguishable from real DET ciphertexts to anyone without
+        the key; index keys are ``E_k(f ‖ j)`` so the enclave can
+        formulate fake trapdoors.  Fakes get their own hash chain so
+        integrity covers them too (a reproduction extension).
+        """
+        total_real = sum(c_tuple)
+        if self.fake_strategy is FakeStrategy.EQUAL:
+            fake_total = total_real
+        else:
+            if total_real == 0:
+                fake_total = 0
+            else:
+                layout = pack_bins(
+                    c_tuple,
+                    bin_size=self.bin_size,
+                    max_cells_per_bin=self.max_cells_per_bin,
+                )
+                fake_total = layout.total_fakes
+        if self.pad_epoch_rows_to is not None:
+            if total_real + fake_total > self.pad_epoch_rows_to:
+                raise EpochError(
+                    f"epoch holds {total_real + fake_total} rows, above the "
+                    f"fixed epoch size {self.pad_epoch_rows_to}"
+                )
+            fake_total = self.pad_epoch_rows_to - total_real
+
+        # Fake filter/payload ciphertexts must be byte-for-byte the same
+        # LENGTH as real ones, or length alone would out them at rest.
+        # E_nd carries 32 bytes of overhead vs DET's 16, hence the -16.
+        fake_filter_body = b"\x00" * (self.schema.filter_pad_width - 16)
+        fake_payload_body = b"\x00" * (self.schema.payload_pad_width - 16)
+
+        fake_rows: list[EncryptedRow] = []
+        if fake_total:
+            fake_chains = chains.setdefault(
+                FAKE_CHAIN_LABEL, [HashChain() for _ in range(column_count)]
+            )
+            for fake_id in range(1, fake_total + 1):
+                filters = tuple(
+                    nd.encrypt(fake_filter_body) for _ in range(column_count - 1)
+                )
+                payload = nd.encrypt(fake_payload_body)
+                index_key = det.encrypt(fake_index_plaintext(fake_id))
+                fake_rows.append(
+                    EncryptedRow(filters=filters, payload=payload, index_key=index_key)
+                )
+                for position, ciphertext in enumerate((*filters, payload)):
+                    fake_chains[position].update(ciphertext)
+        return fake_rows
+
+    # ------------------------------------------------------------------ misc
+
+    def _check_record(self, record: tuple, epoch_id: int) -> None:
+        if len(record) != len(self.schema.attributes):
+            raise EpochError(
+                f"record arity {len(record)} != schema arity "
+                f"{len(self.schema.attributes)}"
+            )
+        timestamp = self.schema.time_of(record)
+        if not (
+            epoch_id <= timestamp < epoch_id + self.grid_spec.epoch_duration
+        ):
+            raise EpochError(
+                f"record time {timestamp} outside epoch "
+                f"[{epoch_id}, {epoch_id + self.grid_spec.epoch_duration})"
+            )

@@ -1,0 +1,129 @@
+"""Algorithm 2: bin-packing-based (BPB) point-query execution.
+
+The four steps, run inside the enclave:
+
+- **STEP 0** bins exist (built once per epoch by the
+  :class:`~repro.core.context.EpochContext`);
+- **STEP 1** hash the query's index values and timestamp to a grid
+  cell and read its cell-id from ``cell_id[]``;
+- **STEP 2** find the bin containing that cell-id;
+- **STEP 3** formulate one DET trapdoor per (cell-id, counter) of the
+  bin plus the bin's fake-tuple trapdoors — exactly ``|b|`` trapdoors
+  no matter which bin, which is the volume-hiding guarantee;
+- **STEP 4** optionally verify hash chains, string-match the fetched
+  rows against the query filters, decrypt only what the aggregate
+  needs, and aggregate.
+
+``oblivious=True`` selects the §4.3 Concealer+ variant: trapdoor
+generation and filtering run on the data-independent code paths
+(oblivious comparisons + bitonic sort), which the trace recorder can
+certify produce identical event streams across queries.
+"""
+
+from __future__ import annotations
+
+from repro.core.aggregation import evaluate_aggregate, needs_decryption
+from repro.core.context import EpochContext
+from repro.core.queries import (
+    Aggregate,
+    PointQuery,
+    Predicate,
+    QueryStats,
+)
+from repro.exceptions import QueryError
+from repro.storage.engine import StorageEngine
+
+
+class BPBExecutor:
+    """Executes point queries against one loaded epoch."""
+
+    def __init__(
+        self,
+        engine: StorageEngine,
+        oblivious: bool = False,
+        verify: bool = False,
+        super_bin_count: int | None = None,
+    ):
+        self.engine = engine
+        self.oblivious = oblivious
+        self.verify = verify
+        # §8: when set, a query fetches its bin's whole super-bin so
+        # that retrieval frequencies stay uniform under uniform query
+        # workloads (at f-fold fetch cost).
+        self.super_bin_count = super_bin_count
+
+    def execute(
+        self, query: PointQuery, context: EpochContext
+    ) -> tuple[object, QueryStats]:
+        """Run Algorithm 2; returns ``(answer, stats)``."""
+        stats = QueryStats(oblivious=self.oblivious)
+        predicate = self._resolve_predicate(query, context)
+
+        # STEP 1: cell identification.
+        cell_id = context.grid.place_values(query.index_values, query.timestamp)
+
+        # STEP 2: bin identification (plus §8 super-bin expansion).
+        chosen = context.layout.bin_of_cell_id(cell_id)
+        if self.super_bin_count is not None:
+            layout = context.super_layout(self.super_bin_count)
+            bins = [
+                context.layout.bins[index]
+                for index in layout.bins_to_fetch(chosen.index)
+            ]
+        else:
+            bins = [chosen]
+        stats.bins_fetched = len(bins)
+
+        # STEP 3: trapdoor formulation.
+        rows = []
+        for fetch_bin in bins:
+            if self.oblivious:
+                trapdoors = context.oblivious_trapdoors_for_bin(fetch_bin)
+            else:
+                trapdoors = context.trapdoors_for_bin(fetch_bin)
+            rows.extend(context.fetch(self.engine, trapdoors, stats))
+
+        # STEP 4: verification, filtering, aggregation.
+        if self.verify:
+            context.verify_rows(rows)
+            stats.verified = True
+
+        filters = context.filters_for(predicate, [query.timestamp])
+        if self.oblivious:
+            matched = context.match_rows_oblivious(
+                rows, filters, predicate.group, stats
+            )
+        else:
+            matched = context.match_rows(rows, filters, predicate.group, stats)
+
+        if query.aggregate is Aggregate.COUNT:
+            return len(matched), stats
+        if not needs_decryption(query.aggregate):
+            raise QueryError(f"unhandled match-only aggregate {query.aggregate}")
+        records = context.decrypt_records(matched, stats)
+        answer = evaluate_aggregate(
+            query.aggregate, records, context.schema, query.target, query.k
+        )
+        return answer, stats
+
+    @staticmethod
+    def _resolve_predicate(query: PointQuery, context: EpochContext) -> Predicate:
+        """Default predicate: match the first filter group on index values."""
+        if query.predicate is not None:
+            return query.predicate
+        schema = context.schema
+        for group in schema.filter_groups:
+            if group == schema.index_attributes:
+                return Predicate(group=group, values=tuple(query.index_values))
+        group = schema.filter_groups[0]
+        try:
+            values = tuple(
+                query.index_values[schema.index_attributes.index(attr)]
+                for attr in group
+            )
+        except ValueError:
+            raise QueryError(
+                f"cannot derive a default predicate from group {group}; "
+                "pass one explicitly"
+            ) from None
+        return Predicate(group=group, values=values)

@@ -1,0 +1,148 @@
+"""Query model: aggregations over point and range predicates (Table 4).
+
+Concealer deliberately supports a *limited* query surface (§1, R3):
+aggregations — count, sum, min/max, average, top-k — over selections on
+index attributes and time ranges.  This module defines the immutable
+query objects the client sends (encrypted) to the service provider.
+
+Filter predicates are separate from grid placement.  A query like
+Table 4's Q4 ("which locations saw observation ``o_i`` between
+``t_1..t_x``") grids by *location* but filters by *observation*: its
+``index_values`` enumerate all candidate locations while its
+``predicate`` string-matches the observation filter column.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.exceptions import QueryError
+
+
+class Aggregate(str, Enum):
+    """The aggregation operators of §2.2 Phase 2.
+
+    ``DISTINCT_COUNT`` implements the intro's "count of distinct
+    visitors to a region" application: the number of different values
+    of the target attribute among the matching rows.
+    """
+
+    COUNT = "count"
+    SUM = "sum"
+    MIN = "min"
+    MAX = "max"
+    AVG = "avg"
+    TOP_K = "top_k"
+    DISTINCT_COUNT = "distinct_count"
+    COLLECT = "collect"  # return matching (decrypted) records
+
+
+# Aggregates that can be answered by string-matching filter ciphertexts
+# alone — no payload decryption needed (Table 4: "No decryption needed";
+# Exp 8 shows count queries ~36-40% faster for this reason).
+MATCH_ONLY_AGGREGATES = frozenset({Aggregate.COUNT})
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """A filter-column match: which group, and the non-time values.
+
+    ``group`` must be one of the schema's ``filter_groups``; ``values``
+    are the group's non-time attribute values in group order.  The
+    executor expands the predicate into per-timestamp DET filters.
+    """
+
+    group: tuple[str, ...]
+    values: tuple
+
+    def __post_init__(self):
+        if len(self.values) != len(self.group):
+            raise QueryError(
+                f"predicate on group {self.group} needs {len(self.group)} "
+                f"values, got {len(self.values)}"
+            )
+
+
+@dataclass(frozen=True)
+class PointQuery:
+    """An aggregation at one (index-values, timestamp) point.
+
+    ``index_values`` are concrete values for every index attribute of
+    the schema, in schema order — they drive grid-cell identification
+    (STEP 1 of Algorithm 2).  ``predicate`` defaults to matching the
+    first filter group on the index values.
+    """
+
+    index_values: tuple
+    timestamp: int
+    aggregate: Aggregate = Aggregate.COUNT
+    predicate: Predicate | None = None
+    target: str | None = None
+    k: int = 1
+
+    def __post_init__(self):
+        _check_aggregate(self.aggregate, self.target)
+
+
+@dataclass(frozen=True)
+class RangeQuery:
+    """An aggregation over a closed time range ``[time_start, time_end]``.
+
+    Each slot of ``index_values`` is either a concrete value or a tuple
+    of candidate values (Q2/Q3/Q4 span *all* locations: pass the full
+    location domain).  The executor forms the cross-product of
+    candidates when identifying cells.
+    """
+
+    index_values: tuple
+    time_start: int
+    time_end: int
+    aggregate: Aggregate = Aggregate.COUNT
+    predicate: Predicate | None = None
+    target: str | None = None
+    k: int = 1
+
+    def __post_init__(self):
+        if self.time_end < self.time_start:
+            raise QueryError("range end precedes start")
+        _check_aggregate(self.aggregate, self.target)
+
+    def candidate_combinations(self) -> list[tuple]:
+        """Expand wildcard slots into the concrete index-value tuples."""
+        combos: list[list] = [[]]
+        for slot in self.index_values:
+            options = list(slot) if isinstance(slot, (tuple, list)) else [slot]
+            combos = [prefix + [opt] for prefix in combos for opt in options]
+        return [tuple(c) for c in combos]
+
+
+def _check_aggregate(aggregate: Aggregate, target: str | None) -> None:
+    needs_target = aggregate in (
+        Aggregate.SUM,
+        Aggregate.MIN,
+        Aggregate.MAX,
+        Aggregate.AVG,
+        Aggregate.TOP_K,
+        Aggregate.DISTINCT_COUNT,
+    )
+    if needs_target and target is None:
+        raise QueryError(f"aggregate {aggregate.value} requires a target attribute")
+
+
+@dataclass
+class QueryStats:
+    """Execution-side accounting a benchmark or test can inspect.
+
+    ``rows_fetched`` is the adversary-observable volume; the *_matched
+    counts are enclave-internal.
+    """
+
+    trapdoors_generated: int = 0
+    rows_fetched: int = 0
+    rows_matched: int = 0
+    rows_decrypted: int = 0
+    bins_fetched: int = 0
+    verified: bool = False
+    oblivious: bool = False
+    extra: dict = field(default_factory=dict)

@@ -1,0 +1,383 @@
+"""Range-query execution (§5): multi-point BPB, eBPB, winSecRange.
+
+Three methods with distinct cost/leakage trade-offs:
+
+- :meth:`RangeExecutor.execute_multipoint` — the §5.1 *trivial*
+  solution: decompose the range into its covering grid cells, take the
+  cells' cell-ids, fetch every point-query bin containing any of them.
+  Strong volume hiding (only whole fixed-size bins are fetched), but
+  heavily over-fetches (Example 5.1 fetches 300 tuples where 150
+  qualify).
+
+- :meth:`RangeExecutor.execute_ebpb` — §5.2's *enhanced* method using
+  the per-cell population counts: the retrieval budget ``bsize`` is the
+  maximum, over all non-time grid columns, of the summed top-ℓ cell
+  populations — so any ℓ-cell range fits.  The query fetches exactly
+  its covering cells' cell-ids, padded with fakes to ``bsize``.  Faster
+  than BPB, but Example 5.2.2 shows overlapping ranges leak — which is
+  why the paper adds:
+
+- :meth:`RangeExecutor.execute_winsecrange` — §5.3: time subintervals
+  are grouped into fixed-λ windows; a query fetches the *entire*
+  windows covering its range (every location), padded to the largest
+  window's population.  Sliding a query window never changes what is
+  fetched for a given window, killing the Example 5.2.2 attack, at the
+  price of fetching far more rows (Exp 2: ~70K/400K rows).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.aggregation import evaluate_aggregate, needs_decryption
+from repro.core.context import EpochContext
+from repro.core.queries import Aggregate, Predicate, QueryStats, RangeQuery
+from repro.exceptions import QueryError
+from repro.storage.engine import StorageEngine
+from repro.storage.table import Row
+
+
+@dataclass
+class _EBPBState:
+    """Cached eBPB sizing, grown monotonically as queries widen (STEP 3).
+
+    ``window_volumes`` holds, for every ``max_span``-subinterval window
+    start, the per-column cell-id fetch volumes of that window sorted
+    descending.  A query naming ``m`` candidate columns is budgeted at
+    the *worst single window's* top-``m`` column sum — independent of
+    which columns or which window the query actually names (volume
+    hiding), yet far tighter than summing each column's individual
+    worst window for all-location queries like Q2–Q4.
+    """
+
+    max_span: int = 0
+    window_volumes: list[list[int]] = None  # type: ignore[assignment]
+    # Deduplicated all-column volume per window: cell-ids shared between
+    # columns (time-local allocation groups several columns under one
+    # id) are fetched once, so any query's fetch is capped by this.
+    window_totals: list[int] = None  # type: ignore[assignment]
+
+    def budget(self, combos: int) -> int:
+        best = 0
+        volumes = self.window_volumes or [[0]]
+        totals = self.window_totals or [0] * len(volumes)
+        for ordered, total in zip(volumes, totals):
+            take = max(1, min(combos, len(ordered)))
+            volume = sum(ordered[:take])
+            if combos > len(ordered):
+                volume += ordered[0] * (combos - len(ordered))
+            best = max(best, min(volume, total))
+        return best
+
+
+class RangeExecutor:
+    """Executes range queries against one loaded epoch."""
+
+    def __init__(
+        self,
+        engine: StorageEngine,
+        oblivious: bool = False,
+        verify: bool = False,
+        window_subintervals: int = 8,
+    ):
+        self.engine = engine
+        self.oblivious = oblivious
+        self.verify = verify
+        # λ for winSecRange, measured in grid time-subintervals.
+        self.window_subintervals = window_subintervals
+        self._ebpb_state: dict[int, _EBPBState] = {}
+
+    # ----------------------------------------------------------- §5.1 trivial
+
+    def execute_multipoint(
+        self, query: RangeQuery, context: EpochContext
+    ) -> tuple[object, QueryStats]:
+        """Convert the range into point-query bins and fetch them all."""
+        stats = QueryStats(oblivious=self.oblivious)
+        needed_cids: list[int] = []
+        for combo in query.candidate_combinations():
+            for cid in context.grid.cell_ids_for_range(
+                combo, query.time_start, query.time_end
+            ):
+                if cid not in needed_cids:
+                    needed_cids.append(cid)
+
+        bins = context.layout.bins_of_cell_ids(needed_cids)
+        stats.bins_fetched = len(bins)
+        rows: list[Row] = []
+        for chosen in bins:
+            if self.oblivious:
+                trapdoors = context.oblivious_trapdoors_for_bin(chosen)
+            else:
+                trapdoors = context.trapdoors_for_bin(chosen)
+            rows.extend(context.fetch(self.engine, trapdoors, stats))
+        return self._finish(query, context, rows, stats)
+
+    # -------------------------------------------------------------- §5.2 eBPB
+
+    def execute_ebpb(
+        self, query: RangeQuery, context: EpochContext
+    ) -> tuple[object, QueryStats]:
+        """Fetch the covering cells' cell-ids, padded to the top-ℓ budget."""
+        stats = QueryStats(oblivious=self.oblivious)
+        combos = query.candidate_combinations()
+        span = len(
+            context.grid.time_buckets_for_range(query.time_start, query.time_end)
+        )
+
+        state = self._ebpb_budget(context, span)
+        needed_cids: list[int] = []
+        for combo in combos:
+            for cid in context.grid.cell_ids_for_range(
+                combo, query.time_start, query.time_end
+            ):
+                if cid not in needed_cids:
+                    needed_cids.append(cid)
+
+        real_volume = sum(context.c_tuple[cid] for cid in needed_cids)
+        budget = state.budget(len(combos))
+        fake_ids = self._pad_fakes(context, max(0, budget - real_volume))
+        stats.extra["ebpb_budget"] = budget
+        stats.extra["ebpb_real_volume"] = real_volume
+        stats.bins_fetched = len(combos)
+
+        trapdoors = context.trapdoors_for_cell_ids(needed_cids, fake_ids)
+        rows = context.fetch(self.engine, trapdoors, stats)
+        return self._finish(query, context, rows, stats)
+
+    def _ebpb_budget(self, context: EpochContext, span: int) -> _EBPBState:
+        """STEP 2–3: per-column worst-case volumes for ℓ-window queries.
+
+        The paper sizes eBPB bins as the maximum, over grid columns, of
+        the top-ℓ cell populations.  Retrieval, however, happens at
+        *cell-id* granularity (a trapdoor fetches every tuple of a
+        cell-id, which may span several cells), so for the fetch volume
+        to be constant the budget must be computed the same way the
+        fetch is: for every (column, ℓ-window start), take the distinct
+        cell-ids covering the window's cells and sum their populations.
+        The per-column maxima are kept sorted so multi-column queries
+        (Q2–Q4 sweep every location) are budgeted at the sum of the top
+        ``m`` columns rather than ``m ×`` the single worst column.
+
+        Cached and grown monotonically: recomputed only when a query
+        spans more cells than any previous one (paper's STEP 3 rule).
+        """
+        state = self._ebpb_state.setdefault(id(context), _EBPBState())
+        if state.window_volumes is not None and span <= state.max_span:
+            return state
+        grid = context.grid
+        spec = grid.spec
+        time_axis = spec.dimension_sizes[-1]
+        prefix_cells = spec.total_cells // time_axis
+        buckets = spec.time_buckets
+        coords = [grid.time_axis_coord(bucket) for bucket in range(buckets)]
+        cid_vector = context.cell_id_vector
+        window_volumes: list[list[int]] = []
+        window_totals: list[int] = []
+        for start in range(max(1, buckets - span + 1)):
+            window_buckets = range(start, min(start + span, buckets))
+            per_column: list[int] = []
+            all_cids: set[int] = set()
+            for prefix in range(prefix_cells):
+                base = prefix * time_axis
+                cids = {cid_vector[base + coords[bucket]] for bucket in window_buckets}
+                per_column.append(sum(context.c_tuple[cid] for cid in cids))
+                all_cids |= cids
+            per_column.sort(reverse=True)
+            window_volumes.append(per_column)
+            window_totals.append(sum(context.c_tuple[cid] for cid in all_cids))
+        state.max_span = span
+        state.window_volumes = window_volumes
+        state.window_totals = window_totals
+        return state
+
+    # ------------------------------------------------------ §5.3 winSecRange
+
+    def execute_winsecrange(
+        self, query: RangeQuery, context: EpochContext
+    ) -> tuple[object, QueryStats]:
+        """Fetch whole fixed-λ time windows covering the range."""
+        stats = QueryStats(oblivious=self.oblivious)
+        windows = self._covering_windows(query, context)
+        window_size = self._window_budget(context)
+
+        rows: list[Row] = []
+        fake_offset = 0
+        for window in windows:
+            cids = self._window_cell_ids(context, window)
+            real_volume = sum(context.c_tuple[cid] for cid in cids)
+            fake_ids = self._pad_fakes(
+                context, max(0, window_size - real_volume), offset=fake_offset
+            )
+            fake_offset += len(fake_ids)
+            trapdoors = context.trapdoors_for_cell_ids(cids, fake_ids)
+            rows.extend(context.fetch(self.engine, trapdoors, stats))
+        stats.bins_fetched = len(windows)
+        stats.extra["window_size"] = window_size
+        return self._finish(query, context, rows, stats)
+
+    def _covering_windows(self, query: RangeQuery, context: EpochContext) -> list[int]:
+        """The λ-window indices intersecting the query's time range."""
+        buckets = context.grid.time_buckets_for_range(
+            query.time_start, query.time_end
+        )
+        lam = self.window_subintervals
+        return sorted({bucket // lam for bucket in buckets})
+
+    def _window_cell_ids(self, context: EpochContext, window: int) -> list[int]:
+        """Distinct cell-ids of every cell (all columns) in one window.
+
+        The window covers subinterval *indices*; each index hashes to a
+        time-axis coordinate, and the window spans all non-time columns.
+        """
+        grid = context.grid
+        spec = grid.spec
+        time_axis_size = spec.dimension_sizes[-1]
+        prefix_cells = spec.total_cells // time_axis_size
+        lam = self.window_subintervals
+        first = window * lam
+        buckets = range(first, min(first + lam, spec.time_buckets))
+        time_coords = {grid.time_axis_coord(bucket) for bucket in buckets}
+        cids: list[int] = []
+        for prefix in range(prefix_cells):
+            for coord in time_coords:
+                flat = prefix * time_axis_size + coord
+                cid = grid.cell_id_of(flat)
+                if cid not in cids:
+                    cids.append(cid)
+        return cids
+
+    def _window_budget(self, context: EpochContext) -> int:
+        """Bin size = the maximum population over all λ-windows."""
+        cache_key = ("winsec_budget", context.epoch_id, self.window_subintervals)
+        if context.enclave.has_sealed(cache_key):
+            return context.enclave.unseal(cache_key)
+        spec = context.grid.spec
+        lam = self.window_subintervals
+        window_count = math.ceil(spec.time_buckets / lam)
+        best = 0
+        for window in range(window_count):
+            cids = self._window_cell_ids(context, window)
+            best = max(best, sum(context.c_tuple[cid] for cid in cids))
+        context.enclave.seal(cache_key, best)
+        return best
+
+    # ---------------------------------------------------------------- shared
+
+    def _pad_fakes(
+        self, context: EpochContext, needed: int, offset: int = 0
+    ) -> list[int]:
+        """Fake ids to pad a fetch to its constant budget.
+
+        ``offset`` rotates through the shipped fake pool so successive
+        fetches (adjacent winSecRange windows) use disjoint fakes where
+        the pool allows — Example 4.1's argument for disjoint padding.
+        When ``needed`` exceeds the pool, ids cycle: the fetch volume
+        stays constant (the security property), at the cost of visibly
+        repeated fake fetches.  Providers that expect heavy range use
+        should ship ``FakeStrategy.EQUAL`` pools (one fake per real
+        row), which Theorem 4.1 shows is always sufficient.
+        """
+        available = context.fake_pool_size
+        if needed <= 0 or available == 0:
+            return []
+        return [1 + (offset + i) % available for i in range(needed)]
+
+    def _finish(
+        self,
+        query: RangeQuery,
+        context: EpochContext,
+        rows: list[Row],
+        stats: QueryStats,
+    ) -> tuple[object, QueryStats]:
+        """Shared STEP 4: verify, filter, decrypt, aggregate.
+
+        Rows are de-duplicated by physical id first: winSecRange windows
+        (and, with coarse grids, eBPB cell-id unions) can fetch the same
+        row more than once, and matching must not double-count it.
+        """
+        seen: set[int] = set()
+        unique_rows: list[Row] = []
+        for row in rows:
+            if row.row_id not in seen:
+                seen.add(row.row_id)
+                unique_rows.append(row)
+        rows = unique_rows
+        if self.verify:
+            context.verify_rows(rows)
+            stats.verified = True
+
+        predicate = self._resolve_predicate(query, context)
+        timestamps = context.query_timestamps(query.time_start, query.time_end)
+        filters = self._expand_filters(query, context, predicate, timestamps)
+
+        if self.oblivious:
+            matched = context.match_rows_oblivious(
+                rows, filters, predicate.group, stats
+            )
+        else:
+            matched = context.match_rows(rows, filters, predicate.group, stats)
+
+        if query.aggregate is Aggregate.COUNT:
+            return len(matched), stats
+        if not needs_decryption(query.aggregate):
+            raise QueryError(f"unhandled match-only aggregate {query.aggregate}")
+        records = context.decrypt_records(matched, stats)
+        answer = evaluate_aggregate(
+            query.aggregate, records, context.schema, query.target, query.k
+        )
+        return answer, stats
+
+    def _expand_filters(
+        self,
+        query: RangeQuery,
+        context: EpochContext,
+        predicate: Predicate,
+        timestamps: list[int],
+    ) -> list[bytes]:
+        """Filters for every (candidate predicate values × timestamp).
+
+        When the predicate values contain wildcard tuples (Q2/Q3 "all
+        locations"), the cross-product of candidates is expanded — this
+        mirrors Table 4's Q2 filters ``E_k(l_i|t_j)`` over the full
+        location domain.
+        """
+        value_options: list[list] = []
+        for value in predicate.values:
+            options = list(value) if isinstance(value, (tuple, list)) else [value]
+            value_options.append(options)
+        combos: list[list] = [[]]
+        for options in value_options:
+            combos = [prefix + [opt] for prefix in combos for opt in options]
+        filters: list[bytes] = []
+        for combo in combos:
+            filters.extend(
+                context.filters_for(
+                    Predicate(group=predicate.group, values=tuple(combo)),
+                    timestamps,
+                )
+            )
+        return filters
+
+    @staticmethod
+    def _resolve_predicate(query: RangeQuery, context: EpochContext) -> Predicate:
+        """Default predicate mirrors the point-query rule."""
+        if query.predicate is not None:
+            return query.predicate
+        schema = context.schema
+        for group in schema.filter_groups:
+            if group == schema.index_attributes:
+                return Predicate(group=group, values=tuple(query.index_values))
+        group = schema.filter_groups[0]
+        try:
+            values = tuple(
+                query.index_values[schema.index_attributes.index(attr)]
+                for attr in group
+            )
+        except ValueError:
+            raise QueryError(
+                f"cannot derive a default predicate from group {group}; "
+                "pass one explicitly"
+            ) from None
+        return Predicate(group=group, values=values)

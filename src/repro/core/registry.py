@@ -1,0 +1,178 @@
+"""User registry and authentication (requirement R2, Phase 0).
+
+The data provider maintains, per service provider, a registry of the
+users allowed to query — so the service provider cannot masquerade as a
+user to extract cleartext answers.  The registry is shipped encrypted;
+the enclave decrypts it and authenticates every query with an
+HMAC-based challenge-response over the user's secret (standing in for
+the paper's public/private key pairs — the property used is only
+"holder of the registered credential can answer a fresh challenge").
+
+Individualized queries (Q4/Q5: "my own movements") are additionally
+*authorized*: a user may only target the observation identity (their
+device id) recorded in their registry entry, never someone else's.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import json
+import os
+from dataclasses import dataclass
+
+from repro.crypto.nondet import RandomizedCipher
+from repro.exceptions import AuthenticationError, AuthorizationError
+
+
+@dataclass(frozen=True)
+class UserCredential:
+    """What a registered user holds: an id and a secret."""
+
+    user_id: str
+    secret: bytes
+
+    def answer_challenge(self, challenge: bytes) -> bytes:
+        """Prove possession of the secret for a fresh challenge."""
+        return hmac.new(self.secret, challenge, hashlib.sha256).digest()
+
+
+@dataclass(frozen=True)
+class RegistryEntry:
+    """One registered user, as stored by the data provider.
+
+    ``device_id`` is the user's observation identity — the value their
+    individualized queries are allowed to target (empty string: none).
+    ``aggregate_allowed`` gates Q1–Q3-style aggregate applications.
+    """
+
+    user_id: str
+    secret: bytes
+    device_id: str = ""
+    aggregate_allowed: bool = True
+
+
+class Registry:
+    """The provider-side registry plus its encrypted wire format."""
+
+    def __init__(self):
+        self._entries: dict[str, RegistryEntry] = {}
+
+    def register(
+        self,
+        user_id: str,
+        device_id: str = "",
+        aggregate_allowed: bool = True,
+        rng=None,
+    ) -> UserCredential:
+        """Phase 0: enrol a user; returns the credential handed to them."""
+        if user_id in self._entries:
+            raise AuthenticationError(f"user {user_id!r} already registered")
+        secret = rng.randbytes(32) if rng is not None else os.urandom(32)
+        self._entries[user_id] = RegistryEntry(
+            user_id=user_id,
+            secret=secret,
+            device_id=device_id,
+            aggregate_allowed=aggregate_allowed,
+        )
+        return UserCredential(user_id=user_id, secret=secret)
+
+    def revoke(self, user_id: str) -> None:
+        """Remove a user; subsequent authentication fails."""
+        self._entries.pop(user_id, None)
+
+    def __contains__(self, user_id: str) -> bool:
+        return user_id in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # ------------------------------------------------------------ wire format
+
+    def seal(self, cipher: RandomizedCipher) -> bytes:
+        """Encrypt the registry for shipping to the service provider."""
+        payload = json.dumps(
+            [
+                {
+                    "user_id": e.user_id,
+                    "secret": e.secret.hex(),
+                    "device_id": e.device_id,
+                    "aggregate_allowed": e.aggregate_allowed,
+                }
+                for e in self._entries.values()
+            ]
+        ).encode("utf-8")
+        return cipher.encrypt(payload)
+
+    @staticmethod
+    def unseal(blob: bytes, cipher: RandomizedCipher) -> "Registry":
+        """Enclave-side: decrypt a shipped registry."""
+        registry = Registry()
+        for item in json.loads(cipher.decrypt(blob).decode("utf-8")):
+            registry._entries[item["user_id"]] = RegistryEntry(
+                user_id=item["user_id"],
+                secret=bytes.fromhex(item["secret"]),
+                device_id=item["device_id"],
+                aggregate_allowed=item["aggregate_allowed"],
+            )
+        return registry
+
+    # ---------------------------------------------------------- authentication
+
+    def authenticate(self, user_id: str, challenge: bytes, response: bytes) -> RegistryEntry:
+        """Verify a challenge-response; returns the entry on success."""
+        entry = self._entries.get(user_id)
+        if entry is None:
+            raise AuthenticationError(f"user {user_id!r} not registered")
+        expected = hmac.new(entry.secret, challenge, hashlib.sha256).digest()
+        if not hmac.compare_digest(expected, response):
+            raise AuthenticationError(f"user {user_id!r} failed authentication")
+        return entry
+
+    @staticmethod
+    def authorize_individualized(entry: RegistryEntry, observation: str) -> None:
+        """A user may only target their own observation identity."""
+        if entry.device_id != observation:
+            raise AuthorizationError(
+                f"user {entry.user_id!r} may not query observation "
+                f"{observation!r}"
+            )
+
+    @staticmethod
+    def authorize_aggregate(entry: RegistryEntry) -> None:
+        """Gate for aggregate applications."""
+        if not entry.aggregate_allowed:
+            raise AuthorizationError(
+                f"user {entry.user_id!r} is not entitled to aggregate queries"
+            )
+
+
+# --------------------------------------------------------------- Phase 4
+# Answer sealing: the paper's Phase 3 ends with the enclave "providing
+# the final answers encrypted using the public key of the user" and
+# Phase 4 has the user decrypt them.  We derive a per-user answer key
+# from the registry secret both sides hold; the sealed blob is
+# authenticated, so the host can neither read nor substitute answers.
+# (Blobs carry pickled Python values — safe to load because only the
+# enclave, which is trusted, can produce blobs that authenticate.)
+
+def _answer_key(secret: bytes) -> bytes:
+    from repro.crypto.prf import Prf
+
+    return Prf(secret)(b"answer-sealing-key")
+
+
+def seal_answer(secret: bytes, answer: object) -> bytes:
+    """Enclave-side: encrypt a final answer for one user."""
+    import pickle
+
+    return RandomizedCipher(_answer_key(secret)).encrypt(
+        pickle.dumps(answer, protocol=pickle.HIGHEST_PROTOCOL)
+    )
+
+
+def unseal_answer(secret: bytes, sealed: bytes) -> object:
+    """User-side (Phase 4): decrypt and authenticate a sealed answer."""
+    import pickle
+
+    return pickle.loads(RandomizedCipher(_answer_key(secret)).decrypt(sealed))

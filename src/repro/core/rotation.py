@@ -1,0 +1,160 @@
+"""Master-key rotation (§1.2(i), implemented as an extension).
+
+The paper scopes key rotation out, citing updatable oblivious key
+management [20].  Operationally it matters: a long-lived deployment
+must be able to retire ``s_k`` (operator turnover, suspected exposure)
+without re-shipping every epoch from the data provider.
+
+Protocol (all re-encryption happens *inside the enclave*; the service
+provider host never sees plaintext):
+
+1. The data provider authorizes the rotation with a token proving
+   knowledge of the *current* master key, bound to a commitment of the
+   new key — the host cannot forge a rotation to a key it controls.
+2. The enclave verifies the token against its sealed master key.
+3. Per ingested epoch, the enclave decrypts every stored column under
+   the old epoch key and re-encrypts under the new one (fake columns
+   are re-randomized at the same length), overwriting rows in place —
+   the DBMS index follows automatically.  The epoch package's metadata
+   vectors and verifiable tags are re-encrypted too, so verification
+   keeps working after rotation.
+4. The enclave swaps its sealed key schedule; the provider adopts the
+   new master for future epochs.
+
+Restrictions: epochs already touched by §6 dynamic rewrites carry
+per-bin generations this routine does not track; rotate before going
+dynamic, or re-ship those rounds.
+"""
+
+from __future__ import annotations
+
+import hmac as _hmac
+
+from repro.core.epoch import FAKE_CHAIN_LABEL, encode_int_vector
+from repro.core.service import ServiceProvider
+from repro.core.schema import unpad_plaintext
+from repro.crypto.det import DeterministicCipher
+from repro.crypto.hashchain import HashChain
+from repro.crypto.keys import EpochKeySchedule, derive_epoch_key
+from repro.crypto.nondet import RandomizedCipher
+from repro.crypto.prf import Prf
+from repro.exceptions import AuthorizationError, CryptoError, DecryptionError
+
+
+def rotation_token(old_master: bytes, new_master: bytes) -> bytes:
+    """The DP's proof of authority over the current key, binding the new."""
+    commitment = Prf(new_master)(b"rotation-commitment")
+    return Prf(old_master)(b"authorize-rotation", commitment)
+
+
+def rotate_service_keys(
+    service: ServiceProvider, new_master: bytes, token: bytes
+) -> int:
+    """Re-encrypt every ingested epoch under keys from ``new_master``.
+
+    Returns the number of rows re-encrypted.  Raises
+    :class:`AuthorizationError` on a bad token and
+    :class:`CryptoError` if any stored real row fails to decrypt (the
+    storage was tampered with — rotation aborts before swapping keys,
+    leaving the old key valid).
+    """
+    enclave = service.enclave
+    enclave.require_provisioned()
+    old_master = enclave.master_key
+    expected = rotation_token(old_master, new_master)
+    if not _hmac.compare_digest(token, expected):
+        raise AuthorizationError("rotation token invalid: not authorized by DP")
+
+    rotated_rows = 0
+    for epoch_id in service.ingested_epochs():
+        package = service._packages[epoch_id]
+        old_key = derive_epoch_key(old_master, epoch_id)
+        new_key = derive_epoch_key(new_master, epoch_id)
+        old_det, new_det = DeterministicCipher(old_key), DeterministicCipher(new_key)
+        old_nd, new_nd = RandomizedCipher(old_key), RandomizedCipher(new_key)
+
+        table = service._table_name(epoch_id)
+        # Verifiable tags chain the *stored* ciphertexts, so rotation must
+        # rebuild the chains over the new ciphertexts.  Collect each real
+        # row's (cid, counter) and each fake's id while re-encrypting.
+        chained_columns = len(service.schema.filter_groups) + 1
+        real_entries: dict[int, list[tuple[int, list[bytes]]]] = {}
+        fake_entries: list[tuple[int, list[bytes]]] = []
+        for row in list(service.engine._tables[table].scan()):
+            columns = []
+            for position, ciphertext in enumerate(row.columns):
+                try:
+                    columns.append(new_det.encrypt(old_det.decrypt(ciphertext)))
+                except DecryptionError:
+                    if position == len(row.columns) - 1:
+                        # Index keys are always DET; a failure here means
+                        # the host tampered with storage.
+                        raise CryptoError(
+                            f"row {row.row_id} of {table} failed rotation "
+                            "decryption — storage tampered, rotation aborted"
+                        ) from None
+                    # Fake filter/payload columns: fresh garbage, same length.
+                    body = b"\x00" * max(0, len(ciphertext) - 32)
+                    columns.append(new_nd.encrypt(body))
+            meta = unpad_plaintext(old_det.decrypt(row.columns[-1])).split(b"\x1f")
+            if meta[0] == b"idx":
+                real_entries.setdefault(int(meta[1]), []).append(
+                    (int(meta[2]), columns[:chained_columns])
+                )
+            else:
+                fake_entries.append((int(meta[1]), columns[:chained_columns]))
+            service.engine.overwrite(table, row.row_id, columns)
+            rotated_rows += 1
+
+        new_tags: dict[int, tuple[bytes, ...]] = {}
+        for label, numbered in real_entries.items():
+            numbered.sort(key=lambda pair: pair[0])
+            chains = [HashChain() for _ in range(chained_columns)]
+            for _, columns in numbered:
+                for position in range(chained_columns):
+                    chains[position].update(columns[position])
+            new_tags[label] = tuple(
+                new_nd.encrypt(chain.digest()) for chain in chains
+            )
+        if fake_entries:
+            fake_entries.sort(key=lambda pair: pair[0])
+            chains = [HashChain() for _ in range(chained_columns)]
+            for _, columns in fake_entries:
+                for position in range(chained_columns):
+                    chains[position].update(columns[position])
+            new_tags[FAKE_CHAIN_LABEL] = tuple(
+                new_nd.encrypt(chain.digest()) for chain in chains
+            )
+
+        # Metadata vectors and tags move to the new epoch key too.
+        package.enc_cell_id_vector = new_nd.encrypt(
+            encode_int_vector(package.decrypt_cell_id_vector(old_nd))
+        )
+        package.enc_c_tuple_vector = new_nd.encrypt(
+            encode_int_vector(package.decrypt_c_tuple_vector(old_nd))
+        )
+        package.enc_cell_counts = new_nd.encrypt(
+            encode_int_vector(package.decrypt_cell_counts(old_nd))
+        )
+        if package.enc_grid_key:
+            package.enc_grid_key = new_nd.encrypt(old_nd.decrypt(package.enc_grid_key))
+        else:
+            # Pre-rotation packages derived placement from the master key;
+            # pin the old derivation explicitly so placements survive.
+            from repro.core.grid import derive_grid_key
+
+            package.enc_grid_key = new_nd.encrypt(
+                derive_grid_key(old_master, epoch_id)
+            )
+        package.enc_tags = new_tags
+
+    # Swap the sealed key material; cached contexts hold old ciphers.
+    old_schedule = enclave.key_schedule
+    enclave._sealed.master_key = new_master
+    enclave._sealed.key_schedule = EpochKeySchedule(
+        master_key=new_master,
+        first_epoch_id=old_schedule.first_epoch_id,
+        epoch_duration=old_schedule.epoch_duration,
+    )
+    service._contexts.clear()
+    return rotated_rows

@@ -1,0 +1,275 @@
+"""The service provider SP (Figure 1, right).
+
+An *untrusted* host that stores the encrypted epochs in its DBMS and
+runs the trusted query logic inside its enclave.  The service provider
+itself only ever sees ciphertext rows, opaque trapdoors, and the
+storage access log — everything the leakage analysis treats as the
+adversary's view.
+
+Query flow (Phase 3):
+
+1. the user authenticates against the enclave-held registry
+   (challenge-response);
+2. the enclave authorizes the query (individualized queries only over
+   the user's own device id);
+3. the enclave builds/loads the epoch context and executes the chosen
+   method (BPB / eBPB / winSecRange);
+4. the answer is returned sealed for the user.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.core.context import EpochContext
+from repro.core.epoch import EpochPackage
+from repro.core.point_query import BPBExecutor
+from repro.core.queries import PointQuery, QueryStats, RangeQuery
+from repro.core.range_query import RangeExecutor
+from repro.core.registry import Registry, RegistryEntry, UserCredential
+from repro.core.schema import DatasetSchema
+from repro.crypto.keys import derive_epoch_key
+from repro.crypto.nondet import RandomizedCipher
+from repro.enclave.enclave import Enclave, EnclaveConfig
+from repro.exceptions import AuthenticationError, EpochError, QueryError
+from repro.storage.engine import StorageEngine
+
+RANGE_METHODS = ("multipoint", "ebpb", "winsecrange", "auto")
+
+
+@dataclass
+class ServiceConfig:
+    """Service-side execution knobs."""
+
+    oblivious: bool = False          # Concealer vs Concealer+ (§4.3)
+    verify: bool = False             # hash-chain verification (Exp 4)
+    window_subintervals: int = 8     # winSecRange λ, in subintervals
+    super_bin_count: int | None = None  # §8 workload defence (point queries)
+    btree_order: int = 64
+    table_prefix: str = ""           # distinguishes co-hosted indexes (§9.1)
+
+
+class ServiceProvider:
+    """Hosts the DBMS and the enclave; executes queries for users."""
+
+    def __init__(
+        self,
+        schema: DatasetSchema,
+        config: ServiceConfig | None = None,
+        engine: StorageEngine | None = None,
+        enclave: Enclave | None = None,
+    ):
+        """``engine`` / ``enclave`` may be shared between the services
+        hosting several indexes of one relation (§9.1 builds two TPC-H
+        indexes and three WiFi indexes on one machine)."""
+        self.schema = schema
+        self.config = config or ServiceConfig()
+        self.engine = engine if engine is not None else StorageEngine(
+            btree_order=self.config.btree_order
+        )
+        self.enclave = enclave if enclave is not None else Enclave(EnclaveConfig())
+        self._packages: dict[int, EpochPackage] = {}
+        self._contexts: dict[int, EpochContext] = {}
+        self._registry: Registry | None = None
+        # Outstanding authentication challenges: each is single-use, so a
+        # network adversary replaying a captured (challenge, response)
+        # pair is rejected (§1.2(ii) replay concern, enclave-side).
+        self._open_challenges: set[bytes] = set()
+        self._point_executor = BPBExecutor(
+            self.engine,
+            oblivious=self.config.oblivious,
+            verify=self.config.verify,
+            super_bin_count=self.config.super_bin_count,
+        )
+        self._range_executor = RangeExecutor(
+            self.engine,
+            oblivious=self.config.oblivious,
+            verify=self.config.verify,
+            window_subintervals=self.config.window_subintervals,
+        )
+
+    # -------------------------------------------------------------- ingestion
+
+    def install_registry(self, sealed_registry: bytes) -> None:
+        """Receive the encrypted registry; the enclave opens it."""
+        self.enclave.require_provisioned()
+        cipher = RandomizedCipher(derive_epoch_key(self.enclave.master_key, 0))
+        self._registry = Registry.unseal(sealed_registry, cipher)
+
+    def ingest_epoch(self, package: EpochPackage) -> None:
+        """Phase 1 landing: insert the epoch's rows; DBMS builds the index."""
+        if package.schema_name != self.schema.name:
+            raise EpochError(
+                f"package schema {package.schema_name!r} does not match "
+                f"service schema {self.schema.name!r}"
+            )
+        if package.epoch_id in self._packages:
+            raise EpochError(f"epoch {package.epoch_id} already ingested")
+        table = self._table_name(package.epoch_id)
+        self.engine.create_table(table, package.column_names)
+        self.engine.create_index(table, "index_key")
+        for row in package.rows:
+            self.engine.insert(table, row.as_columns())
+        self._packages[package.epoch_id] = package
+
+    def ingested_epochs(self) -> list[int]:
+        """Epoch ids landed so far, sorted."""
+        return sorted(self._packages)
+
+    # ------------------------------------------------------------ epoch state
+
+    def context_for(self, epoch_id: int) -> EpochContext:
+        """Enclave-side lazy construction of the epoch context (STEP 0)."""
+        if epoch_id not in self._contexts:
+            package = self._packages.get(epoch_id)
+            if package is None:
+                raise EpochError(f"epoch {epoch_id} was never ingested")
+            self._contexts[epoch_id] = EpochContext(
+                self.enclave, package, self.schema,
+                table_name=self._table_name(epoch_id),
+            )
+        return self._contexts[epoch_id]
+
+    # ---------------------------------------------------------- authentication
+
+    def challenge(self) -> bytes:
+        """A fresh, single-use authentication challenge for a user."""
+        challenge = os.urandom(16)
+        self._open_challenges.add(challenge)
+        return challenge
+
+    def authenticate(
+        self, credential: UserCredential, challenge: bytes, response: bytes
+    ) -> RegistryEntry:
+        """Verify a user against the enclave-held registry.
+
+        The challenge must be one this service issued and not yet
+        consumed — replaying a captured (challenge, response) pair
+        fails even though the HMAC verifies.
+        """
+        if self._registry is None:
+            raise AuthenticationError("no registry installed at this service")
+        if challenge not in self._open_challenges:
+            raise AuthenticationError(
+                "unknown or already-used challenge (replay rejected)"
+            )
+        self._open_challenges.discard(challenge)
+        return self._registry.authenticate(credential.user_id, challenge, response)
+
+    @property
+    def registry(self) -> Registry:
+        """The enclave-held registry; raises until one is installed."""
+        if self._registry is None:
+            raise AuthenticationError("no registry installed at this service")
+        return self._registry
+
+    # --------------------------------------------------------------- queries
+
+    def execute_point(
+        self, query: PointQuery, epoch_id: int | None = None
+    ) -> tuple[object, QueryStats]:
+        """Run a point query (Algorithm 2) inside the enclave."""
+        eid = epoch_id if epoch_id is not None else self._epoch_of(query.timestamp)
+        context = self.context_for(eid)
+        self.engine.access_log.begin_query()
+        try:
+            return self._point_executor.execute(query, context)
+        finally:
+            self.engine.access_log.end_query()
+
+    def execute_range(
+        self,
+        query: RangeQuery,
+        method: str = "ebpb",
+        epoch_id: int | None = None,
+    ) -> tuple[object, QueryStats]:
+        """Run a range query with the chosen §5 method."""
+        if method not in RANGE_METHODS:
+            raise QueryError(
+                f"unknown range method {method!r}; choose from {RANGE_METHODS}"
+            )
+        eid = epoch_id if epoch_id is not None else self._epoch_of(query.time_start)
+        if epoch_id is None and self._epoch_of(query.time_end) != eid:
+            raise QueryError(
+                "range spans multiple epochs; use DynamicConcealer (§6)"
+            )
+        context = self.context_for(eid)
+        if method == "auto":
+            method = self.choose_range_method(query, context)
+        self.engine.access_log.begin_query()
+        try:
+            if method == "multipoint":
+                return self._range_executor.execute_multipoint(query, context)
+            if method == "ebpb":
+                return self._range_executor.execute_ebpb(query, context)
+            return self._range_executor.execute_winsecrange(query, context)
+        finally:
+            self.engine.access_log.end_query()
+
+    # ------------------------------------------------------- sealed answers
+
+    def execute_point_sealed(
+        self, query: PointQuery, entry: RegistryEntry, epoch_id: int | None = None
+    ) -> tuple[bytes, QueryStats]:
+        """Point query whose answer leaves the enclave sealed for the user.
+
+        Phase 3's final step: the host relays an opaque authenticated
+        blob it can neither read nor substitute; only the user's
+        registry secret opens it (Phase 4).
+        """
+        from repro.core.registry import seal_answer
+
+        answer, stats = self.execute_point(query, epoch_id=epoch_id)
+        return seal_answer(entry.secret, answer), stats
+
+    def execute_range_sealed(
+        self,
+        query: RangeQuery,
+        entry: RegistryEntry,
+        method: str = "ebpb",
+        epoch_id: int | None = None,
+    ) -> tuple[bytes, QueryStats]:
+        """Range query with a sealed answer (see
+        :meth:`execute_point_sealed`)."""
+        from repro.core.registry import seal_answer
+
+        answer, stats = self.execute_range(query, method=method, epoch_id=epoch_id)
+        return seal_answer(entry.secret, answer), stats
+
+    def choose_range_method(self, query: RangeQuery, context) -> str:
+        """Pick a §5 method from the query's *public* shape.
+
+        Uses only L_s-grade information (candidate-combination count,
+        covered subinterval span, grid geometry) so the choice itself
+        leaks nothing beyond the query shape the adversary observes
+        anyway:
+
+        - queries sweeping most of the value domain fetch whole time
+          slices regardless of method → winSecRange (also the
+          strongest security);
+        - selective queries → eBPB (tightest fetch volume);
+        - tiny spans (≤ one subinterval) → multipoint, which fetches a
+          single point-query bin.
+        """
+        combos = len(query.candidate_combinations())
+        span = len(
+            context.grid.time_buckets_for_range(query.time_start, query.time_end)
+        )
+        non_time_columns = (
+            context.grid.spec.total_cells // context.grid.spec.time_buckets
+        )
+        if combos >= max(2, non_time_columns // 2):
+            return "winsecrange"
+        if span <= 1:
+            return "multipoint"
+        return "ebpb"
+
+    def _table_name(self, epoch_id: int) -> str:
+        """Storage table hosting one epoch of this index."""
+        return f"{self.config.table_prefix}epoch_{epoch_id}"
+
+    def _epoch_of(self, timestamp: int) -> int:
+        """Map a timestamp to an ingested epoch id."""
+        self.enclave.require_provisioned()
+        return self.enclave.key_schedule.epoch_id_for_time(timestamp)

@@ -1,0 +1,45 @@
+"""Cryptographic substrate for the Concealer reproduction.
+
+The paper encrypts with AES-256 inside an SGX enclave.  This offline
+reproduction uses only the Python standard library, so the package
+provides equivalent symmetric primitives built on SHA-256 / HMAC-SHA256:
+
+- :mod:`repro.crypto.prf` — a pseudo-random function and helpers to hash
+  values into integer ranges (the paper's hash function ``H`` used for
+  grid placement).
+- :mod:`repro.crypto.stream` — a counter-mode stream cipher keyed by a
+  PRF, the substitute for AES-CTR.
+- :mod:`repro.crypto.det` — deterministic authenticated encryption
+  (SIV-style): the paper's ``E_k``.  Determinism is what makes the
+  encrypted ``Index`` column usable as a stock DBMS index key.
+- :mod:`repro.crypto.nondet` — randomized authenticated encryption: the
+  paper's ``E_nd``, used for the ``cell_id[]`` / ``c_tuple[]`` vectors
+  and the verifiable tags.
+- :mod:`repro.crypto.keys` — per-epoch key derivation
+  (``k = KDF(s_k, eid)``) and re-encryption keys for the §6 rewrite.
+- :mod:`repro.crypto.hashchain` — the §3 hash chains and encrypted
+  verifiable tags.
+
+All ciphertexts are ``bytes``; all keys are 32-byte secrets.
+"""
+
+from repro.crypto.det import DeterministicCipher
+from repro.crypto.hashchain import HashChain, chain_digest
+from repro.crypto.keys import EpochKeySchedule, derive_epoch_key, derive_rewrite_key
+from repro.crypto.nondet import RandomizedCipher
+from repro.crypto.prf import Prf, hash_to_range
+from repro.crypto.stream import keystream, stream_xor
+
+__all__ = [
+    "DeterministicCipher",
+    "EpochKeySchedule",
+    "HashChain",
+    "Prf",
+    "RandomizedCipher",
+    "chain_digest",
+    "derive_epoch_key",
+    "derive_rewrite_key",
+    "hash_to_range",
+    "keystream",
+    "stream_xor",
+]

@@ -1,0 +1,93 @@
+"""Key derivation for epochs and rewrites.
+
+§3 of the paper: encrypting with a single key across epochs would make
+the same (value, time-bucket) pair produce identical ciphertexts in
+different epochs, so Concealer derives a fresh key per epoch,
+
+    k = s_k || eid
+
+where ``s_k`` is the long-term secret shared between the data provider
+and the enclave and ``eid`` is the epoch id (the epoch's starting
+timestamp).  We realise the concatenation as an HKDF-style PRF call so
+that keys remain fixed-length.
+
+§6 (footnote 7) adds a rewrite counter: when the enclave re-encrypts the
+rows of a round after a multi-epoch query, it uses
+
+    k = s_k || eid || counter
+
+with a per-round counter incremented on every rewrite — this is what
+gives the scheme forward privacy across rewrites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.crypto.prf import KEY_BYTES, Prf
+from repro.exceptions import KeyDerivationError
+
+
+def derive_epoch_key(master_key: bytes, epoch_id: int) -> bytes:
+    """Derive the per-epoch encryption key ``k = KDF(s_k, eid)``."""
+    if not isinstance(epoch_id, int) or epoch_id < 0:
+        raise KeyDerivationError(f"epoch id must be a non-negative int, got {epoch_id!r}")
+    return Prf(master_key)(b"epoch-key", epoch_id)
+
+
+def derive_rewrite_key(master_key: bytes, epoch_id: int, counter: int) -> bytes:
+    """Derive the §6 rewrite key ``k = KDF(s_k, eid, counter)``.
+
+    ``counter == 0`` corresponds to the original upload key, so
+    ``derive_rewrite_key(sk, eid, 0) == derive_epoch_key(sk, eid)``.
+    """
+    if counter < 0:
+        raise KeyDerivationError("rewrite counter must be non-negative")
+    if counter == 0:
+        return derive_epoch_key(master_key, epoch_id)
+    return Prf(master_key)(b"rewrite-key", epoch_id, counter)
+
+
+@dataclass
+class EpochKeySchedule:
+    """Tracks the active key for each epoch held by the enclave.
+
+    The enclave learns only the first epoch id and the epoch duration
+    (§3); all later epoch ids are derived arithmetically.  The schedule
+    also tracks the per-epoch rewrite counter (§6, footnote 7) so the
+    enclave always decrypts with the key of the *latest* rewrite.
+    """
+
+    master_key: bytes
+    first_epoch_id: int
+    epoch_duration: int
+    _rewrite_counters: dict[int, int] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if len(self.master_key) != KEY_BYTES:
+            raise KeyDerivationError(f"master key must be {KEY_BYTES} bytes")
+        if self.epoch_duration <= 0:
+            raise KeyDerivationError("epoch duration must be positive")
+
+    def epoch_id_for_time(self, timestamp: int) -> int:
+        """Map a timestamp to the id (start time) of its containing epoch."""
+        if timestamp < self.first_epoch_id:
+            raise KeyDerivationError(
+                f"timestamp {timestamp} precedes first epoch {self.first_epoch_id}"
+            )
+        offset = (timestamp - self.first_epoch_id) // self.epoch_duration
+        return self.first_epoch_id + offset * self.epoch_duration
+
+    def current_key(self, epoch_id: int) -> bytes:
+        """The key under which the rows of ``epoch_id`` are encrypted *now*."""
+        counter = self._rewrite_counters.get(epoch_id, 0)
+        return derive_rewrite_key(self.master_key, epoch_id, counter)
+
+    def rewrite_counter(self, epoch_id: int) -> int:
+        """The number of §6 rewrites applied to this epoch so far."""
+        return self._rewrite_counters.get(epoch_id, 0)
+
+    def advance_rewrite(self, epoch_id: int) -> bytes:
+        """Bump the rewrite counter and return the *new* key for the epoch."""
+        self._rewrite_counters[epoch_id] = self._rewrite_counters.get(epoch_id, 0) + 1
+        return self.current_key(epoch_id)

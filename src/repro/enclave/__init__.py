@@ -1,0 +1,52 @@
+"""SGX enclave simulator.
+
+The paper runs its trusted logic inside an Intel SGX enclave written in
+C.  No SGX hardware is available offline, so this package simulates the
+properties Concealer actually uses:
+
+- an isolated trusted agent holding the shared secret ``s_k``
+  (:class:`~repro.enclave.enclave.Enclave`), with a simulated EPC
+  (enclave page cache) budget that bounds in-enclave working sets;
+- attestation: the data provider provisions ``s_k`` only after
+  verifying an enclave *quote*
+  (:mod:`repro.enclave.attestation`);
+- register-oblivious operators ``omove`` / ``ogreater`` from
+  Ohrimenko et al. [33] (:mod:`repro.enclave.oblivious`);
+- data-independent sorting: bitonic sort for in-EPC batches and
+  Leighton's column sort for larger ones
+  (:mod:`repro.enclave.sort`);
+- and — crucially for a *reproduction* — a side-channel observer
+  (:mod:`repro.enclave.trace`) that records the branch/memory event
+  stream of in-enclave computation, so the test-suite can *prove*
+  obliviousness by comparing traces across different inputs instead of
+  asserting it.
+"""
+
+from repro.enclave.attestation import AttestationReport, Quote, measure_code
+from repro.enclave.enclave import Enclave, EnclaveConfig
+from repro.enclave.oblivious import (
+    oaccess,
+    oequal,
+    ogreater,
+    omove,
+    oselect,
+)
+from repro.enclave.sort import bitonic_sort, column_sort
+from repro.enclave.trace import TraceRecorder, trace_signature
+
+__all__ = [
+    "AttestationReport",
+    "Enclave",
+    "EnclaveConfig",
+    "Quote",
+    "TraceRecorder",
+    "bitonic_sort",
+    "column_sort",
+    "measure_code",
+    "oaccess",
+    "oequal",
+    "ogreater",
+    "omove",
+    "oselect",
+    "trace_signature",
+]

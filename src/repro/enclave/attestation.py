@@ -1,0 +1,83 @@
+"""Remote attestation stub.
+
+The paper scopes attestation out ("we do not focus on SGX remote
+attestation", §1.2) but its architecture depends on the data provider
+provisioning the shared key ``s_k`` only into a *genuine* enclave
+running *expected* code.  This module models the minimum needed for the
+entity wiring in :mod:`repro.core.provider`:
+
+- :func:`measure_code` — an MRENCLAVE-style measurement over the code
+  identity string;
+- :class:`Quote` — a signed statement binding a measurement to a
+  nonce (we "sign" with an HMAC under a simulated Intel provisioning
+  secret, standing in for EPID/DCAP signatures);
+- :class:`AttestationReport` — the verifier-side result.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+
+from repro.exceptions import AttestationError
+
+# A fixed "platform secret" standing in for Intel's attestation-key
+# infrastructure.  In production this is a hardware-fused secret; in the
+# simulation its exact value is irrelevant, only that quotes are
+# unforgeable by parties without it.
+_PLATFORM_SECRET = hashlib.sha256(b"simulated-intel-provisioning-secret").digest()
+
+
+def measure_code(code_identity: str) -> bytes:
+    """MRENCLAVE-style measurement: a digest of the enclave's code identity."""
+    return hashlib.sha256(b"mrenclave:" + code_identity.encode("utf-8")).digest()
+
+
+@dataclass(frozen=True)
+class Quote:
+    """A platform-signed attestation of a running enclave.
+
+    ``measurement`` identifies the code, ``nonce`` binds the quote to a
+    verifier's challenge (anti-replay), ``signature`` is the simulated
+    platform signature.
+    """
+
+    measurement: bytes
+    nonce: bytes
+    signature: bytes
+
+    @classmethod
+    def generate(cls, measurement: bytes, nonce: bytes) -> "Quote":
+        """Produce a quote for a genuine enclave (platform-side)."""
+        signature = hmac.new(
+            _PLATFORM_SECRET, measurement + nonce, hashlib.sha256
+        ).digest()
+        return cls(measurement=measurement, nonce=nonce, signature=signature)
+
+
+@dataclass(frozen=True)
+class AttestationReport:
+    """The verifier's conclusion about a quote."""
+
+    measurement: bytes
+    verified: bool
+
+
+def verify_quote(quote: Quote, expected_measurement: bytes, nonce: bytes) -> AttestationReport:
+    """Verify a quote against the expected code measurement and challenge.
+
+    Raises :class:`AttestationError` on a stale nonce, a wrong
+    measurement, or a bad signature — the data provider must not
+    provision ``s_k`` in any of those cases.
+    """
+    if quote.nonce != nonce:
+        raise AttestationError("attestation nonce mismatch (possible replay)")
+    if quote.measurement != expected_measurement:
+        raise AttestationError("enclave measurement does not match expected code")
+    expected_sig = hmac.new(
+        _PLATFORM_SECRET, quote.measurement + quote.nonce, hashlib.sha256
+    ).digest()
+    if not hmac.compare_digest(quote.signature, expected_sig):
+        raise AttestationError("quote signature invalid (not a genuine platform)")
+    return AttestationReport(measurement=quote.measurement, verified=True)

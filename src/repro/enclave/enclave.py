@@ -1,0 +1,185 @@
+"""The enclave simulator: a trusted agent with bounded secure memory.
+
+:class:`Enclave` models the properties of SGX that Concealer's design
+actually relies on:
+
+- **Isolation**: sealed state (the shared secret ``s_k``, the epoch key
+  schedule, decrypted metadata vectors) lives in attributes that the
+  rest of the system never touches directly; all interaction goes
+  through ecall-style methods.
+- **Attestation-gated provisioning**: the master key can only be
+  installed together with a successful attestation handshake
+  (:meth:`provision`); before provisioning, the enclave refuses to
+  serve queries.
+- **Bounded EPC**: real SGX v1 has ~96 MiB of usable enclave page
+  cache; in-enclave working sets above it page-fault expensively.  The
+  simulator enforces a byte budget via :meth:`charge_memory` /
+  :meth:`release_memory` so algorithms must stage oversized batches
+  (e.g. with column sort) exactly as the paper describes.
+- **Observable side channels**: a :class:`TraceRecorder` collects the
+  branch/memory event stream of security-relevant computation.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.crypto.keys import EpochKeySchedule
+from repro.enclave.attestation import Quote, measure_code
+from repro.enclave.trace import TraceRecorder
+from repro.exceptions import EnclaveError, EnclaveMemoryError
+
+ENCLAVE_CODE_IDENTITY = "concealer-enclave-v1"
+
+# SGX v1's practically usable EPC; the simulator default is deliberately
+# the real-world constant so bin sizes interact with it realistically.
+DEFAULT_EPC_BYTES = 96 * 1024 * 1024
+
+
+@dataclass
+class EnclaveConfig:
+    """Tunables for the simulated enclave."""
+
+    epc_bytes: int = DEFAULT_EPC_BYTES
+    code_identity: str = ENCLAVE_CODE_IDENTITY
+
+
+@dataclass
+class _SealedState:
+    """State invisible outside the enclave (by convention of this sim)."""
+
+    master_key: bytes | None = None
+    key_schedule: EpochKeySchedule | None = None
+    scratch: dict = field(default_factory=dict)
+
+
+class Enclave:
+    """A simulated SGX enclave hosting Concealer's trusted logic.
+
+    The query-execution code in :mod:`repro.core` runs "inside" the
+    enclave by calling through this object: it charges working-set
+    memory against the EPC budget, reads sealed keys, and emits
+    side-channel trace events via :attr:`trace`.
+    """
+
+    def __init__(self, config: EnclaveConfig | None = None):
+        self.config = config or EnclaveConfig()
+        self.measurement = measure_code(self.config.code_identity)
+        self.trace = TraceRecorder()
+        self._sealed = _SealedState()
+        self._epc_used = 0
+        self._epc_high_water = 0
+
+    # ------------------------------------------------------------ attestation
+
+    def quote(self, nonce: bytes) -> Quote:
+        """Produce an attestation quote for a verifier's challenge."""
+        return Quote.generate(self.measurement, nonce)
+
+    def provision(
+        self,
+        master_key: bytes,
+        first_epoch_id: int,
+        epoch_duration: int,
+    ) -> None:
+        """Install the shared secret ``s_k`` and epoch parameters.
+
+        Per §3, the enclave receives only the first epoch id and the
+        epoch duration; it derives every later epoch key itself.
+        """
+        if self._sealed.master_key is not None:
+            raise EnclaveError("enclave already provisioned")
+        self._sealed.master_key = master_key
+        self._sealed.key_schedule = EpochKeySchedule(
+            master_key=master_key,
+            first_epoch_id=first_epoch_id,
+            epoch_duration=epoch_duration,
+        )
+
+    @property
+    def provisioned(self) -> bool:
+        """Whether ``s_k`` has been installed."""
+        return self._sealed.master_key is not None
+
+    def require_provisioned(self) -> None:
+        """Guard used by every query-serving ecall."""
+        if not self.provisioned:
+            raise EnclaveError("enclave not provisioned with s_k")
+
+    # ------------------------------------------------------------ sealed keys
+
+    @property
+    def key_schedule(self) -> EpochKeySchedule:
+        """The sealed epoch key schedule (trusted-code use only)."""
+        self.require_provisioned()
+        assert self._sealed.key_schedule is not None
+        return self._sealed.key_schedule
+
+    @property
+    def master_key(self) -> bytes:
+        """The sealed master secret (trusted-code use only)."""
+        self.require_provisioned()
+        assert self._sealed.master_key is not None
+        return self._sealed.master_key
+
+    # -------------------------------------------------------------- EPC model
+
+    def charge_memory(self, nbytes: int) -> None:
+        """Reserve in-enclave working memory; raises over budget.
+
+        Algorithms that would exceed the EPC must restructure (stream,
+        or column-sort in O(r) chunks) rather than grow the resident
+        set — the same pressure real SGX applies via EPC paging costs.
+        """
+        if nbytes < 0:
+            raise ValueError("cannot charge negative memory")
+        if self._epc_used + nbytes > self.config.epc_bytes:
+            raise EnclaveMemoryError(
+                f"EPC budget exceeded: {self._epc_used + nbytes} > "
+                f"{self.config.epc_bytes} bytes"
+            )
+        self._epc_used += nbytes
+        self._epc_high_water = max(self._epc_high_water, self._epc_used)
+
+    def release_memory(self, nbytes: int) -> None:
+        """Return working memory to the budget."""
+        self._epc_used = max(0, self._epc_used - nbytes)
+
+    @property
+    def epc_used(self) -> int:
+        """Currently reserved in-enclave working memory (bytes)."""
+        return self._epc_used
+
+    @property
+    def epc_high_water(self) -> int:
+        """Peak resident bytes observed — reported by the benchmarks."""
+        return self._epc_high_water
+
+    def reset_epc_stats(self) -> None:
+        """Reset the high-water mark to the current usage."""
+        self._epc_high_water = self._epc_used
+
+    # ------------------------------------------------------------ scratch RAM
+
+    def seal(self, name: str, value) -> None:
+        """Store a value in sealed scratch memory (e.g. decrypted vectors)."""
+        self._sealed.scratch[name] = value
+
+    def unseal(self, name: str):
+        """Read a sealed scratch value; raises if absent."""
+        try:
+            return self._sealed.scratch[name]
+        except KeyError:
+            raise EnclaveError(f"no sealed value named {name!r}") from None
+
+    def has_sealed(self, name: str) -> bool:
+        """Whether a sealed scratch value exists under this name."""
+        return name in self._sealed.scratch
+
+
+def generate_master_key(rng=None) -> bytes:
+    """Generate a fresh 32-byte shared secret ``s_k``."""
+    if rng is not None:
+        return rng.randbytes(32)
+    return os.urandom(32)

@@ -1,0 +1,132 @@
+"""Register-oblivious operators (§4.3, after Ohrimenko et al. [33]).
+
+[33] observes that register-to-register computation is invisible to an
+SGX side-channel adversary, and builds two x86 primitives on ``cmov``:
+
+- ``ogreater(x, y)`` — a branch-free comparison producing 0/1, and
+- ``omove(cond, x, y)`` — a branch-free conditional move.
+
+The paper composes these into oblivious max, oblivious filtering and
+oblivious query formulation.  Here the primitives are implemented with
+branch-free integer arithmetic (masking), and each call emits a
+fixed-shape event to the ambient :class:`TraceRecorder` — so the
+observable trace of any computation built from them depends only on
+public sizes, never on data.  Byte-string variants process every byte
+regardless of content.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.enclave.trace import TraceRecorder, ambient_recorder
+
+
+def _rec(recorder: TraceRecorder | None) -> TraceRecorder:
+    return recorder if recorder is not None else ambient_recorder()
+
+
+def ogreater(x: int, y: int, recorder: TraceRecorder | None = None) -> int:
+    """Branch-free ``int(x > y)`` — the paper's ``ogreater`` (Fig. 2b).
+
+    Works for arbitrary Python ints (including negatives) by extracting
+    the sign bit of ``y - x`` without branching on data.
+    """
+    diff = y - x
+    # Sign of diff via arithmetic: (diff >> big) is -1 for negative, 0 else.
+    shift = max(diff.bit_length(), 1) + 1
+    sign = (diff >> shift) & 1  # 1 iff diff < 0 iff x > y
+    _rec(recorder).emit("ogreater")
+    return sign
+
+
+def oequal(x: int, y: int, recorder: TraceRecorder | None = None) -> int:
+    """Branch-free ``int(x == y)``."""
+    diff = x - y
+    shift = max(diff.bit_length(), 1) + 1
+    nonzero = ((diff >> shift) & 1) | ((-diff >> shift) & 1)
+    _rec(recorder).emit("oequal")
+    return 1 - nonzero
+
+
+def omove(cond: int, x: int, y: int, recorder: TraceRecorder | None = None) -> int:
+    """Branch-free ``x if cond else y`` — the paper's ``omove`` (Fig. 2c).
+
+    ``cond`` must be 0 or 1.  Implemented with a mask so neither operand
+    selection nor the result path branches on ``cond``.
+    """
+    mask = -cond  # all-ones when cond == 1, zero when cond == 0
+    _rec(recorder).emit("omove")
+    return (x & mask) | (y & ~mask)
+
+
+def omax(x: int, y: int, recorder: TraceRecorder | None = None) -> int:
+    """Oblivious maximum — the paper's Fig. 2a composition."""
+    get_x = ogreater(x, y, recorder)
+    return omove(get_x, x, y, recorder)
+
+
+def omin(x: int, y: int, recorder: TraceRecorder | None = None) -> int:
+    """Oblivious minimum (same composition, flipped)."""
+    get_x = ogreater(y, x, recorder)
+    return omove(get_x, x, y, recorder)
+
+
+def obytes_equal(a: bytes, b: bytes, recorder: TraceRecorder | None = None) -> int:
+    """Constant-trace byte-string equality.
+
+    Implemented as one big-integer XOR over the full width of both
+    inputs — the work done is a function of the (public) lengths only,
+    never of where the strings first differ.  The emitted event carries
+    only those lengths.
+    """
+    _rec(recorder).emit("obytes_equal", len(a), len(b))
+    if len(a) != len(b):
+        # Length is public metadata; unequal lengths compare unequal
+        # after a full-width pass over both inputs.
+        _ = int.from_bytes(a, "big") ^ int.from_bytes(b, "big")
+        return 0
+    diff = int.from_bytes(a, "big") ^ int.from_bytes(b, "big")
+    # Branch-free nonzero detection: for 0 <= diff < 2^(8|a|), the sign
+    # of -diff shifted far right is -1 iff diff != 0.
+    shift = 8 * len(a) + 8
+    nonzero = (-diff >> shift) & 1
+    return 1 - nonzero
+
+
+def oselect(
+    cond: int, x: bytes, y: bytes, recorder: TraceRecorder | None = None
+) -> bytes:
+    """Branch-free selection between two equal-length byte strings."""
+    if len(x) != len(y):
+        raise ValueError("oselect requires equal-length operands")
+    mask = (-cond) & 0xFF
+    _rec(recorder).emit("oselect", len(x))
+    return bytes((a & mask) | (b & (~mask & 0xFF)) for a, b in zip(x, y))
+
+
+def oaccess(items: Sequence, index: int, recorder: TraceRecorder | None = None):
+    """Obliviously read ``items[index]`` by touching every slot.
+
+    A direct subscript would reveal ``index`` through the memory access
+    pattern; this linear scan touches all slots and keeps the selected
+    one with ``omove``-style masking.  Cost is O(n), the price of
+    obliviousness without ORAM.  Items must be ints.
+    """
+    _rec(recorder).emit("oaccess", len(items))
+    result = 0
+    for position, item in enumerate(items):
+        hit = oequal(position, index, recorder)
+        result = omove(hit, item, result, recorder)
+    return result
+
+
+def ocount_matches(
+    flags: Sequence[int], recorder: TraceRecorder | None = None
+) -> int:
+    """Obliviously sum 0/1 flags (used for COUNT aggregation in-enclave)."""
+    _rec(recorder).emit("ocount", len(flags))
+    total = 0
+    for flag in flags:
+        total = total + flag  # data-independent: same adds for any flags
+    return total

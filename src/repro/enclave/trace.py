@@ -1,0 +1,91 @@
+"""Side-channel observation of in-enclave computation.
+
+SGX leaks through micro-architectural side channels: an adversary
+controlling the OS can observe cache-line accesses, page faults and
+branch history.  The paper's Concealer+ variant (§4.3) counters this by
+computing with register-oblivious operators and data-independent sorts,
+so that *the observable event stream does not depend on the data*.
+
+A simulation cannot have real cache lines, but it can have the next
+best thing: an explicit event stream.  Every oblivious primitive in
+:mod:`repro.enclave.oblivious` and every compare-exchange in
+:mod:`repro.enclave.sort` emits a fixed-shape event to the ambient
+:class:`TraceRecorder`.  Tests then assert the *trace-equivalence*
+definition of obliviousness directly: for any two inputs of equal
+public size, the recorded traces are identical.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One observable step: an operation name and its *public* arguments.
+
+    Only data-independent quantities may appear in ``public_args`` —
+    sizes, loop indices, operation labels.  If a primitive ever leaked a
+    data-dependent value here, trace-equality tests would catch it.
+    """
+
+    operation: str
+    public_args: tuple
+
+
+class TraceRecorder:
+    """Collects the observable event stream of an enclave computation."""
+
+    def __init__(self):
+        self._events: list[TraceEvent] = []
+        self._enabled = True
+
+    def emit(self, operation: str, *public_args) -> None:
+        """Record one observable event (no-op while disabled)."""
+        if self._enabled:
+            self._events.append(TraceEvent(operation, tuple(public_args)))
+
+    def events(self) -> list[TraceEvent]:
+        """A copy of the recorded stream."""
+        return list(self._events)
+
+    def clear(self) -> None:
+        """Forget all recorded events."""
+        self._events.clear()
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    @contextmanager
+    def disabled(self):
+        """Temporarily stop recording (used for setup code outside the
+        security-relevant region)."""
+        previous = self._enabled
+        self._enabled = False
+        try:
+            yield self
+        finally:
+            self._enabled = previous
+
+
+def trace_signature(recorder: TraceRecorder) -> bytes:
+    """A digest of the event stream, for cheap trace-equality checks."""
+    digest = hashlib.sha256()
+    for event in recorder.events():
+        digest.update(event.operation.encode("utf-8"))
+        digest.update(repr(event.public_args).encode("utf-8"))
+        digest.update(b"\x00")
+    return digest.digest()
+
+
+# A module-level "ambient" recorder: oblivious primitives emit here when no
+# explicit recorder is passed.  Production code paths route their own
+# recorder through; the ambient one keeps the primitives usable standalone.
+_ambient = TraceRecorder()
+
+
+def ambient_recorder() -> TraceRecorder:
+    """The default recorder used by primitives when none is supplied."""
+    return _ambient

@@ -1,0 +1,77 @@
+"""Exception hierarchy for the Concealer reproduction.
+
+Every error raised by the library derives from :class:`ConcealerError`
+so callers can catch library failures with a single ``except`` clause.
+The sub-classes mirror the subsystems: crypto, storage, enclave, and the
+core query-processing pipeline.
+"""
+
+from __future__ import annotations
+
+
+class ConcealerError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class CryptoError(ConcealerError):
+    """A cryptographic operation failed (bad key, malformed ciphertext)."""
+
+
+class DecryptionError(CryptoError):
+    """Ciphertext failed authentication or could not be decrypted."""
+
+
+class KeyDerivationError(CryptoError):
+    """Key material was missing or malformed during derivation."""
+
+
+class StorageError(ConcealerError):
+    """The storage engine rejected an operation."""
+
+
+class DuplicateKeyError(StorageError):
+    """An insert collided with an existing unique key."""
+
+
+class TableNotFoundError(StorageError):
+    """A referenced table does not exist in the storage engine."""
+
+
+class IndexNotFoundError(StorageError):
+    """A referenced secondary index does not exist on the table."""
+
+
+class EnclaveError(ConcealerError):
+    """The enclave simulator rejected an operation."""
+
+
+class EnclaveMemoryError(EnclaveError):
+    """An in-enclave working set exceeded the simulated EPC budget."""
+
+
+class AttestationError(EnclaveError):
+    """Remote attestation of the enclave failed."""
+
+
+class AuthenticationError(ConcealerError):
+    """A user could not be authenticated against the registry."""
+
+
+class AuthorizationError(ConcealerError):
+    """An authenticated user requested data it is not entitled to."""
+
+
+class IntegrityError(ConcealerError):
+    """Hash-chain verification detected tampered, missing or injected rows."""
+
+
+class QueryError(ConcealerError):
+    """A query was malformed or referenced values outside the data domain."""
+
+
+class EpochError(ConcealerError):
+    """An epoch package was malformed, duplicated, or out of order."""
+
+
+class BinningError(ConcealerError):
+    """Bin-packing could not satisfy its size or disjointness constraints."""

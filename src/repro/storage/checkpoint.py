@@ -1,0 +1,78 @@
+"""Checkpoint / restore for the embedded storage engine.
+
+A service provider restarting should not need the data provider to
+re-ship every epoch, so the engine supports durable snapshots.  The
+format is a versioned pickle of tables plus index *definitions* —
+B+-trees are rebuilt on restore rather than serialised, which keeps
+snapshots compact and immune to internal-layout changes.
+
+The access log is deliberately **not** persisted: it is the adversary's
+transient observation stream, not state.
+"""
+
+from __future__ import annotations
+
+import pickle
+from pathlib import Path
+
+from repro.exceptions import StorageError
+from repro.storage.engine import StorageEngine
+
+_FORMAT_VERSION = 1
+
+
+def checkpoint_engine(engine: StorageEngine, path: str | Path) -> Path:
+    """Write a durable snapshot of all tables and index definitions."""
+    path = Path(path)
+    snapshot = {
+        "version": _FORMAT_VERSION,
+        "btree_order": engine._btree_order,
+        "rows_per_page": engine._rows_per_page,
+        "tables": {
+            name: {
+                "columns": table.column_names,
+                "next_row_id": table._next_row_id,
+                "rows": {
+                    row_id: row.columns for row_id, row in table._rows.items()
+                },
+            }
+            for name, table in engine._tables.items()
+        },
+        "indexes": sorted(engine._indexes.keys()),
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "wb") as handle:
+        pickle.dump(snapshot, handle, protocol=pickle.HIGHEST_PROTOCOL)
+    return path
+
+
+def restore_engine(path: str | Path) -> StorageEngine:
+    """Rebuild an engine (tables + indexes) from a snapshot."""
+    path = Path(path)
+    if not path.exists():
+        raise StorageError(f"no checkpoint at {path}")
+    with open(path, "rb") as handle:
+        snapshot = pickle.load(handle)
+    if snapshot.get("version") != _FORMAT_VERSION:
+        raise StorageError(
+            f"unsupported checkpoint version {snapshot.get('version')!r}"
+        )
+    engine = StorageEngine(
+        btree_order=snapshot["btree_order"],
+        rows_per_page=snapshot["rows_per_page"],
+    )
+    for name, table_snapshot in snapshot["tables"].items():
+        engine.create_table(name, table_snapshot["columns"])
+        table = engine._tables[name]
+        for row_id in sorted(table_snapshot["rows"]):
+            from repro.storage.table import Row
+
+            table._rows[row_id] = Row(
+                row_id=row_id, columns=tuple(table_snapshot["rows"][row_id])
+            )
+            engine._pagers[name].note_row(row_id)
+        table._next_row_id = table_snapshot["next_row_id"]
+    for table_name, column in snapshot["indexes"]:
+        engine.create_index(table_name, column)
+    engine.access_log.clear()
+    return engine

@@ -1,0 +1,182 @@
+"""The storage engine façade: tables + indexes + adversary-visible log.
+
+:class:`StorageEngine` plays the role MySQL plays in the paper.  The
+service provider inserts the encrypted epoch rows here and the engine
+maintains a B+-tree over the encrypted ``Index`` column; the enclave
+then drives point lookups by handing the engine trapdoor ciphertexts.
+
+Every read is recorded in the :class:`~repro.storage.pager.AccessLog`
+— the log is the complete honest-but-curious view of storage that the
+leakage experiments analyse.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+
+from repro.exceptions import IndexNotFoundError, StorageError, TableNotFoundError
+from repro.storage.btree import BPlusTree
+from repro.storage.pager import AccessKind, AccessLog, Pager
+from repro.storage.table import Row, Table
+
+
+class StorageEngine:
+    """An embedded multi-table database with secondary B+-tree indexes.
+
+    >>> engine = StorageEngine()
+    >>> engine.create_table("t", ["k", "v"])
+    >>> engine.create_index("t", "k")
+    >>> _ = engine.insert("t", [b"alpha", b"one"])
+    >>> [row[1] for row in engine.lookup("t", "k", b"alpha")]
+    [b'one']
+    """
+
+    def __init__(self, btree_order: int = 64, rows_per_page: int = 64):
+        self._tables: dict[str, Table] = {}
+        self._indexes: dict[tuple[str, str], BPlusTree] = {}
+        self._pagers: dict[str, Pager] = {}
+        self._btree_order = btree_order
+        self._rows_per_page = rows_per_page
+        self.access_log = AccessLog()
+
+    # ------------------------------------------------------------------- DDL
+
+    def create_table(self, name: str, column_names: Sequence[str]) -> None:
+        """Create an empty table; fails if the name is taken."""
+        if name in self._tables:
+            raise StorageError(f"table {name!r} already exists")
+        self._tables[name] = Table(name, column_names)
+        self._pagers[name] = Pager(rows_per_page=self._rows_per_page)
+
+    def drop_table(self, name: str) -> None:
+        """Drop a table and all its indexes."""
+        self._table(name)
+        del self._tables[name]
+        del self._pagers[name]
+        for key in [k for k in self._indexes if k[0] == name]:
+            del self._indexes[key]
+
+    def create_index(self, table: str, column: str) -> None:
+        """Build a B+-tree over ``column``, indexing existing rows too."""
+        tbl = self._table(table)
+        position = tbl.column_index(column)
+        if (table, column) in self._indexes:
+            raise StorageError(f"index on {table}.{column} already exists")
+        tree = BPlusTree(order=self._btree_order)
+        for row in tbl.scan():
+            tree.insert(row[position], row.row_id)
+        self._indexes[(table, column)] = tree
+
+    def has_table(self, name: str) -> bool:
+        """Whether a table with this name exists."""
+        return name in self._tables
+
+    def table_names(self) -> list[str]:
+        """All table names, sorted."""
+        return sorted(self._tables)
+
+    # ------------------------------------------------------------------- DML
+
+    def insert(self, table: str, columns: Sequence) -> int:
+        """Insert a row, maintain all indexes, log the write."""
+        tbl = self._table(table)
+        row_id = tbl.insert(columns)
+        self._pagers[table].note_row(row_id)
+        for (tname, column), tree in self._indexes.items():
+            if tname == table:
+                tree.insert(columns[tbl.column_index(column)], row_id)
+        self.access_log.record(AccessKind.ROW_WRITE, table, row_id)
+        return row_id
+
+    def insert_many(self, table: str, rows: Sequence[Sequence]) -> list[int]:
+        """Bulk insert; returns the new row ids."""
+        return [self.insert(table, row) for row in rows]
+
+    def delete(self, table: str, row_id: int) -> None:
+        """Delete a row and its index entries."""
+        tbl = self._table(table)
+        row = tbl.fetch(row_id)
+        for (tname, column), tree in self._indexes.items():
+            if tname == table:
+                tree.delete(row[tbl.column_index(column)], row_id)
+        tbl.delete(row_id)
+        self.access_log.record(AccessKind.ROW_WRITE, table, row_id)
+
+    def overwrite(self, table: str, row_id: int, columns: Sequence) -> None:
+        """Replace a row in place, keeping indexes consistent."""
+        tbl = self._table(table)
+        old = tbl.fetch(row_id)
+        for (tname, column), tree in self._indexes.items():
+            if tname == table:
+                position = tbl.column_index(column)
+                tree.delete(old[position], row_id)
+                tree.insert(columns[position], row_id)
+        tbl.overwrite(row_id, columns)
+        self.access_log.record(AccessKind.ROW_WRITE, table, row_id)
+
+    # ----------------------------------------------------------------- reads
+
+    def fetch_row(self, table: str, row_id: int) -> Row:
+        """Read one row by physical id (logged as the adversary sees it)."""
+        tbl = self._table(table)
+        row = tbl.fetch(row_id)
+        self.access_log.record(AccessKind.ROW_READ, table, row_id)
+        self.access_log.record(
+            AccessKind.PAGE_READ, table, self._pagers[table].page_of(row_id)
+        )
+        return row
+
+    def lookup(self, table: str, column: str, key) -> list[Row]:
+        """Index point lookup: all rows whose ``column`` equals ``key``."""
+        tree = self._index(table, column)
+        self.access_log.record(AccessKind.INDEX_LOOKUP, table, key)
+        return [self.fetch_row(table, row_id) for row_id in tree.get(key)]
+
+    def lookup_many(self, table: str, column: str, keys: Sequence) -> list[Row]:
+        """Batched point lookups — how the enclave submits trapdoors."""
+        rows: list[Row] = []
+        for key in keys:
+            rows.extend(self.lookup(table, column, key))
+        return rows
+
+    def range_lookup(self, table: str, column: str, low, high) -> list[Row]:
+        """Index range scan over ``[low, high]``."""
+        tree = self._index(table, column)
+        self.access_log.record(AccessKind.INDEX_SCAN, table)
+        rows: list[Row] = []
+        for _, row_ids in tree.range(low, high):
+            rows.extend(self.fetch_row(table, rid) for rid in row_ids)
+        return rows
+
+    def scan(self, table: str) -> Iterator[Row]:
+        """Full table scan (what the Opaque baseline must do)."""
+        tbl = self._table(table)
+        self.access_log.record(AccessKind.TABLE_SCAN, table)
+        for row in tbl.scan():
+            self.access_log.record(AccessKind.ROW_READ, table, row.row_id)
+            yield row
+
+    def row_count(self, table: str) -> int:
+        """Live-row count (part of the paper's setup leakage L_s)."""
+        return len(self._table(table))
+
+    def index_size(self, table: str, column: str) -> int:
+        """Number of entries in an index (also part of L_s)."""
+        return self._index(table, column).size
+
+    # -------------------------------------------------------------- internal
+
+    def _table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise TableNotFoundError(f"no table named {name!r}") from None
+
+    def _index(self, table: str, column: str) -> BPlusTree:
+        self._table(table)
+        try:
+            return self._indexes[(table, column)]
+        except KeyError:
+            raise IndexNotFoundError(
+                f"no index on {table}.{column}"
+            ) from None

@@ -1,0 +1,155 @@
+"""Page model and adversary-visible access log.
+
+A real DBMS reads and writes fixed-size pages; what a curious server
+administrator observes is the stream of page/row accesses.  Concealer's
+security claims are claims *about that stream*: every query fetches the
+same number of rows (output-size hiding) and the server cannot tell
+which fetched rows satisfied the query (partial access-pattern hiding).
+
+:class:`AccessLog` records one :class:`AccessEvent` per operation the
+engine performs.  The leakage analysis (:mod:`repro.analysis`) and the
+security test-suite treat the log as the honest-but-curious service
+provider's complete view of storage.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class AccessKind(str, Enum):
+    """The operation categories an observer can distinguish."""
+
+    ROW_READ = "row_read"
+    ROW_WRITE = "row_write"
+    INDEX_LOOKUP = "index_lookup"
+    INDEX_SCAN = "index_scan"
+    TABLE_SCAN = "table_scan"
+    PAGE_READ = "page_read"
+    PAGE_WRITE = "page_write"
+
+
+@dataclass(frozen=True)
+class AccessEvent:
+    """One observed storage operation.
+
+    ``detail`` carries the observable argument — a physical row id, a
+    page number, or the opaque ciphertext used as an index key (the
+    adversary sees ciphertext bytes but cannot invert them).
+    ``query_id`` groups events belonging to one query so per-query
+    volumes can be computed.
+    """
+
+    kind: AccessKind
+    table: str
+    detail: bytes | int | None = None
+    query_id: int | None = None
+
+
+class AccessLog:
+    """An append-only log of everything the storage engine did.
+
+    The log supports *query scoping*: callers bracket a query with
+    :meth:`begin_query` so that later analysis can ask "how many rows
+    did query 17 fetch?" — the paper's output-size leakage is exactly
+    that per-query count.
+    """
+
+    def __init__(self):
+        self._events: list[AccessEvent] = []
+        self._query_counter = 0
+        self._active_query: int | None = None
+
+    def begin_query(self) -> int:
+        """Start a new query scope and return its id."""
+        self._query_counter += 1
+        self._active_query = self._query_counter
+        return self._query_counter
+
+    def end_query(self) -> None:
+        """Close the current query scope."""
+        self._active_query = None
+
+    def record(self, kind: AccessKind, table: str, detail: bytes | int | None = None) -> None:
+        """Append one event, tagged with the active query scope if any."""
+        self._events.append(
+            AccessEvent(kind=kind, table=table, detail=detail, query_id=self._active_query)
+        )
+
+    def events(self, kind: AccessKind | None = None, query_id: int | None = None) -> list[AccessEvent]:
+        """Return events, optionally filtered by kind and/or query scope."""
+        selected = self._events
+        if kind is not None:
+            selected = [e for e in selected if e.kind == kind]
+        if query_id is not None:
+            selected = [e for e in selected if e.query_id == query_id]
+        return list(selected)
+
+    def rows_fetched(self, query_id: int) -> int:
+        """The adversary's output-size observation for one query."""
+        return sum(
+            1
+            for e in self._events
+            if e.query_id == query_id and e.kind == AccessKind.ROW_READ
+        )
+
+    def row_ids_fetched(self, query_id: int) -> list[int]:
+        """The physical row ids a query touched — the access pattern."""
+        return [
+            e.detail
+            for e in self._events
+            if e.query_id == query_id
+            and e.kind == AccessKind.ROW_READ
+            and isinstance(e.detail, int)
+        ]
+
+    def per_query_volumes(self) -> dict[int, int]:
+        """Map every observed query id to its row-fetch volume."""
+        volumes: dict[int, int] = {}
+        for event in self._events:
+            if event.query_id is None or event.kind != AccessKind.ROW_READ:
+                continue
+            volumes[event.query_id] = volumes.get(event.query_id, 0) + 1
+        return volumes
+
+    def clear(self) -> None:
+        """Drop all recorded events (query counter keeps advancing)."""
+        self._events.clear()
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[AccessEvent]:
+        return iter(self._events)
+
+
+@dataclass
+class Pager:
+    """A minimal fixed-fanout page model.
+
+    Rows are grouped ``rows_per_page`` at a time; translating a row id
+    to its page lets the engine log page-granular events the way a real
+    buffer pool would surface them to an OS-level observer.
+    """
+
+    rows_per_page: int = 64
+    _page_count: int = field(default=0, init=False)
+
+    def page_of(self, row_id: int) -> int:
+        """The page number holding ``row_id``."""
+        if row_id < 0:
+            raise ValueError("row id must be non-negative")
+        return row_id // self.rows_per_page
+
+    def note_row(self, row_id: int) -> None:
+        """Grow the page count to cover a newly appended row."""
+        needed = self.page_of(row_id) + 1
+        if needed > self._page_count:
+            self._page_count = needed
+
+    @property
+    def page_count(self) -> int:
+        """Number of pages allocated so far."""
+        return self._page_count

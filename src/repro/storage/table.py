@@ -1,0 +1,109 @@
+"""Append-only row store with stable row ids.
+
+A :class:`Table` stores heterogeneous rows — for Concealer these are
+the encrypted tuples of Table 2c: one ``bytes`` ciphertext per column.
+Rows get monotonically increasing integer ids on insert; ids are stable
+so secondary indexes can reference them and the access log can expose
+them as the "physical addresses" an adversary observes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+from dataclasses import dataclass
+
+from repro.exceptions import StorageError
+
+
+@dataclass(frozen=True)
+class Row:
+    """One stored row: its physical id plus the column values."""
+
+    row_id: int
+    columns: tuple
+
+    def __getitem__(self, index: int):
+        return self.columns[index]
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+
+class Table:
+    """A named, schema-checked, append-only row store.
+
+    ``column_names`` fixes the arity; inserts with the wrong number of
+    columns are rejected.  Deletion marks a row id as dead (tombstone)
+    without reusing it — matching how the §6 rewrite replaces an
+    epoch's rows.
+    """
+
+    def __init__(self, name: str, column_names: Sequence[str]):
+        if not column_names:
+            raise StorageError("a table needs at least one column")
+        self.name = name
+        self.column_names = tuple(column_names)
+        self._rows: dict[int, Row] = {}
+        self._next_row_id = 0
+
+    @property
+    def column_count(self) -> int:
+        """Number of columns in the schema."""
+        return len(self.column_names)
+
+    def column_index(self, column: str) -> int:
+        """Position of a named column; raises if unknown."""
+        try:
+            return self.column_names.index(column)
+        except ValueError:
+            raise StorageError(
+                f"table {self.name!r} has no column {column!r}"
+            ) from None
+
+    def insert(self, columns: Sequence) -> int:
+        """Append one row; returns its new row id."""
+        if len(columns) != self.column_count:
+            raise StorageError(
+                f"table {self.name!r} expects {self.column_count} columns, "
+                f"got {len(columns)}"
+            )
+        row_id = self._next_row_id
+        self._next_row_id += 1
+        self._rows[row_id] = Row(row_id=row_id, columns=tuple(columns))
+        return row_id
+
+    def fetch(self, row_id: int) -> Row:
+        """Read one row by id; raises on unknown/deleted ids."""
+        try:
+            return self._rows[row_id]
+        except KeyError:
+            raise StorageError(
+                f"table {self.name!r} has no row {row_id}"
+            ) from None
+
+    def overwrite(self, row_id: int, columns: Sequence) -> None:
+        """Replace the columns of an existing row in place."""
+        if row_id not in self._rows:
+            raise StorageError(f"table {self.name!r} has no row {row_id}")
+        if len(columns) != self.column_count:
+            raise StorageError(
+                f"table {self.name!r} expects {self.column_count} columns"
+            )
+        self._rows[row_id] = Row(row_id=row_id, columns=tuple(columns))
+
+    def delete(self, row_id: int) -> None:
+        """Tombstone a row; its id is never reused."""
+        if row_id not in self._rows:
+            raise StorageError(f"table {self.name!r} has no row {row_id}")
+        del self._rows[row_id]
+
+    def scan(self) -> Iterator[Row]:
+        """Yield all live rows in row-id order."""
+        for row_id in sorted(self._rows):
+            yield self._rows[row_id]
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __contains__(self, row_id: int) -> bool:
+        return row_id in self._rows

@@ -1,0 +1,140 @@
+"""Builders for the paper's evaluation queries (Table 4 and Exp 8).
+
+Table 4's five WiFi queries:
+
+- **Q1** — # observations at location ``l_i`` during ``t_1..t_x``;
+- **Q2** — locations with top-k observations during ``t_1..t_x``;
+- **Q3** — locations with at least ``threshold`` observations during
+  ``t_1..t_x`` (answered via the same top-k machinery: collect per-
+  location counts, keep those ≥ threshold);
+- **Q4** — which locations saw observation ``o_i`` during ``t_1..t_x``
+  (individualized);
+- **Q5** — # times observation ``o_i`` was seen at ``l_i`` during
+  ``t_1..t_x`` (individualized).
+
+Exp 8's TPC-H queries: count / sum / min / max over 2-D ``(OK, LN)``
+or 4-D ``(OK, PK, SK, LN)`` point predicates.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.queries import Aggregate, Predicate, PointQuery, RangeQuery
+from repro.exceptions import QueryError
+
+
+def build_q1(location: str, time_start: int, time_end: int) -> RangeQuery:
+    """Q1: count observations at one location over a time range."""
+    return RangeQuery(
+        index_values=(location,),
+        time_start=time_start,
+        time_end=time_end,
+        aggregate=Aggregate.COUNT,
+    )
+
+
+def build_q2(
+    location_domain: Sequence[str], time_start: int, time_end: int, k: int
+) -> RangeQuery:
+    """Q2: the k locations with the most observations in the range."""
+    domain = tuple(location_domain)
+    return RangeQuery(
+        index_values=(domain,),
+        time_start=time_start,
+        time_end=time_end,
+        aggregate=Aggregate.TOP_K,
+        target="location",
+        k=k,
+        predicate=Predicate(group=("location",), values=(domain,)),
+    )
+
+
+def build_q3(
+    location_domain: Sequence[str], time_start: int, time_end: int, threshold: int
+) -> RangeQuery:
+    """Q3: all locations with ≥ ``threshold`` observations in the range.
+
+    Expressed as an exhaustive top-k (k = |domain|); the caller applies
+    the threshold to the returned (location, count) pairs — see
+    :func:`apply_q3_threshold`.
+    """
+    domain = tuple(location_domain)
+    return RangeQuery(
+        index_values=(domain,),
+        time_start=time_start,
+        time_end=time_end,
+        aggregate=Aggregate.TOP_K,
+        target="location",
+        k=len(domain),
+        predicate=Predicate(group=("location",), values=(domain,)),
+    )
+
+
+def apply_q3_threshold(
+    ranked: Sequence[tuple[str, int]], threshold: int
+) -> list[str]:
+    """Filter Q3's ranked output down to locations meeting the floor."""
+    return [location for location, count in ranked if count >= threshold]
+
+
+def build_q4(
+    observation: str,
+    location_domain: Sequence[str],
+    time_start: int,
+    time_end: int,
+) -> RangeQuery:
+    """Q4: which locations saw ``observation`` during the range."""
+    return RangeQuery(
+        index_values=(tuple(location_domain),),
+        time_start=time_start,
+        time_end=time_end,
+        aggregate=Aggregate.COLLECT,
+        predicate=Predicate(group=("observation",), values=(observation,)),
+    )
+
+
+def build_q5(
+    observation: str, location: str, time_start: int, time_end: int
+) -> RangeQuery:
+    """Q5: how many times ``observation`` occurred at ``location``."""
+    return RangeQuery(
+        index_values=(location,),
+        time_start=time_start,
+        time_end=time_end,
+        aggregate=Aggregate.COUNT,
+        predicate=Predicate(
+            group=("location", "observation"), values=(location, observation)
+        ),
+    )
+
+
+_TPCH_AGGREGATES = {
+    "count": (Aggregate.COUNT, None),
+    "sum": (Aggregate.SUM, "extendedprice"),
+    "min": (Aggregate.MIN, "extendedprice"),
+    "max": (Aggregate.MAX, "extendedprice"),
+}
+
+
+def build_tpch_query(
+    kind: str,
+    index_values: tuple,
+    timestamp: int,
+    target: str | None = None,
+) -> PointQuery:
+    """An Exp 8 point query over a 2-D or 4-D TPC-H grid.
+
+    ``kind`` ∈ {count, sum, min, max}; ``index_values`` match the
+    schema's index attributes (2 or 4 of them).  Sum/min/max default to
+    ``extendedprice`` as the target.
+    """
+    if kind not in _TPCH_AGGREGATES:
+        raise QueryError(f"unknown TPC-H query kind {kind!r}")
+    aggregate, default_target = _TPCH_AGGREGATES[kind]
+    return PointQuery(
+        index_values=index_values,
+        timestamp=timestamp,
+        aggregate=aggregate,
+        target=target or default_target,
+    )

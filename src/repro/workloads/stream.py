@@ -1,0 +1,82 @@
+"""Query-workload streams (for §8-style frequency analyses).
+
+§8's attack and defence both reason about *query workloads*: how often
+each domain value is queried.  This module generates reproducible
+streams of point queries over a value domain under three classic
+workload shapes:
+
+- ``uniform`` — every value equally likely (§8's explicit assumption);
+- ``zipf``    — skewed popularity (real dashboards poll hot locations);
+- ``sweep``   — one query per domain value, round-robin (a monitoring
+  loop refreshing every panel).
+
+Streams yield :class:`~repro.core.queries.PointQuery` objects ready for
+``ServiceProvider.execute_point``; the §8 ablation and the workload-
+attack tests consume them.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterator, Sequence
+
+from repro.core.queries import PointQuery
+from repro.exceptions import QueryError
+
+
+def _zipf_weights(n: int, s: float) -> list[float]:
+    return [1.0 / (rank**s) for rank in range(1, n + 1)]
+
+
+def query_stream(
+    values: Sequence,
+    timestamps: Sequence[int],
+    count: int,
+    shape: str = "uniform",
+    zipf_s: float = 1.1,
+    seed: int = 0,
+) -> Iterator[PointQuery]:
+    """Yield ``count`` point queries over ``values`` × ``timestamps``.
+
+    ``values`` are the index-attribute values queried (single-attribute
+    schemas; wrap them per schema arity yourself for wider grids).
+
+    >>> stream = query_stream(["a", "b"], [0, 60], count=4, shape="sweep")
+    >>> [q.index_values[0] for q in stream]
+    ['a', 'b', 'a', 'b']
+    """
+    if not values or not timestamps:
+        raise QueryError("query stream needs non-empty values and timestamps")
+    if shape not in ("uniform", "zipf", "sweep"):
+        raise QueryError(f"unknown workload shape {shape!r}")
+    rng = random.Random(seed)
+    weights = _zipf_weights(len(values), zipf_s) if shape == "zipf" else None
+    for index in range(count):
+        if shape == "sweep":
+            value = values[index % len(values)]
+        elif shape == "zipf":
+            value = rng.choices(list(values), weights=weights)[0]
+        else:
+            value = values[rng.randrange(len(values))]
+        timestamp = timestamps[rng.randrange(len(timestamps))]
+        yield PointQuery(index_values=(value,), timestamp=timestamp)
+
+
+def bin_retrieval_counts(
+    service, queries: Iterator[PointQuery], epoch_id: int
+) -> dict[int, int]:
+    """Run a stream and tally how often each bin was the query's target.
+
+    This is the §8 adversary's observable: which bin each query
+    resolved to.  With super-bins enabled the *fetches* spread over the
+    whole group; this helper records the pre-grouping targets so tests
+    can compare raw vs balanced retrieval distributions.
+    """
+    context = service.context_for(epoch_id)
+    counts: dict[int, int] = {}
+    for query in queries:
+        cid = context.grid.place_values(query.index_values, query.timestamp)
+        target = context.layout.bin_of_cell_id(cid).index
+        counts[target] = counts.get(target, 0) + 1
+        service.execute_point(query, epoch_id=epoch_id)
+    return counts

@@ -1,0 +1,117 @@
+"""A dbgen-like TPC-H LineItem generator (the paper's Dataset 2).
+
+§9.1 selects nine LineItem columns — Orderkey, Partkey, Suppkey,
+Linenumber, Quantity, Extendedprice, Discount, Tax, Returnflag — and
+notes the large domains (Orderkey up to 34M at their scale).  This
+generator follows the TPC-H specification's per-column rules at a
+configurable scale factor:
+
+- orders have 1–7 lineitems (uniform), linenumber 1..7;
+- partkey uniform over ``200_000 × SF`` parts, suppkey derived from
+  partkey the way dbgen spreads suppliers;
+- quantity uniform 1..50, discount 0.00–0.10, tax 0.00–0.08,
+  extendedprice = quantity × a part-derived retail price;
+- returnflag ∈ {R, A, N}.
+
+Concealer needs a time attribute for epoching; rows get a synthetic
+arrival timestamp in insertion order (the paper's "dynamically
+arriving data" reading of the benchmark).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+RETURN_FLAGS = ("R", "A", "N")
+
+
+@dataclass(frozen=True)
+class TpchConfig:
+    """Scale knobs; ``scale_factor=1.0`` ≈ 6M lineitems in real TPC-H.
+
+    ``rows`` caps the generated lineitems directly (the experiments
+    size by row count, not by SF).
+    """
+
+    rows: int = 10_000
+    scale_factor: float = 0.01
+    arrival_interval: int = 1
+    seed: int = 1992
+
+    @property
+    def part_count(self) -> int:
+        """Number of distinct parts at this scale."""
+        return max(1, int(200_000 * self.scale_factor))
+
+    @property
+    def supplier_count(self) -> int:
+        """Number of distinct suppliers at this scale."""
+        return max(1, int(10_000 * self.scale_factor))
+
+
+def _supplier_for_part(partkey: int, supplier_count: int, replica: int) -> int:
+    """dbgen's PART_SUPP_BRIDGE: the replica-th supplier of a part."""
+    return (
+        partkey
+        + replica * (supplier_count // 4 + (partkey - 1) // supplier_count)
+    ) % supplier_count + 1
+
+
+def _retail_price(partkey: int) -> int:
+    """dbgen's part retail price formula (in cents)."""
+    return 90000 + ((partkey // 10) % 20001) + 100 * (partkey % 1000)
+
+
+def generate_lineitem(
+    config: TpchConfig,
+    epoch_start: int = 0,
+    rng: random.Random | None = None,
+) -> list[tuple]:
+    """Generate LineItem rows in the schema order of ``TPCH_*_SCHEMA``.
+
+    Row layout: (orderkey, partkey, suppkey, linenumber, quantity,
+    extendedprice, discount, tax, returnflag, time).  Prices, discounts
+    and taxes are integers (cents / basis points) so aggregates stay
+    exact.
+    """
+    rng = rng if rng is not None else random.Random(config.seed)
+    rows: list[tuple] = []
+    orderkey = 0
+    arrival = epoch_start
+    while len(rows) < config.rows:
+        orderkey += 1
+        lineitem_count = rng.randint(1, 7)
+        for linenumber in range(1, lineitem_count + 1):
+            if len(rows) >= config.rows:
+                break
+            partkey = rng.randint(1, config.part_count)
+            replica = rng.randint(0, 3)
+            suppkey = _supplier_for_part(partkey, config.supplier_count, replica)
+            quantity = rng.randint(1, 50)
+            extendedprice = quantity * _retail_price(partkey)
+            discount = rng.randint(0, 10)   # percent
+            tax = rng.randint(0, 8)         # percent
+            returnflag = RETURN_FLAGS[rng.randrange(3)]
+            rows.append(
+                (
+                    orderkey,
+                    partkey,
+                    suppkey,
+                    linenumber,
+                    quantity,
+                    extendedprice,
+                    discount,
+                    tax,
+                    returnflag,
+                    arrival,
+                )
+            )
+            arrival += config.arrival_interval
+    return rows
+
+
+def orderkey_domain(rows: list[tuple]) -> tuple[int, int]:
+    """The (min, max) orderkey range of a generated batch."""
+    keys = [row[0] for row in rows]
+    return min(keys), max(keys)

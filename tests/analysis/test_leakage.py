@@ -1,0 +1,62 @@
+"""Tests for leakage-profile bookkeeping."""
+
+from repro.analysis.leakage import LeakageProfile, profile_queries, setup_leakage
+from repro.storage.pager import AccessKind, AccessLog
+
+
+def make_log(query_rows: dict[int, list[int]]) -> tuple[AccessLog, list[int]]:
+    """Build a log where each query reads the given row ids."""
+    log = AccessLog()
+    ids = []
+    for rows in query_rows.values():
+        qid = log.begin_query()
+        ids.append(qid)
+        for row_id in rows:
+            log.record(AccessKind.ROW_READ, "t", row_id)
+        log.end_query()
+    return log, ids
+
+
+class TestProfiles:
+    def test_volumes(self):
+        log, ids = make_log({1: [1, 2, 3], 2: [4]})
+        profile = profile_queries(log)
+        assert profile.volumes[ids[0]] == 3
+        assert profile.volumes[ids[1]] == 1
+        assert profile.query_count == 2
+
+    def test_distinct_volumes_and_spread(self):
+        log, _ = make_log({1: [1, 2], 2: [3, 4], 3: [5]})
+        profile = profile_queries(log)
+        assert profile.distinct_volumes == {1, 2}
+        assert profile.volume_spread == 1
+
+    def test_perfect_volume_hiding_spread_zero(self):
+        log, _ = make_log({1: [1, 2], 2: [3, 4], 3: [5, 6]})
+        assert profile_queries(log).volume_spread == 0
+
+    def test_overlap(self):
+        log, ids = make_log({1: [1, 2, 3], 2: [2, 3, 4], 3: [9]})
+        profile = profile_queries(log)
+        assert profile.overlap(ids[0], ids[1]) == 0.5
+        assert profile.overlap(ids[0], ids[2]) == 0.0
+        assert profile.overlap(ids[0], ids[0]) == 1.0
+
+    def test_identical_access_groups(self):
+        log, ids = make_log({1: [1, 2], 2: [1, 2], 3: [7]})
+        groups = profile_queries(log).identical_access_groups()
+        assert sorted(map(len, groups)) == [1, 2]
+
+    def test_scoped_query_selection(self):
+        log, ids = make_log({1: [1], 2: [2, 3]})
+        profile = profile_queries(log, query_ids=[ids[1]])
+        assert list(profile.volumes) == [ids[1]]
+
+    def test_empty_profile(self):
+        profile = LeakageProfile()
+        assert profile.volume_spread == 0
+        assert profile.overlap(1, 2) == 1.0
+
+
+def test_setup_leakage_dict():
+    assert setup_leakage(100, 100) == {"rows": 100, "index_entries": 100}

@@ -1,0 +1,167 @@
+"""Tests for the three comparison systems (§9.3)."""
+
+import random
+
+import pytest
+
+from repro import GridSpec, PointQuery, WIFI_SCHEMA
+from repro.baselines import CleartextBaseline, DetIndexBaseline, OpaqueBaseline
+from repro.core.queries import Aggregate, RangeQuery
+from repro.enclave.enclave import Enclave
+from repro.exceptions import QueryError
+from repro.storage.pager import AccessKind
+
+KEY = b"\x51" * 32
+
+
+@pytest.fixture
+def records(rng):
+    return [
+        (f"ap{rng.randrange(5)}", t, f"dev{rng.randrange(8)}")
+        for t in range(0, 600, 60)
+        for _ in range(10)
+    ]
+
+
+@pytest.fixture
+def enclave():
+    enclave = Enclave()
+    enclave.provision(KEY, first_epoch_id=0, epoch_duration=600)
+    return enclave
+
+
+class TestOpaque:
+    def test_point_query_correct(self, records, enclave):
+        opaque = OpaqueBaseline(WIFI_SCHEMA, enclave)
+        opaque.ingest(records, 0)
+        location, timestamp, _ = records[3]
+        answer, stats = opaque.execute_point(
+            PointQuery(index_values=(location,), timestamp=timestamp), 0
+        )
+        expected = sum(1 for r in records if r[0] == location and r[1] == timestamp)
+        assert answer == expected
+        assert stats.rows_fetched == len(records)  # full scan
+
+    def test_range_query_correct(self, records, enclave):
+        opaque = OpaqueBaseline(WIFI_SCHEMA, enclave)
+        opaque.ingest(records, 0)
+        query = RangeQuery(index_values=("ap1",), time_start=100, time_end=400)
+        answer, _ = opaque.execute_range(query, 0)
+        expected = sum(1 for r in records if r[0] == "ap1" and 100 <= r[1] <= 400)
+        assert answer == expected
+
+    def test_every_query_scans_everything(self, records, enclave):
+        opaque = OpaqueBaseline(WIFI_SCHEMA, enclave)
+        opaque.ingest(records, 0)
+        scans_before = len(opaque.engine.access_log.events(AccessKind.TABLE_SCAN))
+        opaque.execute_point(PointQuery(index_values=("ap0",), timestamp=0), 0)
+        opaque.execute_point(PointQuery(index_values=("ap1",), timestamp=60), 0)
+        scans_after = len(opaque.engine.access_log.events(AccessKind.TABLE_SCAN))
+        assert scans_after - scans_before == 2
+
+    def test_storage_is_randomized(self, records, enclave):
+        """At rest, Opaque leaks nothing: same record re-ingested gives a
+        different ciphertext."""
+        opaque = OpaqueBaseline(WIFI_SCHEMA, enclave)
+        opaque.ingest([records[0]], 0)
+        opaque.ingest([records[0]], 0)
+        blobs = [row[0] for row in opaque.engine._tables["opaque_0"].scan()]
+        assert blobs[0] != blobs[1]
+
+    def test_missing_epoch_rejected(self, enclave):
+        opaque = OpaqueBaseline(WIFI_SCHEMA, enclave)
+        with pytest.raises(QueryError):
+            opaque.execute_point(PointQuery(index_values=("a",), timestamp=0), 0)
+
+    def test_aggregates(self, records, enclave):
+        opaque = OpaqueBaseline(WIFI_SCHEMA, enclave)
+        opaque.ingest(records, 0)
+        query = RangeQuery(
+            index_values=("ap1",), time_start=0, time_end=599,
+            aggregate=Aggregate.TOP_K, target="observation", k=2,
+        )
+        answer, _ = opaque.execute_range(query, 0)
+        assert len(answer) <= 2
+
+
+class TestCleartext:
+    def test_point_query_correct_and_minimal(self, records):
+        clear = CleartextBaseline(WIFI_SCHEMA)
+        clear.ingest(records, 0)
+        location, timestamp, _ = records[0]
+        answer, stats = clear.execute_point(
+            PointQuery(index_values=(location,), timestamp=timestamp), 0
+        )
+        expected = sum(1 for r in records if r[0] == location and r[1] == timestamp)
+        assert answer == expected
+        assert stats.rows_fetched == expected  # fetches exactly the matches
+
+    def test_range_query_correct(self, records):
+        clear = CleartextBaseline(WIFI_SCHEMA)
+        clear.ingest(records, 0)
+        query = RangeQuery(index_values=("ap2",), time_start=0, time_end=300)
+        answer, _ = clear.execute_range(query, 0, time_step=60)
+        expected = sum(1 for r in records if r[0] == "ap2" and r[1] <= 300)
+        assert answer == expected
+
+
+class TestDetIndex:
+    def test_point_query_correct(self, records):
+        det = DetIndexBaseline(WIFI_SCHEMA, KEY)
+        det.ingest(records, 0)
+        location, timestamp, _ = records[0]
+        answer, stats = det.execute_point(
+            PointQuery(index_values=(location,), timestamp=timestamp), 0
+        )
+        expected = sum(1 for r in records if r[0] == location and r[1] == timestamp)
+        assert answer == expected
+        assert stats.rows_fetched == expected  # THE leak: true output size
+
+    def test_histogram_mirrors_plaintext_frequencies(self, records):
+        from collections import Counter
+
+        det = DetIndexBaseline(WIFI_SCHEMA, KEY)
+        det.ingest(records, 0)
+        histogram = det.attribute_histogram(0, "location")
+        plaintext_counts = sorted(Counter(r[0] for r in records).values())
+        assert sorted(histogram.values()) == plaintext_counts
+
+    def test_sum_decrypts(self, records):
+        det = DetIndexBaseline(WIFI_SCHEMA, KEY)
+        det.ingest(records, 0)
+        location, timestamp, _ = records[0]
+        answer, _ = det.execute_point(
+            PointQuery(
+                index_values=(location,), timestamp=timestamp,
+                aggregate=Aggregate.SUM, target="time",
+            ),
+            0,
+        )
+        expected = sum(r[1] for r in records if r[0] == location and r[1] == timestamp)
+        assert answer == expected
+
+
+class TestSystemsAgree:
+    def test_all_four_systems_same_answers(self, records, enclave, grid_spec):
+        """Concealer, Opaque, cleartext and DET agree on every probe."""
+        from tests.conftest import make_stack
+
+        _, service = make_stack(grid_spec, records)
+        opaque = OpaqueBaseline(WIFI_SCHEMA, service.enclave)
+        opaque.ingest(records, 0)
+        clear = CleartextBaseline(WIFI_SCHEMA)
+        clear.ingest(records, 0)
+        det = DetIndexBaseline(WIFI_SCHEMA, KEY)
+        det.ingest(records, 0)
+
+        rng = random.Random(9)
+        for _ in range(8):
+            location, timestamp, _ = records[rng.randrange(len(records))]
+            query = PointQuery(index_values=(location,), timestamp=timestamp)
+            answers = {
+                service.execute_point(query)[0],
+                opaque.execute_point(query, 0)[0],
+                clear.execute_point(query, 0)[0],
+                det.execute_point(query, 0)[0],
+            }
+            assert len(answers) == 1

@@ -1,0 +1,65 @@
+"""EPC interaction of the Opaque baseline: batches stage through the
+enclave page cache and are always released, even on failure paths."""
+
+import pytest
+
+from repro import GridSpec, PointQuery, WIFI_SCHEMA
+from repro.baselines.opaque import OpaqueBaseline
+from repro.enclave.enclave import Enclave, EnclaveConfig
+
+KEY = b"\x61" * 32
+
+
+@pytest.fixture
+def enclave():
+    enclave = Enclave(EnclaveConfig())
+    enclave.provision(KEY, first_epoch_id=0, epoch_duration=600)
+    return enclave
+
+
+@pytest.fixture
+def records():
+    return [(f"ap{i % 4}", (i * 60) % 600, f"d{i % 9}") for i in range(300)]
+
+
+class TestEpcHygiene:
+    def test_scan_releases_all_epc(self, enclave, records):
+        opaque = OpaqueBaseline(WIFI_SCHEMA, enclave)
+        opaque.ingest(records, 0)
+        baseline = enclave.epc_used
+        opaque.execute_point(
+            PointQuery(index_values=("ap1",), timestamp=60), 0
+        )
+        assert enclave.epc_used == baseline
+
+    def test_scan_charges_epc_while_running(self, enclave, records):
+        opaque = OpaqueBaseline(WIFI_SCHEMA, enclave)
+        opaque.ingest(records, 0)
+        enclave.reset_epc_stats()
+        opaque.execute_point(
+            PointQuery(index_values=("ap1",), timestamp=60), 0
+        )
+        assert enclave.epc_high_water > 0
+
+    def test_concurrent_with_concealer_context(self, records):
+        """A Concealer epoch context and an Opaque scan share one EPC."""
+        import random
+
+        from repro import DataProvider, ServiceProvider
+
+        spec = GridSpec(dimension_sizes=(4, 8), cell_id_count=16,
+                        epoch_duration=600)
+        provider = DataProvider(
+            WIFI_SCHEMA, spec, 0, master_key=KEY, rng=random.Random(1)
+        )
+        service = ServiceProvider(WIFI_SCHEMA)
+        provider.provision_enclave(service.enclave)
+        service.ingest_epoch(provider.encrypt_epoch(records, 0))
+        service.context_for(0)  # charges metadata
+        held = service.enclave.epc_used
+        assert held > 0
+
+        opaque = OpaqueBaseline(WIFI_SCHEMA, service.enclave)
+        opaque.ingest(records, 0)
+        opaque.execute_point(PointQuery(index_values=("ap1",), timestamp=60), 0)
+        assert service.enclave.epc_used == held  # context charge intact

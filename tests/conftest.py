@@ -1,0 +1,96 @@
+"""Shared fixtures: seeded generators and provisioned entity stacks."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import (
+    DataProvider,
+    FakeStrategy,
+    GridSpec,
+    ServiceConfig,
+    ServiceProvider,
+    WIFI_SCHEMA,
+)
+
+MASTER_KEY = bytes(range(32))
+EPOCH_DURATION = 3600
+TIME_STEP = 60
+
+
+@pytest.fixture
+def rng():
+    return random.Random(0xC0FFEE)
+
+
+@pytest.fixture
+def wifi_records(rng):
+    """A small deterministic epoch: 10 locations, 25 devices, 1h."""
+    locations = [f"ap{i}" for i in range(10)]
+    devices = [f"dev{i}" for i in range(25)]
+    records = []
+    for t in range(0, EPOCH_DURATION, TIME_STEP):
+        for device in devices:
+            records.append((locations[rng.randrange(10)], t, device))
+    return records
+
+
+@pytest.fixture
+def grid_spec():
+    return GridSpec(dimension_sizes=(8, 24), cell_id_count=64, epoch_duration=EPOCH_DURATION)
+
+
+def make_stack(
+    grid_spec,
+    records,
+    oblivious: bool = False,
+    verify: bool = False,
+    fake_strategy: FakeStrategy = FakeStrategy.SIMULATED,
+    seed: int = 1,
+):
+    """Build a provisioned provider/service pair with one ingested epoch."""
+    provider = DataProvider(
+        WIFI_SCHEMA,
+        grid_spec,
+        first_epoch_id=0,
+        master_key=MASTER_KEY,
+        fake_strategy=fake_strategy,
+        time_granularity=TIME_STEP,
+        rng=random.Random(seed),
+    )
+    service = ServiceProvider(
+        WIFI_SCHEMA, ServiceConfig(oblivious=oblivious, verify=verify)
+    )
+    provider.provision_enclave(service.enclave)
+    service.ingest_epoch(provider.encrypt_epoch(records, epoch_id=0))
+    return provider, service
+
+
+@pytest.fixture
+def stack(grid_spec, wifi_records):
+    """(provider, service) with one plain (non-oblivious) epoch loaded."""
+    return make_stack(grid_spec, wifi_records)
+
+
+@pytest.fixture
+def oblivious_stack(grid_spec, wifi_records):
+    """(provider, service) running the Concealer+ oblivious paths."""
+    return make_stack(grid_spec, wifi_records, oblivious=True)
+
+
+def ground_truth_count(records, location=None, t0=None, t1=None, device=None):
+    """Reference implementation used to check every encrypted answer."""
+    total = 0
+    for rec_location, rec_time, rec_device in records:
+        if location is not None and rec_location != location:
+            continue
+        if device is not None and rec_device != device:
+            continue
+        if t0 is not None and rec_time < t0:
+            continue
+        if t1 is not None and rec_time > t1:
+            continue
+        total += 1
+    return total

@@ -1,0 +1,78 @@
+"""Tests for in-enclave aggregation."""
+
+import pytest
+
+from repro.core.aggregation import evaluate_aggregate, needs_decryption
+from repro.core.queries import Aggregate
+from repro.core.schema import WIFI_SCHEMA
+from repro.exceptions import QueryError
+
+RECORDS = [
+    ("ap1", 10, "d1"),
+    ("ap1", 20, "d2"),
+    ("ap2", 30, "d1"),
+    ("ap3", 40, "d3"),
+    ("ap1", 50, "d1"),
+]
+
+
+class TestBasics:
+    def test_count(self):
+        assert evaluate_aggregate(Aggregate.COUNT, RECORDS, WIFI_SCHEMA) == 5
+
+    def test_collect(self):
+        assert evaluate_aggregate(Aggregate.COLLECT, RECORDS, WIFI_SCHEMA) == RECORDS
+
+    def test_sum(self):
+        assert evaluate_aggregate(Aggregate.SUM, RECORDS, WIFI_SCHEMA, "time") == 150
+
+    def test_min_max(self):
+        assert evaluate_aggregate(Aggregate.MIN, RECORDS, WIFI_SCHEMA, "time") == 10
+        assert evaluate_aggregate(Aggregate.MAX, RECORDS, WIFI_SCHEMA, "time") == 50
+
+    def test_avg(self):
+        assert evaluate_aggregate(Aggregate.AVG, RECORDS, WIFI_SCHEMA, "time") == 30.0
+
+    def test_top_k(self):
+        ranked = evaluate_aggregate(
+            Aggregate.TOP_K, RECORDS, WIFI_SCHEMA, "location", k=2
+        )
+        assert ranked == [("ap1", 3), ("ap2", 1)]
+
+    def test_top_k_tie_order_deterministic(self):
+        ranked = evaluate_aggregate(
+            Aggregate.TOP_K, RECORDS, WIFI_SCHEMA, "location", k=3
+        )
+        assert ranked == [("ap1", 3), ("ap2", 1), ("ap3", 1)]
+
+
+class TestEdgeCases:
+    def test_empty_records_numeric(self):
+        assert evaluate_aggregate(Aggregate.SUM, [], WIFI_SCHEMA, "time") is None
+        assert evaluate_aggregate(Aggregate.MIN, [], WIFI_SCHEMA, "time") is None
+        assert evaluate_aggregate(Aggregate.AVG, [], WIFI_SCHEMA, "time") is None
+
+    def test_empty_records_count(self):
+        assert evaluate_aggregate(Aggregate.COUNT, [], WIFI_SCHEMA) == 0
+
+    def test_empty_top_k(self):
+        assert evaluate_aggregate(Aggregate.TOP_K, [], WIFI_SCHEMA, "location", k=3) == []
+
+    def test_k_zero(self):
+        assert evaluate_aggregate(
+            Aggregate.TOP_K, RECORDS, WIFI_SCHEMA, "location", k=0
+        ) == []
+
+    def test_missing_target_rejected(self):
+        with pytest.raises(QueryError):
+            evaluate_aggregate(Aggregate.SUM, RECORDS, WIFI_SCHEMA, None)
+
+
+class TestDecryptionNeeds:
+    def test_count_avoids_decryption(self):
+        assert not needs_decryption(Aggregate.COUNT)
+
+    def test_others_need_decryption(self):
+        for aggregate in (Aggregate.SUM, Aggregate.MIN, Aggregate.MAX,
+                          Aggregate.AVG, Aggregate.TOP_K, Aggregate.COLLECT):
+            assert needs_decryption(aggregate)

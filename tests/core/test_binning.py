@@ -1,0 +1,145 @@
+"""Tests for §4.1 bin packing, including the Theorem 4.1 bounds."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.binning import pack_bins
+from repro.exceptions import BinningError
+
+
+class TestPaperExamples:
+    def test_example_4_1(self):
+        """c_tuple = {79, 2, 73, 7, 7} -> 3 bins of 79, 69 fakes total."""
+        layout = pack_bins([79, 2, 73, 7, 7])
+        assert layout.bin_size == 79
+        assert len(layout.bins) == 3
+        assert layout.total_fakes == 69
+        # b1: cid0 alone; b2: cid2+cid1; b3: cid3+cid4 (FFD order)
+        assert layout.bins[0].cell_ids == (0,)
+        assert set(layout.bins[1].cell_ids) == {2, 1}
+        assert set(layout.bins[2].cell_ids) == {3, 4}
+
+    def test_fake_ids_disjoint_across_bins(self):
+        layout = pack_bins([79, 2, 73, 7, 7])
+        all_ids: list[int] = []
+        for b in layout.bins:
+            all_ids.extend(b.fake_ids())
+        assert len(all_ids) == len(set(all_ids)) == layout.total_fakes
+
+
+class TestEquiSized:
+    def test_every_bin_exactly_bin_size(self):
+        layout = pack_bins([10, 3, 3, 2, 9, 1])
+        for b in layout.bins:
+            assert b.real_tuples + b.fake_count == layout.bin_size
+
+    def test_explicit_bin_size(self):
+        layout = pack_bins([5, 5, 5], bin_size=10)
+        assert layout.bin_size == 10
+        assert all(b.total_tuples == 10 for b in layout.bins)
+
+    def test_bin_size_smaller_than_max_rejected(self):
+        with pytest.raises(BinningError):
+            pack_bins([10, 2], bin_size=5)
+
+    def test_zero_population_cids_included(self):
+        layout = pack_bins([4, 0, 0, 3])
+        packed = {cid for b in layout.bins for cid in b.cell_ids}
+        assert packed == {0, 1, 2, 3}
+        # empty cell-ids' bins retrieve only fakes
+        assert layout.bin_of_cell_id(1) is not None
+
+
+class TestLookup:
+    def test_bin_of_cell_id(self):
+        layout = pack_bins([5, 1, 4])
+        for cid in range(3):
+            assert cid in layout.bin_of_cell_id(cid).cell_ids
+
+    def test_unknown_cell_id(self):
+        layout = pack_bins([5])
+        with pytest.raises(BinningError):
+            layout.bin_of_cell_id(99)
+
+    def test_bins_of_cell_ids_dedupes(self):
+        layout = pack_bins([3, 3, 3], bin_size=6)
+        bins = layout.bins_of_cell_ids([0, 1, 0, 1])
+        indexes = [b.index for b in bins]
+        assert len(indexes) == len(set(indexes))
+
+
+class TestDeterminism:
+    """DP and enclave run the packing independently; must agree bitwise."""
+
+    def test_same_input_same_layout(self):
+        populations = [random.Random(5).randrange(50) for _ in range(40)]
+        a = pack_bins(populations)
+        b = pack_bins(populations)
+        assert [bin_.cell_ids for bin_ in a.bins] == [bin_.cell_ids for bin_ in b.bins]
+        assert [bin_.fake_id_range for bin_ in a.bins] == [
+            bin_.fake_id_range for bin_ in b.bins
+        ]
+
+    def test_ties_broken_by_cell_id(self):
+        layout = pack_bins([5, 5, 5], bin_size=5)
+        assert [b.cell_ids for b in layout.bins] == [(0,), (1,), (2,)]
+
+
+class TestAlgorithms:
+    def test_bfd_supported(self):
+        layout = pack_bins([7, 5, 4, 3, 1], algorithm="bfd")
+        layout.verify_equal_sizes()
+        assert layout.algorithm == "bfd"
+
+    def test_bfd_never_worse_fakes_on_known_case(self):
+        populations = [6, 5, 4, 3, 2, 1]
+        ffd = pack_bins(populations, bin_size=7, algorithm="ffd")
+        bfd = pack_bins(populations, bin_size=7, algorithm="bfd")
+        assert bfd.total_fakes <= ffd.total_fakes + bfd.bin_size
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(BinningError):
+            pack_bins([1], algorithm="magic")
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(BinningError):
+            pack_bins([])
+
+    def test_negative_population_rejected(self):
+        with pytest.raises(BinningError):
+            pack_bins([3, -1])
+
+
+class TestTheorem41:
+    @settings(max_examples=100, deadline=None)
+    @given(
+        st.lists(st.integers(0, 200), min_size=1, max_size=100),
+        st.sampled_from(["ffd", "bfd"]),
+    )
+    def test_bounds_hold(self, populations, algorithm):
+        """At most 2n/|b| bins and ~n + |b|/2 fakes, for any input."""
+        layout = pack_bins(populations, algorithm=algorithm)
+        layout.verify_equal_sizes()
+        assert layout.theorem_4_1_holds()
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(st.integers(0, 100), min_size=1, max_size=60))
+    def test_all_half_full_except_one(self, populations):
+        """FFD/BFD guarantee: at most one bin under half capacity."""
+        layout = pack_bins(populations)
+        if layout.total_real == 0:
+            return
+        under_half = sum(
+            1 for b in layout.bins if b.real_tuples < layout.bin_size / 2
+        )
+        assert under_half <= 1
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(1, 100), min_size=1, max_size=60))
+    def test_all_real_tuples_packed_once(self, populations):
+        layout = pack_bins(populations)
+        packed = sorted(cid for b in layout.bins for cid in b.cell_ids)
+        assert packed == list(range(len(populations)))
+        assert sum(b.real_tuples for b in layout.bins) == sum(populations)

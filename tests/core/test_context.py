@@ -1,0 +1,127 @@
+"""Tests for the enclave-resident epoch context."""
+
+import pytest
+
+from repro.core.context import EpochContext
+from repro.core.queries import Predicate, QueryStats
+from repro.exceptions import EnclaveError, QueryError
+
+from tests.conftest import make_stack
+
+
+@pytest.fixture
+def context(stack):
+    _, service = stack
+    return service.context_for(0)
+
+
+class TestConstruction:
+    def test_vectors_decrypted(self, context, grid_spec):
+        assert len(context.cell_id_vector) == grid_spec.total_cells
+        assert len(context.c_tuple) == grid_spec.cell_id_count
+        assert sum(context.c_tuple) == context.package.real_count
+
+    def test_layout_built_and_consistent(self, context):
+        context.layout.verify_equal_sizes()
+        assert context.layout.total_real == context.package.real_count
+
+    def test_epc_charged(self, stack):
+        _, service = stack
+        service.context_for(0)
+        assert service.enclave.epc_used > 0
+
+    def test_release_returns_memory(self, stack):
+        _, service = stack
+        context = service.context_for(0)
+        used = service.enclave.epc_used
+        context.release()
+        assert service.enclave.epc_used < used
+
+    def test_requires_provisioned_enclave(self, stack):
+        from repro.enclave.enclave import Enclave
+
+        _, service = stack
+        bare = Enclave()
+        with pytest.raises(EnclaveError):
+            EpochContext(bare, service._packages[0], service.schema)
+
+
+class TestTrapdoors:
+    def test_bin_trapdoors_count_is_bin_size(self, context):
+        for chosen in context.layout.bins:
+            trapdoors = context.trapdoors_for_bin(chosen)
+            assert len(trapdoors) == context.layout.bin_size
+
+    def test_trapdoors_unique(self, context):
+        chosen = context.layout.bins[0]
+        trapdoors = context.trapdoors_for_bin(chosen)
+        assert len(set(trapdoors)) == len(trapdoors)
+
+    def test_oblivious_trapdoors_match_plain_set(self, context):
+        for chosen in context.layout.bins[:3]:
+            plain = set(context.trapdoors_for_bin(chosen))
+            oblivious = set(context.oblivious_trapdoors_for_bin(chosen))
+            assert plain == oblivious
+
+
+class TestFilters:
+    def test_filter_group_position(self, context):
+        assert context.filter_group_position(("location",)) == 0
+        assert context.filter_group_position(("observation",)) == 1
+
+    def test_unknown_group_rejected(self, context):
+        with pytest.raises(QueryError):
+            context.filter_group_position(("bogus",))
+
+    def test_filters_deterministic(self, context):
+        predicate = Predicate(group=("location",), values=("ap1",))
+        a = context.filters_for(predicate, [60, 120])
+        b = context.filters_for(predicate, [60, 120])
+        assert a == b
+        assert len(a) == 2
+
+    def test_query_timestamps_respect_granularity(self, context):
+        assert context.query_timestamps(0, 180) == [0, 60, 120, 180]
+        assert context.query_timestamps(30, 180) == [60, 120, 180]
+        assert context.query_timestamps(60, 60) == [60]
+
+
+class TestRowHandling:
+    def test_fake_row_detection(self, stack, context):
+        _, service = stack
+        chosen = next(b for b in context.layout.bins if b.fake_count)
+        stats = QueryStats()
+        rows = context.fetch(
+            service.engine, context.trapdoors_for_bin(chosen), stats
+        )
+        fakes = sum(1 for row in rows if context.is_fake_row(row))
+        assert fakes == chosen.fake_count
+
+    def test_decrypt_record_roundtrip(self, stack, context, wifi_records):
+        _, service = stack
+        chosen = context.layout.bins[0]
+        stats = QueryStats()
+        rows = context.fetch(
+            service.engine, context.trapdoors_for_bin(chosen), stats
+        )
+        real_rows = [row for row in rows if not context.is_fake_row(row)]
+        records = context.decrypt_records(real_rows, stats)
+        record_set = set(wifi_records)
+        assert all(record in record_set for record in records)
+
+    def test_match_rows_plain_vs_oblivious_agree(self, stack, context, wifi_records):
+        _, service = stack
+        location, timestamp, _ = wifi_records[0]
+        cid = context.grid.place_values((location,), timestamp)
+        chosen = context.layout.bin_of_cell_id(cid)
+        stats = QueryStats()
+        rows = context.fetch(
+            service.engine, context.trapdoors_for_bin(chosen), stats
+        )
+        predicate = Predicate(group=("location",), values=(location,))
+        filters = context.filters_for(predicate, [timestamp])
+        plain = context.match_rows(rows, filters, ("location",), QueryStats())
+        oblivious = context.match_rows_oblivious(
+            rows, filters, ("location",), QueryStats()
+        )
+        assert {r.row_id for r in plain} == {r.row_id for r in oblivious}

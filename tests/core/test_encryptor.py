@@ -1,0 +1,220 @@
+"""Tests for Algorithm 1: the data-provider epoch encryption."""
+
+import random
+
+import pytest
+
+from repro.core.encryptor import EpochEncryptor, FakeStrategy
+from repro.core.epoch import FAKE_CHAIN_LABEL
+from repro.core.grid import Grid, GridSpec
+from repro.core.schema import unpad_plaintext
+from repro.core.schema import WIFI_SCHEMA
+from repro.crypto.det import DeterministicCipher
+from repro.crypto.keys import derive_epoch_key
+from repro.exceptions import EpochError
+
+KEY = b"\x77" * 32
+SPEC = GridSpec(dimension_sizes=(4, 8), cell_id_count=16, epoch_duration=600)
+
+
+def make_records(count=60, seed=3):
+    rng = random.Random(seed)
+    return [
+        (f"ap{rng.randrange(6)}", rng.randrange(600), f"dev{rng.randrange(10)}")
+        for _ in range(count)
+    ]
+
+
+def make_encryptor(**kwargs):
+    defaults = dict(
+        schema=WIFI_SCHEMA,
+        grid_spec=SPEC,
+        master_key=KEY,
+        rng=random.Random(1),
+    )
+    defaults.update(kwargs)
+    return EpochEncryptor(**defaults)
+
+
+class TestPackageShape:
+    def test_row_counts(self):
+        records = make_records()
+        package = make_encryptor().encrypt_epoch(records, 0)
+        assert package.real_count == len(records)
+        assert package.fake_count >= 0
+        assert len(package.rows) == package.real_count + package.fake_count
+
+    def test_columns_per_row(self):
+        package = make_encryptor().encrypt_epoch(make_records(), 0)
+        for row in package.rows:
+            assert len(row.filters) == len(WIFI_SCHEMA.filter_groups)
+            assert row.payload and row.index_key
+
+    def test_column_names(self):
+        package = make_encryptor().encrypt_epoch(make_records(), 0)
+        assert package.column_names == [
+            "filter_0", "filter_1", "filter_2", "payload", "index_key",
+        ]
+
+    def test_metadata_bytes_positive(self):
+        package = make_encryptor().encrypt_epoch(make_records(), 0)
+        assert package.metadata_bytes() > 0
+
+
+class TestCiphertextIndistinguishability:
+    """§7: any two occurrences of a value look different in ciphertext."""
+
+    def test_all_index_keys_unique(self):
+        package = make_encryptor().encrypt_epoch(make_records(), 0)
+        keys = [row.index_key for row in package.rows]
+        assert len(keys) == len(set(keys))
+
+    def test_all_payloads_unique(self):
+        # Payload includes device+time; duplicates of (loc,t,dev) would
+        # collide under DET, so feed strictly unique records.
+        records = [(f"ap{i % 4}", i, f"dev{i % 7}") for i in range(50)]
+        package = make_encryptor().encrypt_epoch(records, 0)
+        payloads = [row.payload for row in package.rows]
+        assert len(payloads) == len(set(payloads))
+
+    def test_repeated_location_filters_differ_across_times(self):
+        records = [("ap1", t, "dev1") for t in range(20)]
+        package = make_encryptor().encrypt_epoch(records, 0)
+        location_filters = {row.filters[0] for row in package.rows}
+        assert len(location_filters) == len(package.rows)
+
+    def test_epoch_keys_give_cross_epoch_indistinguishability(self):
+        records_a = [("ap1", 10, "dev1")]
+        records_b = [("ap1", 610, "dev1")]
+        enc = make_encryptor()
+        enc2 = make_encryptor()
+        pkg_a = enc.encrypt_epoch(records_a, 0)
+        pkg_b = enc2.encrypt_epoch(records_b, 600)
+        # Same location; different epochs must not share any ciphertext bytes
+        assert pkg_a.rows[0].filters[0] != pkg_b.rows[0].filters[0]
+
+
+class TestCounters:
+    def test_index_keys_decrypt_to_cid_counter_runs(self):
+        records = make_records()
+        package = make_encryptor().encrypt_epoch(records, 0)
+        det = DeterministicCipher(derive_epoch_key(KEY, 0))
+        per_cid: dict[int, list[int]] = {}
+        fakes = 0
+        for row in package.rows:
+            parts = unpad_plaintext(det.decrypt(row.index_key)).split(b"\x1f")
+            if parts[0] == b"idx":
+                per_cid.setdefault(int(parts[1]), []).append(int(parts[2]))
+            else:
+                fakes += 1
+        assert fakes == package.fake_count
+        for cid, counters in per_cid.items():
+            assert sorted(counters) == list(range(1, len(counters) + 1))
+
+    def test_c_tuple_vector_matches_actual_allocation(self):
+        records = make_records()
+        encryptor = make_encryptor()
+        package = encryptor.encrypt_epoch(records, 0)
+        from repro.crypto.nondet import RandomizedCipher
+
+        nd = RandomizedCipher(derive_epoch_key(KEY, 0))
+        c_tuple = package.decrypt_c_tuple_vector(nd)
+        grid = Grid(SPEC, WIFI_SCHEMA, KEY, 0)
+        expected = [0] * SPEC.cell_id_count
+        for record in records:
+            expected[grid.place(record)] += 1
+        assert c_tuple == expected
+
+    def test_cell_counts_sum_to_real(self):
+        records = make_records()
+        package = make_encryptor().encrypt_epoch(records, 0)
+        from repro.crypto.nondet import RandomizedCipher
+
+        nd = RandomizedCipher(derive_epoch_key(KEY, 0))
+        assert sum(package.decrypt_cell_counts(nd)) == len(records)
+
+
+class TestFakeStrategies:
+    def test_equal_strategy_ships_n_fakes(self):
+        records = make_records(40)
+        package = make_encryptor(fake_strategy=FakeStrategy.EQUAL).encrypt_epoch(
+            records, 0
+        )
+        assert package.fake_count == len(records)
+
+    def test_simulated_strategy_ships_layout_fakes(self):
+        records = make_records(40)
+        package = make_encryptor(
+            fake_strategy=FakeStrategy.SIMULATED
+        ).encrypt_epoch(records, 0)
+        from repro.core.binning import pack_bins
+        from repro.crypto.nondet import RandomizedCipher
+
+        nd = RandomizedCipher(derive_epoch_key(KEY, 0))
+        layout = pack_bins(package.decrypt_c_tuple_vector(nd))
+        assert package.fake_count == layout.total_fakes
+
+    def test_simulated_never_more_than_equal(self):
+        records = make_records(80)
+        simulated = make_encryptor().encrypt_epoch(records, 0)
+        equal = make_encryptor(fake_strategy=FakeStrategy.EQUAL).encrypt_epoch(
+            records, 0
+        )
+        # Theorem 4.1: simulated <= n + |b|/2; usually far less than n.
+        assert simulated.fake_count <= equal.fake_count + simulated.grid_spec.total_cells
+
+    def test_empty_epoch(self):
+        package = make_encryptor().encrypt_epoch([], 0)
+        assert package.real_count == 0
+        assert package.fake_count == 0
+
+
+class TestTags:
+    def test_tags_cover_all_used_cell_ids_plus_fakes(self):
+        records = make_records()
+        package = make_encryptor().encrypt_epoch(records, 0)
+        from repro.crypto.nondet import RandomizedCipher
+
+        nd = RandomizedCipher(derive_epoch_key(KEY, 0))
+        c_tuple = package.decrypt_c_tuple_vector(nd)
+        used = {cid for cid, count in enumerate(c_tuple) if count}
+        tagged = set(package.enc_tags) - {FAKE_CHAIN_LABEL}
+        assert tagged == used
+        if package.fake_count:
+            assert FAKE_CHAIN_LABEL in package.enc_tags
+
+
+class TestValidation:
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(EpochError):
+            make_encryptor().encrypt_epoch([("ap1", 5)], 0)
+
+    def test_out_of_epoch_time_rejected(self):
+        with pytest.raises(EpochError):
+            make_encryptor().encrypt_epoch([("ap1", 600, "d")], 0)
+        with pytest.raises(EpochError):
+            make_encryptor().encrypt_epoch([("ap1", 599, "d")], 600)
+
+    def test_report_emitted(self):
+        encryptor = make_encryptor()
+        encryptor.encrypt_epoch(make_records(30), 0)
+        report = encryptor.last_report
+        assert report is not None
+        assert report.real_rows == 30
+        assert report.bin_size >= 1
+
+
+class TestPermutation:
+    def test_rows_shuffled(self):
+        """Fakes must be mixed in, not appended (Line 24)."""
+        records = make_records(100)
+        package = make_encryptor(fake_strategy=FakeStrategy.EQUAL).encrypt_epoch(
+            records, 0
+        )
+        det = DeterministicCipher(derive_epoch_key(KEY, 0))
+        kinds = [
+            unpad_plaintext(det.decrypt(row.index_key)).split(b"\x1f")[0]
+            for row in package.rows
+        ]
+        first_half_fakes = kinds[: len(kinds) // 2].count(b"fake")
+        assert 0 < first_half_fakes < package.fake_count

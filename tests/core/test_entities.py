@@ -1,0 +1,172 @@
+"""Tests for the Figure-1 entity wiring: DP, SP, Client."""
+
+import random
+
+import pytest
+
+from repro import (
+    Client,
+    DataProvider,
+    GridSpec,
+    ServiceProvider,
+    WIFI_SCHEMA,
+)
+from repro.enclave.enclave import Enclave, EnclaveConfig
+from repro.exceptions import (
+    AttestationError,
+    AuthenticationError,
+    EpochError,
+    QueryError,
+)
+
+KEY = b"\x41" * 32
+SPEC = GridSpec(dimension_sizes=(4, 8), cell_id_count=16, epoch_duration=600)
+
+
+def make_provider(**kwargs):
+    defaults = dict(
+        schema=WIFI_SCHEMA,
+        grid_spec=SPEC,
+        first_epoch_id=0,
+        master_key=KEY,
+        time_granularity=60,
+        rng=random.Random(2),
+    )
+    defaults.update(kwargs)
+    return DataProvider(**defaults)
+
+
+RECORDS = [(f"ap{i % 4}", (i * 60) % 600, f"dev{i % 5}") for i in range(50)]
+
+
+class TestProvisioning:
+    def test_honest_enclave_provisioned(self):
+        provider = make_provider()
+        service = ServiceProvider(WIFI_SCHEMA)
+        provider.provision_enclave(service.enclave)
+        assert service.enclave.provisioned
+
+    def test_backdoored_enclave_rejected(self):
+        provider = make_provider()
+        rogue = Enclave(EnclaveConfig(code_identity="concealer-enclave-v1"))
+        # Forge a quote claiming a different measurement than the code.
+        rogue.measurement = b"\x00" * 32
+        with pytest.raises(AttestationError):
+            provider.provision_enclave(rogue)
+
+
+class TestEpochLifecycle:
+    def test_duplicate_epoch_rejected_by_provider(self):
+        provider = make_provider()
+        provider.encrypt_epoch(RECORDS, 0)
+        with pytest.raises(EpochError):
+            provider.encrypt_epoch(RECORDS, 0)
+
+    def test_unaligned_epoch_rejected(self):
+        provider = make_provider()
+        with pytest.raises(EpochError):
+            provider.encrypt_epoch(RECORDS, 17)
+
+    def test_pre_first_epoch_rejected(self):
+        provider = make_provider(first_epoch_id=600)
+        with pytest.raises(EpochError):
+            provider.encrypt_epoch(RECORDS, 0)
+
+    def test_epoch_id_for_time(self):
+        provider = make_provider()
+        assert provider.epoch_id_for_time(0) == 0
+        assert provider.epoch_id_for_time(599) == 0
+        assert provider.epoch_id_for_time(600) == 600
+
+    def test_duplicate_ingest_rejected_by_service(self):
+        provider = make_provider()
+        service = ServiceProvider(WIFI_SCHEMA)
+        provider.provision_enclave(service.enclave)
+        package = provider.encrypt_epoch(RECORDS, 0)
+        service.ingest_epoch(package)
+        with pytest.raises(EpochError):
+            service.ingest_epoch(package)
+
+    def test_schema_mismatch_rejected(self):
+        from repro import TPCH_2D_SCHEMA
+
+        provider = make_provider()
+        service = ServiceProvider(TPCH_2D_SCHEMA)
+        package = provider.encrypt_epoch(RECORDS, 0)
+        with pytest.raises(EpochError):
+            service.ingest_epoch(package)
+
+    def test_query_before_ingest_rejected(self):
+        provider = make_provider()
+        service = ServiceProvider(WIFI_SCHEMA)
+        provider.provision_enclave(service.enclave)
+        from repro import PointQuery
+
+        with pytest.raises(EpochError):
+            service.execute_point(PointQuery(index_values=("ap1",), timestamp=60))
+
+
+class TestClientFlow:
+    def make_full_stack(self):
+        provider = make_provider()
+        service = ServiceProvider(WIFI_SCHEMA)
+        provider.provision_enclave(service.enclave)
+        credential = provider.register_user("alice", device_id="dev1")
+        service.install_registry(provider.sealed_registry())
+        service.ingest_epoch(provider.encrypt_epoch(RECORDS, 0))
+        return provider, service, credential
+
+    def test_registered_user_can_query(self):
+        _, service, credential = self.make_full_stack()
+        client = Client(service, credential)
+        result = client.point_count(("ap1",), 60)
+        expected = sum(1 for r in RECORDS if r[0] == "ap1" and r[1] == 60)
+        assert result.answer == expected
+
+    def test_unregistered_user_rejected(self):
+        _, service, _ = self.make_full_stack()
+        from repro.core.registry import UserCredential
+
+        mallory = Client(
+            service, UserCredential(user_id="mallory", secret=b"\x00" * 32)
+        )
+        with pytest.raises(AuthenticationError):
+            mallory.point_count(("ap1",), 60)
+
+    def test_forged_secret_rejected(self):
+        _, service, _ = self.make_full_stack()
+        from repro.core.registry import UserCredential
+
+        impostor = Client(
+            service, UserCredential(user_id="alice", secret=b"\x00" * 32)
+        )
+        with pytest.raises(AuthenticationError):
+            impostor.point_count(("ap1",), 60)
+
+    def test_query_without_registry_rejected(self):
+        provider = make_provider()
+        service = ServiceProvider(WIFI_SCHEMA)
+        provider.provision_enclave(service.enclave)
+        credential = provider.register_user("alice")
+        service.ingest_epoch(provider.encrypt_epoch(RECORDS, 0))
+        client = Client(service, credential)
+        with pytest.raises(AuthenticationError):
+            client.point_count(("ap1",), 60)
+
+    def test_user_without_device_cannot_individualize(self):
+        provider = make_provider()
+        service = ServiceProvider(WIFI_SCHEMA)
+        provider.provision_enclave(service.enclave)
+        credential = provider.register_user("nodevice")
+        service.install_registry(provider.sealed_registry())
+        service.ingest_epoch(provider.encrypt_epoch(RECORDS, 0))
+        client = Client(service, credential)
+        with pytest.raises(QueryError):
+            client.my_locations(("ap1",), 0, 599)
+
+    def test_range_aggregate_via_client(self):
+        _, service, credential = self.make_full_stack()
+        client = Client(service, credential)
+        result = client.range_aggregate(("ap2",), 0, 300, method="multipoint")
+        expected = sum(1 for r in RECORDS if r[0] == "ap2" and r[1] <= 300)
+        assert result.answer == expected

@@ -1,0 +1,94 @@
+"""Tests for the epoch package wire format."""
+
+import pytest
+
+from repro.core.epoch import (
+    EncryptedRow,
+    EpochPackage,
+    decode_int_vector,
+    encode_int_vector,
+    fake_index_plaintext,
+    index_plaintext,
+)
+from repro.core.grid import GridSpec
+from repro.crypto.nondet import RandomizedCipher
+from repro.exceptions import EpochError
+
+SPEC = GridSpec(dimension_sizes=(2, 2), cell_id_count=2, epoch_duration=60)
+KEY = b"\x88" * 32
+
+
+class TestIndexPlaintexts:
+    def test_real_and_fake_never_collide(self):
+        real = {index_plaintext(cid, ctr) for cid in range(5) for ctr in range(1, 5)}
+        fake = {fake_index_plaintext(j) for j in range(1, 25)}
+        assert not (real & fake)
+
+    def test_distinct_pairs_distinct_plaintexts(self):
+        assert index_plaintext(1, 23) != index_plaintext(12, 3)
+        assert index_plaintext(1, 2) != index_plaintext(2, 1)
+
+    def test_deterministic(self):
+        assert index_plaintext(3, 4) == index_plaintext(3, 4)
+        assert fake_index_plaintext(9) == fake_index_plaintext(9)
+
+
+class TestVectors:
+    def test_roundtrip(self):
+        vector = [0, 5, 12345, 7]
+        assert decode_int_vector(encode_int_vector(vector)) == vector
+
+    def test_empty_vector(self):
+        assert decode_int_vector(encode_int_vector([])) == []
+
+    def test_non_int_payload_rejected(self):
+        with pytest.raises(EpochError):
+            decode_int_vector(b'["a"]')
+
+    def test_encrypted_vector_roundtrip(self):
+        cipher = RandomizedCipher(KEY)
+        blob = cipher.encrypt(encode_int_vector([1, 2, 3]))
+        package = make_package(enc_c_tuple_vector=blob)
+        assert package.decrypt_c_tuple_vector(cipher) == [1, 2, 3]
+
+
+def make_package(**overrides):
+    cipher = RandomizedCipher(KEY)
+    defaults = dict(
+        schema_name="wifi",
+        epoch_id=0,
+        grid_spec=SPEC,
+        time_granularity=1,
+        rows=[],
+        enc_cell_id_vector=cipher.encrypt(encode_int_vector([0, 1, 0, 1])),
+        enc_c_tuple_vector=cipher.encrypt(encode_int_vector([0, 0])),
+        enc_cell_counts=cipher.encrypt(encode_int_vector([0, 0, 0, 0])),
+        real_count=0,
+        fake_count=0,
+    )
+    defaults.update(overrides)
+    return EpochPackage(**defaults)
+
+
+class TestPackageValidation:
+    def test_row_accounting_enforced(self):
+        row = EncryptedRow(filters=(b"f",), payload=b"p", index_key=b"i")
+        with pytest.raises(EpochError):
+            make_package(rows=[row], real_count=0, fake_count=0)
+
+    def test_time_granularity_positive(self):
+        with pytest.raises(EpochError):
+            make_package(time_granularity=0)
+
+    def test_column_names_empty_package(self):
+        package = make_package()
+        assert package.column_names == ["payload", "index_key"]
+
+    def test_column_names_with_rows(self):
+        row = EncryptedRow(filters=(b"a", b"b"), payload=b"p", index_key=b"i")
+        package = make_package(rows=[row], real_count=1)
+        assert package.column_names == ["filter_0", "filter_1", "payload", "index_key"]
+
+    def test_row_as_columns_flattening(self):
+        row = EncryptedRow(filters=(b"a", b"b"), payload=b"p", index_key=b"i")
+        assert row.as_columns() == [b"a", b"b", b"p", b"i"]

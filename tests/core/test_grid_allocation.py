@@ -1,0 +1,76 @@
+"""Tests for the cell-id allocation policies."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.grid import Grid, GridSpec, derive_grid_key
+from repro.core.schema import WIFI_SCHEMA
+
+KEY = b"\xa1" * 32
+
+
+def make_grid(u: int, time_local: bool, x: int = 6, y: int = 12) -> Grid:
+    spec = GridSpec(
+        dimension_sizes=(x, y), cell_id_count=u,
+        epoch_duration=3600, time_local_cell_ids=time_local,
+    )
+    return Grid(spec, WIFI_SCHEMA, KEY, epoch_id=0)
+
+
+class TestTimeLocalAllocation:
+    def test_cell_ids_never_straddle_time_coordinates(self):
+        """The property the range methods rely on: one id, one subinterval
+        coordinate."""
+        grid = make_grid(u=24, time_local=True)
+        coord_of_cid: dict[int, int] = {}
+        for flat in range(grid.spec.total_cells):
+            time_coord = flat % grid.spec.dimension_sizes[-1]
+            cid = grid.cell_id_of(flat)
+            assert coord_of_cid.setdefault(cid, time_coord) == time_coord
+
+    def test_scattered_allocation_does_straddle(self):
+        grid = make_grid(u=24, time_local=False)
+        coord_of_cid: dict[int, set[int]] = {}
+        for flat in range(grid.spec.total_cells):
+            time_coord = flat % grid.spec.dimension_sizes[-1]
+            coord_of_cid.setdefault(grid.cell_id_of(flat), set()).add(time_coord)
+        assert any(len(coords) > 1 for coords in coord_of_cid.values())
+
+    def test_fewer_ids_than_time_coords_still_valid(self):
+        grid = make_grid(u=5, time_local=True, x=4, y=10)
+        for flat in range(grid.spec.total_cells):
+            assert 0 <= grid.cell_id_of(flat) < 5
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(2, 64), st.integers(2, 20), st.booleans())
+    def test_property_ids_always_in_range(self, u, y, time_local):
+        u = min(u, 4 * y - 1)  # respect u < x*y
+        spec = GridSpec(
+            dimension_sizes=(4, y), cell_id_count=u,
+            epoch_duration=3600, time_local_cell_ids=time_local,
+        )
+        grid = Grid(spec, WIFI_SCHEMA, KEY, 0)
+        for flat in range(spec.total_cells):
+            assert 0 <= grid.cell_id_of(flat) < u
+
+
+class TestGridKeySeparation:
+    def test_explicit_grid_key_overrides_master(self):
+        spec = GridSpec(dimension_sizes=(4, 8), cell_id_count=16, epoch_duration=3600)
+        pinned = derive_grid_key(KEY, 0)
+        via_master = Grid(spec, WIFI_SCHEMA, KEY, 0)
+        via_grid_key = Grid(spec, WIFI_SCHEMA, b"\xa2" * 32, 0, grid_key=pinned)
+        for flat in range(spec.total_cells):
+            assert via_master.cell_id_of(flat) == via_grid_key.cell_id_of(flat)
+
+    def test_different_grid_keys_differ(self):
+        spec = GridSpec(dimension_sizes=(4, 8), cell_id_count=16, epoch_duration=3600)
+        a = Grid(spec, WIFI_SCHEMA, KEY, 0, grid_key=b"\xa3" * 32)
+        b = Grid(spec, WIFI_SCHEMA, KEY, 0, grid_key=b"\xa4" * 32)
+        assert any(
+            a.cell_id_of(flat) != b.cell_id_of(flat)
+            for flat in range(spec.total_cells)
+        )
+
+    def test_derive_grid_key_deterministic_per_epoch(self):
+        assert derive_grid_key(KEY, 0) == derive_grid_key(KEY, 0)
+        assert derive_grid_key(KEY, 0) != derive_grid_key(KEY, 3600)

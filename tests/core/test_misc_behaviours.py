@@ -1,0 +1,108 @@
+"""Miscellaneous behaviour coverage: λ configuration, super-layout
+divisors, partial epochs, oblivious range trace equality."""
+
+import random
+
+import pytest
+
+from repro import (
+    DataProvider,
+    GridSpec,
+    ServiceConfig,
+    ServiceProvider,
+    WIFI_SCHEMA,
+)
+from repro.enclave.trace import trace_signature
+from repro.workloads.queries import build_q1
+from repro.workloads.wifi import WifiConfig, generate_wifi_epoch
+
+from tests.conftest import MASTER_KEY, make_stack
+
+
+class TestWindowConfiguration:
+    @pytest.mark.parametrize("lam", [2, 4, 12])
+    def test_window_size_grows_with_lambda(self, grid_spec, wifi_records, lam):
+        provider = DataProvider(
+            WIFI_SCHEMA, grid_spec, 0, master_key=MASTER_KEY,
+            time_granularity=60, rng=random.Random(1),
+        )
+        service = ServiceProvider(
+            WIFI_SCHEMA, ServiceConfig(window_subintervals=lam)
+        )
+        provider.provision_enclave(service.enclave)
+        service.ingest_epoch(provider.encrypt_epoch(wifi_records, 0))
+        _, stats = service.execute_range(
+            build_q1("ap1", 0, 100), method="winsecrange"
+        )
+        assert stats.extra["window_size"] > 0
+        # record for cross-λ comparison via the test's own param cache
+        TestWindowConfiguration._sizes[lam] = stats.extra["window_size"]
+
+    _sizes: dict[int, int] = {}
+
+    def test_lambda_ordering(self):
+        sizes = TestWindowConfiguration._sizes
+        if len(sizes) == 3:
+            assert sizes[2] <= sizes[4] <= sizes[12]
+
+
+class TestSuperLayoutDivisors:
+    def test_requested_count_rounded_to_divisor(self, stack):
+        _, service = stack
+        context = service.context_for(0)
+        bin_count = len(context.layout.bins)
+        layout = context.super_layout(5)
+        assert bin_count % len(layout.super_bins) == 0
+        assert len(layout.super_bins) <= 5
+
+    def test_cached_per_count(self, stack):
+        _, service = stack
+        context = service.context_for(0)
+        assert context.super_layout(4) is context.super_layout(4)
+
+
+class TestPartialEpochs:
+    def test_sub_hour_epoch_generation(self):
+        config = WifiConfig(access_points=4, devices=10, seed=3)
+        records = generate_wifi_epoch(config, 0, 1800)  # half an hour
+        assert records
+        assert all(0 <= r[1] < 1800 for r in records)
+
+    def test_sub_hour_epoch_queryable(self):
+        config = WifiConfig(access_points=4, devices=10, seed=3)
+        records = generate_wifi_epoch(config, 0, 1800)
+        spec = GridSpec(dimension_sizes=(4, 6), cell_id_count=12,
+                        epoch_duration=1800)
+        provider = DataProvider(
+            WIFI_SCHEMA, spec, 0, master_key=MASTER_KEY,
+            time_granularity=60, rng=random.Random(4),
+        )
+        service = ServiceProvider(WIFI_SCHEMA)
+        provider.provision_enclave(service.enclave)
+        service.ingest_epoch(provider.encrypt_epoch(records, 0))
+        answer, _ = service.execute_range(
+            build_q1(records[0][0], 0, 1799), method="multipoint"
+        )
+        assert answer == sum(1 for r in records if r[0] == records[0][0])
+
+
+class TestObliviousRangeTraces:
+    def test_same_shape_ranges_same_trace(self, grid_spec, wifi_records):
+        """Two multipoint range queries with the same bin count and
+        filter count leave identical enclave traces."""
+        _, service = make_stack(grid_spec, wifi_records, oblivious=True)
+        context = service.context_for(0)
+
+        def run(location, start):
+            service.enclave.trace.clear()
+            query = build_q1(location, start, start + 599)
+            _, stats = service.execute_range(query, method="multipoint")
+            return stats.bins_fetched, trace_signature(service.enclave.trace)
+
+        by_shape: dict[int, set[bytes]] = {}
+        for location in ("ap0", "ap4", "ap8"):
+            for start in (0, 1200):
+                bins, signature = run(location, start)
+                by_shape.setdefault(bins, set()).add(signature)
+        for bins, signatures in by_shape.items():
+            assert len(signatures) == 1, f"shape {bins} bins has {len(signatures)} traces"

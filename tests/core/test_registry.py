@@ -1,0 +1,134 @@
+"""Tests for the user registry and authentication (R2)."""
+
+import random
+
+import pytest
+
+from repro.core.registry import Registry, UserCredential
+from repro.crypto.nondet import RandomizedCipher
+from repro.exceptions import AuthenticationError, AuthorizationError
+
+KEY = b"\x31" * 32
+
+
+@pytest.fixture
+def registry():
+    return Registry()
+
+
+class TestRegistration:
+    def test_register_returns_credential(self, registry):
+        credential = registry.register("alice", device_id="d1")
+        assert credential.user_id == "alice"
+        assert len(credential.secret) == 32
+        assert "alice" in registry
+        assert len(registry) == 1
+
+    def test_duplicate_registration_rejected(self, registry):
+        registry.register("alice")
+        with pytest.raises(AuthenticationError):
+            registry.register("alice")
+
+    def test_revocation(self, registry):
+        credential = registry.register("alice")
+        registry.revoke("alice")
+        assert "alice" not in registry
+        with pytest.raises(AuthenticationError):
+            registry.authenticate(
+                "alice", b"c", credential.answer_challenge(b"c")
+            )
+
+    def test_seeded_rng(self, registry):
+        a = registry.register("u1", rng=random.Random(1))
+        other = Registry()
+        b = other.register("u1", rng=random.Random(1))
+        assert a.secret == b.secret
+
+
+class TestAuthentication:
+    def test_challenge_response_succeeds(self, registry):
+        credential = registry.register("alice", device_id="d1")
+        challenge = b"\x01" * 16
+        entry = registry.authenticate(
+            "alice", challenge, credential.answer_challenge(challenge)
+        )
+        assert entry.device_id == "d1"
+
+    def test_wrong_response_rejected(self, registry):
+        registry.register("alice")
+        with pytest.raises(AuthenticationError):
+            registry.authenticate("alice", b"challenge", b"\x00" * 32)
+
+    def test_unknown_user_rejected(self, registry):
+        with pytest.raises(AuthenticationError):
+            registry.authenticate("mallory", b"c", b"r")
+
+    def test_response_bound_to_challenge(self, registry):
+        credential = registry.register("alice")
+        response = credential.answer_challenge(b"challenge-1")
+        with pytest.raises(AuthenticationError):
+            registry.authenticate("alice", b"challenge-2", response)
+
+    def test_stolen_credential_of_other_user_useless(self, registry):
+        registry.register("alice")
+        mallory = UserCredential(user_id="alice", secret=b"\x00" * 32)
+        challenge = b"c" * 16
+        with pytest.raises(AuthenticationError):
+            registry.authenticate(
+                "alice", challenge, mallory.answer_challenge(challenge)
+            )
+
+
+class TestAuthorization:
+    def test_own_device_allowed(self, registry):
+        credential = registry.register("alice", device_id="d1")
+        challenge = b"c" * 16
+        entry = registry.authenticate(
+            "alice", challenge, credential.answer_challenge(challenge)
+        )
+        Registry.authorize_individualized(entry, "d1")  # no raise
+
+    def test_other_device_rejected(self, registry):
+        credential = registry.register("alice", device_id="d1")
+        challenge = b"c" * 16
+        entry = registry.authenticate(
+            "alice", challenge, credential.answer_challenge(challenge)
+        )
+        with pytest.raises(AuthorizationError):
+            Registry.authorize_individualized(entry, "d2")
+
+    def test_aggregate_gate(self, registry):
+        credential = registry.register("bob", aggregate_allowed=False)
+        challenge = b"c" * 16
+        entry = registry.authenticate(
+            "bob", challenge, credential.answer_challenge(challenge)
+        )
+        with pytest.raises(AuthorizationError):
+            Registry.authorize_aggregate(entry)
+
+
+class TestWireFormat:
+    def test_seal_unseal_roundtrip(self, registry):
+        credential = registry.register("alice", device_id="d1", aggregate_allowed=False)
+        cipher = RandomizedCipher(KEY)
+        blob = registry.seal(cipher)
+        recovered = Registry.unseal(blob, cipher)
+        challenge = b"c" * 16
+        entry = recovered.authenticate(
+            "alice", challenge, credential.answer_challenge(challenge)
+        )
+        assert entry.device_id == "d1"
+        assert not entry.aggregate_allowed
+
+    def test_sealed_blob_is_randomized(self, registry):
+        registry.register("alice")
+        cipher = RandomizedCipher(KEY)
+        assert registry.seal(cipher) != registry.seal(cipher)
+
+    def test_wrong_key_cannot_unseal(self, registry):
+        registry.register("alice")
+        blob = registry.seal(RandomizedCipher(KEY))
+        from repro.exceptions import DecryptionError
+
+        with pytest.raises(DecryptionError):
+            Registry.unseal(blob, RandomizedCipher(b"\x32" * 32))

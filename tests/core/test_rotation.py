@@ -1,0 +1,150 @@
+"""Tests for master-key rotation (§1.2(i) extension)."""
+
+import random
+
+import pytest
+
+from repro import (
+    DataProvider,
+    GridSpec,
+    PointQuery,
+    ServiceProvider,
+    WIFI_SCHEMA,
+)
+from repro.core.rotation import rotate_service_keys, rotation_token
+from repro.exceptions import AuthorizationError, CryptoError
+from repro.workloads.queries import build_q1
+
+OLD_KEY = b"\x81" * 32
+NEW_KEY = b"\x82" * 32
+
+
+@pytest.fixture
+def rotated_world(wifi_records, grid_spec):
+    provider = DataProvider(
+        WIFI_SCHEMA, grid_spec, 0, master_key=OLD_KEY,
+        time_granularity=60, rng=random.Random(8),
+    )
+    service = ServiceProvider(WIFI_SCHEMA)
+    provider.provision_enclave(service.enclave)
+    service.ingest_epoch(provider.encrypt_epoch(wifi_records, 0))
+    token = rotation_token(OLD_KEY, NEW_KEY)
+    rotated = rotate_service_keys(service, NEW_KEY, token)
+    return service, rotated, wifi_records
+
+
+class TestRotation:
+    def test_rows_rotated(self, rotated_world):
+        service, rotated, records = rotated_world
+        assert rotated == service.engine.row_count("epoch_0")
+
+    def test_queries_correct_after_rotation(self, rotated_world):
+        service, _, records = rotated_world
+        for location, timestamp, _ in records[::211]:
+            answer, _ = service.execute_point(
+                PointQuery(index_values=(location,), timestamp=timestamp)
+            )
+            expected = sum(
+                1 for r in records if r[0] == location and r[1] == timestamp
+            )
+            assert answer == expected
+
+    def test_range_queries_correct_after_rotation(self, rotated_world):
+        service, _, records = rotated_world
+        for method in ("multipoint", "ebpb", "winsecrange"):
+            answer, _ = service.execute_range(
+                build_q1("ap1", 0, 1800), method=method
+            )
+            expected = sum(
+                1 for r in records if r[0] == "ap1" and r[1] <= 1800
+            )
+            assert answer == expected
+
+    def test_verification_still_works_after_rotation(
+        self, wifi_records, grid_spec
+    ):
+        from repro import ServiceConfig
+
+        provider = DataProvider(
+            WIFI_SCHEMA, grid_spec, 0, master_key=OLD_KEY,
+            time_granularity=60, rng=random.Random(9),
+        )
+        service = ServiceProvider(WIFI_SCHEMA, ServiceConfig(verify=True))
+        provider.provision_enclave(service.enclave)
+        service.ingest_epoch(provider.encrypt_epoch(wifi_records, 0))
+        rotate_service_keys(service, NEW_KEY, rotation_token(OLD_KEY, NEW_KEY))
+        location, timestamp, _ = wifi_records[0]
+        answer, stats = service.execute_point(
+            PointQuery(index_values=(location,), timestamp=timestamp)
+        )
+        assert stats.verified
+        assert answer >= 1
+
+    def test_old_trapdoors_dead_after_rotation(self, wifi_records, grid_spec):
+        provider = DataProvider(
+            WIFI_SCHEMA, grid_spec, 0, master_key=OLD_KEY,
+            time_granularity=60, rng=random.Random(10),
+        )
+        service = ServiceProvider(WIFI_SCHEMA)
+        provider.provision_enclave(service.enclave)
+        service.ingest_epoch(provider.encrypt_epoch(wifi_records, 0))
+        context = service.context_for(0)
+        old_trapdoors = context.trapdoors_for_bin(context.layout.bins[0])
+        rotate_service_keys(service, NEW_KEY, rotation_token(OLD_KEY, NEW_KEY))
+        assert service.engine.lookup_many("epoch_0", "index_key", old_trapdoors) == []
+
+    def test_stored_ciphertexts_changed(self, wifi_records, grid_spec):
+        provider = DataProvider(
+            WIFI_SCHEMA, grid_spec, 0, master_key=OLD_KEY,
+            time_granularity=60, rng=random.Random(11),
+        )
+        service = ServiceProvider(WIFI_SCHEMA)
+        provider.provision_enclave(service.enclave)
+        service.ingest_epoch(provider.encrypt_epoch(wifi_records, 0))
+        before = {
+            row.row_id: row.columns
+            for row in service.engine._tables["epoch_0"].scan()
+        }
+        rotate_service_keys(service, NEW_KEY, rotation_token(OLD_KEY, NEW_KEY))
+        after = {
+            row.row_id: row.columns
+            for row in service.engine._tables["epoch_0"].scan()
+        }
+        assert all(before[rid] != after[rid] for rid in before)
+
+
+class TestRotationAuthorization:
+    def make_service(self, wifi_records, grid_spec, seed=12):
+        provider = DataProvider(
+            WIFI_SCHEMA, grid_spec, 0, master_key=OLD_KEY,
+            time_granularity=60, rng=random.Random(seed),
+        )
+        service = ServiceProvider(WIFI_SCHEMA)
+        provider.provision_enclave(service.enclave)
+        service.ingest_epoch(provider.encrypt_epoch(wifi_records, 0))
+        return service
+
+    def test_forged_token_rejected(self, wifi_records, grid_spec):
+        service = self.make_service(wifi_records, grid_spec)
+        with pytest.raises(AuthorizationError):
+            rotate_service_keys(service, NEW_KEY, b"\x00" * 32)
+
+    def test_host_cannot_rotate_to_its_own_key(self, wifi_records, grid_spec):
+        """Token from the wrong 'old' key (host-chosen) fails."""
+        service = self.make_service(wifi_records, grid_spec, seed=13)
+        host_key = b"\x99" * 32
+        with pytest.raises(AuthorizationError):
+            rotate_service_keys(
+                service, host_key, rotation_token(host_key, host_key)
+            )
+
+    def test_tampered_storage_aborts_rotation(self, wifi_records, grid_spec):
+        service = self.make_service(wifi_records, grid_spec, seed=14)
+        victim = next(iter(service.engine._tables["epoch_0"].scan()))
+        columns = list(victim.columns)
+        columns[-1] = b"\x00" * len(columns[-1])  # smash an index key
+        service.engine._tables["epoch_0"].overwrite(victim.row_id, columns)
+        with pytest.raises(CryptoError):
+            rotate_service_keys(
+                service, NEW_KEY, rotation_token(OLD_KEY, NEW_KEY)
+            )

@@ -1,0 +1,47 @@
+"""Tests for the fixed-width plaintext padding layer."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.schema import pad_plaintext, unpad_plaintext
+from repro.exceptions import QueryError
+
+
+class TestPadding:
+    def test_roundtrip(self):
+        assert unpad_plaintext(pad_plaintext(b"hello", 32)) == b"hello"
+
+    def test_empty_plaintext(self):
+        assert unpad_plaintext(pad_plaintext(b"", 8)) == b""
+
+    def test_width_exact(self):
+        for n in (0, 1, 10, 28):
+            assert len(pad_plaintext(b"x" * n, 32)) == 32
+
+    def test_injective_across_lengths(self):
+        # "a" padded must differ from "a\x00" padded: the length prefix
+        # disambiguates trailing zeros.
+        assert pad_plaintext(b"a", 16) != pad_plaintext(b"a\x00", 16)
+
+    def test_overflow_rejected(self):
+        with pytest.raises(QueryError):
+            pad_plaintext(b"x" * 29, 32)
+
+    def test_truncated_padded_rejected(self):
+        with pytest.raises(QueryError):
+            unpad_plaintext(b"\x00\x00")
+
+    def test_corrupt_length_rejected(self):
+        padded = bytearray(pad_plaintext(b"abc", 16))
+        padded[0] = 0xFF  # absurd length
+        with pytest.raises(QueryError):
+            unpad_plaintext(bytes(padded))
+
+    @given(st.binary(max_size=60), st.integers(64, 128))
+    def test_property_roundtrip(self, data, width):
+        assert unpad_plaintext(pad_plaintext(data, width)) == data
+
+    @given(st.binary(max_size=28), st.binary(max_size=28))
+    def test_property_injective(self, a, b):
+        if a != b:
+            assert pad_plaintext(a, 32) != pad_plaintext(b, 32)

@@ -1,0 +1,79 @@
+"""Tests for Phase-4 answer sealing."""
+
+import pytest
+
+from repro import PointQuery
+from repro.core.registry import seal_answer, unseal_answer
+from repro.exceptions import DecryptionError
+
+from tests.conftest import make_stack
+
+
+SECRET_A = b"\x91" * 32
+SECRET_B = b"\x92" * 32
+
+
+class TestSealing:
+    @pytest.mark.parametrize("answer", [
+        0,
+        42,
+        None,
+        [("ap1", 3), ("ap2", 1)],
+        [("ap1", 10, "dev1"), ("ap2", 20, "dev2")],
+        3.5,
+    ])
+    def test_roundtrip_all_answer_shapes(self, answer):
+        sealed = seal_answer(SECRET_A, answer)
+        assert unseal_answer(SECRET_A, sealed) == answer
+
+    def test_wrong_user_cannot_open(self):
+        sealed = seal_answer(SECRET_A, 42)
+        with pytest.raises(DecryptionError):
+            unseal_answer(SECRET_B, sealed)
+
+    def test_host_tamper_detected(self):
+        sealed = bytearray(seal_answer(SECRET_A, 42))
+        sealed[20] ^= 0xFF
+        with pytest.raises(DecryptionError):
+            unseal_answer(SECRET_A, bytes(sealed))
+
+    def test_sealing_randomized(self):
+        assert seal_answer(SECRET_A, 42) != seal_answer(SECRET_A, 42)
+
+
+class TestSealedServicePath:
+    def test_sealed_point_query_roundtrip(self, grid_spec, wifi_records):
+        provider, service = make_stack(grid_spec, wifi_records)
+        credential = provider.register_user("alice")
+        service.install_registry(provider.sealed_registry())
+        challenge = service.challenge()
+        entry = service.authenticate(
+            credential, challenge, credential.answer_challenge(challenge)
+        )
+        location, timestamp, _ = wifi_records[0]
+        sealed, _ = service.execute_point_sealed(
+            PointQuery(index_values=(location,), timestamp=timestamp), entry
+        )
+        answer = unseal_answer(credential.secret, sealed)
+        expected = sum(
+            1 for r in wifi_records if r[0] == location and r[1] == timestamp
+        )
+        assert answer == expected
+        # another registered user cannot open alice's answer
+        mallory = provider.register_user("mallory")
+        with pytest.raises(DecryptionError):
+            unseal_answer(mallory.secret, sealed)
+
+    def test_client_transparently_unseals(self, grid_spec, wifi_records):
+        provider, service = make_stack(grid_spec, wifi_records)
+        credential = provider.register_user("alice")
+        service.install_registry(provider.sealed_registry())
+        from repro import Client
+
+        client = Client(service, credential)
+        location, timestamp, _ = wifi_records[0]
+        result = client.point_count((location,), timestamp)
+        expected = sum(
+            1 for r in wifi_records if r[0] == location and r[1] == timestamp
+        )
+        assert result.answer == expected

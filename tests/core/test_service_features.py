@@ -1,0 +1,88 @@
+"""Tests for service-level features: replay protection and the
+automatic range-method planner."""
+
+import pytest
+
+from repro.exceptions import AuthenticationError
+from repro.workloads.queries import build_q1, build_q2
+
+from tests.conftest import make_stack
+
+
+@pytest.fixture
+def registered_stack(grid_spec, wifi_records):
+    provider, service = make_stack(grid_spec, wifi_records)
+    credential = provider.register_user("alice", device_id="dev1")
+    service.install_registry(provider.sealed_registry())
+    return provider, service, credential
+
+
+class TestReplayProtection:
+    def test_fresh_challenge_accepted(self, registered_stack):
+        _, service, credential = registered_stack
+        challenge = service.challenge()
+        entry = service.authenticate(
+            credential, challenge, credential.answer_challenge(challenge)
+        )
+        assert entry.user_id == "alice"
+
+    def test_replayed_pair_rejected(self, registered_stack):
+        """A captured (challenge, response) pair is single-use."""
+        _, service, credential = registered_stack
+        challenge = service.challenge()
+        response = credential.answer_challenge(challenge)
+        service.authenticate(credential, challenge, response)
+        with pytest.raises(AuthenticationError):
+            service.authenticate(credential, challenge, response)
+
+    def test_self_minted_challenge_rejected(self, registered_stack):
+        """An adversary cannot substitute its own challenge."""
+        _, service, credential = registered_stack
+        forged = b"\x00" * 16
+        with pytest.raises(AuthenticationError):
+            service.authenticate(
+                credential, forged, credential.answer_challenge(forged)
+            )
+
+    def test_failed_attempt_consumes_challenge(self, registered_stack):
+        _, service, credential = registered_stack
+        challenge = service.challenge()
+        with pytest.raises(AuthenticationError):
+            service.authenticate(credential, challenge, b"\x00" * 32)
+        # even the right response is now too late
+        with pytest.raises(AuthenticationError):
+            service.authenticate(
+                credential, challenge, credential.answer_challenge(challenge)
+            )
+
+
+class TestAutoMethodPlanner:
+    def test_selective_query_routes_to_ebpb(self, stack):
+        _, service = stack
+        context = service.context_for(0)
+        query = build_q1("ap1", 0, 1200)
+        assert service.choose_range_method(query, context) == "ebpb"
+
+    def test_tiny_span_routes_to_multipoint(self, stack):
+        _, service = stack
+        context = service.context_for(0)
+        query = build_q1("ap1", 0, 30)  # within one subinterval
+        assert service.choose_range_method(query, context) == "multipoint"
+
+    def test_domain_sweep_routes_to_winsecrange(self, stack, wifi_records):
+        _, service = stack
+        context = service.context_for(0)
+        locations = tuple(sorted({r[0] for r in wifi_records}))
+        query = build_q2(locations, 0, 1200, k=3)
+        assert service.choose_range_method(query, context) == "winsecrange"
+
+    def test_auto_method_returns_correct_answers(self, stack, wifi_records):
+        _, service = stack
+        for t0, t1 in [(0, 30), (0, 1200), (600, 3000)]:
+            answer, _ = service.execute_range(
+                build_q1("ap2", t0, t1), method="auto"
+            )
+            expected = sum(
+                1 for r in wifi_records if r[0] == "ap2" and t0 <= r[1] <= t1
+            )
+            assert answer == expected

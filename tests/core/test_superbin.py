@@ -1,0 +1,102 @@
+"""Tests for §8 super-bins and the workload-attack defence."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.superbin import build_super_bins, retrieval_skew
+from repro.exceptions import BinningError
+
+EXAMPLE_8_1 = [1, 2, 9, 1, 2, 10, 1, 1, 1, 8, 2, 7]
+
+
+class TestPaperExample:
+    def test_example_8_1_balance(self):
+        layout = build_super_bins(EXAMPLE_8_1, f=4)
+        retrievals = layout.expected_retrievals(EXAMPLE_8_1)
+        assert sorted(retrievals, reverse=True) == [12, 12, 11, 10]
+
+    def test_example_8_1_vs_raw_bins(self):
+        """Raw bins: skew 10x; super-bins: 1.2x."""
+        raw_skew = retrieval_skew(EXAMPLE_8_1)
+        layout = build_super_bins(EXAMPLE_8_1, f=4)
+        grouped_skew = retrieval_skew(layout.expected_retrievals(EXAMPLE_8_1))
+        assert raw_skew == 10.0
+        assert grouped_skew < 1.3
+
+    def test_each_super_bin_has_equal_bin_count(self):
+        layout = build_super_bins(EXAMPLE_8_1, f=4)
+        assert all(len(sb.bin_indexes) == 3 for sb in layout.super_bins)
+
+
+class TestStructure:
+    def test_every_bin_in_exactly_one_super_bin(self):
+        layout = build_super_bins(EXAMPLE_8_1, f=3)
+        members = [b for sb in layout.super_bins for b in sb.bin_indexes]
+        assert sorted(members) == list(range(len(EXAMPLE_8_1)))
+
+    def test_super_bin_of(self):
+        layout = build_super_bins(EXAMPLE_8_1, f=4)
+        for bin_index in range(len(EXAMPLE_8_1)):
+            super_bin = layout.super_bin_of(bin_index)
+            assert bin_index in super_bin.bin_indexes
+
+    def test_bins_to_fetch(self):
+        layout = build_super_bins(EXAMPLE_8_1, f=4)
+        fetched = layout.bins_to_fetch(5)
+        assert 5 in fetched
+        assert len(fetched) == 3
+
+    def test_unknown_bin_rejected(self):
+        layout = build_super_bins(EXAMPLE_8_1, f=4)
+        with pytest.raises(BinningError):
+            layout.super_bin_of(99)
+
+    def test_f_one_groups_everything(self):
+        layout = build_super_bins(EXAMPLE_8_1, f=1)
+        assert len(layout.super_bins) == 1
+        assert len(layout.super_bins[0].bin_indexes) == 12
+
+
+class TestValidation:
+    def test_f_must_divide(self):
+        with pytest.raises(BinningError):
+            build_super_bins(EXAMPLE_8_1, f=5)
+
+    def test_f_positive(self):
+        with pytest.raises(BinningError):
+            build_super_bins(EXAMPLE_8_1, f=0)
+
+    def test_empty_bins_rejected(self):
+        with pytest.raises(BinningError):
+            build_super_bins([], f=1)
+
+
+class TestBalancing:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(st.integers(1, 50), min_size=4, max_size=60),
+        st.data(),
+    )
+    def test_super_bins_never_increase_skew(self, uniques, data):
+        divisors = [f for f in range(1, len(uniques) + 1) if len(uniques) % f == 0]
+        f = data.draw(st.sampled_from(divisors))
+        layout = build_super_bins(uniques, f=f)
+        grouped = layout.expected_retrievals(uniques)
+        assert retrieval_skew(grouped) <= retrieval_skew(uniques) + 1e-9
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(1, 30), min_size=8, max_size=40))
+    def test_greedy_near_balanced(self, uniques):
+        """The greedy rule keeps the heaviest group within (roughly) one
+        largest-item of the lightest."""
+        length = len(uniques)
+        f = next(f for f in (4, 2, 1) if length % f == 0)
+        layout = build_super_bins(uniques, f=f)
+        grouped = layout.expected_retrievals(uniques)
+        assert max(grouped) - min(grouped) <= max(uniques) + max(uniques)
+
+    def test_skew_helper(self):
+        assert retrieval_skew([5, 5, 5]) == 1.0
+        assert retrieval_skew([10, 1]) == 10.0
+        assert retrieval_skew([]) == 1.0
+        assert retrieval_skew([0, 0]) == 1.0

@@ -1,0 +1,89 @@
+"""Tests for epoch key derivation and rewrite counters (§3, §6 fn.7)."""
+
+import pytest
+
+from repro.crypto.keys import (
+    EpochKeySchedule,
+    derive_epoch_key,
+    derive_rewrite_key,
+)
+from repro.exceptions import KeyDerivationError
+
+MASTER = b"\x0c" * 32
+
+
+class TestEpochKeys:
+    def test_deterministic(self):
+        assert derive_epoch_key(MASTER, 5) == derive_epoch_key(MASTER, 5)
+
+    def test_distinct_epochs_distinct_keys(self):
+        keys = {derive_epoch_key(MASTER, e) for e in range(100)}
+        assert len(keys) == 100
+
+    def test_distinct_masters_distinct_keys(self):
+        assert derive_epoch_key(MASTER, 1) != derive_epoch_key(b"\x0d" * 32, 1)
+
+    def test_negative_epoch_rejected(self):
+        with pytest.raises(KeyDerivationError):
+            derive_epoch_key(MASTER, -1)
+
+    def test_non_int_epoch_rejected(self):
+        with pytest.raises(KeyDerivationError):
+            derive_epoch_key(MASTER, "zero")
+
+
+class TestRewriteKeys:
+    def test_counter_zero_equals_epoch_key(self):
+        assert derive_rewrite_key(MASTER, 7, 0) == derive_epoch_key(MASTER, 7)
+
+    def test_counters_distinct(self):
+        keys = {derive_rewrite_key(MASTER, 7, c) for c in range(20)}
+        assert len(keys) == 20
+
+    def test_negative_counter_rejected(self):
+        with pytest.raises(KeyDerivationError):
+            derive_rewrite_key(MASTER, 7, -1)
+
+    def test_epoch_counter_no_cross_collision(self):
+        # (epoch=1, ctr=2) must differ from (epoch=2, ctr=1) etc.
+        seen = set()
+        for epoch in range(10):
+            for counter in range(10):
+                seen.add(derive_rewrite_key(MASTER, epoch, counter))
+        assert len(seen) == 100
+
+
+class TestSchedule:
+    def make(self):
+        return EpochKeySchedule(master_key=MASTER, first_epoch_id=1000, epoch_duration=600)
+
+    def test_epoch_id_mapping(self):
+        schedule = self.make()
+        assert schedule.epoch_id_for_time(1000) == 1000
+        assert schedule.epoch_id_for_time(1599) == 1000
+        assert schedule.epoch_id_for_time(1600) == 1600
+        assert schedule.epoch_id_for_time(3405) == 3400
+
+    def test_time_before_first_epoch_rejected(self):
+        with pytest.raises(KeyDerivationError):
+            self.make().epoch_id_for_time(999)
+
+    def test_current_key_advances_with_rewrites(self):
+        schedule = self.make()
+        k0 = schedule.current_key(1000)
+        k1 = schedule.advance_rewrite(1000)
+        assert k0 != k1
+        assert schedule.current_key(1000) == k1
+        assert schedule.rewrite_counter(1000) == 1
+
+    def test_rewrites_scoped_per_epoch(self):
+        schedule = self.make()
+        schedule.advance_rewrite(1000)
+        assert schedule.rewrite_counter(1600) == 0
+        assert schedule.current_key(1600) == derive_epoch_key(MASTER, 1600)
+
+    def test_bad_construction_rejected(self):
+        with pytest.raises(KeyDerivationError):
+            EpochKeySchedule(master_key=b"x", first_epoch_id=0, epoch_duration=10)
+        with pytest.raises(KeyDerivationError):
+            EpochKeySchedule(master_key=MASTER, first_epoch_id=0, epoch_duration=0)

@@ -1,0 +1,92 @@
+"""Tests for randomized authenticated encryption (the paper's E_nd)."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto.nondet import NONCE_BYTES, TAG_BYTES, RandomizedCipher
+from repro.exceptions import DecryptionError, KeyDerivationError
+
+KEY = b"\x0b" * 32
+
+
+@pytest.fixture
+def cipher():
+    return RandomizedCipher(KEY)
+
+
+class TestRandomization:
+    def test_same_plaintext_distinct_ciphertexts(self, cipher):
+        cts = {cipher.encrypt(b"same") for _ in range(50)}
+        assert len(cts) == 50
+
+    def test_roundtrip(self, cipher):
+        for _ in range(10):
+            assert cipher.decrypt(cipher.encrypt(b"v")) == b"v"
+
+    def test_seeded_rng_reproducible(self):
+        a = RandomizedCipher(KEY, rng=random.Random(7))
+        b = RandomizedCipher(KEY, rng=random.Random(7))
+        assert a.encrypt(b"v") == b.encrypt(b"v")
+
+    def test_empty_plaintext(self, cipher):
+        assert cipher.decrypt(cipher.encrypt(b"")) == b""
+
+    def test_ciphertext_overhead(self, cipher):
+        assert len(cipher.encrypt(b"x" * 10)) == 10 + NONCE_BYTES + TAG_BYTES
+
+    @given(st.binary(max_size=1024))
+    def test_property_roundtrip(self, data):
+        cipher = RandomizedCipher(KEY, rng=random.Random(1))
+        assert cipher.decrypt(cipher.encrypt(data)) == data
+
+
+class TestAuthentication:
+    def test_body_tamper_detected(self, cipher):
+        ct = bytearray(cipher.encrypt(b"data!"))
+        ct[NONCE_BYTES] ^= 0xFF
+        with pytest.raises(DecryptionError):
+            cipher.decrypt(bytes(ct))
+
+    def test_nonce_tamper_detected(self, cipher):
+        ct = bytearray(cipher.encrypt(b"data!"))
+        ct[0] ^= 0x01
+        with pytest.raises(DecryptionError):
+            cipher.decrypt(bytes(ct))
+
+    def test_tag_tamper_detected(self, cipher):
+        ct = bytearray(cipher.encrypt(b"data!"))
+        ct[-1] ^= 0x01
+        with pytest.raises(DecryptionError):
+            cipher.decrypt(bytes(ct))
+
+    def test_too_short_rejected(self, cipher):
+        with pytest.raises(DecryptionError):
+            cipher.decrypt(b"\x00" * (NONCE_BYTES + TAG_BYTES - 1))
+
+    def test_wrong_key_rejected(self):
+        ct = RandomizedCipher(b"\x01" * 32).encrypt(b"v")
+        with pytest.raises(DecryptionError):
+            RandomizedCipher(b"\x02" * 32).decrypt(ct)
+
+
+class TestValidation:
+    def test_short_key_rejected(self):
+        with pytest.raises(KeyDerivationError):
+            RandomizedCipher(b"nope")
+
+    def test_non_bytes_rejected(self, cipher):
+        with pytest.raises(TypeError):
+            cipher.encrypt(123)
+
+    def test_cross_cipher_isolation(self):
+        """E_nd ciphertexts must not decrypt under E_k and vice versa."""
+        from repro.crypto.det import DeterministicCipher
+
+        nd = RandomizedCipher(KEY)
+        det = DeterministicCipher(KEY)
+        with pytest.raises(DecryptionError):
+            det.decrypt(nd.encrypt(b"x" * 40))
+        with pytest.raises(DecryptionError):
+            nd.decrypt(det.encrypt(b"x" * 40))

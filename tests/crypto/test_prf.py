@@ -1,0 +1,98 @@
+"""Unit and property tests for the HMAC-based PRF."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto.prf import KEY_BYTES, Prf, hash_to_range
+from repro.exceptions import KeyDerivationError
+
+KEY = b"\x11" * KEY_BYTES
+OTHER_KEY = b"\x22" * KEY_BYTES
+
+
+class TestPrfBasics:
+    def test_deterministic(self):
+        f = Prf(KEY)
+        assert f(b"x") == f(b"x")
+
+    def test_distinct_inputs_distinct_outputs(self):
+        f = Prf(KEY)
+        assert f(b"x") != f(b"y")
+
+    def test_distinct_keys_distinct_outputs(self):
+        assert Prf(KEY)(b"x") != Prf(OTHER_KEY)(b"x")
+
+    def test_digest_length(self):
+        assert len(Prf(KEY)(b"x")) == 32
+
+    def test_rejects_short_key(self):
+        with pytest.raises(KeyDerivationError):
+            Prf(b"short")
+
+    def test_rejects_non_bytes_key(self):
+        with pytest.raises(KeyDerivationError):
+            Prf("not-bytes" * 8)
+
+    def test_rejects_unhashable_type(self):
+        with pytest.raises(TypeError):
+            Prf(KEY)(3.14)
+
+
+class TestDomainSeparation:
+    def test_multi_part_no_concatenation_collision(self):
+        f = Prf(KEY)
+        assert f("ab", "c") != f("a", "bc")
+        assert f("ab", "c") != f("abc")
+
+    def test_int_vs_str_no_collision(self):
+        f = Prf(KEY)
+        assert f(1) != f("1")
+
+    def test_bytes_vs_str_no_collision(self):
+        f = Prf(KEY)
+        assert f(b"abc") != f("abc")
+
+    def test_negative_ints_supported(self):
+        f = Prf(KEY)
+        assert f(-1) != f(1)
+        assert f(-1) == f(-1)
+
+    def test_subkeys_independent(self):
+        f = Prf(KEY)
+        assert f.derive_key("a") != f.derive_key("b")
+        assert len(f.derive_key("a")) == 32
+
+    def test_to_int_in_digest_range(self):
+        value = Prf(KEY).to_int(b"x")
+        assert 0 <= value < 2**256
+
+
+class TestHashToRange:
+    def test_in_range(self):
+        for modulus in (1, 2, 7, 1000, 10**9):
+            assert 0 <= hash_to_range(KEY, "value", modulus) < modulus
+
+    def test_deterministic(self):
+        assert hash_to_range(KEY, "v", 100) == hash_to_range(KEY, "v", 100)
+
+    def test_key_dependent(self):
+        hits = sum(
+            hash_to_range(KEY, f"v{i}", 1000)
+            == hash_to_range(OTHER_KEY, f"v{i}", 1000)
+            for i in range(200)
+        )
+        assert hits < 10  # ~0.2 expected collisions by chance
+
+    def test_rejects_nonpositive_modulus(self):
+        with pytest.raises(ValueError):
+            hash_to_range(KEY, "v", 0)
+
+    def test_roughly_uniform(self):
+        buckets = [0] * 10
+        for i in range(2000):
+            buckets[hash_to_range(KEY, f"item-{i}", 10)] += 1
+        assert min(buckets) > 120  # expectation 200 each
+
+    @given(st.integers(min_value=1, max_value=10**6), st.text(max_size=50))
+    def test_property_always_in_range(self, modulus, value):
+        assert 0 <= hash_to_range(KEY, value, modulus) < modulus

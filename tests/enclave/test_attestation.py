@@ -1,0 +1,61 @@
+"""Tests for the attestation stub."""
+
+import pytest
+
+from repro.enclave.attestation import (
+    Quote,
+    measure_code,
+    verify_quote,
+)
+from repro.enclave.enclave import Enclave, EnclaveConfig
+from repro.exceptions import AttestationError
+
+NONCE = b"\x44" * 16
+
+
+class TestMeasurement:
+    def test_deterministic(self):
+        assert measure_code("enclave-v1") == measure_code("enclave-v1")
+
+    def test_code_dependent(self):
+        assert measure_code("enclave-v1") != measure_code("enclave-v2")
+
+
+class TestQuotes:
+    def test_honest_quote_verifies(self):
+        measurement = measure_code("enclave-v1")
+        quote = Quote.generate(measurement, NONCE)
+        report = verify_quote(quote, measurement, NONCE)
+        assert report.verified
+
+    def test_wrong_measurement_rejected(self):
+        quote = Quote.generate(measure_code("evil"), NONCE)
+        with pytest.raises(AttestationError):
+            verify_quote(quote, measure_code("enclave-v1"), NONCE)
+
+    def test_replayed_nonce_rejected(self):
+        measurement = measure_code("enclave-v1")
+        quote = Quote.generate(measurement, NONCE)
+        with pytest.raises(AttestationError):
+            verify_quote(quote, measurement, b"\x55" * 16)
+
+    def test_forged_signature_rejected(self):
+        measurement = measure_code("enclave-v1")
+        forged = Quote(measurement=measurement, nonce=NONCE, signature=b"\x00" * 32)
+        with pytest.raises(AttestationError):
+            verify_quote(forged, measurement, NONCE)
+
+
+class TestEnclaveQuoting:
+    def test_enclave_quote_binds_nonce(self):
+        enclave = Enclave(EnclaveConfig(code_identity="concealer-enclave-v1"))
+        quote = enclave.quote(NONCE)
+        report = verify_quote(quote, enclave.measurement, NONCE)
+        assert report.measurement == enclave.measurement
+
+    def test_different_code_identity_distinguishable(self):
+        honest = Enclave(EnclaveConfig(code_identity="concealer-enclave-v1"))
+        patched = Enclave(EnclaveConfig(code_identity="backdoored"))
+        quote = patched.quote(NONCE)
+        with pytest.raises(AttestationError):
+            verify_quote(quote, honest.measurement, NONCE)

@@ -1,0 +1,117 @@
+"""Tests for the register-oblivious operators of §4.3 / [33]."""
+
+from hypothesis import given, strategies as st
+
+from repro.enclave.oblivious import (
+    oaccess,
+    obytes_equal,
+    ocount_matches,
+    oequal,
+    ogreater,
+    omax,
+    omin,
+    omove,
+    oselect,
+)
+from repro.enclave.trace import TraceRecorder, trace_signature
+
+ints = st.integers(min_value=-(10**12), max_value=10**12)
+
+
+class TestComparators:
+    @given(ints, ints)
+    def test_ogreater_matches_python(self, x, y):
+        assert ogreater(x, y) == int(x > y)
+
+    @given(ints, ints)
+    def test_oequal_matches_python(self, x, y):
+        assert oequal(x, y) == int(x == y)
+
+    @given(ints, ints)
+    def test_omax_omin(self, x, y):
+        assert omax(x, y) == max(x, y)
+        assert omin(x, y) == min(x, y)
+
+    @given(st.integers(min_value=0, max_value=1), ints, ints)
+    def test_omove(self, cond, x, y):
+        assert omove(cond, x, y) == (x if cond else y)
+
+    def test_huge_values(self):
+        big = 1 << 300
+        assert ogreater(big, big - 1) == 1
+        assert omax(-big, big) == big
+
+
+class TestByteOps:
+    @given(st.binary(max_size=64), st.binary(max_size=64))
+    def test_obytes_equal_matches_python(self, a, b):
+        assert obytes_equal(a, b) == int(a == b)
+
+    @given(st.integers(0, 1), st.binary(min_size=4, max_size=4), st.binary(min_size=4, max_size=4))
+    def test_oselect(self, cond, x, y):
+        assert oselect(cond, x, y) == (x if cond else y)
+
+    def test_oselect_length_mismatch(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            oselect(1, b"ab", b"abc")
+
+
+class TestAggregation:
+    @given(st.lists(st.integers(0, 1), max_size=100))
+    def test_ocount(self, flags):
+        assert ocount_matches(flags) == sum(flags)
+
+    @given(st.lists(ints, min_size=1, max_size=50), st.data())
+    def test_oaccess(self, items, data):
+        index = data.draw(st.integers(0, len(items) - 1))
+        assert oaccess(items, index) == items[index]
+
+
+class TestTraceIndependence:
+    """The security property: the event trace depends only on sizes."""
+
+    def test_ogreater_trace_input_independent(self):
+        traces = []
+        for x, y in [(1, 2), (2, 1), (-(10**9), 10**9), (0, 0)]:
+            recorder = TraceRecorder()
+            ogreater(x, y, recorder)
+            traces.append(trace_signature(recorder))
+        assert len(set(traces)) == 1
+
+    def test_obytes_equal_trace_depends_only_on_lengths(self):
+        traces = []
+        for a, b in [(b"aaaa", b"aaaa"), (b"aaaa", b"zzzz"), (b"\x00" * 4, b"\xff" * 4)]:
+            recorder = TraceRecorder()
+            obytes_equal(a, b, recorder)
+            traces.append(trace_signature(recorder))
+        assert len(set(traces)) == 1
+
+    def test_obytes_equal_trace_differs_across_lengths(self):
+        r1, r2 = TraceRecorder(), TraceRecorder()
+        obytes_equal(b"ab", b"ab", r1)
+        obytes_equal(b"abc", b"abc", r2)
+        assert trace_signature(r1) != trace_signature(r2)  # length is public
+
+    def test_oaccess_trace_index_independent(self):
+        items = list(range(20))
+        traces = []
+        for index in (0, 7, 19):
+            recorder = TraceRecorder()
+            oaccess(items, index, recorder)
+            traces.append(trace_signature(recorder))
+        assert len(set(traces)) == 1
+
+    def test_composed_computation_trace_equal(self):
+        """An omax-reduction over equal-sized inputs leaves equal traces."""
+        def reduce_max(values, recorder):
+            acc = values[0]
+            for value in values[1:]:
+                acc = omax(acc, value, recorder)
+            return acc
+
+        r1, r2 = TraceRecorder(), TraceRecorder()
+        assert reduce_max([5, 3, 9, 1], r1) == 9
+        assert reduce_max([0, 0, 0, 0], r2) == 0
+        assert trace_signature(r1) == trace_signature(r2)

@@ -1,0 +1,111 @@
+"""Tests for the data-independent sorting networks."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.enclave.sort import bitonic_sort, column_sort, _choose_shape
+from repro.enclave.trace import TraceRecorder, trace_signature
+
+
+class TestBitonic:
+    @pytest.mark.parametrize("n", [0, 1, 2, 3, 4, 7, 8, 9, 31, 100, 255, 256])
+    def test_sorts_random_inputs(self, n):
+        rng = random.Random(n)
+        data = [rng.randrange(1000) for _ in range(n)]
+        assert bitonic_sort(data, key=lambda v: v) == sorted(data)
+
+    def test_stable_payloads_follow_keys(self):
+        items = [("c", 3), ("a", 1), ("b", 2)]
+        out = bitonic_sort(items, key=lambda kv: kv[1])
+        assert out == [("a", 1), ("b", 2), ("c", 3)]
+
+    def test_duplicates(self):
+        data = [5, 1, 5, 1, 5]
+        assert bitonic_sort(data, key=lambda v: v) == [1, 1, 5, 5, 5]
+
+    def test_negative_keys(self):
+        data = [3, -7, 0, -1]
+        assert bitonic_sort(data, key=lambda v: v) == [-7, -1, 0, 3]
+
+    def test_descending_via_negated_key(self):
+        data = [1, 9, 4]
+        assert bitonic_sort(data, key=lambda v: -v) == [9, 4, 1]
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(-(10**6), 10**6), max_size=200))
+    def test_property_matches_sorted(self, data):
+        assert bitonic_sort(data, key=lambda v: v) == sorted(data)
+
+    def test_trace_depends_only_on_size(self):
+        """Data-independence: the defining property of a sorting network."""
+        traces = []
+        for seed in range(4):
+            data = [random.Random(seed).randrange(10**6) for _ in range(37)]
+            recorder = TraceRecorder()
+            bitonic_sort(data, key=lambda v: v, recorder=recorder)
+            traces.append(trace_signature(recorder))
+        assert len(set(traces)) == 1
+
+    def test_trace_differs_across_sizes(self):
+        r1, r2 = TraceRecorder(), TraceRecorder()
+        bitonic_sort([1, 2, 3], key=lambda v: v, recorder=r1)
+        bitonic_sort([1, 2, 3, 4, 5], key=lambda v: v, recorder=r2)
+        assert trace_signature(r1) != trace_signature(r2)
+
+
+class TestColumnSort:
+    @pytest.mark.parametrize("n", [0, 1, 2, 5, 17, 64, 100, 321, 1000])
+    def test_sorts_random_inputs(self, n):
+        rng = random.Random(n + 100)
+        data = [rng.randrange(1000) for _ in range(n)]
+        assert column_sort(data, key=lambda v: v) == sorted(data)
+
+    def test_explicit_rows(self):
+        data = list(range(60, 0, -1))
+        assert column_sort(data, key=lambda v: v, rows=20) == sorted(data)
+
+    def test_odd_rows_rejected(self):
+        with pytest.raises(ValueError):
+            column_sort([3, 1, 2], key=lambda v: v, rows=5)
+
+    def test_infeasible_rows_rejected(self):
+        # r=20 cannot sort 100 items: s=5 would need r >= 2(s-1)^2 = 32.
+        with pytest.raises(ValueError):
+            column_sort(list(range(100)), key=lambda v: v, rows=20)
+
+    def test_payloads_follow_keys(self):
+        items = [(f"p{i}", 100 - i) for i in range(50)]
+        out = column_sort(items, key=lambda kv: kv[1])
+        assert [k for _, k in out] == sorted(100 - i for i in range(50))
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(0, 50), max_size=300))
+    def test_property_matches_sorted(self, data):
+        assert column_sort(data, key=lambda v: v) == sorted(data)
+
+    def test_trace_depends_only_on_size(self):
+        traces = []
+        for seed in range(3):
+            data = [random.Random(seed + 7).randrange(10**6) for _ in range(90)]
+            recorder = TraceRecorder()
+            column_sort(data, key=lambda v: v, recorder=recorder)
+            traces.append(trace_signature(recorder))
+        assert len(set(traces)) == 1
+
+
+class TestShapeChoice:
+    def test_shape_constraints_hold(self):
+        for n in (1, 10, 100, 1000, 5000):
+            r, s = _choose_shape(n, None)
+            assert r * s >= n
+            assert r % s == 0 or s == 1
+            assert r >= 2 * (s - 1) ** 2
+            assert r % 2 == 0 or s == 1
+
+    def test_column_working_set_smaller_than_batch(self):
+        """The EPC argument: column sort touches r << n items at a time."""
+        r, s = _choose_shape(5000, None)
+        if s > 1:
+            assert r < 5000

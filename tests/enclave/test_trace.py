@@ -1,0 +1,69 @@
+"""Tests for the side-channel trace recorder."""
+
+from repro.enclave.trace import TraceRecorder, ambient_recorder, trace_signature
+
+
+class TestRecorder:
+    def test_records_events(self):
+        recorder = TraceRecorder()
+        recorder.emit("op", 1, 2)
+        assert len(recorder) == 1
+        event = recorder.events()[0]
+        assert event.operation == "op"
+        assert event.public_args == (1, 2)
+
+    def test_clear(self):
+        recorder = TraceRecorder()
+        recorder.emit("op")
+        recorder.clear()
+        assert len(recorder) == 0
+
+    def test_disabled_context(self):
+        recorder = TraceRecorder()
+        with recorder.disabled():
+            recorder.emit("hidden")
+        recorder.emit("visible")
+        assert [e.operation for e in recorder.events()] == ["visible"]
+
+    def test_disabled_nesting_restores(self):
+        recorder = TraceRecorder()
+        with recorder.disabled():
+            with recorder.disabled():
+                pass
+            recorder.emit("still-hidden")
+        recorder.emit("visible")
+        assert len(recorder) == 1
+
+
+class TestSignature:
+    def test_equal_traces_equal_signature(self):
+        a, b = TraceRecorder(), TraceRecorder()
+        for recorder in (a, b):
+            recorder.emit("x", 1)
+            recorder.emit("y", 2)
+        assert trace_signature(a) == trace_signature(b)
+
+    def test_order_matters(self):
+        a, b = TraceRecorder(), TraceRecorder()
+        a.emit("x")
+        a.emit("y")
+        b.emit("y")
+        b.emit("x")
+        assert trace_signature(a) != trace_signature(b)
+
+    def test_args_matter(self):
+        a, b = TraceRecorder(), TraceRecorder()
+        a.emit("x", 1)
+        b.emit("x", 2)
+        assert trace_signature(a) != trace_signature(b)
+
+    def test_no_concatenation_ambiguity(self):
+        a, b = TraceRecorder(), TraceRecorder()
+        a.emit("xy")
+        b.emit("x")
+        b.emit("y")
+        assert trace_signature(a) != trace_signature(b)
+
+
+def test_ambient_recorder_is_singleton():
+    assert ambient_recorder() is ambient_recorder()

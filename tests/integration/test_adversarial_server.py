@@ -1,0 +1,90 @@
+"""Failure injection: an actively malicious service provider.
+
+§2.1's threat model lets the SP inject fake data, delete rows, or
+substitute answers.  These tests play those attacks against a verified
+Concealer deployment and check that hash-chain verification catches
+every one — and that an *unverified* deployment (the paper's
+non-mandatory default) silently returns wrong answers, which is exactly
+why the tags exist.
+"""
+
+import pytest
+
+from repro import PointQuery
+from repro.exceptions import IntegrityError
+
+from tests.conftest import make_stack
+
+
+def _attack_all_queries(service, wifi_records):
+    """Run a spread of point queries, returning the first failure."""
+    for location, timestamp, _ in wifi_records[::37]:
+        service.execute_point(
+            PointQuery(index_values=(location,), timestamp=timestamp)
+        )
+
+
+class TestRowSubstitution:
+    def test_swapped_rows_detected(self, grid_spec, wifi_records):
+        """SP swaps two stored rows' payloads (answer substitution)."""
+        _, service = make_stack(grid_spec, wifi_records, verify=True)
+        table = service.engine._tables["epoch_0"]
+        rows = list(table.scan())
+        a, b = rows[0], rows[len(rows) // 2]
+        columns_a, columns_b = list(a.columns), list(b.columns)
+        # swap every column except the index key: trapdoors still match,
+        # but the fetched content is someone else's.
+        swapped_a = columns_b[:-1] + [columns_a[-1]]
+        swapped_b = columns_a[:-1] + [columns_b[-1]]
+        table.overwrite(a.row_id, swapped_a)
+        table.overwrite(b.row_id, swapped_b)
+        with pytest.raises(IntegrityError):
+            _attack_all_queries(service, wifi_records)
+
+
+class TestRowInjection:
+    def test_injected_duplicate_counter_detected(self, grid_spec, wifi_records):
+        """SP injects an extra row under an existing index key."""
+        _, service = make_stack(grid_spec, wifi_records, verify=True)
+        engine = service.engine
+        victim = next(iter(engine._tables["epoch_0"].scan()))
+        engine.insert("epoch_0", list(victim.columns))  # same index key
+        with pytest.raises(IntegrityError):
+            _attack_all_queries(service, wifi_records)
+
+
+class TestRowDeletion:
+    def test_single_missing_row_detected(self, grid_spec, wifi_records):
+        _, service = make_stack(grid_spec, wifi_records, verify=True)
+        engine = service.engine
+        victim = next(iter(engine._tables["epoch_0"].scan()))
+        engine.delete("epoch_0", victim.row_id)
+        with pytest.raises(IntegrityError):
+            _attack_all_queries(service, wifi_records)
+
+
+class TestUnverifiedModeIsBlind:
+    def test_unverified_service_returns_wrong_answers_silently(
+        self, grid_spec, wifi_records
+    ):
+        """Why verification exists: without it, tampering goes unnoticed."""
+        _, service = make_stack(grid_spec, wifi_records, verify=False)
+        engine = service.engine
+        # Delete a large slice of rows.
+        victims = [row.row_id for row in engine._tables["epoch_0"].scan()][::2]
+        for row_id in victims:
+            engine.delete("epoch_0", row_id)
+        # No exception — and some answers are now under-counts.
+        total = 0
+        for location, timestamp, _ in wifi_records[::37]:
+            answer, _ = service.execute_point(
+                PointQuery(index_values=(location,), timestamp=timestamp)
+            )
+            total += answer
+        truth = sum(
+            1
+            for probe_location, probe_time, _ in wifi_records[::37]
+            for r in wifi_records
+            if r[0] == probe_location and r[1] == probe_time
+        )
+        assert total < truth

@@ -1,0 +1,169 @@
+"""Full-pipeline consistency: Concealer vs baselines on random workloads."""
+
+import random
+
+import pytest
+
+from repro import (
+    Client,
+    DataProvider,
+    GridSpec,
+    PointQuery,
+    ServiceProvider,
+    TPCH_2D_SCHEMA,
+    TPCH_4D_SCHEMA,
+    WIFI_SCHEMA,
+)
+from repro.baselines import CleartextBaseline, OpaqueBaseline
+from repro.workloads import (
+    TpchConfig,
+    WifiConfig,
+    build_q1,
+    build_q2,
+    build_q4,
+    build_q5,
+    build_tpch_query,
+    generate_lineitem,
+    generate_wifi_epoch,
+)
+
+from tests.conftest import MASTER_KEY
+
+
+@pytest.fixture(scope="module")
+def wifi_world():
+    """A realistic WiFi epoch served by Concealer + both baselines."""
+    config = WifiConfig(access_points=16, devices=120, seed=77)
+    records = generate_wifi_epoch(config, 0, 3600)
+    spec = GridSpec(dimension_sizes=(12, 30), cell_id_count=120, epoch_duration=3600)
+    provider = DataProvider(
+        WIFI_SCHEMA, spec, 0, master_key=MASTER_KEY,
+        time_granularity=60, rng=random.Random(77),
+    )
+    service = ServiceProvider(WIFI_SCHEMA)
+    provider.provision_enclave(service.enclave)
+    credential = provider.register_user("tester", device_id=records[0][2])
+    service.install_registry(provider.sealed_registry())
+    service.ingest_epoch(provider.encrypt_epoch(records, 0))
+    opaque = OpaqueBaseline(WIFI_SCHEMA, service.enclave)
+    opaque.ingest(records, 0)
+    clear = CleartextBaseline(WIFI_SCHEMA)
+    clear.ingest(records, 0)
+    return records, service, opaque, clear, credential
+
+
+class TestWifiConsistency:
+    def test_random_point_queries_agree(self, wifi_world):
+        records, service, opaque, clear, _ = wifi_world
+        rng = random.Random(1)
+        for _ in range(10):
+            location, timestamp, _ = records[rng.randrange(len(records))]
+            query = PointQuery(index_values=(location,), timestamp=timestamp)
+            a = service.execute_point(query)[0]
+            b = opaque.execute_point(query, 0)[0]
+            c = clear.execute_point(query, 0)[0]
+            assert a == b == c
+
+    @pytest.mark.parametrize("method", ["multipoint", "ebpb", "winsecrange"])
+    def test_random_range_queries_agree(self, wifi_world, method):
+        records, service, opaque, _, _ = wifi_world
+        rng = random.Random(2)
+        for _ in range(5):
+            location = records[rng.randrange(len(records))][0]
+            start = rng.randrange(0, 3000)
+            end = min(3599, start + rng.randrange(60, 900))
+            query = build_q1(location, start, end)
+            a = service.execute_range(query, method=method)[0]
+            b = opaque.execute_range(query, 0)[0]
+            assert a == b, (method, location, start, end)
+
+    def test_q2_against_opaque(self, wifi_world):
+        records, service, opaque, _, _ = wifi_world
+        locations = tuple(sorted({r[0] for r in records}))
+        query = build_q2(locations, 0, 1799, k=4)
+        a = service.execute_range(query, method="winsecrange")[0]
+        b = opaque.execute_range(query, 0)[0]
+        assert a == b
+
+    def test_q4_q5_client_flow(self, wifi_world):
+        records, service, _, _, credential = wifi_world
+        device = records[0][2]
+        locations = tuple(sorted({r[0] for r in records}))
+        client = Client(service, credential)
+        q4 = client.my_locations(locations, 0, 3599)
+        expected_locations = sorted({r[0] for r in records if r[2] == device})
+        assert q4.answer == expected_locations
+        if expected_locations:
+            q5 = client.my_visits_count(expected_locations[0], locations, 0, 3599)
+            expected = sum(
+                1 for r in records
+                if r[2] == device and r[0] == expected_locations[0]
+            )
+            assert q5.answer == expected
+
+
+@pytest.fixture(scope="module", params=["2d", "4d"])
+def tpch_world(request):
+    rows = generate_lineitem(TpchConfig(rows=3000, seed=55))
+    if request.param == "2d":
+        schema = TPCH_2D_SCHEMA
+        spec = GridSpec(
+            dimension_sizes=(48, 7, 1), cell_id_count=256, epoch_duration=10**7
+        )
+    else:
+        schema = TPCH_4D_SCHEMA
+        spec = GridSpec(
+            dimension_sizes=(24, 8, 4, 7, 1), cell_id_count=512,
+            epoch_duration=10**7,
+        )
+    provider = DataProvider(
+        schema, spec, 0, master_key=MASTER_KEY, rng=random.Random(55)
+    )
+    service = ServiceProvider(schema)
+    provider.provision_enclave(service.enclave)
+    service.ingest_epoch(provider.encrypt_epoch(rows, 0))
+    return rows, schema, service
+
+
+class TestTpchConsistency:
+    @pytest.mark.parametrize("kind", ["count", "sum", "min", "max"])
+    def test_point_aggregates_match_truth(self, tpch_world, kind):
+        rows, schema, service = tpch_world
+        rng = random.Random(3)
+        for _ in range(5):
+            row = rows[rng.randrange(len(rows))]
+            index_values = tuple(
+                schema.value(row, attr) for attr in schema.index_attributes
+            )
+            query = build_tpch_query(kind, index_values, 0)
+            answer, _ = service.execute_point(query, epoch_id=0)
+            matches = [
+                r for r in rows
+                if all(
+                    schema.value(r, attr) == value
+                    for attr, value in zip(schema.index_attributes, index_values)
+                )
+            ]
+            prices = [r[5] for r in matches]
+            expected = {
+                "count": len(matches),
+                "sum": sum(prices),
+                "min": min(prices),
+                "max": max(prices),
+            }[kind]
+            assert answer == expected
+
+    def test_volume_hiding_on_tpch(self, tpch_world):
+        rows, schema, service = tpch_world
+        rng = random.Random(4)
+        volumes = set()
+        for _ in range(8):
+            row = rows[rng.randrange(len(rows))]
+            index_values = tuple(
+                schema.value(row, attr) for attr in schema.index_attributes
+            )
+            _, stats = service.execute_point(
+                build_tpch_query("count", index_values, 0), epoch_id=0
+            )
+            volumes.add(stats.rows_fetched)
+        assert len(volumes) == 1

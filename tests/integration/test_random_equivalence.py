@@ -1,0 +1,121 @@
+"""Property-based equivalence: Concealer ≡ cleartext on random workloads.
+
+Hypothesis drives random datasets and random queries through a full
+Concealer stack and a reference in-memory evaluation; answers must be
+identical for every aggregate and every range method.
+"""
+
+import random
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import (
+    Aggregate,
+    DataProvider,
+    GridSpec,
+    PointQuery,
+    RangeQuery,
+    ServiceProvider,
+    WIFI_SCHEMA,
+)
+
+from tests.conftest import MASTER_KEY
+
+EPOCH_DURATION = 600
+LOCATIONS = [f"ap{i}" for i in range(5)]
+DEVICES = [f"d{i}" for i in range(6)]
+
+
+def build_stack(records):
+    spec = GridSpec(dimension_sizes=(4, 6), cell_id_count=12,
+                    epoch_duration=EPOCH_DURATION)
+    provider = DataProvider(
+        WIFI_SCHEMA, spec, first_epoch_id=0, master_key=MASTER_KEY,
+        time_granularity=10, rng=random.Random(1),
+    )
+    service = ServiceProvider(WIFI_SCHEMA)
+    provider.provision_enclave(service.enclave)
+    service.ingest_epoch(provider.encrypt_epoch(records, 0))
+    return service
+
+
+record_strategy = st.tuples(
+    st.sampled_from(LOCATIONS),
+    st.integers(0, (EPOCH_DURATION // 10) - 1).map(lambda b: b * 10),
+    st.sampled_from(DEVICES),
+)
+
+dataset_strategy = st.lists(record_strategy, min_size=1, max_size=60)
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(dataset_strategy, st.data())
+def test_point_count_equivalence(records, data):
+    service = build_stack(records)
+    location = data.draw(st.sampled_from(LOCATIONS))
+    timestamp = data.draw(st.integers(0, 59).map(lambda b: b * 10))
+    answer, _ = service.execute_point(
+        PointQuery(index_values=(location,), timestamp=timestamp)
+    )
+    assert answer == sum(
+        1 for r in records if r[0] == location and r[1] == timestamp
+    )
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(dataset_strategy, st.data())
+def test_range_count_equivalence_all_methods(records, data):
+    service = build_stack(records)
+    location = data.draw(st.sampled_from(LOCATIONS))
+    t0 = data.draw(st.integers(0, EPOCH_DURATION - 2))
+    t1 = data.draw(st.integers(t0, EPOCH_DURATION - 1))
+    expected = sum(1 for r in records if r[0] == location and t0 <= r[1] <= t1)
+    for method in ("multipoint", "ebpb", "winsecrange"):
+        answer, _ = service.execute_range(
+            RangeQuery(index_values=(location,), time_start=t0, time_end=t1),
+            method=method,
+        )
+        assert answer == expected, method
+
+
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(dataset_strategy, st.data())
+def test_aggregate_equivalence(records, data):
+    service = build_stack(records)
+    location = data.draw(st.sampled_from(LOCATIONS))
+    aggregate = data.draw(
+        st.sampled_from([Aggregate.SUM, Aggregate.MIN, Aggregate.MAX,
+                         Aggregate.DISTINCT_COUNT])
+    )
+    answer, _ = service.execute_range(
+        RangeQuery(
+            index_values=(location,), time_start=0,
+            time_end=EPOCH_DURATION - 1, aggregate=aggregate,
+            target="time" if aggregate is not Aggregate.DISTINCT_COUNT else "observation",
+        ),
+        method="multipoint",
+    )
+    matching = [r for r in records if r[0] == location]
+    if aggregate is Aggregate.DISTINCT_COUNT:
+        expected = len({r[2] for r in matching})
+    elif not matching:
+        expected = None
+    elif aggregate is Aggregate.SUM:
+        expected = sum(r[1] for r in matching)
+    elif aggregate is Aggregate.MIN:
+        expected = min(r[1] for r in matching)
+    else:
+        expected = max(r[1] for r in matching)
+    assert answer == expected

@@ -1,0 +1,177 @@
+"""Unit and property tests for the B+-tree."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.storage.btree import BPlusTree
+
+
+class TestBasics:
+    def test_empty_tree(self):
+        tree = BPlusTree(order=4)
+        assert tree.get(1) == []
+        assert not tree.contains(1)
+        assert len(tree) == 0
+        assert tree.height() == 1
+
+    def test_single_insert(self):
+        tree = BPlusTree(order=4)
+        tree.insert(5, "v")
+        assert tree.get(5) == ["v"]
+        assert tree.contains(5)
+        assert len(tree) == 1
+
+    def test_duplicate_keys_accumulate(self):
+        tree = BPlusTree(order=4)
+        tree.insert(5, "a")
+        tree.insert(5, "b")
+        assert tree.get(5) == ["a", "b"]
+        assert len(tree) == 2
+
+    def test_order_validation(self):
+        with pytest.raises(ValueError):
+            BPlusTree(order=2)
+
+    def test_bytes_keys(self):
+        tree = BPlusTree(order=4)
+        tree.insert(b"\x01", 1)
+        tree.insert(b"\xff", 2)
+        assert tree.get(b"\x01") == [1]
+        assert [k for k, _ in tree.items()] == [b"\x01", b"\xff"]
+
+
+class TestSplits:
+    def test_many_inserts_sorted_items(self):
+        tree = BPlusTree(order=4)
+        keys = list(range(100))
+        random.Random(1).shuffle(keys)
+        for key in keys:
+            tree.insert(key, f"v{key}")
+        assert [k for k, _ in tree.items()] == list(range(100))
+        assert tree.height() > 1
+
+    def test_all_values_retrievable_after_splits(self):
+        tree = BPlusTree(order=4)
+        for key in range(500):
+            tree.insert(key, key * 2)
+        for key in range(500):
+            assert tree.get(key) == [key * 2]
+
+    def test_reverse_insert_order(self):
+        tree = BPlusTree(order=3)
+        for key in reversed(range(200)):
+            tree.insert(key, key)
+        assert [k for k, _ in tree.items()] == list(range(200))
+
+    def test_node_reads_logarithmic(self):
+        tree = BPlusTree(order=16)
+        for key in range(10_000):
+            tree.insert(key, key)
+        before = tree.node_reads
+        tree.get(5000)
+        cost = tree.node_reads - before
+        assert cost <= tree.height()
+
+
+class TestRange:
+    @pytest.fixture
+    def tree(self):
+        tree = BPlusTree(order=4)
+        for key in range(0, 100, 2):  # even keys only
+            tree.insert(key, key)
+        return tree
+
+    def test_inclusive_bounds(self, tree):
+        assert [k for k, _ in tree.range(10, 20)] == [10, 12, 14, 16, 18, 20]
+
+    def test_bounds_between_keys(self, tree):
+        assert [k for k, _ in tree.range(11, 19)] == [12, 14, 16, 18]
+
+    def test_empty_range(self, tree):
+        assert list(tree.range(11, 11)) == []
+
+    def test_full_range(self, tree):
+        assert len(list(tree.range(-10, 1000))) == 50
+
+    def test_range_values_correct(self, tree):
+        for key, values in tree.range(0, 98):
+            assert values == [key]
+
+
+class TestDelete:
+    def test_delete_single_value(self):
+        tree = BPlusTree(order=4)
+        tree.insert(1, "a")
+        tree.insert(1, "b")
+        assert tree.delete(1, "a") == 1
+        assert tree.get(1) == ["b"]
+
+    def test_delete_all_values_under_key(self):
+        tree = BPlusTree(order=4)
+        tree.insert(1, "a")
+        tree.insert(1, "b")
+        assert tree.delete(1) == 2
+        assert tree.get(1) == []
+        assert len(tree) == 0
+
+    def test_delete_missing_key(self):
+        tree = BPlusTree(order=4)
+        assert tree.delete(42) == 0
+
+    def test_delete_missing_value(self):
+        tree = BPlusTree(order=4)
+        tree.insert(1, "a")
+        assert tree.delete(1, "zzz") == 0
+        assert tree.get(1) == ["a"]
+
+    def test_delete_then_reinsert(self):
+        tree = BPlusTree(order=4)
+        for key in range(50):
+            tree.insert(key, key)
+        for key in range(0, 50, 2):
+            tree.delete(key)
+        for key in range(0, 50, 2):
+            tree.insert(key, -key)
+        for key in range(50):
+            expected = [-key] if key % 2 == 0 and key else [key] if key % 2 else [0]
+            assert tree.get(key) == expected
+
+
+class TestProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(min_value=-1000, max_value=1000), max_size=300))
+    def test_items_always_sorted(self, keys):
+        tree = BPlusTree(order=5)
+        for key in keys:
+            tree.insert(key, key)
+        listed = [k for k, _ in tree.items()]
+        assert listed == sorted(set(keys))
+        assert len(tree) == len(keys)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(st.binary(min_size=1, max_size=8), min_size=1, max_size=200),
+        st.data(),
+    )
+    def test_lookup_matches_reference_dict(self, keys, data):
+        tree = BPlusTree(order=4)
+        reference: dict[bytes, list[int]] = {}
+        for index, key in enumerate(keys):
+            tree.insert(key, index)
+            reference.setdefault(key, []).append(index)
+        probe = data.draw(st.sampled_from(keys))
+        assert tree.get(probe) == reference[probe]
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(0, 100), min_size=1, max_size=100), st.data())
+    def test_range_matches_reference(self, keys, data):
+        tree = BPlusTree(order=4)
+        for key in keys:
+            tree.insert(key, key)
+        low = data.draw(st.integers(-5, 105))
+        high = data.draw(st.integers(low, 110))
+        got = [k for k, _ in tree.range(low, high)]
+        expected = sorted({k for k in keys if low <= k <= high})
+        assert got == expected

@@ -1,0 +1,106 @@
+"""Tests for engine checkpoint / restore."""
+
+import pytest
+
+from repro.exceptions import StorageError
+from repro.storage import StorageEngine, checkpoint_engine, restore_engine
+
+
+@pytest.fixture
+def engine():
+    engine = StorageEngine(btree_order=8)
+    engine.create_table("t", ["k", "v"])
+    engine.create_index("t", "k")
+    for i in range(50):
+        engine.insert("t", [bytes([i % 7]), i])
+    engine.delete("t", 10)  # a tombstone survives the roundtrip
+    return engine
+
+
+class TestRoundtrip:
+    def test_tables_and_rows_restored(self, engine, tmp_path):
+        path = checkpoint_engine(engine, tmp_path / "snap.db")
+        restored = restore_engine(path)
+        assert restored.table_names() == ["t"]
+        assert restored.row_count("t") == 49
+        assert 10 not in restored._tables["t"]
+
+    def test_indexes_rebuilt_and_queryable(self, engine, tmp_path):
+        path = checkpoint_engine(engine, tmp_path / "snap.db")
+        restored = restore_engine(path)
+        original = sorted(r[1] for r in engine.lookup("t", "k", bytes([3])))
+        recovered = sorted(r[1] for r in restored.lookup("t", "k", bytes([3])))
+        assert recovered == original
+
+    def test_row_ids_not_reused_after_restore(self, engine, tmp_path):
+        path = checkpoint_engine(engine, tmp_path / "snap.db")
+        restored = restore_engine(path)
+        new_id = restored.insert("t", [b"z", 999])
+        assert new_id == 50  # next_row_id preserved
+
+    def test_access_log_not_persisted(self, engine, tmp_path):
+        engine.lookup("t", "k", bytes([1]))
+        path = checkpoint_engine(engine, tmp_path / "snap.db")
+        restored = restore_engine(path)
+        assert len(restored.access_log) == 0
+
+
+class TestErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(StorageError):
+            restore_engine(tmp_path / "missing.db")
+
+    def test_bad_version(self, engine, tmp_path):
+        import pickle
+
+        path = tmp_path / "bad.db"
+        with open(path, "wb") as handle:
+            pickle.dump({"version": 99}, handle)
+        with pytest.raises(StorageError):
+            restore_engine(path)
+
+
+class TestServiceRestart:
+    def test_concealer_service_survives_restart(self, tmp_path):
+        """End to end: snapshot SP storage, restore, query correctly."""
+        import random
+
+        from repro import (
+            DataProvider,
+            GridSpec,
+            PointQuery,
+            ServiceProvider,
+            WIFI_SCHEMA,
+        )
+
+        records = [(f"ap{i % 4}", (i * 60) % 600, f"d{i % 5}") for i in range(60)]
+        spec = GridSpec(dimension_sizes=(4, 8), cell_id_count=16, epoch_duration=600)
+        provider = DataProvider(
+            WIFI_SCHEMA, spec, 0, master_key=b"\x71" * 32,
+            time_granularity=60, rng=random.Random(5),
+        )
+        service = ServiceProvider(WIFI_SCHEMA)
+        provider.provision_enclave(service.enclave)
+        package = provider.encrypt_epoch(records, 0)
+        service.ingest_epoch(package)
+
+        path = checkpoint_engine(service.engine, tmp_path / "sp.db")
+
+        # "Restart": new service process restores storage; the enclave is
+        # re-provisioned (re-attestation) and metadata re-shipped.
+        restarted = ServiceProvider(WIFI_SCHEMA, engine=restore_engine(path))
+        provider2 = DataProvider(
+            WIFI_SCHEMA, spec, 0, master_key=b"\x71" * 32, rng=random.Random(6)
+        )
+        provider2.provision_enclave(restarted.enclave)
+        restarted._packages[0] = package  # metadata blob re-shipped
+
+        location, timestamp, _ = records[0]
+        answer, _ = restarted.execute_point(
+            PointQuery(index_values=(location,), timestamp=timestamp),
+            epoch_id=0,
+        )
+        expected = sum(
+            1 for r in records if r[0] == location and r[1] == timestamp
+        )
+        assert answer == expected

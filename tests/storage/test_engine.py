@@ -1,0 +1,142 @@
+"""Tests for the storage engine façade and its access log."""
+
+import pytest
+
+from repro.exceptions import IndexNotFoundError, StorageError, TableNotFoundError
+from repro.storage.engine import StorageEngine
+from repro.storage.pager import AccessKind
+
+
+@pytest.fixture
+def engine():
+    engine = StorageEngine(btree_order=8)
+    engine.create_table("t", ["k", "v"])
+    engine.create_index("t", "k")
+    return engine
+
+
+class TestDdl:
+    def test_duplicate_table_rejected(self, engine):
+        with pytest.raises(StorageError):
+            engine.create_table("t", ["x"])
+
+    def test_missing_table_rejected(self, engine):
+        with pytest.raises(TableNotFoundError):
+            engine.insert("missing", [1, 2])
+
+    def test_duplicate_index_rejected(self, engine):
+        with pytest.raises(StorageError):
+            engine.create_index("t", "k")
+
+    def test_missing_index_rejected(self, engine):
+        with pytest.raises(IndexNotFoundError):
+            engine.lookup("t", "v", b"x")
+
+    def test_index_over_existing_rows(self):
+        engine = StorageEngine()
+        engine.create_table("t", ["k"])
+        for i in range(10):
+            engine.insert("t", [i % 3])
+        engine.create_index("t", "k")
+        assert len(engine.lookup("t", "k", 0)) == 4
+
+    def test_drop_table(self, engine):
+        engine.drop_table("t")
+        assert not engine.has_table("t")
+        with pytest.raises(TableNotFoundError):
+            engine.row_count("t")
+
+
+class TestDml:
+    def test_insert_lookup(self, engine):
+        engine.insert("t", [b"alpha", 1])
+        engine.insert("t", [b"alpha", 2])
+        engine.insert("t", [b"beta", 3])
+        assert sorted(r[1] for r in engine.lookup("t", "k", b"alpha")) == [1, 2]
+
+    def test_lookup_many_preserves_request_order(self, engine):
+        engine.insert("t", [b"a", 1])
+        engine.insert("t", [b"b", 2])
+        rows = engine.lookup_many("t", "k", [b"b", b"a"])
+        assert [r[1] for r in rows] == [2, 1]
+
+    def test_delete_removes_index_entry(self, engine):
+        rid = engine.insert("t", [b"a", 1])
+        engine.delete("t", rid)
+        assert engine.lookup("t", "k", b"a") == []
+
+    def test_overwrite_moves_index_entry(self, engine):
+        rid = engine.insert("t", [b"a", 1])
+        engine.overwrite("t", rid, [b"z", 9])
+        assert engine.lookup("t", "k", b"a") == []
+        assert engine.lookup("t", "k", b"z")[0][1] == 9
+
+    def test_range_lookup(self, engine):
+        for i in range(10):
+            engine.insert("t", [bytes([i]), i])
+        rows = engine.range_lookup("t", "k", bytes([3]), bytes([6]))
+        assert sorted(r[1] for r in rows) == [3, 4, 5, 6]
+
+    def test_scan(self, engine):
+        for i in range(5):
+            engine.insert("t", [bytes([i]), i])
+        assert len(list(engine.scan("t"))) == 5
+
+    def test_counters(self, engine):
+        for i in range(7):
+            engine.insert("t", [bytes([i % 2]), i])
+        assert engine.row_count("t") == 7
+        assert engine.index_size("t", "k") == 7
+
+
+class TestAccessLog:
+    def test_row_reads_logged_per_query(self, engine):
+        for i in range(6):
+            engine.insert("t", [b"k", i])
+        qid = engine.access_log.begin_query()
+        engine.lookup("t", "k", b"k")
+        engine.access_log.end_query()
+        assert engine.access_log.rows_fetched(qid) == 6
+
+    def test_row_ids_fetched_are_physical_ids(self, engine):
+        rid = engine.insert("t", [b"k", 0])
+        qid = engine.access_log.begin_query()
+        engine.lookup("t", "k", b"k")
+        engine.access_log.end_query()
+        assert engine.access_log.row_ids_fetched(qid) == [rid]
+
+    def test_events_outside_query_scope_untagged(self, engine):
+        engine.insert("t", [b"k", 0])
+        engine.lookup("t", "k", b"k")
+        reads = engine.access_log.events(AccessKind.ROW_READ)
+        assert all(event.query_id is None for event in reads)
+
+    def test_per_query_volumes(self, engine):
+        for i in range(4):
+            engine.insert("t", [b"a", i])
+        engine.insert("t", [b"b", 9])
+        q1 = engine.access_log.begin_query()
+        engine.lookup("t", "k", b"a")
+        engine.access_log.end_query()
+        q2 = engine.access_log.begin_query()
+        engine.lookup("t", "k", b"b")
+        engine.access_log.end_query()
+        volumes = engine.access_log.per_query_volumes()
+        assert volumes[q1] == 4
+        assert volumes[q2] == 1
+
+    def test_index_lookup_detail_is_the_opaque_key(self, engine):
+        engine.insert("t", [b"opaque-trapdoor", 0])
+        engine.lookup("t", "k", b"opaque-trapdoor")
+        lookups = engine.access_log.events(AccessKind.INDEX_LOOKUP)
+        assert lookups[-1].detail == b"opaque-trapdoor"
+
+    def test_page_reads_logged(self, engine):
+        engine.insert("t", [b"k", 0])
+        engine.lookup("t", "k", b"k")
+        assert engine.access_log.events(AccessKind.PAGE_READ)
+
+    def test_clear(self, engine):
+        engine.insert("t", [b"k", 0])
+        engine.access_log.clear()
+        assert len(engine.access_log) == 0

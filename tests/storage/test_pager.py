@@ -1,0 +1,75 @@
+"""Tests for the page model and access-log bookkeeping."""
+
+import pytest
+
+from repro.storage.pager import AccessEvent, AccessKind, AccessLog, Pager
+
+
+class TestPager:
+    def test_page_of(self):
+        pager = Pager(rows_per_page=10)
+        assert pager.page_of(0) == 0
+        assert pager.page_of(9) == 0
+        assert pager.page_of(10) == 1
+        assert pager.page_of(99) == 9
+
+    def test_negative_row_rejected(self):
+        with pytest.raises(ValueError):
+            Pager().page_of(-1)
+
+    def test_page_count_grows(self):
+        pager = Pager(rows_per_page=4)
+        assert pager.page_count == 0
+        pager.note_row(0)
+        assert pager.page_count == 1
+        pager.note_row(7)
+        assert pager.page_count == 2
+        pager.note_row(3)  # no shrink
+        assert pager.page_count == 2
+
+
+class TestAccessLog:
+    def test_record_and_filter(self):
+        log = AccessLog()
+        log.record(AccessKind.ROW_READ, "t", 1)
+        log.record(AccessKind.ROW_WRITE, "t", 2)
+        assert len(log.events(AccessKind.ROW_READ)) == 1
+        assert len(log) == 2
+
+    def test_query_scoping(self):
+        log = AccessLog()
+        q1 = log.begin_query()
+        log.record(AccessKind.ROW_READ, "t", 1)
+        log.end_query()
+        log.record(AccessKind.ROW_READ, "t", 2)  # unscoped
+        assert log.rows_fetched(q1) == 1
+        assert log.row_ids_fetched(q1) == [1]
+
+    def test_query_ids_monotonic(self):
+        log = AccessLog()
+        ids = [log.begin_query() for _ in range(3)]
+        assert ids == sorted(ids)
+        assert len(set(ids)) == 3
+
+    def test_volumes_ignore_writes(self):
+        log = AccessLog()
+        q = log.begin_query()
+        log.record(AccessKind.ROW_WRITE, "t", 1)
+        log.record(AccessKind.ROW_READ, "t", 2)
+        log.end_query()
+        assert log.per_query_volumes() == {q: 1}
+
+    def test_iteration_yields_events(self):
+        log = AccessLog()
+        log.record(AccessKind.TABLE_SCAN, "t")
+        events = list(log)
+        assert isinstance(events[0], AccessEvent)
+        assert events[0].kind == AccessKind.TABLE_SCAN
+
+    def test_clear_preserves_query_counter(self):
+        log = AccessLog()
+        first = log.begin_query()
+        log.end_query()
+        log.clear()
+        second = log.begin_query()
+        assert second > first

@@ -1,0 +1,79 @@
+"""Tests for the append-only row store."""
+
+import pytest
+
+from repro.exceptions import StorageError
+from repro.storage.table import Table
+
+
+@pytest.fixture
+def table():
+    return Table("t", ["a", "b"])
+
+
+class TestSchema:
+    def test_requires_columns(self):
+        with pytest.raises(StorageError):
+            Table("t", [])
+
+    def test_column_index(self, table):
+        assert table.column_index("a") == 0
+        assert table.column_index("b") == 1
+
+    def test_unknown_column(self, table):
+        with pytest.raises(StorageError):
+            table.column_index("zzz")
+
+    def test_arity_enforced(self, table):
+        with pytest.raises(StorageError):
+            table.insert([1])
+        with pytest.raises(StorageError):
+            table.insert([1, 2, 3])
+
+
+class TestCrud:
+    def test_insert_assigns_sequential_ids(self, table):
+        ids = [table.insert([i, i]) for i in range(5)]
+        assert ids == [0, 1, 2, 3, 4]
+
+    def test_fetch(self, table):
+        rid = table.insert(["x", "y"])
+        row = table.fetch(rid)
+        assert row.columns == ("x", "y")
+        assert row[0] == "x"
+        assert len(row) == 2
+
+    def test_fetch_missing(self, table):
+        with pytest.raises(StorageError):
+            table.fetch(99)
+
+    def test_overwrite(self, table):
+        rid = table.insert(["x", "y"])
+        table.overwrite(rid, ["p", "q"])
+        assert table.fetch(rid).columns == ("p", "q")
+
+    def test_overwrite_missing(self, table):
+        with pytest.raises(StorageError):
+            table.overwrite(5, ["p", "q"])
+
+    def test_overwrite_arity(self, table):
+        rid = table.insert(["x", "y"])
+        with pytest.raises(StorageError):
+            table.overwrite(rid, ["p"])
+
+    def test_delete_tombstones_without_reuse(self, table):
+        rid = table.insert(["x", "y"])
+        table.delete(rid)
+        assert rid not in table
+        new_rid = table.insert(["p", "q"])
+        assert new_rid != rid
+
+    def test_delete_missing(self, table):
+        with pytest.raises(StorageError):
+            table.delete(12)
+
+    def test_scan_order_and_liveness(self, table):
+        ids = [table.insert([i, i]) for i in range(4)]
+        table.delete(ids[1])
+        assert [row.row_id for row in table.scan()] == [0, 2, 3]
+        assert len(table) == 3

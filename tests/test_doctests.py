@@ -1,0 +1,37 @@
+"""Execute the usage examples embedded in module docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.core.binning
+import repro.core.grid
+import repro.core.schema
+import repro.core.superbin
+import repro.crypto.det
+import repro.crypto.hashchain
+import repro.crypto.nondet
+import repro.crypto.prf
+import repro.enclave.sort
+import repro.storage.btree
+import repro.storage.engine
+
+MODULES = [
+    repro.core.binning,
+    repro.core.grid,
+    repro.core.schema,
+    repro.core.superbin,
+    repro.crypto.det,
+    repro.crypto.hashchain,
+    repro.crypto.nondet,
+    repro.crypto.prf,
+    repro.enclave.sort,
+    repro.storage.btree,
+    repro.storage.engine,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures in {module.__name__}"

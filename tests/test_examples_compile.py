@@ -1,0 +1,33 @@
+"""The example scripts must at least parse and import-check.
+
+Full example runs live outside the unit suite (they take tens of
+seconds); this guards against the examples drifting as the API evolves
+by byte-compiling each one.
+"""
+
+import pathlib
+import py_compile
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_compiles(script, tmp_path):
+    py_compile.compile(
+        str(script), cfile=str(tmp_path / (script.name + "c")), doraise=True
+    )
+
+
+def test_examples_present():
+    names = {script.name for script in EXAMPLES}
+    assert {
+        "quickstart.py",
+        "occupancy_map.py",
+        "contact_tracing.py",
+        "leakage_attack.py",
+        "multi_index.py",
+    } <= names

@@ -1,0 +1,73 @@
+"""Tests for the Table 4 / Exp 8 query builders."""
+
+import pytest
+
+from repro.core.queries import Aggregate
+from repro.exceptions import QueryError
+from repro.workloads.queries import (
+    apply_q3_threshold,
+    build_q1,
+    build_q2,
+    build_q3,
+    build_q4,
+    build_q5,
+    build_tpch_query,
+)
+
+
+class TestWifiBuilders:
+    def test_q1(self):
+        query = build_q1("ap1", 0, 100)
+        assert query.aggregate is Aggregate.COUNT
+        assert query.index_values == ("ap1",)
+
+    def test_q2(self):
+        query = build_q2(["a", "b"], 0, 100, k=2)
+        assert query.aggregate is Aggregate.TOP_K
+        assert query.k == 2
+        assert query.index_values == (("a", "b"),)
+        assert query.predicate.values == (("a", "b"),)
+
+    def test_q3_is_exhaustive_topk(self):
+        query = build_q3(["a", "b", "c"], 0, 100, threshold=5)
+        assert query.k == 3
+
+    def test_q3_threshold_filter(self):
+        ranked = [("a", 10), ("b", 5), ("c", 1)]
+        assert apply_q3_threshold(ranked, 5) == ["a", "b"]
+        assert apply_q3_threshold(ranked, 11) == []
+
+    def test_q4(self):
+        query = build_q4("dev1", ["a", "b"], 0, 100)
+        assert query.aggregate is Aggregate.COLLECT
+        assert query.predicate.group == ("observation",)
+
+    def test_q5(self):
+        query = build_q5("dev1", "ap1", 0, 100)
+        assert query.aggregate is Aggregate.COUNT
+        assert query.predicate.group == ("location", "observation")
+        assert query.predicate.values == ("ap1", "dev1")
+
+
+class TestTpchBuilders:
+    def test_count(self):
+        query = build_tpch_query("count", (5, 2), 0)
+        assert query.aggregate is Aggregate.COUNT
+        assert query.target is None
+
+    def test_sum_defaults_to_extendedprice(self):
+        query = build_tpch_query("sum", (5, 2), 0)
+        assert query.aggregate is Aggregate.SUM
+        assert query.target == "extendedprice"
+
+    def test_min_max(self):
+        assert build_tpch_query("min", (1, 1), 0).aggregate is Aggregate.MIN
+        assert build_tpch_query("max", (1, 1), 0).aggregate is Aggregate.MAX
+
+    def test_custom_target(self):
+        query = build_tpch_query("sum", (1, 1), 0, target="quantity")
+        assert query.target == "quantity"
+
+    def test_unknown_kind(self):
+        with pytest.raises(QueryError):
+            build_tpch_query("median", (1, 1), 0)

@@ -1,0 +1,78 @@
+"""Tests for the LineItem generator."""
+
+from collections import Counter
+
+from repro.workloads.tpch import (
+    RETURN_FLAGS,
+    TpchConfig,
+    generate_lineitem,
+    orderkey_domain,
+)
+
+
+class TestDomains:
+    def test_row_count_exact(self):
+        rows = generate_lineitem(TpchConfig(rows=500, seed=1))
+        assert len(rows) == 500
+
+    def test_column_domains(self):
+        config = TpchConfig(rows=1000, seed=2)
+        rows = generate_lineitem(config)
+        for ok, pk, sk, ln, qty, price, disc, tax, flag, t in rows:
+            assert ok >= 1
+            assert 1 <= pk <= config.part_count
+            assert 1 <= sk <= config.supplier_count
+            assert 1 <= ln <= 7
+            assert 1 <= qty <= 50
+            assert price == qty * (price // qty)
+            assert 0 <= disc <= 10
+            assert 0 <= tax <= 8
+            assert flag in RETURN_FLAGS
+            assert t >= 0
+
+    def test_lineitems_per_order_one_to_seven(self):
+        rows = generate_lineitem(TpchConfig(rows=2000, seed=3))
+        per_order = Counter(row[0] for row in rows)
+        # every complete order has 1..7 lineitems
+        complete = list(per_order.values())[:-1]
+        assert all(1 <= n <= 7 for n in complete)
+
+    def test_linenumbers_sequential_within_order(self):
+        rows = generate_lineitem(TpchConfig(rows=2000, seed=4))
+        by_order: dict[int, list[int]] = {}
+        for row in rows:
+            by_order.setdefault(row[0], []).append(row[3])
+        for order, linenumbers in list(by_order.items())[:-1]:
+            assert linenumbers == list(range(1, len(linenumbers) + 1))
+
+    def test_orderkey_domain_helper(self):
+        rows = generate_lineitem(TpchConfig(rows=100, seed=5))
+        low, high = orderkey_domain(rows)
+        assert low == 1
+        assert high >= low
+
+
+class TestArrivals:
+    def test_arrival_times_monotonic(self):
+        rows = generate_lineitem(TpchConfig(rows=300, seed=6), epoch_start=1000)
+        times = [row[9] for row in rows]
+        assert times == sorted(times)
+        assert times[0] == 1000
+
+    def test_arrival_interval(self):
+        rows = generate_lineitem(
+            TpchConfig(rows=10, arrival_interval=5, seed=7), epoch_start=0
+        )
+        assert [row[9] for row in rows] == list(range(0, 50, 5))
+
+
+class TestDeterminism:
+    def test_seeded(self):
+        a = generate_lineitem(TpchConfig(rows=200, seed=8))
+        b = generate_lineitem(TpchConfig(rows=200, seed=8))
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = generate_lineitem(TpchConfig(rows=200, seed=8))
+        b = generate_lineitem(TpchConfig(rows=200, seed=9))
+        assert a != b

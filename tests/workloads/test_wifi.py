@@ -1,0 +1,79 @@
+"""Tests for the synthetic WiFi trace generator."""
+
+from repro.workloads.wifi import (
+    WifiConfig,
+    _hour_volume,
+    generate_wifi_epoch,
+    generate_wifi_trace,
+)
+
+
+class TestShape:
+    def test_record_form(self):
+        config = WifiConfig(access_points=8, devices=30, seed=1)
+        records = generate_wifi_epoch(config, 0, 3600)
+        for location, timestamp, device in records:
+            assert location in config.location_domain()
+            assert device in config.device_domain()
+            assert 0 <= timestamp < 3600
+            assert timestamp % config.report_interval == 0
+
+    def test_sorted_by_time(self):
+        records = generate_wifi_epoch(WifiConfig(seed=2), 0, 3600)
+        times = [r[1] for r in records]
+        assert times == sorted(times)
+
+    def test_epoch_offset_respected(self):
+        records = generate_wifi_epoch(WifiConfig(seed=3), 7200, 3600)
+        assert all(7200 <= r[1] < 10800 for r in records)
+
+    def test_deterministic_for_seed(self):
+        a = generate_wifi_epoch(WifiConfig(seed=4), 0, 3600)
+        b = generate_wifi_epoch(WifiConfig(seed=4), 0, 3600)
+        assert a == b
+
+    def test_seed_changes_data(self):
+        a = generate_wifi_epoch(WifiConfig(seed=5), 0, 3600)
+        b = generate_wifi_epoch(WifiConfig(seed=6), 0, 3600)
+        assert a != b
+
+
+class TestDiurnalCurve:
+    def test_peak_vs_offpeak_ratio(self):
+        config = WifiConfig(rows_per_hour_offpeak=1000, peak_ratio=8.3)
+        peak = _hour_volume(config, 14)
+        trough = _hour_volume(config, 2)
+        assert trough == 1000
+        assert 7.5 <= peak / trough <= 8.5
+
+    def test_peak_hour_data_volume_larger(self):
+        config = WifiConfig(access_points=16, devices=2000,
+                            rows_per_hour_offpeak=300, seed=7)
+        # hour starting at 14:00 vs 02:00 (same day)
+        peak = generate_wifi_epoch(config, 14 * 3600, 3600)
+        trough = generate_wifi_epoch(config, 2 * 3600, 3600)
+        assert len(peak) > 3 * len(trough)
+
+
+class TestSkew:
+    def test_zipf_popularity(self):
+        config = WifiConfig(access_points=20, devices=400, zipf_s=1.2, seed=8)
+        records = generate_wifi_epoch(config, 12 * 3600, 3600)
+        from collections import Counter
+
+        counts = Counter(r[0] for r in records)
+        most = counts.most_common()
+        # heaviest location clearly dominates the lightest
+        assert most[0][1] > 4 * max(most[-1][1], 1)
+
+
+class TestTrace:
+    def test_multi_epoch_trace(self):
+        trace = generate_wifi_trace(WifiConfig(seed=9), epochs=3, epoch_duration=3600)
+        assert [epoch_id for epoch_id, _ in trace] == [0, 3600, 7200]
+        for epoch_id, records in trace:
+            assert all(epoch_id <= r[1] < epoch_id + 3600 for r in records)
+
+    def test_trace_epochs_differ(self):
+        trace = generate_wifi_trace(WifiConfig(seed=10), epochs=2, epoch_duration=3600)
+        assert trace[0][1] != trace[1][1]
