@@ -1,0 +1,18 @@
+PYTHON ?= python
+PYTHONPATH := src
+
+.PHONY: test chaos demo bench
+
+test:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
+
+# Randomized fault-schedule runs; any failure replays deterministically
+# with `python -m repro --chaos-seed N` using the seed pytest prints.
+chaos:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest tests/faults -m chaos -q
+
+demo:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro
+
+bench:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest benchmarks -q

@@ -64,7 +64,20 @@ from repro.core import (
 )
 from repro.core.queries import Predicate, QueryStats
 from repro.core.service import ServiceConfig
-from repro.exceptions import ConcealerError
+from repro.exceptions import (
+    ConcealerError,
+    IntegrityViolation,
+    PermanentError,
+    TransientError,
+)
+from repro.faults import (
+    FaultInjector,
+    FaultSpec,
+    QuarantineLog,
+    RetryPolicy,
+    VirtualClock,
+)
+from repro.faults.recovery import RecoveryCoordinator
 
 __version__ = "1.0.0"
 
@@ -80,20 +93,29 @@ __all__ = [
     "EpochEncryptor",
     "EpochPackage",
     "FakeStrategy",
+    "FaultInjector",
+    "FaultSpec",
     "Grid",
     "GridSpec",
+    "IntegrityViolation",
     "MultiIndexDeployment",
+    "PermanentError",
     "PointQuery",
     "Predicate",
+    "QuarantineLog",
     "QueryResult",
     "QueryStats",
     "RangeQuery",
+    "RecoveryCoordinator",
     "Registry",
+    "RetryPolicy",
     "ServiceConfig",
     "ServiceProvider",
+    "TransientError",
     "TPCH_2D_SCHEMA",
     "TPCH_4D_SCHEMA",
     "UserCredential",
+    "VirtualClock",
     "WIFI_OBS_SCHEMA",
     "WIFI_SCHEMA",
     "pack_bins",

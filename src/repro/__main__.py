@@ -3,10 +3,16 @@
 Builds a small WiFi epoch, outsources it through the full Figure-1
 pipeline, runs one of each query family, and prints what the adversary
 observed.  Exits non-zero if any answer disagrees with ground truth.
+
+``python -m repro --chaos-seed N [--ops K]`` instead replays one
+deterministic chaos schedule (see :mod:`repro.faults.chaos`): any chaos
+failure seen in CI reproduces locally from its seed alone.  Exits
+non-zero iff an operation returned a silently-wrong answer.
 """
 
 from __future__ import annotations
 
+import argparse
 import random
 import sys
 
@@ -22,8 +28,44 @@ from repro.analysis import profile_queries
 from repro.workloads import WifiConfig, generate_wifi_epoch
 
 
+def run_chaos_cli(seed: int, ops: int) -> int:
+    """Replay one seeded fault schedule; non-zero on silent wrongness."""
+    from repro.faults.chaos import run_chaos
+
+    report = run_chaos(seed, ops=ops)
+    print(f"chaos replay — {report.summary()}")
+    for outcome in report.outcomes:
+        status = "ok" if outcome.ok else (outcome.error or "WRONG")
+        line = f"  {outcome.op:<12} {status}"
+        if outcome.recovered:
+            line += "  (enclave recovered)"
+        if outcome.silent_wrong:
+            line += f"  answer={outcome.answer!r} expected={outcome.expected!r}"
+        print(line)
+    schedule = report.schedule.decode("ascii") or "(no faults fired)"
+    print(f"fault schedule:\n  {schedule.replace(chr(10), chr(10) + '  ')}")
+    if report.silent_wrong:
+        print(f"\nFAILED: {len(report.silent_wrong)} silently wrong answers")
+        return 1
+    print("\nno silently wrong answers ✓")
+    return 0
+
+
 def main() -> int:
-    """Run the demo; returns a process exit code."""
+    """Run the demo (or a chaos replay); returns a process exit code."""
+    parser = argparse.ArgumentParser(prog="python -m repro")
+    parser.add_argument(
+        "--chaos-seed", type=int, default=None, metavar="N",
+        help="replay the deterministic chaos schedule for seed N",
+    )
+    parser.add_argument(
+        "--ops", type=int, default=12,
+        help="operations per chaos run (default 12)",
+    )
+    arguments = parser.parse_args()
+    if arguments.chaos_seed is not None:
+        return run_chaos_cli(arguments.chaos_seed, arguments.ops)
+
     print("Concealer reproduction — end-to-end demo\n")
 
     config = WifiConfig(access_points=16, devices=80, seed=99)
@@ -86,4 +128,8 @@ def main() -> int:
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # stdout went away (e.g. piped through `head`); not a failure.
+        sys.exit(0)

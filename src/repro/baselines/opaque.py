@@ -115,23 +115,18 @@ class OpaqueBaseline:
         stats = QueryStats()
         self.engine.access_log.begin_query()
         matched: list[tuple] = []
-        batch_charge = 0
         try:
-            for row in self.engine.scan(table):
-                # Stage EPC in batches, the way Opaque streams partitions.
-                if batch_charge == 0:
-                    self.enclave.charge_memory(_BATCH_ROWS * self._row_bytes)
-                batch_charge = (batch_charge + 1) % _BATCH_ROWS
-                if batch_charge == 0:
-                    self.enclave.release_memory(_BATCH_ROWS * self._row_bytes)
-                stats.rows_fetched += 1
-                record = self.schema.decode_payload(cipher.decrypt(row[0]))
-                stats.rows_decrypted += 1
-                if match(record):
-                    matched.append(record)
+            # One batch of rows is resident at a time, the way Opaque
+            # streams partitions through the EPC; the context manager
+            # returns the staging buffer on any exit, including faults.
+            with self.enclave.memory(_BATCH_ROWS * self._row_bytes):
+                for row in self.engine.scan(table):
+                    stats.rows_fetched += 1
+                    record = self.schema.decode_payload(cipher.decrypt(row[0]))
+                    stats.rows_decrypted += 1
+                    if match(record):
+                        matched.append(record)
         finally:
-            if batch_charge != 0:
-                self.enclave.release_memory(_BATCH_ROWS * self._row_bytes)
             self.engine.access_log.end_query()
         stats.rows_matched = len(matched)
         answer = evaluate_aggregate(aggregate, matched, self.schema, target, k)

@@ -34,7 +34,7 @@ from repro.crypto.keys import derive_epoch_key
 from repro.crypto.nondet import RandomizedCipher
 from repro.enclave.enclave import Enclave
 from repro.enclave.sort import bitonic_sort, column_sort
-from repro.exceptions import DecryptionError, IntegrityError, QueryError
+from repro.exceptions import DecryptionError, IntegrityViolation, QueryError
 from repro.storage.engine import StorageEngine
 from repro.storage.table import Row
 
@@ -89,12 +89,17 @@ class EpochContext:
             len(self.cell_id_vector) + len(self.c_tuple) + len(self.cell_counts)
         )
         enclave.charge_memory(self._metadata_charge)
-
-        self.layout: BinLayout = pack_bins(
-            self.c_tuple,
-            bin_size=package.bin_size,
-            max_cells_per_bin=package.max_cells_per_bin,
-        )
+        try:
+            self.layout: BinLayout = pack_bins(
+                self.c_tuple,
+                bin_size=package.bin_size,
+                max_cells_per_bin=package.max_cells_per_bin,
+            )
+        except BaseException:
+            # A half-built context holds no EPC: a packing failure (or an
+            # injected fault) must not leak the metadata charge forever.
+            enclave.release_memory(self._metadata_charge)
+            raise
         self.fake_pool_size = package.fake_count
         self._super_layouts: dict[int, object] = {}
 
@@ -246,8 +251,15 @@ class EpochContext:
         stats: QueryStats,
     ) -> list[Row]:
         """Submit trapdoors to the DBMS and pull the rows."""
+        self.enclave.kill_point("enclave.kill.query")
         stats.trapdoors_generated += len(trapdoors)
-        rows = engine.lookup_many(self.table_name, "index_key", list(trapdoors))
+        # The fetched batch transits the EPC (one row per trapdoor,
+        # ~256 B of ciphertext each); reserve while pulling so oversized
+        # bins feel the budget here rather than succeeding silently.
+        with self.enclave.memory(256 * len(trapdoors)):
+            rows = engine.lookup_many(
+                self.table_name, "index_key", list(trapdoors)
+            )
         stats.rows_fetched += len(rows)
         return rows
 
@@ -259,12 +271,23 @@ class EpochContext:
         The enclave decrypts each real row's index key to recover
         ``(cid, counter)``, orders rows per cell-id by counter, rebuilds
         the per-column chains and compares against the sealed tags.
-        Raises :class:`IntegrityError` on any inconsistency.
+        Raises a structured :class:`IntegrityViolation` (an
+        :class:`~repro.exceptions.IntegrityError` subclass carrying the
+        epoch, table, cell-id, and violation kind) on any inconsistency.
         """
         column_count = len(self.schema.filter_groups) + 1
         per_cid: dict[int, list[tuple[int, Row]]] = {}
         for row in rows:
-            meta = self._decode_index_key(row)
+            try:
+                meta = self._decode_index_key(row)
+            except DecryptionError:
+                raise IntegrityViolation(
+                    f"row {row.row_id}: index key fails decryption — the "
+                    "stored ciphertext was tampered with",
+                    epoch_id=self.epoch_id,
+                    table=self.table_name,
+                    kind="undecryptable",
+                ) from None
             if meta is None:
                 continue  # fake rows are not covered by per-cid tags
             cid, counter = meta
@@ -274,9 +297,14 @@ class EpochContext:
             numbered.sort(key=lambda pair: pair[0])
             counters = [c for c, _ in numbered]
             if counters != list(range(1, self.c_tuple[cid] + 1)):
-                raise IntegrityError(
+                raise IntegrityViolation(
                     f"cell {cid}: expected counters 1..{self.c_tuple[cid]}, "
-                    f"observed {counters[:5]}..."
+                    f"observed {counters[:5]}... (rows dropped, duplicated, "
+                    "or replayed)",
+                    epoch_id=self.epoch_id,
+                    cell_id=cid,
+                    table=self.table_name,
+                    kind="counter-gap",
                 )
             chains = [HashChain() for _ in range(column_count)]
             for _, row in numbered:
@@ -284,12 +312,22 @@ class EpochContext:
                     chains[position].update(row[position])
             tag = self.package.enc_tags.get(cid)
             if tag is None:
-                raise IntegrityError(f"cell {cid}: no verifiable tag shipped")
+                raise IntegrityViolation(
+                    f"cell {cid}: no verifiable tag shipped",
+                    epoch_id=self.epoch_id,
+                    cell_id=cid,
+                    table=self.table_name,
+                    kind="missing-tag",
+                )
             for position, sealed in enumerate(tag):
                 expected = self.nd.decrypt(sealed)
                 if expected != chains[position].digest():
-                    raise IntegrityError(
-                        f"cell {cid}: column {position} hash chain mismatch"
+                    raise IntegrityViolation(
+                        f"cell {cid}: column {position} hash chain mismatch",
+                        epoch_id=self.epoch_id,
+                        cell_id=cid,
+                        table=self.table_name,
+                        kind="chain-mismatch",
                     )
 
     def _decode_index_key(self, row: Row) -> tuple[int, int] | None:

@@ -204,8 +204,26 @@ class DynamicConcealer:
 
         slots = [row.row_id for row in rows]
         self._rng.shuffle(contents)
-        for row_id, columns in zip(slots, contents):
-            self.service.engine.overwrite(context.table_name, row_id, columns)
+        # The write-back must be atomic with the generation bump: a
+        # crash after some overwrites would otherwise leave the bin
+        # half under generation g, half under g+1 — unreadable under
+        # either.  On any failure the captured pre-rewrite rows are
+        # restored (host-side bytes, so this works with a dead enclave)
+        # and the generation stays put.
+        enclave = self.service.enclave
+        written: list[int] = []
+        try:
+            for row_id, columns in zip(slots, contents):
+                enclave.kill_point("enclave.kill.rewrite")
+                self.service.engine.overwrite(context.table_name, row_id, columns)
+                written.append(row_id)
+        except BaseException:
+            originals = {row.row_id: row.columns for row in rows}
+            for row_id in written:
+                self.service.engine.overwrite(
+                    context.table_name, row_id, list(originals[row_id])
+                )
+            raise
 
         self._generations[key] = new_generation
         self._ciphers[key] = new_cipher

@@ -43,6 +43,7 @@ class BPBExecutor:
         oblivious: bool = False,
         verify: bool = False,
         super_bin_count: int | None = None,
+        quarantine=None,
     ):
         self.engine = engine
         self.oblivious = oblivious
@@ -51,6 +52,9 @@ class BPBExecutor:
         # that retrieval frequencies stay uniform under uniform query
         # workloads (at f-fold fetch cost).
         self.super_bin_count = super_bin_count
+        # Optional QuarantineLog: cells with standing integrity
+        # violations fail fast instead of serving suspect answers.
+        self.quarantine = quarantine
 
     def execute(
         self, query: PointQuery, context: EpochContext
@@ -61,6 +65,8 @@ class BPBExecutor:
 
         # STEP 1: cell identification.
         cell_id = context.grid.place_values(query.index_values, query.timestamp)
+        if self.quarantine is not None:
+            self.quarantine.check(context.epoch_id, cell_id)
 
         # STEP 2: bin identification (plus §8 super-bin expansion).
         chosen = context.layout.bin_of_cell_id(cell_id)

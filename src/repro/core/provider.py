@@ -109,6 +109,20 @@ class DataProvider:
         cipher = RandomizedCipher(derive_epoch_key(self.master_key, 0))
         return self.registry.seal(cipher)
 
+    # -------------------------------------------------------------- rotation
+
+    def adopt_master(self, new_master: bytes) -> None:
+        """Adopt a rotated master key (rotation protocol step 4).
+
+        Called after :func:`repro.core.rotation.rotate_service_keys`
+        succeeds: future epochs are encrypted under the new master, and
+        a later :meth:`provision_enclave` (e.g. recovering a crashed
+        enclave) provisions the new key — matching what the rotated
+        service-side state now expects.
+        """
+        self.master_key = new_master
+        self.encryptor.master_key = new_master
+
     # ------------------------------------------------------------------ data
 
     def encrypt_epoch(self, records: Sequence[tuple], epoch_id: int) -> EpochPackage:

@@ -24,6 +24,17 @@ provider host never sees plaintext):
 Restrictions: epochs already touched by §6 dynamic rewrites carry
 per-bin generations this routine does not track; rotate before going
 dynamic, or re-ship those rounds.
+
+**Crash safety.**  Rotation rewrites every stored row in place, so an
+enclave killed mid-way (AEX, power event) would otherwise strand a
+table half under the old key and half under the new — unreadable under
+either.  Rotation therefore runs under a :class:`RotationJournal`: an
+*intent* record snapshots each epoch's rows and package crypto fields
+before the first overwrite, the sealed key swap happens only after the
+journal *commits*, and any failure (including an injected
+:class:`~repro.exceptions.EnclaveCrashed`) rolls every touched epoch
+back to its pre-rotation bytes — the old key remains valid and the old
+epoch stays queryable after recovery.
 """
 
 from __future__ import annotations
@@ -47,6 +58,73 @@ def rotation_token(old_master: bytes, new_master: bytes) -> bytes:
     return Prf(old_master)(b"authorize-rotation", commitment)
 
 
+class RotationJournal:
+    """Intent/commit journal giving rotation all-or-nothing semantics.
+
+    ``begin_epoch`` files an intent: a snapshot of the epoch's stored
+    rows and its package's crypto fields, taken *before* the first
+    in-place overwrite.  ``commit`` discards the intents (the point of
+    no return preceding the sealed key swap); ``rollback`` restores
+    every snapshotted epoch byte-for-byte.
+    """
+
+    _PACKAGE_FIELDS = (
+        "enc_cell_id_vector",
+        "enc_c_tuple_vector",
+        "enc_cell_counts",
+        "enc_grid_key",
+        "enc_tags",
+    )
+
+    def __init__(self):
+        self._intents: list[tuple[int, dict, dict]] = []
+        self.committed = False
+
+    def begin_epoch(self, service: ServiceProvider, epoch_id: int) -> None:
+        """File the intent to rewrite one epoch (snapshot its state)."""
+        table = service._table_name(epoch_id)
+        rows = {
+            row.row_id: row.columns
+            for row in service.engine._tables[table].scan()
+        }
+        package = service._packages[epoch_id]
+        fields = {
+            name: (
+                dict(getattr(package, name))
+                if name == "enc_tags"
+                else getattr(package, name)
+            )
+            for name in self._PACKAGE_FIELDS
+        }
+        self._intents.append((epoch_id, rows, fields))
+
+    def commit(self) -> None:
+        """Point of no return: every epoch rewrote cleanly."""
+        self._intents.clear()
+        self.committed = True
+
+    def rollback(self, service: ServiceProvider) -> int:
+        """Restore every intent's epoch to its pre-rotation state.
+
+        Runs host-side (the ciphertexts being restored are the host's
+        own stored bytes), so it works even when the enclave is dead.
+        Returns the number of epochs restored.
+        """
+        restored = 0
+        for epoch_id, rows, fields in self._intents:
+            table = service._table_name(epoch_id)
+            for row_id, columns in rows.items():
+                service.engine.overwrite(table, row_id, list(columns))
+            package = service._packages[epoch_id]
+            for name, value in fields.items():
+                setattr(package, name, value)
+            restored += 1
+        self._intents.clear()
+        # Cached contexts may hold ciphers for half-rotated state.
+        service._contexts.clear()
+        return restored
+
+
 def rotate_service_keys(
     service: ServiceProvider, new_master: bytes, token: bytes
 ) -> int:
@@ -65,9 +143,39 @@ def rotate_service_keys(
     if not _hmac.compare_digest(token, expected):
         raise AuthorizationError("rotation token invalid: not authorized by DP")
 
+    journal = RotationJournal()
+    try:
+        rotated_rows = _rotate_all_epochs(service, old_master, new_master, journal)
+        journal.commit()
+    except BaseException:
+        journal.rollback(service)
+        raise
+
+    # Swap the sealed key material; cached contexts hold old ciphers.
+    old_schedule = enclave.key_schedule
+    enclave._sealed.master_key = new_master
+    enclave._sealed.key_schedule = EpochKeySchedule(
+        master_key=new_master,
+        first_epoch_id=old_schedule.first_epoch_id,
+        epoch_duration=old_schedule.epoch_duration,
+    )
+    service._contexts.clear()
+    return rotated_rows
+
+
+def _rotate_all_epochs(
+    service: ServiceProvider,
+    old_master: bytes,
+    new_master: bytes,
+    journal: RotationJournal,
+) -> int:
+    """Re-encrypt every epoch in place, journalling an intent per epoch."""
+    enclave = service.enclave
     rotated_rows = 0
     for epoch_id in service.ingested_epochs():
         package = service._packages[epoch_id]
+        journal.begin_epoch(service, epoch_id)
+        enclave.kill_point("enclave.kill.rotation")
         old_key = derive_epoch_key(old_master, epoch_id)
         new_key = derive_epoch_key(new_master, epoch_id)
         old_det, new_det = DeterministicCipher(old_key), DeterministicCipher(new_key)
@@ -81,6 +189,9 @@ def rotate_service_keys(
         real_entries: dict[int, list[tuple[int, list[bytes]]]] = {}
         fake_entries: list[tuple[int, list[bytes]]] = []
         for row in list(service.engine._tables[table].scan()):
+            # A kill here leaves the table half-rotated — exactly the
+            # torn state the journal's rollback must undo.
+            enclave.kill_point("enclave.kill.rotation")
             columns = []
             for position, ciphertext in enumerate(row.columns):
                 try:
@@ -147,14 +258,4 @@ def rotate_service_keys(
                 derive_grid_key(old_master, epoch_id)
             )
         package.enc_tags = new_tags
-
-    # Swap the sealed key material; cached contexts hold old ciphers.
-    old_schedule = enclave.key_schedule
-    enclave._sealed.master_key = new_master
-    enclave._sealed.key_schedule = EpochKeySchedule(
-        master_key=new_master,
-        first_epoch_id=old_schedule.first_epoch_id,
-        epoch_duration=old_schedule.epoch_duration,
-    )
-    service._contexts.clear()
     return rotated_rows

@@ -32,7 +32,14 @@ from repro.core.schema import DatasetSchema
 from repro.crypto.keys import derive_epoch_key
 from repro.crypto.nondet import RandomizedCipher
 from repro.enclave.enclave import Enclave, EnclaveConfig
-from repro.exceptions import AuthenticationError, EpochError, QueryError
+from repro.exceptions import (
+    AuthenticationError,
+    EpochError,
+    IntegrityViolation,
+    QueryError,
+)
+from repro.faults.clock import RetryPolicy, SystemClock, VirtualClock
+from repro.faults.quarantine import QuarantineLog
 from repro.storage.engine import StorageEngine
 
 RANGE_METHODS = ("multipoint", "ebpb", "winsecrange", "auto")
@@ -48,6 +55,12 @@ class ServiceConfig:
     super_bin_count: int | None = None  # §8 workload defence (point queries)
     btree_order: int = 64
     table_prefix: str = ""           # distinguishes co-hosted indexes (§9.1)
+    # Retry policy for transient storage faults (capped exponential
+    # backoff; see repro.faults.clock).  Queries and per-row ingestion
+    # inserts are retried; integrity violations and crashes are not.
+    retry_attempts: int = 4
+    retry_base_delay: float = 0.01
+    retry_max_delay: float = 1.0
 
 
 class ServiceProvider:
@@ -59,16 +72,28 @@ class ServiceProvider:
         config: ServiceConfig | None = None,
         engine: StorageEngine | None = None,
         enclave: Enclave | None = None,
+        clock: SystemClock | VirtualClock | None = None,
     ):
         """``engine`` / ``enclave`` may be shared between the services
         hosting several indexes of one relation (§9.1 builds two TPC-H
-        indexes and three WiFi indexes on one machine)."""
+        indexes and three WiFi indexes on one machine).  ``clock`` is
+        injectable so tests exercise retry backoff without sleeping."""
         self.schema = schema
         self.config = config or ServiceConfig()
         self.engine = engine if engine is not None else StorageEngine(
             btree_order=self.config.btree_order
         )
         self.enclave = enclave if enclave is not None else Enclave(EnclaveConfig())
+        self.clock = clock if clock is not None else SystemClock()
+        self.retry = RetryPolicy(
+            attempts=self.config.retry_attempts,
+            base_delay=self.config.retry_base_delay,
+            max_delay=self.config.retry_max_delay,
+            clock=self.clock,
+        )
+        # Cells with standing hash-chain violations; queries touching
+        # them fail fast with a structured IntegrityViolation.
+        self.quarantine = QuarantineLog()
         self._packages: dict[int, EpochPackage] = {}
         self._contexts: dict[int, EpochContext] = {}
         self._registry: Registry | None = None
@@ -81,6 +106,7 @@ class ServiceProvider:
             oblivious=self.config.oblivious,
             verify=self.config.verify,
             super_bin_count=self.config.super_bin_count,
+            quarantine=self.quarantine,
         )
         self._range_executor = RangeExecutor(
             self.engine,
@@ -109,8 +135,16 @@ class ServiceProvider:
         table = self._table_name(package.epoch_id)
         self.engine.create_table(table, package.column_names)
         self.engine.create_index(table, "index_key")
-        for row in package.rows:
-            self.engine.insert(table, row.as_columns())
+        try:
+            for row in package.rows:
+                # Transient write faults raise before applying, so the
+                # per-row retry never double-inserts.
+                self.retry.call(lambda r=row: self.engine.insert(table, r.as_columns()))
+        except BaseException:
+            # All-or-nothing landing: a half-ingested epoch must not be
+            # queryable (its bins would silently under-count).
+            self.engine.drop_table(table)
+            raise
         self._packages[package.epoch_id] = package
 
     def ingested_epochs(self) -> list[int]:
@@ -130,6 +164,28 @@ class ServiceProvider:
                 table_name=self._table_name(epoch_id),
             )
         return self._contexts[epoch_id]
+
+    # -------------------------------------------------------------- recovery
+
+    def adopt_enclave(self, enclave: Enclave) -> None:
+        """Install a replacement enclave after a crash.
+
+        A killed enclave loses every sealed byte (keys, registry,
+        decrypted metadata), so the cached per-epoch contexts and the
+        unsealed registry are discarded; the replacement must be
+        re-attested and re-provisioned by the data provider (see
+        :class:`repro.faults.recovery.RecoveryCoordinator`), after which
+        contexts rebuild lazily from the stored epoch packages.
+        """
+        self.enclave = enclave
+        self._contexts.clear()
+        self._registry = None
+
+    def adopt_engine(self, engine: StorageEngine) -> None:
+        """Swap in a storage engine restored from a checkpoint."""
+        self.engine = engine
+        self._point_executor.engine = engine
+        self._range_executor.engine = engine
 
     # ---------------------------------------------------------- authentication
 
@@ -174,7 +230,9 @@ class ServiceProvider:
         context = self.context_for(eid)
         self.engine.access_log.begin_query()
         try:
-            return self._point_executor.execute(query, context)
+            return self._execute_resilient(
+                lambda: self._point_executor.execute(query, context)
+            )
         finally:
             self.engine.access_log.end_query()
 
@@ -200,12 +258,28 @@ class ServiceProvider:
         self.engine.access_log.begin_query()
         try:
             if method == "multipoint":
-                return self._range_executor.execute_multipoint(query, context)
-            if method == "ebpb":
-                return self._range_executor.execute_ebpb(query, context)
-            return self._range_executor.execute_winsecrange(query, context)
+                run = lambda: self._range_executor.execute_multipoint(query, context)
+            elif method == "ebpb":
+                run = lambda: self._range_executor.execute_ebpb(query, context)
+            else:
+                run = lambda: self._range_executor.execute_winsecrange(query, context)
+            return self._execute_resilient(run)
         finally:
             self.engine.access_log.end_query()
+
+    def _execute_resilient(self, run):
+        """Retry transient storage faults; quarantine integrity failures.
+
+        Queries are read-only, so re-running the executor after a
+        transient fault is safe.  An :class:`IntegrityViolation` is
+        *permanent*: its cell is quarantined and the structured report
+        filed before the violation propagates to the caller.
+        """
+        try:
+            return self.retry.call(run)
+        except IntegrityViolation as violation:
+            self.quarantine.record(violation)
+            raise
 
     # ------------------------------------------------------- sealed answers
 

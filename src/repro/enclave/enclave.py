@@ -23,12 +23,14 @@ actually relies on:
 from __future__ import annotations
 
 import os
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 from repro.crypto.keys import EpochKeySchedule
 from repro.enclave.attestation import Quote, measure_code
 from repro.enclave.trace import TraceRecorder
-from repro.exceptions import EnclaveError, EnclaveMemoryError
+from repro.exceptions import EnclaveCrashed, EnclaveError, EnclaveMemoryError
+from repro.faults.injector import FaultInjector, NULL_INJECTOR
 
 ENCLAVE_CODE_IDENTITY = "concealer-enclave-v1"
 
@@ -63,18 +65,62 @@ class Enclave:
     side-channel trace events via :attr:`trace`.
     """
 
-    def __init__(self, config: EnclaveConfig | None = None):
+    def __init__(
+        self,
+        config: EnclaveConfig | None = None,
+        fault_injector: FaultInjector | None = None,
+    ):
         self.config = config or EnclaveConfig()
         self.measurement = measure_code(self.config.code_identity)
         self.trace = TraceRecorder()
+        self.fault_injector = fault_injector or NULL_INJECTOR
         self._sealed = _SealedState()
         self._epc_used = 0
         self._epc_high_water = 0
+        self._crashed: str | None = None
+
+    # ------------------------------------------------------------ crash model
+
+    @property
+    def crashed(self) -> bool:
+        """Whether this enclave instance was killed (AEX / power event)."""
+        return self._crashed is not None
+
+    def crash(self, reason: str = "killed") -> None:
+        """Kill the enclave: sealed state is destroyed, ecalls fail.
+
+        Models an SGX asynchronous exit — the EPC is wiped by hardware,
+        so the instance is unrecoverable; a *new* enclave must be
+        attested and re-provisioned (see
+        :class:`repro.faults.recovery.RecoveryCoordinator`).
+        """
+        self._crashed = reason
+        self._sealed = _SealedState()
+        self._epc_used = 0
+
+    def _ecall_guard(self) -> None:
+        if self._crashed is not None:
+            raise EnclaveCrashed(
+                f"enclave was killed ({self._crashed}); attest and "
+                "re-provision a fresh instance"
+            )
+
+    def kill_point(self, site: str) -> None:
+        """A fault site where the injector may kill the enclave.
+
+        Placed mid-query, mid-rotation, mid-rewrite, and mid-checkpoint
+        — the points whose recovery paths the chaos harness exercises.
+        """
+        self._ecall_guard()
+        if self.fault_injector.fire(site) is not None:
+            self.crash(site)
+            raise EnclaveCrashed(f"enclave killed at fault site {site!r}")
 
     # ------------------------------------------------------------ attestation
 
     def quote(self, nonce: bytes) -> Quote:
         """Produce an attestation quote for a verifier's challenge."""
+        self._ecall_guard()
         return Quote.generate(self.measurement, nonce)
 
     def provision(
@@ -88,6 +134,7 @@ class Enclave:
         Per §3, the enclave receives only the first epoch id and the
         epoch duration; it derives every later epoch key itself.
         """
+        self._ecall_guard()
         if self._sealed.master_key is not None:
             raise EnclaveError("enclave already provisioned")
         self._sealed.master_key = master_key
@@ -104,6 +151,7 @@ class Enclave:
 
     def require_provisioned(self) -> None:
         """Guard used by every query-serving ecall."""
+        self._ecall_guard()
         if not self.provisioned:
             raise EnclaveError("enclave not provisioned with s_k")
 
@@ -132,8 +180,14 @@ class Enclave:
         or column-sort in O(r) chunks) rather than grow the resident
         set — the same pressure real SGX applies via EPC paging costs.
         """
+        self._ecall_guard()
         if nbytes < 0:
             raise ValueError("cannot charge negative memory")
+        if self.fault_injector.fire("enclave.epc.exhaust") is not None:
+            raise EnclaveMemoryError(
+                "EPC exhausted (injected fault): concurrent enclave load "
+                "consumed the page cache mid-operation"
+            )
         if self._epc_used + nbytes > self.config.epc_bytes:
             raise EnclaveMemoryError(
                 f"EPC budget exceeded: {self._epc_used + nbytes} > "
@@ -145,6 +199,20 @@ class Enclave:
     def release_memory(self, nbytes: int) -> None:
         """Return working memory to the budget."""
         self._epc_used = max(0, self._epc_used - nbytes)
+
+    @contextmanager
+    def memory(self, nbytes: int):
+        """Exception-safe EPC reservation: ``with enclave.memory(n): ...``.
+
+        The release runs even when the body raises, so a fault mid-query
+        (transient storage error, injected crash, integrity violation)
+        cannot leak budget and wedge every subsequent query.
+        """
+        self.charge_memory(nbytes)
+        try:
+            yield
+        finally:
+            self.release_memory(nbytes)
 
     @property
     def epc_used(self) -> int:
@@ -164,10 +232,12 @@ class Enclave:
 
     def seal(self, name: str, value) -> None:
         """Store a value in sealed scratch memory (e.g. decrypted vectors)."""
+        self._ecall_guard()
         self._sealed.scratch[name] = value
 
     def unseal(self, name: str):
         """Read a sealed scratch value; raises if absent."""
+        self._ecall_guard()
         try:
             return self._sealed.scratch[name]
         except KeyError:

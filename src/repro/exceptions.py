@@ -4,6 +4,19 @@ Every error raised by the library derives from :class:`ConcealerError`
 so callers can catch library failures with a single ``except`` clause.
 The sub-classes mirror the subsystems: crypto, storage, enclave, and the
 core query-processing pipeline.
+
+Orthogonally to the subsystem axis, errors are classified by *retry
+semantics* so recovery policy can be type-driven:
+
+- :class:`TransientError` — the operation may succeed if repeated
+  (possibly after recovery action, e.g. rebuilding a crashed enclave);
+- :class:`PermanentError` — repeating the operation cannot help; the
+  failure reflects tampering or a corrupted artifact that must be
+  quarantined or restored from a known-good copy.
+
+Both are mixins: concrete exceptions multiply inherit from their
+subsystem class *and* a retry-semantics class, so existing
+``except StorageError`` call sites keep working unchanged.
 """
 
 from __future__ import annotations
@@ -11,6 +24,14 @@ from __future__ import annotations
 
 class ConcealerError(Exception):
     """Base class for all errors raised by the ``repro`` library."""
+
+
+class TransientError(ConcealerError):
+    """A fault that may clear on retry (after recovery, if needed)."""
+
+
+class PermanentError(ConcealerError):
+    """A fault retrying cannot fix (tampering, corrupted artifact)."""
 
 
 class CryptoError(ConcealerError):
@@ -27,6 +48,14 @@ class KeyDerivationError(CryptoError):
 
 class StorageError(ConcealerError):
     """The storage engine rejected an operation."""
+
+
+class TransientStorageError(StorageError, TransientError):
+    """A storage read/write failed transiently; safe to retry.
+
+    Raised *before* any state change, so a retried write never applies
+    twice.  :class:`repro.faults.clock.RetryPolicy` targets this type.
+    """
 
 
 class DuplicateKeyError(StorageError):
@@ -53,6 +82,16 @@ class AttestationError(EnclaveError):
     """Remote attestation of the enclave failed."""
 
 
+class EnclaveCrashed(EnclaveError, TransientError):
+    """The enclave was killed (AEX / power event) and lost sealed state.
+
+    Transient in the operational sense: a fresh enclave can be
+    re-attested and re-provisioned (see
+    :class:`repro.faults.recovery.RecoveryCoordinator`), after which the
+    failed operation can be repeated.
+    """
+
+
 class AuthenticationError(ConcealerError):
     """A user could not be authenticated against the registry."""
 
@@ -63,6 +102,42 @@ class AuthorizationError(ConcealerError):
 
 class IntegrityError(ConcealerError):
     """Hash-chain verification detected tampered, missing or injected rows."""
+
+
+class IntegrityViolation(IntegrityError, PermanentError):
+    """A structured integrity-verification failure report.
+
+    Carries enough context for the service to quarantine the affected
+    cell-id and for an operator to act on the report, instead of a bare
+    exception string.  ``kind`` is one of ``"counter-gap"``,
+    ``"missing-tag"``, ``"chain-mismatch"``, ``"quarantined"``, or
+    ``"undecryptable"``.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        epoch_id: int | None = None,
+        cell_id: int | None = None,
+        table: str | None = None,
+        kind: str = "chain-mismatch",
+    ):
+        super().__init__(message)
+        self.epoch_id = epoch_id
+        self.cell_id = cell_id
+        self.table = table
+        self.kind = kind
+
+    def report(self) -> dict:
+        """A structured, serialisable view of the violation."""
+        return {
+            "message": str(self),
+            "epoch_id": self.epoch_id,
+            "cell_id": self.cell_id,
+            "table": self.table,
+            "kind": self.kind,
+        }
 
 
 class QueryError(ConcealerError):

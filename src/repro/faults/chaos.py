@@ -1,0 +1,324 @@
+"""The chaos harness: randomized fault schedules over real workloads.
+
+One *chaos run* builds a provisioned provider/service stack whose
+storage engine and enclave share a seeded :class:`FaultInjector`, then
+executes a seeded sequence of operations (epoch ingestion, point
+queries, range queries, checkpoints) while faults fire.  Every
+operation's outcome is checked against a cleartext oracle computed from
+the plaintext records, and classified:
+
+- **ok** — an answer was produced and it matches the oracle;
+- **typed failure** — a :class:`~repro.exceptions.ConcealerError`
+  subclass was raised (the run *failed loudly*); crashed enclaves are
+  then recovered through :class:`RecoveryCoordinator` and the run
+  continues;
+- **silent wrong** — an answer was produced that does *not* match the
+  oracle.  This is the one outcome the system must never exhibit; the
+  chaos tests and ``python -m repro --chaos-seed N`` fail on it.
+
+Runs are deterministic functions of their seed: the injector's decision
+stream, the workload RNG, and the virtual clock make a failing schedule
+replay byte-identically (compare :attr:`ChaosReport.schedule`).
+
+Tamper faults (corrupt/drop/duplicate) are only detectable with
+hash-chain verification enabled, so the harness always runs with
+``verify=True`` — without it, a malicious host *can* silently skew
+aggregates, which is precisely the paper's argument for the tags.
+"""
+
+from __future__ import annotations
+
+import random
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.provider import DataProvider
+from repro.core.grid import GridSpec
+from repro.core.queries import PointQuery, RangeQuery
+from repro.core.schema import WIFI_SCHEMA
+from repro.core.service import ServiceConfig, ServiceProvider
+from repro.enclave.enclave import Enclave, EnclaveConfig
+from repro.exceptions import ConcealerError, EnclaveCrashed
+from repro.faults.clock import VirtualClock
+from repro.faults.injector import FaultInjector, FaultSpec
+from repro.faults.recovery import RecoveryCoordinator
+from repro.storage.checkpoint import restore_engine
+from repro.storage.engine import StorageEngine
+
+MASTER_KEY = bytes(range(32, 64))
+EPOCH_DURATION = 240
+TIME_STEP = 60
+_LOCATIONS = tuple(f"ap{i}" for i in range(4))
+_DEVICES = tuple(f"dev{i}" for i in range(6))
+
+
+def default_specs() -> list[FaultSpec]:
+    """The standard chaos mix: every fault site armed, firings capped."""
+    return [
+        FaultSpec("storage.read.transient", probability=0.004, max_fires=3),
+        FaultSpec("storage.write.transient", probability=0.02, max_fires=2),
+        FaultSpec("storage.row.corrupt", probability=0.10, max_fires=2),
+        FaultSpec("storage.row.drop", probability=0.10, max_fires=2),
+        FaultSpec("storage.row.duplicate", probability=0.10, max_fires=2),
+        FaultSpec("storage.checkpoint.torn", probability=0.25, max_fires=1),
+        FaultSpec("enclave.epc.exhaust", probability=0.02, max_fires=1),
+        FaultSpec("enclave.kill.query", probability=0.04, max_fires=2),
+        FaultSpec("enclave.kill.rotation", probability=0.0, max_fires=1),
+        FaultSpec("enclave.kill.rewrite", probability=0.02, max_fires=1),
+        FaultSpec("enclave.kill.checkpoint", probability=0.15, max_fires=1),
+    ]
+
+
+@dataclass
+class ChaosOutcome:
+    """One operation's fate under the fault schedule."""
+
+    op: str
+    ok: bool
+    expected: object = None
+    answer: object = None
+    error: str | None = None
+    recovered: bool = False
+
+    @property
+    def silent_wrong(self) -> bool:
+        """An answer was returned and it disagrees with the oracle."""
+        return self.error is None and not self.ok
+
+
+@dataclass
+class ChaosReport:
+    """Everything one chaos run observed, replayable from its seed."""
+
+    seed: int
+    outcomes: list[ChaosOutcome] = field(default_factory=list)
+    schedule: bytes = b""
+    faults_fired: int = 0
+    recoveries: int = 0
+
+    @property
+    def silent_wrong(self) -> list[ChaosOutcome]:
+        return [o for o in self.outcomes if o.silent_wrong]
+
+    @property
+    def failed_loudly(self) -> list[ChaosOutcome]:
+        return [o for o in self.outcomes if o.error is not None]
+
+    def fingerprint(self) -> tuple:
+        """Canonical run digest for replay-determinism assertions."""
+        return (
+            self.schedule,
+            tuple(
+                (o.op, o.ok, repr(o.answer), o.error, o.recovered)
+                for o in self.outcomes
+            ),
+        )
+
+    def summary(self) -> str:
+        return (
+            f"seed={self.seed}: {len(self.outcomes)} ops, "
+            f"{sum(o.ok for o in self.outcomes)} ok, "
+            f"{len(self.failed_loudly)} loud failures, "
+            f"{len(self.silent_wrong)} SILENT WRONG, "
+            f"{self.faults_fired} faults fired, "
+            f"{self.recoveries} recoveries"
+        )
+
+
+def _epoch_records(epoch_start: int, rng: random.Random) -> list[tuple]:
+    """A tiny deterministic WiFi epoch derived from the workload RNG."""
+    return [
+        (_LOCATIONS[rng.randrange(len(_LOCATIONS))], epoch_start + t, device)
+        for t in range(0, EPOCH_DURATION, TIME_STEP)
+        for device in _DEVICES
+    ]
+
+
+def _point_truth(records, location, timestamp) -> int:
+    return sum(1 for r in records if r[0] == location and r[1] == timestamp)
+
+
+def _range_truth(records, location, t0, t1) -> int:
+    return sum(1 for r in records if r[0] == location and t0 <= r[1] <= t1)
+
+
+class ChaosRun:
+    """One seeded stack + fault schedule; drives ops and classifies them."""
+
+    def __init__(
+        self,
+        seed: int,
+        specs: list[FaultSpec] | None = None,
+        workdir: str | Path | None = None,
+    ):
+        self.seed = seed
+        self.workload_rng = random.Random(f"chaos-workload-{seed}")
+        self.injector = FaultInjector(
+            seed, default_specs() if specs is None else specs
+        )
+        self.report = ChaosReport(seed=seed)
+        self._tmp = None
+        if workdir is None:
+            self._tmp = tempfile.TemporaryDirectory(prefix="concealer-chaos-")
+            workdir = self._tmp.name
+        self.workdir = Path(workdir)
+
+        spec = GridSpec(
+            dimension_sizes=(len(_LOCATIONS), EPOCH_DURATION // TIME_STEP),
+            cell_id_count=16,
+            epoch_duration=EPOCH_DURATION,
+        )
+        self.provider = DataProvider(
+            WIFI_SCHEMA,
+            spec,
+            first_epoch_id=0,
+            master_key=MASTER_KEY,
+            time_granularity=TIME_STEP,
+            rng=random.Random(f"chaos-provider-{seed}"),
+        )
+        self.clock = VirtualClock()
+        self.service = ServiceProvider(
+            WIFI_SCHEMA,
+            ServiceConfig(verify=True),
+            engine=StorageEngine(fault_injector=self.injector),
+            enclave=Enclave(EnclaveConfig(), fault_injector=self.injector),
+            clock=self.clock,
+        )
+        self.provider.provision_enclave(self.service.enclave)
+        self.service.install_registry(self.provider.sealed_registry())
+        self.coordinator = RecoveryCoordinator(
+            self.provider, self.service, self.workdir / "chaos.ckpt"
+        )
+        # Plaintext oracle state: epoch id -> records that truly landed.
+        self.oracle: dict[int, list[tuple]] = {}
+
+    # ------------------------------------------------------------------ ops
+
+    def _attempt(self, op: str, thunk, expected=None) -> ChaosOutcome:
+        """Run one operation; classify; recover a crashed enclave."""
+        outcome = ChaosOutcome(op=op, ok=False, expected=expected)
+        try:
+            outcome.answer = thunk()
+        except ConcealerError as error:
+            outcome.error = type(error).__name__
+            if isinstance(error, EnclaveCrashed) or self.service.enclave.crashed:
+                self.coordinator.recover()
+                outcome.recovered = True
+                self.report.recoveries += 1
+        else:
+            outcome.ok = outcome.answer == expected
+        self.report.outcomes.append(outcome)
+        return outcome
+
+    def ingest(self, epoch_id: int) -> ChaosOutcome:
+        """Land one epoch; the oracle only counts it if ingestion succeeds."""
+        records = _epoch_records(epoch_id, self.workload_rng)
+
+        def run():
+            package = self.provider.encrypt_epoch(records, epoch_id)
+            self.service.ingest_epoch(package)
+            self.oracle[epoch_id] = records
+            return self.service.engine.row_count(f"epoch_{epoch_id}")
+
+        # Expected row count is unknowable up front (fakes are seeded
+        # provider-side); success is simply "all rows landed".
+        outcome = self._attempt("ingest", run)
+        if outcome.error is None:
+            outcome.ok = outcome.answer >= len(records)
+        return outcome
+
+    def point_query(self) -> ChaosOutcome:
+        epoch_id, records = self._pick_epoch()
+        if records is None:
+            return self._skip("point")
+        location, timestamp, _ = records[self.workload_rng.randrange(len(records))]
+        expected = _point_truth(records, location, timestamp)
+        return self._attempt(
+            "point",
+            lambda: self.service.execute_point(
+                PointQuery(index_values=(location,), timestamp=timestamp)
+            )[0],
+            expected,
+        )
+
+    def range_query(self) -> ChaosOutcome:
+        epoch_id, records = self._pick_epoch()
+        if records is None:
+            return self._skip("range")
+        location = _LOCATIONS[self.workload_rng.randrange(len(_LOCATIONS))]
+        t0 = epoch_id + TIME_STEP * self.workload_rng.randrange(2)
+        t1 = t0 + TIME_STEP * (1 + self.workload_rng.randrange(2))
+        method = ("multipoint", "ebpb", "winsecrange")[
+            self.workload_rng.randrange(3)
+        ]
+        expected = _range_truth(records, location, t0, t1)
+        return self._attempt(
+            "range",
+            lambda: self.service.execute_range(
+                RangeQuery(
+                    index_values=(location,), time_start=t0, time_end=t1
+                ),
+                method=method,
+            )[0],
+            expected,
+        )
+
+    def checkpoint_cycle(self) -> ChaosOutcome:
+        """Checkpoint, then restore into a scratch engine and compare."""
+
+        def run():
+            path = self.coordinator.checkpoint()
+            restored = restore_engine(path)
+            return sorted(restored.table_names())
+
+        expected = sorted(self.service.engine.table_names())
+        return self._attempt("checkpoint", run, expected)
+
+    def _pick_epoch(self):
+        if not self.oracle:
+            return None, None
+        epoch_id = sorted(self.oracle)[
+            self.workload_rng.randrange(len(self.oracle))
+        ]
+        return epoch_id, self.oracle[epoch_id]
+
+    def _skip(self, op: str) -> ChaosOutcome:
+        outcome = ChaosOutcome(op=f"{op}-skipped", ok=True)
+        self.report.outcomes.append(outcome)
+        return outcome
+
+    # ------------------------------------------------------------------ run
+
+    def run(self, ops: int = 12) -> ChaosReport:
+        """Execute the seeded schedule: ingest, then a mixed op stream."""
+        try:
+            self.ingest(0)
+            for index in range(ops):
+                # A second epoch lands part-way through (insert workload).
+                if index == ops // 2 and EPOCH_DURATION not in self.oracle:
+                    self.ingest(EPOCH_DURATION)
+                    continue
+                draw = self.workload_rng.random()
+                if draw < 0.45:
+                    self.point_query()
+                elif draw < 0.85:
+                    self.range_query()
+                else:
+                    self.checkpoint_cycle()
+        finally:
+            self.report.schedule = self.injector.encode_schedule()
+            self.report.faults_fired = len(self.injector.fired)
+            if self._tmp is not None:
+                self._tmp.cleanup()
+        return self.report
+
+
+def run_chaos(
+    seed: int,
+    ops: int = 12,
+    specs: list[FaultSpec] | None = None,
+    workdir: str | Path | None = None,
+) -> ChaosReport:
+    """Run one seeded chaos schedule end to end and return its report."""
+    return ChaosRun(seed, specs=specs, workdir=workdir).run(ops=ops)

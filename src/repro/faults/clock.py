@@ -1,0 +1,86 @@
+"""Injectable time and type-driven retry with capped exponential backoff.
+
+Retrying transient storage faults must not make the test suite sleep:
+the retry policy talks to a :class:`Clock` protocol object, and tests
+substitute :class:`VirtualClock`, whose ``sleep`` merely advances a
+counter (and records the requested delays for assertions).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.exceptions import TransientStorageError
+
+
+class SystemClock:
+    """Real wall-clock time (production default)."""
+
+    def now(self) -> float:
+        return time.monotonic()
+
+    def sleep(self, seconds: float) -> None:
+        time.sleep(seconds)
+
+
+@dataclass
+class VirtualClock:
+    """A clock whose time only moves when someone sleeps on it."""
+
+    current: float = 0.0
+    sleeps: list[float] = field(default_factory=list)
+
+    def now(self) -> float:
+        return self.current
+
+    def sleep(self, seconds: float) -> None:
+        self.sleeps.append(seconds)
+        self.current += seconds
+
+
+@dataclass
+class RetryPolicy:
+    """Capped exponential backoff over a typed exception class.
+
+    ``call`` runs ``fn`` up to ``attempts`` times, sleeping
+    ``min(base_delay * multiplier**k, max_delay)`` between tries, and
+    re-raises the last error once the budget is spent.  Only exceptions
+    matching ``retry_on`` are retried — anything else (integrity
+    violations, crashes needing recovery) propagates immediately, which
+    is the whole point of the transient/permanent split.
+    """
+
+    attempts: int = 4
+    base_delay: float = 0.01
+    max_delay: float = 1.0
+    multiplier: float = 2.0
+    retry_on: type | tuple = TransientStorageError
+    clock: SystemClock | VirtualClock = field(default_factory=SystemClock)
+
+    def __post_init__(self):
+        if self.attempts < 1:
+            raise ValueError("attempts must be >= 1")
+
+    def delays(self) -> list[float]:
+        """The backoff sequence this policy sleeps through (for docs/tests)."""
+        return [
+            min(self.base_delay * self.multiplier ** k, self.max_delay)
+            for k in range(self.attempts - 1)
+        ]
+
+    def call(self, fn):
+        """Run ``fn`` under the policy; returns its value or re-raises."""
+        last: BaseException | None = None
+        for attempt in range(self.attempts):
+            try:
+                return fn()
+            except self.retry_on as error:  # type: ignore[misc]
+                last = error
+                if attempt == self.attempts - 1:
+                    break
+                self.clock.sleep(
+                    min(self.base_delay * self.multiplier ** attempt, self.max_delay)
+                )
+        assert last is not None
+        raise last

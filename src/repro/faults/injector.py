@@ -1,0 +1,237 @@
+"""Deterministic, seed-driven fault injection.
+
+A :class:`FaultInjector` is consulted at named *fault sites* scattered
+through the storage engine, the enclave simulator, and the core
+pipeline.  Each consultation draws from a seeded RNG, so a fault
+schedule is a pure function of ``(seed, specs, workload)`` — any chaos
+failure observed in CI replays byte-identically from its seed.
+
+Design rules:
+
+- **No global state.**  An injector is an explicit collaborator passed
+  to the components it may perturb; production code defaults to
+  :data:`NULL_INJECTOR`, whose :meth:`~FaultInjector.fire` is a cheap
+  constant ``None``.
+- **Record everything.**  Every *fired* fault is appended to
+  :attr:`FaultInjector.fired`; :meth:`FaultInjector.encode_schedule`
+  serialises the log canonically, and
+  :meth:`FaultInjector.from_schedule` rebuilds an injector that fires
+  at exactly those (site, invocation-index) points — replay does not
+  even need the original probabilities.
+- **Faults raise before state changes** wherever possible, so a retried
+  operation never half-applies.
+
+Known fault sites (the strings components consult):
+
+==============================  =============================================
+``storage.read.transient``      :class:`TransientStorageError` from a row read
+``storage.write.transient``     :class:`TransientStorageError` before a write
+``storage.row.corrupt``         flip bytes of one fetched row (tampering)
+``storage.row.drop``            drop one fetched row (deletion attack)
+``storage.row.duplicate``       duplicate one fetched row (replay attack)
+``storage.checkpoint.torn``     truncate a checkpoint mid-write
+``enclave.epc.exhaust``         spurious EPC exhaustion in ``charge_memory``
+``enclave.kill.query``          kill the enclave mid-query fetch
+``enclave.kill.rotation``       kill the enclave mid-key-rotation
+``enclave.kill.rewrite``        kill the enclave mid-§6-bin-rewrite
+``enclave.kill.checkpoint``     kill the enclave mid-checkpoint
+==============================  =============================================
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+FAULT_SITES = (
+    "storage.read.transient",
+    "storage.write.transient",
+    "storage.row.corrupt",
+    "storage.row.drop",
+    "storage.row.duplicate",
+    "storage.checkpoint.torn",
+    "enclave.epc.exhaust",
+    "enclave.kill.query",
+    "enclave.kill.rotation",
+    "enclave.kill.rewrite",
+    "enclave.kill.checkpoint",
+)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One armed fault: *where* it may fire, *how often*, *how many times*.
+
+    ``probability`` is evaluated on every consultation of ``site``;
+    ``max_fires`` caps the total number of firings (``None`` =
+    unbounded), which keeps chaos runs from degenerating into
+    every-operation-fails.
+    """
+
+    site: str
+    probability: float = 0.0
+    max_fires: int | None = 1
+
+    def __post_init__(self):
+        if self.site not in FAULT_SITES:
+            raise ValueError(
+                f"unknown fault site {self.site!r}; known: {FAULT_SITES}"
+            )
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError("probability must be within [0, 1]")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One fault that actually fired: ``site`` at its N-th consultation."""
+
+    site: str
+    index: int
+
+
+@dataclass
+class _SiteState:
+    spec: FaultSpec
+    fires: int = 0
+
+
+class FaultInjector:
+    """Seeded decision-maker for every fault site.
+
+    >>> injector = FaultInjector(7, [FaultSpec("storage.read.transient",
+    ...                                        probability=1.0)])
+    >>> injector.fire("storage.read.transient").site
+    'storage.read.transient'
+    >>> injector.fire("storage.read.transient") is None  # max_fires=1 spent
+    True
+    """
+
+    def __init__(self, seed: int = 0, specs: list[FaultSpec] | tuple = ()):
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self._sites: dict[str, _SiteState] = {}
+        self._counters: dict[str, int] = {}
+        self._forced: set[tuple[str, int]] = set()
+        self.fired: list[FaultEvent] = []
+        for spec in specs:
+            self.arm(spec)
+
+    # ---------------------------------------------------------------- arming
+
+    def arm(self, spec: FaultSpec) -> None:
+        """Arm (or replace) the fault spec for one site."""
+        self._sites[spec.site] = _SiteState(spec)
+
+    def disarm(self, site: str) -> None:
+        """Stop firing at a site; consultations still advance its counter."""
+        self._sites.pop(site, None)
+
+    @classmethod
+    def from_schedule(cls, events: list[FaultEvent]) -> "FaultInjector":
+        """An injector that fires at exactly the recorded points.
+
+        Replay mode: probabilities are ignored; the N-th consultation of
+        a site fires iff ``FaultEvent(site, N)`` is in ``events``.
+        """
+        injector = cls(seed=0)
+        injector._forced = {(e.site, e.index) for e in events}
+        return injector
+
+    # ---------------------------------------------------------------- firing
+
+    def fire(self, site: str) -> FaultSpec | None:
+        """Consult one site; returns the spec if the fault fires.
+
+        Every consultation advances the site's invocation counter and —
+        in probabilistic mode — draws from the seeded RNG whether or not
+        a spec is armed, so arming a *different* site never perturbs
+        this site's schedule relative to a replay.
+        """
+        index = self._counters.get(site, 0)
+        self._counters[site] = index + 1
+
+        if self._forced:
+            if (site, index) in self._forced:
+                self.fired.append(FaultEvent(site, index))
+                return FaultSpec(site, probability=1.0, max_fires=None)
+            return None
+
+        state = self._sites.get(site)
+        if state is None:
+            return None
+        if state.spec.max_fires is not None and state.fires >= state.spec.max_fires:
+            return None
+        if self._site_rng(site, index).random() >= state.spec.probability:
+            return None
+        state.fires += 1
+        self.fired.append(FaultEvent(site, index))
+        return state.spec
+
+    def _site_rng(self, site: str, index: int) -> random.Random:
+        """A per-(site, index) RNG derived from the seed.
+
+        Deriving per-consultation keeps a site's decisions independent
+        of interleaving with other sites: the N-th draw at a site is the
+        same whether or not other sites were consulted in between.
+        """
+        return random.Random(f"{self.seed}/{site}/{index}")
+
+    # ------------------------------------------------------------- tampering
+
+    def corrupt_bytes(self, data: bytes, site: str = "storage.row.corrupt") -> bytes:
+        """Deterministically flip one byte of ``data`` (same seed → same flip)."""
+        if not data:
+            return data
+        rng = self._site_rng(site, self._counters.get(site, 0))
+        position = rng.randrange(len(data))
+        flipped = data[position] ^ (1 + rng.randrange(255))
+        return data[:position] + bytes([flipped]) + data[position + 1:]
+
+    def choose(self, count: int, site: str) -> int:
+        """Deterministically pick a victim index in ``range(count)``."""
+        rng = self._site_rng(site, self._counters.get(site, 0))
+        return rng.randrange(count)
+
+    # --------------------------------------------------------------- records
+
+    def consultations(self, site: str) -> int:
+        """How many times a site has been consulted so far."""
+        return self._counters.get(site, 0)
+
+    def encode_schedule(self) -> bytes:
+        """Canonical serialisation of the fired-fault log.
+
+        Two runs with equal schedules encode to equal bytes — the
+        property the chaos tests assert for seeded replay.
+        """
+        lines = [f"{event.site}@{event.index}" for event in self.fired]
+        return ("\n".join(lines)).encode("ascii")
+
+    @staticmethod
+    def decode_schedule(blob: bytes) -> list[FaultEvent]:
+        """Inverse of :meth:`encode_schedule`."""
+        events = []
+        for line in blob.decode("ascii").splitlines():
+            if not line:
+                continue
+            site, _, index = line.rpartition("@")
+            events.append(FaultEvent(site, int(index)))
+        return events
+
+
+class _NullInjector(FaultInjector):
+    """The disarmed default: ``fire`` is a constant ``None``."""
+
+    def __init__(self):
+        super().__init__(seed=0)
+
+    def fire(self, site: str) -> None:  # noqa: ARG002 - site unused by design
+        return None
+
+    def arm(self, spec: FaultSpec) -> None:
+        raise ValueError(
+            "NULL_INJECTOR is shared and immutable; construct a FaultInjector"
+        )
+
+
+NULL_INJECTOR = _NullInjector()

@@ -1,0 +1,57 @@
+"""Quarantine bookkeeping for integrity-violating cells.
+
+When hash-chain verification fails for a cell-id, the service must not
+keep serving (possibly tampered) answers from it: the cell is recorded
+here, later queries that would touch it fail fast with a structured
+:class:`~repro.exceptions.IntegrityViolation`, and operators read the
+accumulated reports to decide on re-shipping the epoch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import IntegrityViolation
+
+
+@dataclass
+class QuarantineLog:
+    """Cells whose verifiable tags failed, plus their violation reports."""
+
+    _cells: set = field(default_factory=set)
+    _reports: list = field(default_factory=list)
+
+    def record(self, violation: IntegrityViolation) -> None:
+        """File one violation; quarantines its (epoch, cell) if known."""
+        if violation.epoch_id is not None and violation.cell_id is not None:
+            self._cells.add((violation.epoch_id, violation.cell_id))
+        self._reports.append(violation.report())
+
+    def is_quarantined(self, epoch_id: int, cell_id: int) -> bool:
+        """Whether a cell has a standing unresolved violation."""
+        return (epoch_id, cell_id) in self._cells
+
+    def check(self, epoch_id: int, cell_id: int) -> None:
+        """Fail fast if a query would touch a quarantined cell."""
+        if self.is_quarantined(epoch_id, cell_id):
+            raise IntegrityViolation(
+                f"cell {cell_id} of epoch {epoch_id} is quarantined after an "
+                "earlier integrity violation; re-ship the epoch to clear it",
+                epoch_id=epoch_id,
+                cell_id=cell_id,
+                kind="quarantined",
+            )
+
+    def clear(self, epoch_id: int | None = None) -> None:
+        """Lift quarantine (for every epoch, or one re-shipped epoch)."""
+        if epoch_id is None:
+            self._cells.clear()
+        else:
+            self._cells = {c for c in self._cells if c[0] != epoch_id}
+
+    def reports(self) -> list[dict]:
+        """Every violation filed so far (structured dicts, oldest first)."""
+        return list(self._reports)
+
+    def __len__(self) -> int:
+        return len(self._cells)

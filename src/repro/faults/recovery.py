@@ -1,0 +1,114 @@
+"""Crash recovery: rebuild a killed enclave, restore checkpointed storage.
+
+A real SGX enclave killed by an asynchronous exit or power event loses
+its entire EPC — keys, unsealed registry, decrypted metadata vectors.
+Recovery mirrors the original Phase-0 handshake:
+
+1. the host constructs a **fresh enclave instance** (same code identity,
+   so its measurement matches the published one);
+2. the data provider **re-attests** it (challenge nonce → quote →
+   verification against the published measurement) and re-provisions
+   ``s_k`` plus the epoch parameters — :meth:`DataProvider.provision_enclave`
+   is exactly this handshake;
+3. the sealed **registry is re-shipped** and re-opened inside the new
+   enclave;
+4. per-epoch **contexts rebuild lazily** from the stored (encrypted)
+   epoch packages on the next query — the metadata vectors live in the
+   packages, not only in enclave memory, which is what makes the design
+   restartable.
+
+Storage recovery is orthogonal: if the host also lost its DBMS, the
+engine is restored from the latest integrity-checked checkpoint
+(:mod:`repro.storage.checkpoint`) and re-adopted by the service.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.core.provider import DataProvider
+from repro.core.service import ServiceProvider
+from repro.enclave.enclave import Enclave
+from repro.exceptions import StorageError
+from repro.storage.checkpoint import checkpoint_engine, restore_engine
+
+
+class RecoveryCoordinator:
+    """Drives enclave and storage recovery for one (provider, service) pair.
+
+    >>> # coordinator = RecoveryCoordinator(provider, service, path)
+    >>> # coordinator.checkpoint()            # periodic durability point
+    >>> # ... enclave dies mid-query ...
+    >>> # coordinator.recover()               # service answers again
+    """
+
+    def __init__(
+        self,
+        provider: DataProvider,
+        service: ServiceProvider,
+        checkpoint_path: str | Path | None = None,
+    ):
+        self.provider = provider
+        self.service = service
+        self.checkpoint_path = Path(checkpoint_path) if checkpoint_path else None
+
+    # ----------------------------------------------------------- durability
+
+    def checkpoint(self) -> Path:
+        """Snapshot the service's storage engine to the checkpoint path.
+
+        The enclave may be killed mid-checkpoint (a chaos kill point):
+        the snapshot write itself is host-side and atomic, so either the
+        previous snapshot survives intact or the new one replaces it
+        whole — never a torn file (unless the torn-write fault is
+        armed, in which case restore fails loudly instead).
+        """
+        if self.checkpoint_path is None:
+            raise StorageError("no checkpoint path configured")
+        if not self.service.enclave.crashed:
+            self.service.enclave.kill_point("enclave.kill.checkpoint")
+        return checkpoint_engine(
+            self.service.engine,
+            self.checkpoint_path,
+            fault_injector=self.service.engine.fault_injector,
+        )
+
+    # ------------------------------------------------------------- recovery
+
+    def recover_enclave(self) -> Enclave:
+        """Re-attest and re-provision a replacement for a dead enclave.
+
+        The replacement inherits the old instance's config (code
+        identity → same measurement) and fault injector (the chaos
+        schedule keeps running across recoveries).  The service drops
+        its cached contexts and unsealed registry; both rebuild from
+        host-stored ciphertext (epoch packages, sealed registry blob).
+        """
+        old = self.service.enclave
+        fresh = Enclave(old.config, fault_injector=old.fault_injector)
+        self.service.adopt_enclave(fresh)
+        self.provider.provision_enclave(fresh)
+        self.service.install_registry(self.provider.sealed_registry())
+        return fresh
+
+    def recover_storage(self) -> None:
+        """Restore the engine from the latest checkpoint and adopt it."""
+        if self.checkpoint_path is None:
+            raise StorageError("no checkpoint path configured")
+        self.service.adopt_engine(restore_engine(self.checkpoint_path))
+
+    def recover(self, restore_storage: bool = False) -> dict:
+        """Recover whatever is broken; returns a summary of actions taken.
+
+        ``restore_storage=True`` additionally rolls the engine back to
+        the last checkpoint (for host restarts, not just enclave
+        crashes).
+        """
+        actions: dict[str, bool] = {"enclave": False, "storage": False}
+        if restore_storage:
+            self.recover_storage()
+            actions["storage"] = True
+        if self.service.enclave.crashed or not self.service.enclave.provisioned:
+            self.recover_enclave()
+            actions["enclave"] = True
+        return actions

@@ -6,24 +6,88 @@ format is a versioned pickle of tables plus index *definitions* —
 B+-trees are rebuilt on restore rather than serialised, which keeps
 snapshots compact and immune to internal-layout changes.
 
+Snapshots are **integrity-framed**: the pickled payload is followed by
+a footer of ``sha256(payload) || uint64(len(payload)) || magic``.  A
+truncated file, a flipped byte, or a pre-footer legacy file all fail
+:func:`restore_engine` loudly with :class:`StorageError` instead of
+loading garbage (or crashing deep inside ``pickle``).  Writes go to a
+temporary file and are renamed into place, so a crash mid-checkpoint
+can never destroy the previous good snapshot.
+
 The access log is deliberately **not** persisted: it is the adversary's
 transient observation stream, not state.
 """
 
 from __future__ import annotations
 
+import hashlib
 import pickle
+import struct
 from pathlib import Path
 
-from repro.exceptions import StorageError
+from repro.exceptions import StorageError, TransientStorageError
+from repro.faults.injector import FaultInjector, NULL_INJECTOR
 from repro.storage.engine import StorageEngine
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
+_MAGIC = b"CONCEALER-CKPT\x00\x02"
+_FOOTER = struct.Struct("<32sQ16s")  # sha256, payload length, magic
 
 
-def checkpoint_engine(engine: StorageEngine, path: str | Path) -> Path:
-    """Write a durable snapshot of all tables and index definitions."""
+def write_framed(path: Path, payload: bytes) -> None:
+    """Write ``payload`` + integrity footer atomically (tmp + rename)."""
+    footer = _FOOTER.pack(
+        hashlib.sha256(payload).digest(), len(payload), _MAGIC
+    )
+    path.parent.mkdir(parents=True, exist_ok=True)
+    scratch = path.with_name(path.name + ".tmp")
+    with open(scratch, "wb") as handle:
+        handle.write(payload + footer)
+    scratch.replace(path)
+
+
+def read_framed(path: Path) -> bytes:
+    """Read and verify a framed payload; raises :class:`StorageError`."""
+    if not path.exists():
+        raise StorageError(f"no checkpoint at {path}")
+    blob = path.read_bytes()
+    if len(blob) < _FOOTER.size:
+        raise StorageError(
+            f"checkpoint {path} is truncated ({len(blob)} bytes; no footer)"
+        )
+    digest, length, magic = _FOOTER.unpack(blob[-_FOOTER.size:])
+    if magic != _MAGIC:
+        raise StorageError(
+            f"checkpoint {path} has no integrity footer (legacy, truncated, "
+            "or foreign file) — refusing to load it"
+        )
+    payload = blob[:-_FOOTER.size]
+    if len(payload) != length:
+        raise StorageError(
+            f"checkpoint {path} is truncated: footer promises {length} "
+            f"payload bytes, found {len(payload)}"
+        )
+    if hashlib.sha256(payload).digest() != digest:
+        raise StorageError(
+            f"checkpoint {path} failed its SHA-256 integrity check — "
+            "the snapshot was corrupted or tampered with"
+        )
+    return payload
+
+
+def checkpoint_engine(
+    engine: StorageEngine,
+    path: str | Path,
+    fault_injector: FaultInjector | None = None,
+) -> Path:
+    """Write a durable snapshot of all tables and index definitions.
+
+    ``fault_injector`` lets the chaos harness simulate a torn write (a
+    crash mid-checkpoint): the file is left truncated *without* the
+    footer, which :func:`restore_engine` then rejects loudly.
+    """
     path = Path(path)
+    injector = fault_injector or NULL_INJECTOR
     snapshot = {
         "version": _FORMAT_VERSION,
         "btree_order": engine._btree_order,
@@ -40,22 +104,37 @@ def checkpoint_engine(engine: StorageEngine, path: str | Path) -> Path:
         },
         "indexes": sorted(engine._indexes.keys()),
     }
-    path.parent.mkdir(parents=True, exist_ok=True)
-    with open(path, "wb") as handle:
-        pickle.dump(snapshot, handle, protocol=pickle.HIGHEST_PROTOCOL)
+    payload = pickle.dumps(snapshot, protocol=pickle.HIGHEST_PROTOCOL)
+    if injector.fire("storage.checkpoint.torn") is not None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(payload[: max(1, len(payload) // 2)])
+        raise TransientStorageError(
+            f"checkpoint to {path} torn mid-write (injected crash)"
+        )
+    write_framed(path, payload)
     return path
 
 
 def restore_engine(path: str | Path) -> StorageEngine:
-    """Rebuild an engine (tables + indexes) from a snapshot."""
+    """Rebuild an engine (tables + indexes) from a snapshot.
+
+    Fails loudly with :class:`StorageError` on truncation, checksum
+    mismatch, a missing footer, or an unknown ``_FORMAT_VERSION``.
+    """
     path = Path(path)
-    if not path.exists():
-        raise StorageError(f"no checkpoint at {path}")
-    with open(path, "rb") as handle:
-        snapshot = pickle.load(handle)
-    if snapshot.get("version") != _FORMAT_VERSION:
+    payload = read_framed(path)
+    try:
+        snapshot = pickle.loads(payload)
+    except Exception as error:
         raise StorageError(
-            f"unsupported checkpoint version {snapshot.get('version')!r}"
+            f"checkpoint {path} passed its checksum but failed to "
+            f"deserialise: {error}"
+        ) from error
+    if not isinstance(snapshot, dict) or snapshot.get("version") != _FORMAT_VERSION:
+        version = snapshot.get("version") if isinstance(snapshot, dict) else None
+        raise StorageError(
+            f"unsupported checkpoint version {version!r} "
+            f"(this build reads version {_FORMAT_VERSION})"
         )
     engine = StorageEngine(
         btree_order=snapshot["btree_order"],

@@ -14,7 +14,13 @@ from __future__ import annotations
 
 from collections.abc import Iterator, Sequence
 
-from repro.exceptions import IndexNotFoundError, StorageError, TableNotFoundError
+from repro.exceptions import (
+    IndexNotFoundError,
+    StorageError,
+    TableNotFoundError,
+    TransientStorageError,
+)
+from repro.faults.injector import FaultInjector, NULL_INJECTOR
 from repro.storage.btree import BPlusTree
 from repro.storage.pager import AccessKind, AccessLog, Pager
 from repro.storage.table import Row, Table
@@ -31,13 +37,22 @@ class StorageEngine:
     [b'one']
     """
 
-    def __init__(self, btree_order: int = 64, rows_per_page: int = 64):
+    def __init__(
+        self,
+        btree_order: int = 64,
+        rows_per_page: int = 64,
+        fault_injector: FaultInjector | None = None,
+    ):
         self._tables: dict[str, Table] = {}
         self._indexes: dict[tuple[str, str], BPlusTree] = {}
         self._pagers: dict[str, Pager] = {}
         self._btree_order = btree_order
         self._rows_per_page = rows_per_page
         self.access_log = AccessLog()
+        # Chaos hook: reads/writes may fail transiently, and lookup
+        # *results* may be corrupted / dropped / duplicated — the
+        # malicious-host tampering the hash chains are meant to detect.
+        self.fault_injector = fault_injector or NULL_INJECTOR
 
     # ------------------------------------------------------------------- DDL
 
@@ -78,7 +93,15 @@ class StorageEngine:
     # ------------------------------------------------------------------- DML
 
     def insert(self, table: str, columns: Sequence) -> int:
-        """Insert a row, maintain all indexes, log the write."""
+        """Insert a row, maintain all indexes, log the write.
+
+        An injected transient fault raises *before* any state change, so
+        the caller's retry policy can safely repeat the insert.
+        """
+        if self.fault_injector.fire("storage.write.transient") is not None:
+            raise TransientStorageError(
+                f"transient write failure inserting into {table!r} (injected)"
+            )
         tbl = self._table(table)
         row_id = tbl.insert(columns)
         self._pagers[table].note_row(row_id)
@@ -118,6 +141,10 @@ class StorageEngine:
 
     def fetch_row(self, table: str, row_id: int) -> Row:
         """Read one row by physical id (logged as the adversary sees it)."""
+        if self.fault_injector.fire("storage.read.transient") is not None:
+            raise TransientStorageError(
+                f"transient read failure on {table!r} row {row_id} (injected)"
+            )
         tbl = self._table(table)
         row = tbl.fetch(row_id)
         self.access_log.record(AccessKind.ROW_READ, table, row_id)
@@ -133,11 +160,17 @@ class StorageEngine:
         return [self.fetch_row(table, row_id) for row_id in tree.get(key)]
 
     def lookup_many(self, table: str, column: str, keys: Sequence) -> list[Row]:
-        """Batched point lookups — how the enclave submits trapdoors."""
+        """Batched point lookups — how the enclave submits trapdoors.
+
+        This is the malicious-host response channel: armed tamper faults
+        corrupt, drop, or duplicate rows *in the returned batch* (the
+        stored data stays intact), exactly the misbehaviour the paper's
+        hash-chain tags detect.
+        """
         rows: list[Row] = []
         for key in keys:
             rows.extend(self.lookup(table, column, key))
-        return rows
+        return self._tamper(rows)
 
     def range_lookup(self, table: str, column: str, low, high) -> list[Row]:
         """Index range scan over ``[low, high]``."""
@@ -165,6 +198,25 @@ class StorageEngine:
         return self._index(table, column).size
 
     # -------------------------------------------------------------- internal
+
+    def _tamper(self, rows: list[Row]) -> list[Row]:
+        """Apply armed corrupt/drop/duplicate faults to a result batch."""
+        if not rows:
+            return rows
+        injector = self.fault_injector
+        if injector.fire("storage.row.corrupt") is not None:
+            victim = injector.choose(len(rows), "storage.row.corrupt")
+            row = rows[victim]
+            column = injector.choose(len(row.columns), "storage.row.corrupt")
+            columns = list(row.columns)
+            if isinstance(columns[column], bytes):
+                columns[column] = injector.corrupt_bytes(columns[column])
+                rows[victim] = Row(row_id=row.row_id, columns=tuple(columns))
+        if injector.fire("storage.row.drop") is not None:
+            del rows[injector.choose(len(rows), "storage.row.drop")]
+        if rows and injector.fire("storage.row.duplicate") is not None:
+            rows.append(rows[injector.choose(len(rows), "storage.row.duplicate")])
+        return rows
 
     def _table(self, name: str) -> Table:
         try:

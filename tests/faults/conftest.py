@@ -1,0 +1,84 @@
+"""Fixtures for the fault-injection and recovery tests.
+
+Everything here builds *small* stacks (one 4-minute epoch, 24 rows) so
+individual fault scenarios stay fast enough to run hundreds of seeds.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import (
+    DataProvider,
+    GridSpec,
+    ServiceConfig,
+    ServiceProvider,
+    WIFI_SCHEMA,
+)
+from repro.enclave.enclave import Enclave, EnclaveConfig
+from repro.faults import FaultInjector, VirtualClock
+from repro.storage.engine import StorageEngine
+
+MASTER_KEY = bytes(range(32))
+EPOCH_DURATION = 240
+TIME_STEP = 60
+LOCATIONS = tuple(f"ap{i}" for i in range(4))
+DEVICES = tuple(f"dev{i}" for i in range(6))
+
+
+def small_epoch(epoch_start: int = 0, seed: int = 5) -> list[tuple]:
+    """24 deterministic WiFi readings covering one epoch."""
+    rng = random.Random(f"faults-epoch-{epoch_start}-{seed}")
+    return [
+        (LOCATIONS[rng.randrange(len(LOCATIONS))], epoch_start + t, device)
+        for t in range(0, EPOCH_DURATION, TIME_STEP)
+        for device in DEVICES
+    ]
+
+
+def faulted_stack(
+    specs=(),
+    seed: int = 1,
+    verify: bool = True,
+    ingest: bool = True,
+):
+    """A provisioned (provider, service, injector, records) quadruple.
+
+    The injector is shared by the storage engine and the enclave, as in
+    the chaos harness; ``specs`` arms it (empty = no faults).
+    """
+    injector = FaultInjector(seed, list(specs))
+    spec = GridSpec(
+        dimension_sizes=(len(LOCATIONS), EPOCH_DURATION // TIME_STEP),
+        cell_id_count=16,
+        epoch_duration=EPOCH_DURATION,
+    )
+    provider = DataProvider(
+        WIFI_SCHEMA,
+        spec,
+        first_epoch_id=0,
+        master_key=MASTER_KEY,
+        time_granularity=TIME_STEP,
+        rng=random.Random(seed),
+    )
+    service = ServiceProvider(
+        WIFI_SCHEMA,
+        ServiceConfig(verify=verify),
+        engine=StorageEngine(fault_injector=injector),
+        enclave=Enclave(EnclaveConfig(), fault_injector=injector),
+        clock=VirtualClock(),
+    )
+    provider.provision_enclave(service.enclave)
+    service.install_registry(provider.sealed_registry())
+    records = small_epoch(0, seed=seed)
+    if ingest:
+        service.ingest_epoch(provider.encrypt_epoch(records, epoch_id=0))
+    return provider, service, injector, records
+
+
+def point_truth(records, location, timestamp) -> int:
+    return sum(1 for r in records if r[0] == location and r[1] == timestamp)
+
+
+def range_truth(records, location, t0, t1) -> int:
+    return sum(1 for r in records if r[0] == location and t0 <= r[1] <= t1)

@@ -1,0 +1,122 @@
+"""The chaos corpus: hundreds of randomized fault schedules, zero lies.
+
+Every run executes a seeded mix of epoch ingestion (inserts), point
+queries, range queries, and checkpoint cycles while the injector fires
+faults.  The single invariant: an operation either returns the oracle's
+answer or raises a typed :class:`ConcealerError` — **never** a silently
+wrong answer.  Any failure here replays exactly with
+``python -m repro --chaos-seed <seed>``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults.chaos import ChaosRun, default_specs, run_chaos
+from repro.faults.injector import FaultSpec
+
+pytestmark = pytest.mark.chaos
+
+
+def assert_never_silently_wrong(report):
+    assert not report.silent_wrong, (
+        f"SILENT WRONG answers under seed {report.seed} — replay with "
+        f"`python -m repro --chaos-seed {report.seed}`: "
+        + "; ".join(
+            f"{o.op}: answer={o.answer!r} expected={o.expected!r}"
+            for o in report.silent_wrong
+        )
+    )
+
+
+def aggressive_specs():
+    """Roughly doubled firing rates and budgets versus the default mix."""
+    doubled = []
+    for spec in default_specs():
+        doubled.append(
+            FaultSpec(
+                spec.site,
+                probability=min(1.0, spec.probability * 2),
+                max_fires=None if spec.max_fires is None else spec.max_fires + 1,
+            )
+        )
+    return doubled
+
+
+def tamper_specs():
+    """Malicious-host mix: heavy result tampering, nothing else."""
+    return [
+        FaultSpec("storage.row.corrupt", probability=0.5, max_fires=None),
+        FaultSpec("storage.row.drop", probability=0.5, max_fires=None),
+        FaultSpec("storage.row.duplicate", probability=0.5, max_fires=None),
+    ]
+
+
+class TestNoSilentWrongAnswers:
+    """≥200 randomized fault-schedule runs across three fault mixes."""
+
+    @pytest.mark.parametrize("seed", range(100))
+    def test_default_mix(self, seed):
+        assert_never_silently_wrong(run_chaos(seed, ops=8))
+
+    @pytest.mark.parametrize("seed", range(100, 160))
+    def test_aggressive_mix(self, seed):
+        assert_never_silently_wrong(
+            run_chaos(seed, ops=8, specs=aggressive_specs())
+        )
+
+    @pytest.mark.parametrize("seed", range(200, 250))
+    def test_tamper_only_mix(self, seed):
+        assert_never_silently_wrong(
+            run_chaos(seed, ops=6, specs=tamper_specs())
+        )
+
+
+class TestCorpusCoverage:
+    """The corpus must actually exercise faults, not vacuously pass."""
+
+    def test_faults_fire_and_recoveries_happen(self):
+        reports = [run_chaos(seed, ops=8) for seed in range(40)]
+        assert sum(r.faults_fired for r in reports) >= 40
+        assert any(r.recoveries for r in reports)
+        assert any(r.failed_loudly for r in reports)
+        # Most operations still succeed: faults degrade, not destroy.
+        ok = sum(sum(o.ok for o in r.outcomes) for r in reports)
+        total = sum(len(r.outcomes) for r in reports)
+        assert ok / total > 0.5
+
+    def test_tampering_is_detected_loudly(self):
+        reports = [
+            run_chaos(seed, ops=6, specs=tamper_specs())
+            for seed in range(200, 220)
+        ]
+        errors = {
+            o.error for r in reports for o in r.outcomes if o.error is not None
+        }
+        assert "IntegrityViolation" in errors
+
+    def test_op_mix_covers_all_workloads(self):
+        ops = set()
+        for seed in range(30):
+            report = run_chaos(seed, ops=10)
+            ops.update(o.op for o in report.outcomes)
+        assert {"ingest", "point", "range", "checkpoint"} <= ops
+
+
+class TestDeterministicReplay:
+    @pytest.mark.parametrize("seed", [3, 17, 104])
+    def test_fingerprints_are_byte_identical(self, seed):
+        first = run_chaos(seed, ops=10)
+        second = run_chaos(seed, ops=10)
+        assert first.schedule == second.schedule  # byte-identical schedule
+        assert first.fingerprint() == second.fingerprint()
+
+    def test_schedules_differ_across_seeds(self):
+        schedules = {run_chaos(seed, ops=8).schedule for seed in range(12)}
+        assert len(schedules) > 1
+
+    def test_run_reports_full_schedule_even_on_crashes(self):
+        run = ChaosRun(3)
+        report = run.run(ops=10)
+        assert report.faults_fired == len(run.injector.fired)
+        assert report.schedule == run.injector.encode_schedule()

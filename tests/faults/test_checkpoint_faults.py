@@ -1,0 +1,147 @@
+"""Checkpoint integrity framing: round-trips, torn writes, loud failures."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.exceptions import StorageError, TransientStorageError
+from repro.faults import FaultInjector, FaultSpec
+from repro.storage.checkpoint import (
+    checkpoint_engine,
+    read_framed,
+    restore_engine,
+    write_framed,
+)
+from repro.storage.engine import StorageEngine
+
+
+def random_engine(seed: int) -> StorageEngine:
+    """An engine with random tables, rows, and indexes."""
+    rng = random.Random(f"ckpt-prop-{seed}")
+    engine = StorageEngine(btree_order=rng.choice([8, 16, 64]))
+    for t in range(rng.randrange(1, 4)):
+        name = f"table_{t}"
+        engine.create_table(name, ["index_key", "payload"])
+        engine.create_index(name, "index_key")
+        for r in range(rng.randrange(0, 30)):
+            engine.insert(name, [rng.randbytes(12), rng.randbytes(20)])
+        # Deletions leave row-id gaps the snapshot must preserve.
+        for row in list(engine._tables[name].scan()):
+            if rng.random() < 0.2:
+                engine.delete(name, row.row_id)
+    return engine
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_round_trip_property(tmp_path, seed):
+    """Restore reproduces tables, rows, row-id state, and live indexes."""
+    engine = random_engine(seed)
+    path = checkpoint_engine(engine, tmp_path / "snap.ckpt")
+    restored = restore_engine(path)
+
+    assert restored.table_names() == engine.table_names()
+    for name in engine.table_names():
+        original, copy = engine._tables[name], restored._tables[name]
+        assert copy.column_names == original.column_names
+        assert copy._next_row_id == original._next_row_id
+        assert {r.row_id: r.columns for r in copy.scan()} == {
+            r.row_id: r.columns for r in original.scan()
+        }
+        # The rebuilt B+-tree index answers lookups identically.
+        for row in original.scan():
+            assert [
+                r.columns for r in restored.lookup(name, "index_key", row.columns[0])
+            ] == [
+                r.columns for r in engine.lookup(name, "index_key", row.columns[0])
+            ]
+
+
+def test_checkpoint_overwrites_previous_snapshot_atomically(tmp_path):
+    path = tmp_path / "snap.ckpt"
+    first = random_engine(1)
+    checkpoint_engine(first, path)
+    second = random_engine(2)
+    checkpoint_engine(second, path)
+    assert restore_engine(path).table_names() == second.table_names()
+    assert not path.with_name(path.name + ".tmp").exists()
+
+
+class TestLoudFailures:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(StorageError, match="no checkpoint"):
+            restore_engine(tmp_path / "absent.ckpt")
+
+    def test_truncated_below_footer(self, tmp_path):
+        path = tmp_path / "snap.ckpt"
+        checkpoint_engine(random_engine(3), path)
+        path.write_bytes(path.read_bytes()[:10])
+        with pytest.raises(StorageError, match="truncated"):
+            restore_engine(path)
+
+    def test_truncated_payload(self, tmp_path):
+        path = tmp_path / "snap.ckpt"
+        checkpoint_engine(random_engine(3), path)
+        blob = path.read_bytes()
+        # Drop payload bytes but keep the footer intact.
+        path.write_bytes(blob[:-200] + blob[-56:])
+        with pytest.raises(StorageError, match="truncated"):
+            restore_engine(path)
+
+    def test_flipped_byte(self, tmp_path):
+        path = tmp_path / "snap.ckpt"
+        checkpoint_engine(random_engine(4), path)
+        blob = bytearray(path.read_bytes())
+        blob[len(blob) // 3] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        with pytest.raises(StorageError, match="SHA-256"):
+            restore_engine(path)
+
+    def test_legacy_unframed_pickle_rejected(self, tmp_path):
+        import pickle
+
+        path = tmp_path / "legacy.ckpt"
+        path.write_bytes(
+            pickle.dumps({"version": 1, "tables": {}, "pad": b"x" * 128})
+        )
+        with pytest.raises(StorageError, match="no integrity footer"):
+            restore_engine(path)
+
+    def test_unknown_version_rejected(self, tmp_path):
+        import pickle
+
+        path = tmp_path / "future.ckpt"
+        write_framed(path, pickle.dumps({"version": 99}))
+        with pytest.raises(StorageError, match="unsupported checkpoint version"):
+            restore_engine(path)
+
+    def test_valid_frame_invalid_pickle_rejected(self, tmp_path):
+        path = tmp_path / "garbage.ckpt"
+        write_framed(path, b"\x80\x05 definitely not a pickle")
+        with pytest.raises(StorageError, match="failed to\\s+deserialise"):
+            restore_engine(path)
+
+
+def test_torn_write_fails_loudly_then_rejected_on_restore(tmp_path):
+    """An injected mid-write crash leaves a file restore refuses to load."""
+    injector = FaultInjector(
+        0, [FaultSpec("storage.checkpoint.torn", probability=1.0)]
+    )
+    path = tmp_path / "torn.ckpt"
+    with pytest.raises(TransientStorageError, match="torn mid-write"):
+        checkpoint_engine(random_engine(5), path, fault_injector=injector)
+    assert path.exists()  # the torn bytes are on disk...
+    with pytest.raises(StorageError):  # ...and are rejected, not loaded
+        restore_engine(path)
+
+    # The fault spec is spent (max_fires=1): the retry succeeds and the
+    # torn file is replaced wholesale.
+    checkpoint_engine(random_engine(5), path, fault_injector=injector)
+    assert restore_engine(path).table_names() == random_engine(5).table_names()
+
+
+def test_read_framed_round_trip(tmp_path):
+    path = tmp_path / "frame.bin"
+    write_framed(path, b"payload bytes")
+    assert read_framed(path) == b"payload bytes"

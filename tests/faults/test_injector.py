@@ -1,0 +1,160 @@
+"""FaultInjector determinism, replay, caps, and the retry clock."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import TransientStorageError
+from repro.faults import (
+    FAULT_SITES,
+    FaultEvent,
+    FaultInjector,
+    FaultSpec,
+    NULL_INJECTOR,
+    RetryPolicy,
+    VirtualClock,
+)
+
+
+def drive(injector, consultations=40):
+    """Consult every site a fixed number of times; return the schedule."""
+    for _ in range(consultations):
+        for site in FAULT_SITES:
+            injector.fire(site)
+    return injector.encode_schedule()
+
+
+def some_specs():
+    return [
+        FaultSpec("storage.read.transient", probability=0.2, max_fires=3),
+        FaultSpec("storage.row.corrupt", probability=0.1, max_fires=None),
+        FaultSpec("enclave.kill.query", probability=0.05, max_fires=1),
+    ]
+
+
+class TestDeterminism:
+    def test_same_seed_same_schedule(self):
+        first = drive(FaultInjector(7, some_specs()))
+        second = drive(FaultInjector(7, some_specs()))
+        assert first == second
+        assert first  # the chosen probabilities do fire something
+
+    def test_different_seeds_diverge(self):
+        schedules = {drive(FaultInjector(seed, some_specs())) for seed in range(8)}
+        assert len(schedules) > 1
+
+    def test_interleaving_independence(self):
+        """A site's N-th decision ignores consultations of *other* sites."""
+        solo = FaultInjector(3, some_specs())
+        for _ in range(40):
+            solo.fire("storage.read.transient")
+        mixed = FaultInjector(3, some_specs())
+        for _ in range(40):
+            mixed.fire("enclave.kill.rotation")  # unarmed noise
+            mixed.fire("storage.read.transient")
+        assert [e.index for e in solo.fired if e.site == "storage.read.transient"] == [
+            e.index for e in mixed.fired if e.site == "storage.read.transient"
+        ]
+
+    def test_corrupt_bytes_deterministic_and_corrupting(self):
+        data = bytes(range(64))
+        a = FaultInjector(9).corrupt_bytes(data)
+        b = FaultInjector(9).corrupt_bytes(data)
+        assert a == b
+        assert a != data
+        assert len(a) == len(data)
+
+
+class TestReplay:
+    def test_from_schedule_fires_exactly_the_recorded_points(self):
+        original = FaultInjector(11, some_specs())
+        drive(original)
+        events = FaultInjector.decode_schedule(original.encode_schedule())
+        assert events == original.fired
+
+        replay = FaultInjector.from_schedule(events)
+        assert drive(replay) == original.encode_schedule()
+
+    def test_replay_ignores_probabilities(self):
+        replay = FaultInjector.from_schedule(
+            [FaultEvent("storage.read.transient", 2)]
+        )
+        assert replay.fire("storage.read.transient") is None  # index 0
+        assert replay.fire("storage.read.transient") is None  # index 1
+        assert replay.fire("storage.read.transient") is not None  # index 2
+        assert replay.fire("storage.read.transient") is None  # index 3
+
+    def test_encode_decode_round_trip_empty(self):
+        assert FaultInjector.decode_schedule(b"") == []
+
+
+class TestCapsAndValidation:
+    def test_max_fires_caps_firings(self):
+        injector = FaultInjector(
+            0, [FaultSpec("storage.row.drop", probability=1.0, max_fires=2)]
+        )
+        fired = [injector.fire("storage.row.drop") for _ in range(10)]
+        assert sum(spec is not None for spec in fired) == 2
+        assert injector.consultations("storage.row.drop") == 10
+
+    def test_unknown_site_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault site"):
+            FaultSpec("storage.row.explode", probability=0.5)
+
+    def test_probability_bounds(self):
+        with pytest.raises(ValueError, match="probability"):
+            FaultSpec("storage.row.drop", probability=1.5)
+
+    def test_null_injector_never_fires_and_cannot_be_armed(self):
+        for site in FAULT_SITES:
+            assert NULL_INJECTOR.fire(site) is None
+        with pytest.raises(ValueError, match="immutable"):
+            NULL_INJECTOR.arm(FaultSpec("storage.row.drop", probability=1.0))
+
+
+class TestRetryPolicy:
+    def test_backoff_sequence_capped_and_virtual(self):
+        clock = VirtualClock()
+        policy = RetryPolicy(
+            attempts=5, base_delay=0.1, max_delay=0.3, clock=clock
+        )
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            raise TransientStorageError("disk hiccup")
+
+        with pytest.raises(TransientStorageError):
+            policy.call(flaky)
+        assert len(calls) == 5
+        # 0.1, 0.2, then capped at 0.3 — recorded, never actually slept.
+        assert clock.sleeps == [0.1, 0.2, 0.3, 0.3]
+        assert clock.sleeps == policy.delays()
+
+    def test_succeeds_after_transient_faults(self):
+        clock = VirtualClock()
+        policy = RetryPolicy(attempts=3, base_delay=0.01, clock=clock)
+        state = {"left": 2}
+
+        def flaky():
+            if state["left"]:
+                state["left"] -= 1
+                raise TransientStorageError("transient")
+            return "answer"
+
+        assert policy.call(flaky) == "answer"
+        assert len(clock.sleeps) == 2
+
+    def test_permanent_errors_are_not_retried(self):
+        clock = VirtualClock()
+        policy = RetryPolicy(attempts=4, clock=clock)
+        calls = []
+
+        def broken():
+            calls.append(1)
+            raise ValueError("not transient")
+
+        with pytest.raises(ValueError):
+            policy.call(broken)
+        assert len(calls) == 1
+        assert clock.sleeps == []

@@ -1,0 +1,249 @@
+"""Crash recovery: enclave rebuilds, retries, quarantine, rotation rollback."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import PointQuery, RangeQuery
+from repro.core.rotation import rotate_service_keys, rotation_token
+from repro.exceptions import (
+    EnclaveCrashed,
+    EnclaveMemoryError,
+    IntegrityViolation,
+    TransientStorageError,
+)
+from repro.faults import FaultEvent, FaultInjector, FaultSpec, QuarantineLog
+from repro.faults.recovery import RecoveryCoordinator
+
+from tests.faults.conftest import (
+    MASTER_KEY,
+    TIME_STEP,
+    faulted_stack,
+    point_truth,
+    range_truth,
+)
+
+
+def first_reading(records):
+    location, timestamp, _ = records[0]
+    return location, timestamp
+
+
+class TestTransientRetries:
+    def test_query_survives_transient_read_faults(self):
+        provider, service, injector, records = faulted_stack(
+            [FaultSpec("storage.read.transient", probability=1.0, max_fires=2)]
+        )
+        location, timestamp = first_reading(records)
+        answer, stats = service.execute_point(
+            PointQuery(index_values=(location,), timestamp=timestamp)
+        )
+        assert answer == point_truth(records, location, timestamp)
+        # Two transient faults consumed two backoff sleeps — virtual ones.
+        assert len(service.clock.sleeps) == 2
+
+    def test_ingest_retries_per_row_write_faults(self):
+        provider, service, injector, records = faulted_stack(
+            [FaultSpec("storage.write.transient", probability=1.0, max_fires=2)],
+            ingest=False,
+        )
+        service.ingest_epoch(provider.encrypt_epoch(records, epoch_id=0))
+        assert 0 in service.ingested_epochs()
+        assert len(service.clock.sleeps) == 2
+        location, timestamp = first_reading(records)
+        answer, _ = service.execute_point(
+            PointQuery(index_values=(location,), timestamp=timestamp)
+        )
+        assert answer == point_truth(records, location, timestamp)
+
+    def test_ingest_is_all_or_nothing_when_retries_exhaust(self):
+        provider, service, injector, records = faulted_stack(
+            [FaultSpec("storage.write.transient", probability=1.0, max_fires=4)],
+            ingest=False,
+        )
+        package = provider.encrypt_epoch(records, epoch_id=0)
+        with pytest.raises(TransientStorageError):
+            service.ingest_epoch(package)
+        # The half-landed epoch is gone: not queryable, not registered.
+        assert service.ingested_epochs() == []
+        assert not service.engine.has_table("epoch_0")
+        # Once the fault budget is spent, the same package lands cleanly.
+        service.ingest_epoch(package)
+        assert service.ingested_epochs() == [0]
+
+
+class TestEnclaveRecovery:
+    def test_crash_mid_query_then_recover(self, tmp_path):
+        provider, service, injector, records = faulted_stack(
+            [FaultSpec("enclave.kill.query", probability=1.0, max_fires=1)]
+        )
+        location, timestamp = first_reading(records)
+        query = PointQuery(index_values=(location,), timestamp=timestamp)
+
+        with pytest.raises(EnclaveCrashed):
+            service.execute_point(query)
+        assert service.enclave.crashed
+        # Every ecall on the dead instance fails; nothing silently serves.
+        with pytest.raises(EnclaveCrashed):
+            service.execute_point(query)
+
+        coordinator = RecoveryCoordinator(provider, service, tmp_path / "c.ckpt")
+        actions = coordinator.recover()
+        assert actions["enclave"] and not actions["storage"]
+        assert not service.enclave.crashed
+        assert service.enclave.provisioned
+
+        answer, _ = service.execute_point(query)
+        assert answer == point_truth(records, location, timestamp)
+        # The recovered stack still verifies and answers ranges too.
+        t1 = timestamp + TIME_STEP
+        answer, _ = service.execute_range(
+            RangeQuery(index_values=(location,), time_start=timestamp, time_end=t1),
+            method="ebpb",
+        )
+        assert answer == range_truth(records, location, timestamp, t1)
+
+    def test_recovery_reinstalls_registry(self, tmp_path):
+        provider, service, injector, records = faulted_stack([])
+        provider.register_user("alice", device_id=records[0][2])
+        service.install_registry(provider.sealed_registry())
+        service.enclave.crash("test kill")
+        RecoveryCoordinator(provider, service).recover()
+        assert service.registry.authenticate is not None  # registry reopened
+
+    def test_storage_recovery_from_checkpoint(self, tmp_path):
+        provider, service, injector, records = faulted_stack([])
+        coordinator = RecoveryCoordinator(provider, service, tmp_path / "s.ckpt")
+        coordinator.checkpoint()
+
+        # The host loses its DBMS wholesale.
+        for table in list(service.engine.table_names()):
+            service.engine.drop_table(table)
+        service.enclave.crash("power event")
+
+        coordinator.recover(restore_storage=True)
+        location, timestamp = first_reading(records)
+        answer, _ = service.execute_point(
+            PointQuery(index_values=(location,), timestamp=timestamp)
+        )
+        assert answer == point_truth(records, location, timestamp)
+
+
+class TestEpcHygiene:
+    def test_faulted_queries_do_not_leak_epc(self):
+        provider, service, injector, records = faulted_stack([])
+        location, timestamp = first_reading(records)
+        query = PointQuery(index_values=(location,), timestamp=timestamp)
+        service.execute_point(query)
+        baseline = service.enclave.epc_used  # context metadata stays resident
+
+        injector.arm(FaultSpec("enclave.epc.exhaust", probability=1.0, max_fires=3))
+        for _ in range(3):
+            with pytest.raises(EnclaveMemoryError):
+                service.execute_point(query)
+            assert service.enclave.epc_used == baseline
+
+        injector.arm(FaultSpec("storage.row.drop", probability=1.0, max_fires=1))
+        with pytest.raises(IntegrityViolation):
+            service.execute_point(query)
+        assert service.enclave.epc_used == baseline
+
+        # Lift the quarantine (the victim may share the query's cell) and
+        # confirm the stack still answers cleanly at the same budget.
+        service.quarantine.clear()
+        answer, _ = service.execute_point(query)
+        assert answer == point_truth(records, location, timestamp)
+        assert service.enclave.epc_used == baseline
+
+
+class TestQuarantine:
+    def test_violation_is_recorded_and_fails_fast_afterwards(self):
+        provider, service, injector, records = faulted_stack(
+            [FaultSpec("storage.row.drop", probability=1.0, max_fires=1)]
+        )
+        location, timestamp = first_reading(records)
+        with pytest.raises(IntegrityViolation) as info:
+            service.execute_point(
+                PointQuery(index_values=(location,), timestamp=timestamp)
+            )
+        violation = info.value
+        assert violation.epoch_id == 0
+        assert violation.cell_id is not None
+        assert len(service.quarantine) == 1
+        report = service.quarantine.reports()[0]
+        assert report["kind"] in ("chain-mismatch", "counter-gap", "missing-tag")
+
+        # The poisoned cell now fails fast with a structured verdict.
+        with pytest.raises(IntegrityViolation, match="quarantine"):
+            service.quarantine.check(violation.epoch_id, violation.cell_id)
+
+    def test_clear_lifts_the_quarantine(self):
+        log = QuarantineLog()
+        log.record(IntegrityViolation("tampered", epoch_id=3, cell_id=9))
+        assert log.is_quarantined(3, 9)
+        log.clear(epoch_id=3)
+        assert not log.is_quarantined(3, 9)
+        log.check(3, 9)  # no longer raises
+
+
+class TestRotationCrashSafety:
+    NEW_MASTER = bytes(range(64, 96))
+
+    def _query_all(self, service, records):
+        """Answer every distinct (location, timestamp) and check truth."""
+        for location, timestamp in sorted({(r[0], r[1]) for r in records}):
+            answer, _ = service.execute_point(
+                PointQuery(index_values=(location,), timestamp=timestamp)
+            )
+            assert answer == point_truth(records, location, timestamp)
+
+    def test_mid_rotation_crash_rolls_back_and_recovers(self, tmp_path):
+        """The acceptance scenario: kill mid-rotation, recover, old epoch
+        answers correctly under the still-valid old key."""
+        provider, service, injector, records = faulted_stack([])
+        before = {
+            row.row_id: row.columns
+            for row in service.engine._tables["epoch_0"].scan()
+        }
+
+        # Force the kill on the 8th rotation kill-point consultation —
+        # mid-table, after several rows were already re-encrypted.
+        replay = FaultInjector.from_schedule(
+            [FaultEvent("enclave.kill.rotation", 7)]
+        )
+        service.enclave.fault_injector = replay
+        service.engine.fault_injector = replay
+
+        token = rotation_token(MASTER_KEY, self.NEW_MASTER)
+        with pytest.raises(EnclaveCrashed):
+            rotate_service_keys(service, self.NEW_MASTER, token)
+        assert replay.fired  # the kill really happened mid-rotation
+
+        # Rollback restored every stored byte of the half-rotated table.
+        after = {
+            row.row_id: row.columns
+            for row in service.engine._tables["epoch_0"].scan()
+        }
+        assert after == before
+
+        coordinator = RecoveryCoordinator(provider, service, tmp_path / "r.ckpt")
+        assert coordinator.recover()["enclave"]
+        # The old key is still the live key: every query over the
+        # previous epoch verifies and matches ground truth.
+        assert service.enclave.master_key == MASTER_KEY
+        self._query_all(service, records)
+
+    def test_clean_rotation_then_crash_recovery_uses_new_master(self, tmp_path):
+        provider, service, injector, records = faulted_stack([])
+        token = rotation_token(MASTER_KEY, self.NEW_MASTER)
+        rotated = rotate_service_keys(service, self.NEW_MASTER, token)
+        assert rotated > 0
+        provider.adopt_master(self.NEW_MASTER)
+        self._query_all(service, records)
+
+        # A crash after rotation must re-provision the *new* master —
+        # the stored epochs only decrypt under it now.
+        service.enclave.crash("post-rotation kill")
+        RecoveryCoordinator(provider, service).recover()
+        assert service.enclave.master_key == self.NEW_MASTER
+        self._query_all(service, records)
