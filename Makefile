@@ -1,9 +1,9 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test chaos demo bench
+.PHONY: test chaos demo bench metrics-smoke
 
-test:
+test: metrics-smoke
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
 
 # Randomized fault-schedule runs; any failure replays deterministically
@@ -16,3 +16,7 @@ demo:
 
 bench:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest benchmarks -q
+
+# Tiny workload → Prometheus export → line-format validation.
+metrics-smoke:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest tests/telemetry/test_metrics_smoke.py -q

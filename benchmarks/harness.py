@@ -61,9 +61,19 @@ LARGE_SPEC = GridSpec(
 )
 
 
-def build_wifi_records(config: WifiConfig) -> list[tuple[str, int, str]]:
-    """One peak-hour epoch of synthetic WiFi readings."""
-    return generate_wifi_epoch(config, EPOCH, EPOCH_DURATION)
+def build_wifi_records(
+    config: WifiConfig, rng: random.Random | None = None
+) -> list[tuple[str, int, str]]:
+    """One peak-hour epoch of synthetic WiFi readings.
+
+    The generator RNG is explicit so callers can reproduce (or vary) a
+    dataset independently of the config; the default derives the exact
+    seed :func:`generate_wifi_epoch` would derive itself, so existing
+    benchmark datasets are byte-identical to pre-threading runs.
+    """
+    if rng is None:
+        rng = random.Random(config.seed ^ EPOCH)
+    return generate_wifi_epoch(config, EPOCH, EPOCH_DURATION, rng=rng)
 
 
 def build_wifi_stack(
@@ -130,8 +140,16 @@ def build_tpch_stack(rows, dims: str):
     return provider, service, schema
 
 
-def build_tpch_rows(count: int = 30_000):
-    return generate_lineitem(TpchConfig(rows=count, seed=43))
+def build_tpch_rows(
+    count: int = 30_000, seed: int = 43, rng: random.Random | None = None
+):
+    """LineItem rows with an explicit generator RNG (same default seed
+    derivation as :func:`generate_lineitem`, so defaults reproduce the
+    historical datasets exactly)."""
+    config = TpchConfig(rows=count, seed=seed)
+    if rng is None:
+        rng = random.Random(config.seed)
+    return generate_lineitem(config, rng=rng)
 
 
 def sample_probes(records, count: int, seed: int = 0):
@@ -144,14 +162,45 @@ def sample_probes(records, count: int, seed: int = 0):
     ]
 
 
+def telemetry_summary(registry=None) -> dict:
+    """The registry condensed to the quantities §9 tables care about:
+    the fake-tuple overhead ratio, the EPC peak, and the oblivious-
+    primitive op mix."""
+    from repro import telemetry
+
+    if registry is None:
+        registry = telemetry.get_registry()
+    real = registry.value("concealer_tuples_fetched_total", kind="real")
+    fake = registry.value("concealer_tuples_fetched_total", kind="fake")
+    fetched = real + fake
+    return {
+        "tuples_real": real,
+        "tuples_fake": fake,
+        "fake_tuple_ratio": round(fake / fetched, 6) if fetched else 0.0,
+        "epc_peak_bytes": registry.value("concealer_epc_high_water_bytes"),
+        "oblivious_ops": {
+            key[0]: value
+            for key, value in sorted(
+                registry.label_values("concealer_oblivious_ops_total").items()
+            )
+        },
+    }
+
+
 def save_result(experiment: str, payload: dict) -> Path:
-    """Persist one experiment's paper-comparable rows as JSON."""
+    """Persist one experiment's paper-comparable rows as JSON.
+
+    Every saved result also carries a ``telemetry`` section summarising
+    the ambient registry at save time (cumulative over the benchmark
+    session — the fixtures build one stack per session).
+    """
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / f"{experiment}.json"
     existing = {}
     if path.exists():
         existing = json.loads(path.read_text())
     existing.update(payload)
+    existing["telemetry"] = telemetry_summary()
     path.write_text(json.dumps(existing, indent=2, sort_keys=True))
     return path
 

@@ -8,6 +8,14 @@ observed.  Exits non-zero if any answer disagrees with ground truth.
 deterministic chaos schedule (see :mod:`repro.faults.chaos`): any chaos
 failure seen in CI reproduces locally from its seed alone.  Exits
 non-zero iff an operation returned a silently-wrong answer.
+
+Observability flags (both modes):
+
+- ``--metrics json|prom`` prints the run's metrics registry after the
+  workload — every counter/gauge/histogram the instrumented stack
+  recorded, each tagged with its secrecy level;
+- ``--trace-dump`` prints the span ring buffer: the nested
+  service → enclave → storage timing trees of recent queries.
 """
 
 from __future__ import annotations
@@ -23,12 +31,27 @@ from repro import (
     GridSpec,
     ServiceProvider,
     WIFI_SCHEMA,
+    telemetry,
 )
 from repro.analysis import profile_queries
 from repro.workloads import WifiConfig, generate_wifi_epoch
 
 
-def run_chaos_cli(seed: int, ops: int) -> int:
+def _print_metrics(registry, fmt: str) -> None:
+    """Render the registry in the requested exposition format."""
+    print()
+    if fmt == "json":
+        print(registry.to_json())
+    else:
+        print(registry.to_prometheus(), end="")
+
+
+def _print_traces(tracer) -> None:
+    print()
+    print(telemetry.format_traces(tracer))
+
+
+def run_chaos_cli(seed: int, ops: int, metrics: str | None, trace_dump: bool) -> int:
     """Replay one seeded fault schedule; non-zero on silent wrongness."""
     from repro.faults.chaos import run_chaos
 
@@ -44,6 +67,23 @@ def run_chaos_cli(seed: int, ops: int) -> int:
         print(line)
     schedule = report.schedule.decode("ascii") or "(no faults fired)"
     print(f"fault schedule:\n  {schedule.replace(chr(10), chr(10) + '  ')}")
+
+    # The run's isolated registry doubles as the resilience report:
+    # every retry, backoff second, fault fire, and recovery is on it.
+    registry = report.telemetry
+    print(
+        "resilience counters: "
+        f"{registry.total('concealer_retry_attempts_total'):.0f} retried "
+        f"attempts, "
+        f"{registry.total('concealer_retry_backoff_seconds_total'):.3f}s "
+        f"backoff, "
+        f"{registry.total('concealer_faults_fired_total'):.0f} faults fired, "
+        f"{registry.total('concealer_recoveries_total'):.0f} recoveries"
+    )
+    if metrics is not None:
+        _print_metrics(registry, metrics)
+    if trace_dump:
+        _print_traces(telemetry.get_tracer())
     if report.silent_wrong:
         print(f"\nFAILED: {len(report.silent_wrong)} silently wrong answers")
         return 1
@@ -51,21 +91,8 @@ def run_chaos_cli(seed: int, ops: int) -> int:
     return 0
 
 
-def main() -> int:
-    """Run the demo (or a chaos replay); returns a process exit code."""
-    parser = argparse.ArgumentParser(prog="python -m repro")
-    parser.add_argument(
-        "--chaos-seed", type=int, default=None, metavar="N",
-        help="replay the deterministic chaos schedule for seed N",
-    )
-    parser.add_argument(
-        "--ops", type=int, default=12,
-        help="operations per chaos run (default 12)",
-    )
-    arguments = parser.parse_args()
-    if arguments.chaos_seed is not None:
-        return run_chaos_cli(arguments.chaos_seed, arguments.ops)
-
+def run_demo(metrics: str | None, trace_dump: bool) -> int:
+    """The end-to-end demo; returns a process exit code."""
     print("Concealer reproduction — end-to-end demo\n")
 
     config = WifiConfig(access_points=16, devices=80, seed=99)
@@ -120,11 +147,46 @@ def main() -> int:
         f"per-query volumes {sorted(profile.distinct_volumes)}"
     )
 
+    if metrics is not None:
+        _print_metrics(telemetry.get_registry(), metrics)
+    if trace_dump:
+        _print_traces(telemetry.get_tracer())
+
     if failures:
         print(f"\nFAILED: {failures} answers diverged from ground truth")
         return 1
     print("\nall answers verified against ground truth ✓")
     return 0
+
+
+def main() -> int:
+    """Run the demo (or a chaos replay); returns a process exit code."""
+    parser = argparse.ArgumentParser(prog="python -m repro")
+    parser.add_argument(
+        "--chaos-seed", type=int, default=None, metavar="N",
+        help="replay the deterministic chaos schedule for seed N",
+    )
+    parser.add_argument(
+        "--ops", type=int, default=12,
+        help="operations per chaos run (default 12)",
+    )
+    parser.add_argument(
+        "--metrics", choices=("json", "prom"), default=None,
+        help="print the metrics registry after the run, in this format",
+    )
+    parser.add_argument(
+        "--trace-dump", action="store_true",
+        help="print the recent-trace ring buffer after the run",
+    )
+    arguments = parser.parse_args()
+    if arguments.chaos_seed is not None:
+        return run_chaos_cli(
+            arguments.chaos_seed,
+            arguments.ops,
+            arguments.metrics,
+            arguments.trace_dump,
+        )
+    return run_demo(arguments.metrics, arguments.trace_dump)
 
 
 if __name__ == "__main__":

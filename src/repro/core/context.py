@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from collections.abc import Iterable, Sequence
 
+from repro import telemetry
 from repro.core.binning import Bin, BinLayout, pack_bins
 from repro.core.epoch import (
     EpochPackage,
@@ -47,6 +48,25 @@ _ROW_ESTIMATE_BYTES = 512
 # network; below it the pure-Python reference is faster than the numpy
 # setup cost.
 _VECTOR_SORT_THRESHOLD = 512
+
+
+def _count_tuples(real: int, fake: int) -> None:
+    """Record the real/fake split of a trapdoor batch.
+
+    The *total* is public-size (it is the bin size), but the split is
+    the very thing volume hiding conceals from the host — only the
+    enclave, which generated the trapdoors, can account for it, and the
+    family is tagged data-dependent so the leakage auditor never
+    requires it to match across datasets.
+    """
+    tuples = telemetry.counter(
+        "concealer_tuples_fetched_total",
+        "tuples requested via trapdoors, split real vs. fake (enclave-"
+        "private knowledge; the host sees only the public total)",
+        labels=("kind",),
+    )
+    tuples.labels(kind="real").inc(real)
+    tuples.labels(kind="fake").inc(fake)
 
 
 class EpochContext:
@@ -172,9 +192,11 @@ class EpochContext:
             for cid in cell_ids
             for j in range(1, self.c_tuple[cid] + 1)
         ]
+        real = len(trapdoors)
         trapdoors.extend(
             self.det.encrypt(fake_index_plaintext(fid)) for fid in fake_ids
         )
+        _count_tuples(real, len(fake_ids))
         return trapdoors
 
     def trapdoors_for_bin(self, chosen: Bin) -> list[bytes]:
@@ -219,6 +241,9 @@ class EpochContext:
             fid = fake_ids[j - 1] if j <= fake_count else 0
             slots.append((v, self.det.encrypt(fake_index_plaintext(fid))))
 
+        real = sum(v for v, _ in slots[: cells_max * tuples_max])
+        fake = sum(v for v, _ in slots[cells_max * tuples_max:])
+        _count_tuples(real, fake)
         ordered = self._oblivious_sort(slots, key=lambda s: -s[0])
         return [ct for v, ct in ordered[: self.layout.bin_size]]
 
@@ -251,17 +276,20 @@ class EpochContext:
         stats: QueryStats,
     ) -> list[Row]:
         """Submit trapdoors to the DBMS and pull the rows."""
-        self.enclave.kill_point("enclave.kill.query")
-        stats.trapdoors_generated += len(trapdoors)
-        # The fetched batch transits the EPC (one row per trapdoor,
-        # ~256 B of ciphertext each); reserve while pulling so oversized
-        # bins feel the budget here rather than succeeding silently.
-        with self.enclave.memory(256 * len(trapdoors)):
-            rows = engine.lookup_many(
-                self.table_name, "index_key", list(trapdoors)
-            )
-        stats.rows_fetched += len(rows)
-        return rows
+        with telemetry.span(
+            "enclave.fetch", epoch=self.epoch_id, trapdoors=len(trapdoors)
+        ):
+            self.enclave.kill_point("enclave.kill.query")
+            stats.trapdoors_generated += len(trapdoors)
+            # The fetched batch transits the EPC (one row per trapdoor,
+            # ~256 B of ciphertext each); reserve while pulling so oversized
+            # bins feel the budget here rather than succeeding silently.
+            with self.enclave.memory(256 * len(trapdoors)):
+                rows = engine.lookup_many(
+                    self.table_name, "index_key", list(trapdoors)
+                )
+            stats.rows_fetched += len(rows)
+            return rows
 
     # ----------------------------------------------------------- verification
 
@@ -275,6 +303,24 @@ class EpochContext:
         :class:`~repro.exceptions.IntegrityError` subclass carrying the
         epoch, table, cell-id, and violation kind) on any inconsistency.
         """
+        verifications = telemetry.counter(
+            "concealer_hashchain_verifications_total",
+            "hash-chain verifications of fetched row batches, by outcome",
+            labels=("result",),
+        )
+        try:
+            self._verify_rows(rows)
+        except IntegrityViolation as violation:
+            verifications.labels(result="violation").inc()
+            telemetry.counter(
+                "concealer_integrity_violations_total",
+                "structured integrity-verification failures, by kind",
+                labels=("kind",),
+            ).labels(kind=violation.kind).inc()
+            raise
+        verifications.labels(result="ok").inc()
+
+    def _verify_rows(self, rows: Sequence[Row]) -> None:
         column_count = len(self.schema.filter_groups) + 1
         per_cid: dict[int, list[tuple[int, Row]]] = {}
         for row in rows:

@@ -26,9 +26,10 @@ from __future__ import annotations
 import math
 import random
 
+from repro import telemetry
 from repro.core.aggregation import evaluate_aggregate
 from repro.core.binning import Bin
-from repro.core.context import EpochContext
+from repro.core.context import EpochContext, _count_tuples
 from repro.core.epoch import EpochPackage, fake_index_plaintext, index_plaintext
 from repro.core.queries import Aggregate, Predicate, QueryStats, RangeQuery
 from repro.core.service import ServiceProvider
@@ -77,22 +78,36 @@ class DynamicConcealer:
         if not span:
             raise QueryError("query range covers no ingested round")
 
+        dynamic_bins = telemetry.counter(
+            "concealer_dynamic_bins_fetched_total",
+            "§6 cross-round bin fetches split needed vs. decoy (which "
+            "rounds satisfy a query is exactly what the decoys hide)",
+            labels=("role",),
+        )
         all_matched: list[tuple[EpochContext, Bin, list[Row]]] = []
-        for epoch_id in span:
-            context = self.service.context_for(epoch_id)
-            needed = self._needed_bins(query, context)
-            fetch_set = self._fetch_set(needed, context)
-            stats.bins_fetched += len(fetch_set)
+        with telemetry.span("dynamic.range_query", rounds=len(span)):
+            for epoch_id in span:
+                context = self.service.context_for(epoch_id)
+                needed = self._needed_bins(query, context)
+                fetch_set = self._fetch_set(needed, context)
+                stats.bins_fetched += len(fetch_set)
+                needed_indexes = {b.index for b in needed}
+                dynamic_bins.labels(role="needed").inc(
+                    sum(1 for b in fetch_set if b.index in needed_indexes)
+                )
+                dynamic_bins.labels(role="decoy").inc(
+                    sum(1 for b in fetch_set if b.index not in needed_indexes)
+                )
 
-            self.service.engine.access_log.begin_query()
-            try:
-                for chosen in fetch_set:
-                    rows = self._fetch_bin(context, chosen, stats)
-                    if any(b.index == chosen.index for b in needed):
-                        all_matched.append((context, chosen, rows))
-                    self._rewrite_bin(context, chosen, rows)
-            finally:
-                self.service.engine.access_log.end_query()
+                self.service.engine.access_log.begin_query()
+                try:
+                    for chosen in fetch_set:
+                        rows = self._fetch_bin(context, chosen, stats)
+                        if any(b.index == chosen.index for b in needed):
+                            all_matched.append((context, chosen, rows))
+                        self._rewrite_bin(context, chosen, rows)
+                finally:
+                    self.service.engine.access_log.end_query()
 
         return self._aggregate(query, all_matched, stats)
 
@@ -165,9 +180,11 @@ class DynamicConcealer:
             for cid in chosen.cell_ids
             for j in range(1, context.c_tuple[cid] + 1)
         ]
+        real = len(trapdoors)
         trapdoors.extend(
             cipher.encrypt(fake_index_plaintext(fid)) for fid in chosen.fake_ids()
         )
+        _count_tuples(real, len(trapdoors) - real)
         stats.trapdoors_generated += len(trapdoors)
         rows = self.service.engine.lookup_many(
             context.table_name, "index_key", trapdoors
@@ -227,6 +244,13 @@ class DynamicConcealer:
 
         self._generations[key] = new_generation
         self._ciphers[key] = new_cipher
+        # Every fetched bin is rewritten, needed or decoy alike, so the
+        # rewrite count is a pure function of the public fetch-set size.
+        telemetry.counter(
+            "concealer_bin_rewrites_total",
+            "§6 step-iii bin rewrites (re-key + permute + write back)",
+            secrecy=telemetry.PUBLIC_SIZE,
+        ).inc()
 
     def _aggregate(
         self,

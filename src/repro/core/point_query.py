@@ -22,6 +22,7 @@ certify produce identical event streams across queries.
 
 from __future__ import annotations
 
+from repro import telemetry
 from repro.core.aggregation import evaluate_aggregate, needs_decryption
 from repro.core.context import EpochContext
 from repro.core.queries import (
@@ -63,54 +64,64 @@ class BPBExecutor:
         stats = QueryStats(oblivious=self.oblivious)
         predicate = self._resolve_predicate(query, context)
 
-        # STEP 1: cell identification.
-        cell_id = context.grid.place_values(query.index_values, query.timestamp)
-        if self.quarantine is not None:
-            self.quarantine.check(context.epoch_id, cell_id)
-
-        # STEP 2: bin identification (plus §8 super-bin expansion).
-        chosen = context.layout.bin_of_cell_id(cell_id)
-        if self.super_bin_count is not None:
-            layout = context.super_layout(self.super_bin_count)
-            bins = [
-                context.layout.bins[index]
-                for index in layout.bins_to_fetch(chosen.index)
-            ]
-        else:
-            bins = [chosen]
-        stats.bins_fetched = len(bins)
-
-        # STEP 3: trapdoor formulation.
-        rows = []
-        for fetch_bin in bins:
-            if self.oblivious:
-                trapdoors = context.oblivious_trapdoors_for_bin(fetch_bin)
-            else:
-                trapdoors = context.trapdoors_for_bin(fetch_bin)
-            rows.extend(context.fetch(self.engine, trapdoors, stats))
-
-        # STEP 4: verification, filtering, aggregation.
-        if self.verify:
-            context.verify_rows(rows)
-            stats.verified = True
-
-        filters = context.filters_for(predicate, [query.timestamp])
-        if self.oblivious:
-            matched = context.match_rows_oblivious(
-                rows, filters, predicate.group, stats
+        with telemetry.span(
+            "enclave.point_query", epoch=context.epoch_id
+        ) as query_span:
+            # STEP 1: cell identification.
+            cell_id = context.grid.place_values(
+                query.index_values, query.timestamp
             )
-        else:
-            matched = context.match_rows(rows, filters, predicate.group, stats)
+            if self.quarantine is not None:
+                self.quarantine.check(context.epoch_id, cell_id)
 
-        if query.aggregate is Aggregate.COUNT:
-            return len(matched), stats
-        if not needs_decryption(query.aggregate):
-            raise QueryError(f"unhandled match-only aggregate {query.aggregate}")
-        records = context.decrypt_records(matched, stats)
-        answer = evaluate_aggregate(
-            query.aggregate, records, context.schema, query.target, query.k
-        )
-        return answer, stats
+            # STEP 2: bin identification (plus §8 super-bin expansion).
+            chosen = context.layout.bin_of_cell_id(cell_id)
+            if self.super_bin_count is not None:
+                layout = context.super_layout(self.super_bin_count)
+                bins = [
+                    context.layout.bins[index]
+                    for index in layout.bins_to_fetch(chosen.index)
+                ]
+            else:
+                bins = [chosen]
+            stats.bins_fetched = len(bins)
+            query_span.set(bins=len(bins))
+
+            # STEP 3: trapdoor formulation.
+            rows = []
+            for fetch_bin in bins:
+                if self.oblivious:
+                    trapdoors = context.oblivious_trapdoors_for_bin(fetch_bin)
+                else:
+                    trapdoors = context.trapdoors_for_bin(fetch_bin)
+                rows.extend(context.fetch(self.engine, trapdoors, stats))
+
+            # STEP 4: verification, filtering, aggregation.
+            if self.verify:
+                context.verify_rows(rows)
+                stats.verified = True
+
+            filters = context.filters_for(predicate, [query.timestamp])
+            if self.oblivious:
+                matched = context.match_rows_oblivious(
+                    rows, filters, predicate.group, stats
+                )
+            else:
+                matched = context.match_rows(
+                    rows, filters, predicate.group, stats
+                )
+
+            if query.aggregate is Aggregate.COUNT:
+                return len(matched), stats
+            if not needs_decryption(query.aggregate):
+                raise QueryError(
+                    f"unhandled match-only aggregate {query.aggregate}"
+                )
+            records = context.decrypt_records(matched, stats)
+            answer = evaluate_aggregate(
+                query.aggregate, records, context.schema, query.target, query.k
+            )
+            return answer, stats
 
     @staticmethod
     def _resolve_predicate(query: PointQuery, context: EpochContext) -> Predicate:

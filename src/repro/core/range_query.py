@@ -30,6 +30,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+from repro import telemetry
 from repro.core.aggregation import evaluate_aggregate, needs_decryption
 from repro.core.context import EpochContext
 from repro.core.queries import Aggregate, Predicate, QueryStats, RangeQuery
@@ -105,14 +106,20 @@ class RangeExecutor:
 
         bins = context.layout.bins_of_cell_ids(needed_cids)
         stats.bins_fetched = len(bins)
-        rows: list[Row] = []
-        for chosen in bins:
-            if self.oblivious:
-                trapdoors = context.oblivious_trapdoors_for_bin(chosen)
-            else:
-                trapdoors = context.trapdoors_for_bin(chosen)
-            rows.extend(context.fetch(self.engine, trapdoors, stats))
-        return self._finish(query, context, rows, stats)
+        with telemetry.span(
+            "enclave.range_query",
+            epoch=context.epoch_id,
+            method="multipoint",
+            bins=len(bins),
+        ):
+            rows: list[Row] = []
+            for chosen in bins:
+                if self.oblivious:
+                    trapdoors = context.oblivious_trapdoors_for_bin(chosen)
+                else:
+                    trapdoors = context.trapdoors_for_bin(chosen)
+                rows.extend(context.fetch(self.engine, trapdoors, stats))
+            return self._finish(query, context, rows, stats)
 
     # -------------------------------------------------------------- §5.2 eBPB
 
@@ -141,10 +148,23 @@ class RangeExecutor:
         stats.extra["ebpb_budget"] = budget
         stats.extra["ebpb_real_volume"] = real_volume
         stats.bins_fetched = len(combos)
+        # The budget is a pure function of the epoch metadata and the
+        # query's public shape (candidate count, span) — public-size.
+        telemetry.gauge(
+            "concealer_ebpb_budget_rows",
+            "current eBPB retrieval budget (rows per fetch)",
+            secrecy=telemetry.PUBLIC_SIZE,
+        ).set(budget)
 
-        trapdoors = context.trapdoors_for_cell_ids(needed_cids, fake_ids)
-        rows = context.fetch(self.engine, trapdoors, stats)
-        return self._finish(query, context, rows, stats)
+        with telemetry.span(
+            "enclave.range_query",
+            epoch=context.epoch_id,
+            method="ebpb",
+            budget=budget,
+        ):
+            trapdoors = context.trapdoors_for_cell_ids(needed_cids, fake_ids)
+            rows = context.fetch(self.engine, trapdoors, stats)
+            return self._finish(query, context, rows, stats)
 
     def _ebpb_budget(self, context: EpochContext, span: int) -> _EBPBState:
         """STEP 2–3: per-column worst-case volumes for ℓ-window queries.
@@ -202,20 +222,26 @@ class RangeExecutor:
         windows = self._covering_windows(query, context)
         window_size = self._window_budget(context)
 
-        rows: list[Row] = []
-        fake_offset = 0
-        for window in windows:
-            cids = self._window_cell_ids(context, window)
-            real_volume = sum(context.c_tuple[cid] for cid in cids)
-            fake_ids = self._pad_fakes(
-                context, max(0, window_size - real_volume), offset=fake_offset
-            )
-            fake_offset += len(fake_ids)
-            trapdoors = context.trapdoors_for_cell_ids(cids, fake_ids)
-            rows.extend(context.fetch(self.engine, trapdoors, stats))
-        stats.bins_fetched = len(windows)
-        stats.extra["window_size"] = window_size
-        return self._finish(query, context, rows, stats)
+        with telemetry.span(
+            "enclave.range_query",
+            epoch=context.epoch_id,
+            method="winsecrange",
+            windows=len(windows),
+        ):
+            rows: list[Row] = []
+            fake_offset = 0
+            for window in windows:
+                cids = self._window_cell_ids(context, window)
+                real_volume = sum(context.c_tuple[cid] for cid in cids)
+                fake_ids = self._pad_fakes(
+                    context, max(0, window_size - real_volume), offset=fake_offset
+                )
+                fake_offset += len(fake_ids)
+                trapdoors = context.trapdoors_for_cell_ids(cids, fake_ids)
+                rows.extend(context.fetch(self.engine, trapdoors, stats))
+            stats.bins_fetched = len(windows)
+            stats.extra["window_size"] = window_size
+            return self._finish(query, context, rows, stats)
 
     def _covering_windows(self, query: RangeQuery, context: EpochContext) -> list[int]:
         """The λ-window indices intersecting the query's time range."""

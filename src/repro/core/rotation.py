@@ -41,6 +41,7 @@ from __future__ import annotations
 
 import hmac as _hmac
 
+from repro import telemetry
 from repro.core.epoch import FAKE_CHAIN_LABEL, encode_int_vector
 from repro.core.service import ServiceProvider
 from repro.core.schema import unpad_plaintext
@@ -76,6 +77,15 @@ class RotationJournal:
         "enc_tags",
     )
 
+    @staticmethod
+    def _count_phase(phase: str, amount: int = 1) -> None:
+        telemetry.counter(
+            "concealer_rotation_epochs_total",
+            "rotation journal transitions, by phase "
+            "(intent / commit / rollback)",
+            labels=("phase",),
+        ).labels(phase=phase).inc(amount)
+
     def __init__(self):
         self._intents: list[tuple[int, dict, dict]] = []
         self.committed = False
@@ -97,9 +107,11 @@ class RotationJournal:
             for name in self._PACKAGE_FIELDS
         }
         self._intents.append((epoch_id, rows, fields))
+        self._count_phase("intent")
 
     def commit(self) -> None:
         """Point of no return: every epoch rewrote cleanly."""
+        self._count_phase("commit", len(self._intents))
         self._intents.clear()
         self.committed = True
 
@@ -119,6 +131,7 @@ class RotationJournal:
             for name, value in fields.items():
                 setattr(package, name, value)
             restored += 1
+        self._count_phase("rollback", restored)
         self._intents.clear()
         # Cached contexts may hold ciphers for half-rotated state.
         service._contexts.clear()
@@ -144,12 +157,23 @@ def rotate_service_keys(
         raise AuthorizationError("rotation token invalid: not authorized by DP")
 
     journal = RotationJournal()
-    try:
-        rotated_rows = _rotate_all_epochs(service, old_master, new_master, journal)
-        journal.commit()
-    except BaseException:
-        journal.rollback(service)
-        raise
+    with telemetry.span(
+        "rotation.rotate", epochs=len(service.ingested_epochs())
+    ) as rotate_span:
+        try:
+            rotated_rows = _rotate_all_epochs(
+                service, old_master, new_master, journal
+            )
+            journal.commit()
+        except BaseException:
+            journal.rollback(service)
+            raise
+        rotate_span.set(rows=rotated_rows)
+        telemetry.counter(
+            "concealer_rotation_rows_total",
+            "rows re-encrypted by committed key rotations",
+            secrecy=telemetry.PUBLIC_SIZE,
+        ).inc(rotated_rows)
 
     # Swap the sealed key material; cached contexts hold old ciphers.
     old_schedule = enclave.key_schedule

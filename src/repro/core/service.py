@@ -22,6 +22,7 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass
 
+from repro import telemetry
 from repro.core.context import EpochContext
 from repro.core.epoch import EpochPackage
 from repro.core.point_query import BPBExecutor
@@ -43,6 +44,56 @@ from repro.faults.quarantine import QuarantineLog
 from repro.storage.engine import StorageEngine
 
 RANGE_METHODS = ("multipoint", "ebpb", "winsecrange", "auto")
+
+
+def _record_query(kind: str, method: str, stats: QueryStats, seconds: float) -> None:
+    """Fold one finished query's stats into the ambient registry.
+
+    Fetch-side volumes (trapdoors, rows fetched, bins) are tagged
+    public-size — volume hiding promises they depend only on the query
+    shape, and the leakage auditor holds the registry to that promise.
+    Match/decrypt counts are the query's *answer* volume and stay
+    data-dependent, as do wall-clock durations (timing side channel).
+    """
+    telemetry.counter(
+        "concealer_queries_total",
+        "queries executed, by kind and method",
+        secrecy=telemetry.PUBLIC_SIZE,
+        labels=("kind", "method"),
+    ).labels(kind=kind, method=method).inc()
+    telemetry.counter(
+        "concealer_bins_fetched_total",
+        "bins retrieved from storage",
+        secrecy=telemetry.PUBLIC_SIZE,
+        labels=("kind",),
+    ).labels(kind=kind).inc(stats.bins_fetched)
+    telemetry.counter(
+        "concealer_trapdoors_total",
+        "trapdoor ciphertexts submitted to the DBMS",
+        secrecy=telemetry.PUBLIC_SIZE,
+        labels=("kind",),
+    ).labels(kind=kind).inc(stats.trapdoors_generated)
+    telemetry.counter(
+        "concealer_rows_fetched_total",
+        "encrypted rows pulled into the enclave",
+        secrecy=telemetry.PUBLIC_SIZE,
+        labels=("kind",),
+    ).labels(kind=kind).inc(stats.rows_fetched)
+    telemetry.counter(
+        "concealer_rows_matched_total",
+        "rows matching the query predicate (enclave-private)",
+        labels=("kind",),
+    ).labels(kind=kind).inc(stats.rows_matched)
+    telemetry.counter(
+        "concealer_rows_decrypted_total",
+        "answer payloads decrypted (enclave-private)",
+        labels=("kind",),
+    ).labels(kind=kind).inc(stats.rows_decrypted)
+    telemetry.histogram(
+        "concealer_query_seconds",
+        "end-to-end query latency (timing is a side channel: never public)",
+        labels=("kind",),
+    ).labels(kind=kind).observe(seconds)
 
 
 @dataclass
@@ -228,13 +279,16 @@ class ServiceProvider:
         """Run a point query (Algorithm 2) inside the enclave."""
         eid = epoch_id if epoch_id is not None else self._epoch_of(query.timestamp)
         context = self.context_for(eid)
-        self.engine.access_log.begin_query()
-        try:
-            return self._execute_resilient(
-                lambda: self._point_executor.execute(query, context)
-            )
-        finally:
-            self.engine.access_log.end_query()
+        with telemetry.span("service.point_query", epoch=eid) as query_span:
+            self.engine.access_log.begin_query()
+            try:
+                answer, stats = self._execute_resilient(
+                    lambda: self._point_executor.execute(query, context)
+                )
+            finally:
+                self.engine.access_log.end_query()
+        _record_query("point", "bpb", stats, query_span.duration)
+        return answer, stats
 
     def execute_range(
         self,
@@ -255,17 +309,22 @@ class ServiceProvider:
         context = self.context_for(eid)
         if method == "auto":
             method = self.choose_range_method(query, context)
-        self.engine.access_log.begin_query()
-        try:
-            if method == "multipoint":
-                run = lambda: self._range_executor.execute_multipoint(query, context)
-            elif method == "ebpb":
-                run = lambda: self._range_executor.execute_ebpb(query, context)
-            else:
-                run = lambda: self._range_executor.execute_winsecrange(query, context)
-            return self._execute_resilient(run)
-        finally:
-            self.engine.access_log.end_query()
+        with telemetry.span(
+            "service.range_query", epoch=eid, method=method
+        ) as query_span:
+            self.engine.access_log.begin_query()
+            try:
+                if method == "multipoint":
+                    run = lambda: self._range_executor.execute_multipoint(query, context)
+                elif method == "ebpb":
+                    run = lambda: self._range_executor.execute_ebpb(query, context)
+                else:
+                    run = lambda: self._range_executor.execute_winsecrange(query, context)
+                answer, stats = self._execute_resilient(run)
+            finally:
+                self.engine.access_log.end_query()
+        _record_query("range", method, stats, query_span.duration)
+        return answer, stats
 
     def _execute_resilient(self, run):
         """Retry transient storage faults; quarantine integrity failures.

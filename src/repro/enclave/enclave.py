@@ -26,6 +26,7 @@ import os
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
+from repro import telemetry
 from repro.crypto.keys import EpochKeySchedule
 from repro.enclave.attestation import Quote, measure_code
 from repro.enclave.trace import TraceRecorder
@@ -97,6 +98,16 @@ class Enclave:
         self._crashed = reason
         self._sealed = _SealedState()
         self._epc_used = 0
+        telemetry.counter(
+            "concealer_enclave_crashes_total",
+            "enclave kills (AEX / power event) by fault site",
+            labels=("site",),
+        ).labels(site=reason).inc()
+        telemetry.gauge(
+            "concealer_epc_used_bytes",
+            "currently reserved in-enclave working memory",
+            secrecy=telemetry.PUBLIC_SIZE,
+        ).set(0)
 
     def _ecall_guard(self) -> None:
         if self._crashed is not None:
@@ -195,10 +206,35 @@ class Enclave:
             )
         self._epc_used += nbytes
         self._epc_high_water = max(self._epc_high_water, self._epc_used)
+        telemetry.counter(
+            "concealer_epc_charge_events_total",
+            "EPC working-set reservations",
+            secrecy=telemetry.PUBLIC_SIZE,
+        ).inc()
+        telemetry.gauge(
+            "concealer_epc_used_bytes",
+            "currently reserved in-enclave working memory",
+            secrecy=telemetry.PUBLIC_SIZE,
+        ).set(self._epc_used)
+        telemetry.gauge(
+            "concealer_epc_high_water_bytes",
+            "peak reserved in-enclave working memory",
+            secrecy=telemetry.PUBLIC_SIZE,
+        ).set_max(self._epc_high_water)
 
     def release_memory(self, nbytes: int) -> None:
         """Return working memory to the budget."""
         self._epc_used = max(0, self._epc_used - nbytes)
+        telemetry.counter(
+            "concealer_epc_release_events_total",
+            "EPC working-set releases",
+            secrecy=telemetry.PUBLIC_SIZE,
+        ).inc()
+        telemetry.gauge(
+            "concealer_epc_used_bytes",
+            "currently reserved in-enclave working memory",
+            secrecy=telemetry.PUBLIC_SIZE,
+        ).set(self._epc_used)
 
     @contextmanager
     def memory(self, nbytes: int):

@@ -21,6 +21,8 @@ import hashlib
 from contextlib import contextmanager
 from dataclasses import dataclass
 
+from repro import telemetry
+
 
 @dataclass(frozen=True)
 class TraceEvent:
@@ -36,7 +38,17 @@ class TraceEvent:
 
 
 class TraceRecorder:
-    """Collects the observable event stream of an enclave computation."""
+    """Collects the observable event stream of an enclave computation.
+
+    Every recorded event is also bridged onto the ambient metrics
+    registry as a per-primitive op counter
+    (``concealer_oblivious_ops_total{op=...}``), so the §4.3 cost
+    decomposition shows up in ``--metrics`` output without a second
+    event system.  The bridge only *counts* — the event stream that the
+    trace-equivalence tests hash is untouched — and op counts are
+    tagged public-size precisely because trace equivalence guarantees
+    them equal across equal-public-size inputs.
+    """
 
     def __init__(self):
         self._events: list[TraceEvent] = []
@@ -46,6 +58,13 @@ class TraceRecorder:
         """Record one observable event (no-op while disabled)."""
         if self._enabled:
             self._events.append(TraceEvent(operation, tuple(public_args)))
+            telemetry.counter(
+                "concealer_oblivious_ops_total",
+                "oblivious-primitive operations by kind (bridged from the "
+                "side-channel TraceRecorder)",
+                secrecy=telemetry.PUBLIC_SIZE,
+                labels=("op",),
+            ).labels(op=operation).inc()
 
     def events(self) -> list[TraceEvent]:
         """A copy of the recorded stream."""

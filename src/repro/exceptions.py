@@ -140,6 +140,19 @@ class IntegrityViolation(IntegrityError, PermanentError):
         }
 
 
+class TelemetryError(ConcealerError):
+    """The metrics registry rejected a registration or an update."""
+
+
+class LeakageAuditError(ConcealerError):
+    """A metric tagged public-size diverged between equal-public-size runs.
+
+    Raised by :mod:`repro.telemetry.audit` when the volume-hiding
+    contract encoded in the secrecy tags is violated — either a genuine
+    volume leak, or a data-dependent metric mislabeled ``public-size``.
+    """
+
+
 class QueryError(ConcealerError):
     """A query was malformed or referenced values outside the data domain."""
 

@@ -33,6 +33,7 @@ import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro import telemetry
 from repro.core.provider import DataProvider
 from repro.core.grid import GridSpec
 from repro.core.queries import PointQuery, RangeQuery
@@ -96,6 +97,11 @@ class ChaosReport:
     schedule: bytes = b""
     faults_fired: int = 0
     recoveries: int = 0
+    # The run's isolated metrics registry.  Excluded from comparison
+    # (and from fingerprint()): replay determinism is about outcomes and
+    # the fault schedule, not about observability internals like backoff
+    # float sums.
+    telemetry: object = field(default=None, compare=False, repr=False)
 
     @property
     def silent_wrong(self) -> list[ChaosOutcome]:
@@ -291,26 +297,33 @@ class ChaosRun:
     # ------------------------------------------------------------------ run
 
     def run(self, ops: int = 12) -> ChaosReport:
-        """Execute the seeded schedule: ingest, then a mixed op stream."""
-        try:
-            self.ingest(0)
-            for index in range(ops):
-                # A second epoch lands part-way through (insert workload).
-                if index == ops // 2 and EPOCH_DURATION not in self.oracle:
-                    self.ingest(EPOCH_DURATION)
-                    continue
-                draw = self.workload_rng.random()
-                if draw < 0.45:
-                    self.point_query()
-                elif draw < 0.85:
-                    self.range_query()
-                else:
-                    self.checkpoint_cycle()
-        finally:
-            self.report.schedule = self.injector.encode_schedule()
-            self.report.faults_fired = len(self.injector.fired)
-            if self._tmp is not None:
-                self._tmp.cleanup()
+        """Execute the seeded schedule: ingest, then a mixed op stream.
+
+        The whole run executes under a fresh scoped registry, so the
+        report's ``telemetry`` (retry counts, recoveries, fault fires)
+        covers exactly this run and nothing ambient.
+        """
+        with telemetry.scoped_registry() as registry:
+            try:
+                self.ingest(0)
+                for index in range(ops):
+                    # A second epoch lands part-way through (insert workload).
+                    if index == ops // 2 and EPOCH_DURATION not in self.oracle:
+                        self.ingest(EPOCH_DURATION)
+                        continue
+                    draw = self.workload_rng.random()
+                    if draw < 0.45:
+                        self.point_query()
+                    elif draw < 0.85:
+                        self.range_query()
+                    else:
+                        self.checkpoint_cycle()
+            finally:
+                self.report.schedule = self.injector.encode_schedule()
+                self.report.faults_fired = len(self.injector.fired)
+                self.report.telemetry = registry
+                if self._tmp is not None:
+                    self._tmp.cleanup()
         return self.report
 
 

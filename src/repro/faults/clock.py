@@ -11,6 +11,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
+from repro import telemetry
 from repro.exceptions import TransientStorageError
 
 
@@ -76,11 +77,22 @@ class RetryPolicy:
             try:
                 return fn()
             except self.retry_on as error:  # type: ignore[misc]
+                # Only the failure path pays for telemetry; the happy
+                # path above is a bare call.
                 last = error
+                telemetry.counter(
+                    "concealer_retry_attempts_total",
+                    "attempts that failed with a retryable error",
+                ).inc()
                 if attempt == self.attempts - 1:
                     break
-                self.clock.sleep(
-                    min(self.base_delay * self.multiplier ** attempt, self.max_delay)
+                delay = min(
+                    self.base_delay * self.multiplier ** attempt, self.max_delay
                 )
+                telemetry.counter(
+                    "concealer_retry_backoff_seconds_total",
+                    "total backoff slept between retries",
+                ).inc(delay)
+                self.clock.sleep(delay)
         assert last is not None
         raise last

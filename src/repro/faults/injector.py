@@ -43,6 +43,8 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 
+from repro import telemetry
+
 FAULT_SITES = (
     "storage.read.transient",
     "storage.write.transient",
@@ -93,6 +95,16 @@ class FaultEvent:
 class _SiteState:
     spec: FaultSpec
     fires: int = 0
+
+
+def _count_fire(site: str) -> None:
+    """Count one fired fault (consultations that pass are not counted —
+    the hot path stays a dict lookup plus an RNG draw)."""
+    telemetry.counter(
+        "concealer_faults_fired_total",
+        "injected faults that actually fired, by site",
+        labels=("site",),
+    ).labels(site=site).inc()
 
 
 class FaultInjector:
@@ -153,6 +165,7 @@ class FaultInjector:
         if self._forced:
             if (site, index) in self._forced:
                 self.fired.append(FaultEvent(site, index))
+                _count_fire(site)
                 return FaultSpec(site, probability=1.0, max_fires=None)
             return None
 
@@ -165,6 +178,7 @@ class FaultInjector:
             return None
         state.fires += 1
         self.fired.append(FaultEvent(site, index))
+        _count_fire(site)
         return state.spec
 
     def _site_rng(self, site: str, index: int) -> random.Random:

@@ -26,11 +26,20 @@ from __future__ import annotations
 
 from pathlib import Path
 
+from repro import telemetry
 from repro.core.provider import DataProvider
 from repro.core.service import ServiceProvider
 from repro.enclave.enclave import Enclave
 from repro.exceptions import StorageError
 from repro.storage.checkpoint import checkpoint_engine, restore_engine
+
+
+def _count_recovery(component: str) -> None:
+    telemetry.counter(
+        "concealer_recoveries_total",
+        "completed crash recoveries, by component",
+        labels=("component",),
+    ).labels(component=component).inc()
 
 
 class RecoveryCoordinator:
@@ -89,6 +98,7 @@ class RecoveryCoordinator:
         self.service.adopt_enclave(fresh)
         self.provider.provision_enclave(fresh)
         self.service.install_registry(self.provider.sealed_registry())
+        _count_recovery("enclave")
         return fresh
 
     def recover_storage(self) -> None:
@@ -96,6 +106,7 @@ class RecoveryCoordinator:
         if self.checkpoint_path is None:
             raise StorageError("no checkpoint path configured")
         self.service.adopt_engine(restore_engine(self.checkpoint_path))
+        _count_recovery("storage")
 
     def recover(self, restore_storage: bool = False) -> dict:
         """Recover whatever is broken; returns a summary of actions taken.

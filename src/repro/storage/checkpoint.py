@@ -25,6 +25,7 @@ import pickle
 import struct
 from pathlib import Path
 
+from repro import telemetry
 from repro.exceptions import StorageError, TransientStorageError
 from repro.faults.injector import FaultInjector, NULL_INJECTOR
 from repro.storage.engine import StorageEngine
@@ -105,13 +106,27 @@ def checkpoint_engine(
         "indexes": sorted(engine._indexes.keys()),
     }
     payload = pickle.dumps(snapshot, protocol=pickle.HIGHEST_PROTOCOL)
-    if injector.fire("storage.checkpoint.torn") is not None:
-        path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_bytes(payload[: max(1, len(payload) // 2)])
-        raise TransientStorageError(
-            f"checkpoint to {path} torn mid-write (injected crash)"
-        )
-    write_framed(path, payload)
+    outcomes = telemetry.counter(
+        "concealer_checkpoints_total",
+        "storage checkpoints, by outcome (torn = injected mid-write crash)",
+        labels=("result",),
+    )
+    with telemetry.span("storage.checkpoint", bytes=len(payload)):
+        if injector.fire("storage.checkpoint.torn") is not None:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_bytes(payload[: max(1, len(payload) // 2)])
+            outcomes.labels(result="torn").inc()
+            raise TransientStorageError(
+                f"checkpoint to {path} torn mid-write (injected crash)"
+            )
+        write_framed(path, payload)
+    outcomes.labels(result="ok").inc()
+    telemetry.histogram(
+        "concealer_checkpoint_bytes",
+        "payload size of completed checkpoints",
+        secrecy=telemetry.PUBLIC_SIZE,
+        boundaries=(4096.0, 65536.0, 1048576.0, 16777216.0, 268435456.0),
+    ).observe(len(payload))
     return path
 
 
@@ -122,36 +137,41 @@ def restore_engine(path: str | Path) -> StorageEngine:
     mismatch, a missing footer, or an unknown ``_FORMAT_VERSION``.
     """
     path = Path(path)
-    payload = read_framed(path)
-    try:
-        snapshot = pickle.loads(payload)
-    except Exception as error:
-        raise StorageError(
-            f"checkpoint {path} passed its checksum but failed to "
-            f"deserialise: {error}"
-        ) from error
-    if not isinstance(snapshot, dict) or snapshot.get("version") != _FORMAT_VERSION:
-        version = snapshot.get("version") if isinstance(snapshot, dict) else None
-        raise StorageError(
-            f"unsupported checkpoint version {version!r} "
-            f"(this build reads version {_FORMAT_VERSION})"
-        )
-    engine = StorageEngine(
-        btree_order=snapshot["btree_order"],
-        rows_per_page=snapshot["rows_per_page"],
-    )
-    for name, table_snapshot in snapshot["tables"].items():
-        engine.create_table(name, table_snapshot["columns"])
-        table = engine._tables[name]
-        for row_id in sorted(table_snapshot["rows"]):
-            from repro.storage.table import Row
-
-            table._rows[row_id] = Row(
-                row_id=row_id, columns=tuple(table_snapshot["rows"][row_id])
+    with telemetry.span("storage.restore"):
+        payload = read_framed(path)
+        try:
+            snapshot = pickle.loads(payload)
+        except Exception as error:
+            raise StorageError(
+                f"checkpoint {path} passed its checksum but failed to "
+                f"deserialise: {error}"
+            ) from error
+        if not isinstance(snapshot, dict) or snapshot.get("version") != _FORMAT_VERSION:
+            version = snapshot.get("version") if isinstance(snapshot, dict) else None
+            raise StorageError(
+                f"unsupported checkpoint version {version!r} "
+                f"(this build reads version {_FORMAT_VERSION})"
             )
-            engine._pagers[name].note_row(row_id)
-        table._next_row_id = table_snapshot["next_row_id"]
-    for table_name, column in snapshot["indexes"]:
-        engine.create_index(table_name, column)
-    engine.access_log.clear()
+        engine = StorageEngine(
+            btree_order=snapshot["btree_order"],
+            rows_per_page=snapshot["rows_per_page"],
+        )
+        for name, table_snapshot in snapshot["tables"].items():
+            engine.create_table(name, table_snapshot["columns"])
+            table = engine._tables[name]
+            for row_id in sorted(table_snapshot["rows"]):
+                from repro.storage.table import Row
+
+                table._rows[row_id] = Row(
+                    row_id=row_id, columns=tuple(table_snapshot["rows"][row_id])
+                )
+                engine._pagers[name].note_row(row_id)
+            table._next_row_id = table_snapshot["next_row_id"]
+        for table_name, column in snapshot["indexes"]:
+            engine.create_index(table_name, column)
+        engine.access_log.clear()
+    telemetry.counter(
+        "concealer_restores_total",
+        "storage engines rebuilt from checkpoint snapshots",
+    ).inc()
     return engine

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from collections.abc import Iterator, Sequence
 
+from repro import telemetry
 from repro.exceptions import (
     IndexNotFoundError,
     StorageError,
@@ -109,6 +110,11 @@ class StorageEngine:
             if tname == table:
                 tree.insert(columns[tbl.column_index(column)], row_id)
         self.access_log.record(AccessKind.ROW_WRITE, table, row_id)
+        telemetry.counter(
+            "concealer_storage_rows_written_total",
+            "rows written to storage (inserts, deletes, overwrites)",
+            secrecy=telemetry.PUBLIC_SIZE,
+        ).inc()
         return row_id
 
     def insert_many(self, table: str, rows: Sequence[Sequence]) -> list[int]:
@@ -124,6 +130,11 @@ class StorageEngine:
                 tree.delete(row[tbl.column_index(column)], row_id)
         tbl.delete(row_id)
         self.access_log.record(AccessKind.ROW_WRITE, table, row_id)
+        telemetry.counter(
+            "concealer_storage_rows_written_total",
+            "rows written to storage (inserts, deletes, overwrites)",
+            secrecy=telemetry.PUBLIC_SIZE,
+        ).inc()
 
     def overwrite(self, table: str, row_id: int, columns: Sequence) -> None:
         """Replace a row in place, keeping indexes consistent."""
@@ -136,6 +147,11 @@ class StorageEngine:
                 tree.insert(columns[position], row_id)
         tbl.overwrite(row_id, columns)
         self.access_log.record(AccessKind.ROW_WRITE, table, row_id)
+        telemetry.counter(
+            "concealer_storage_rows_written_total",
+            "rows written to storage (inserts, deletes, overwrites)",
+            secrecy=telemetry.PUBLIC_SIZE,
+        ).inc()
 
     # ----------------------------------------------------------------- reads
 
@@ -151,12 +167,22 @@ class StorageEngine:
         self.access_log.record(
             AccessKind.PAGE_READ, table, self._pagers[table].page_of(row_id)
         )
+        telemetry.counter(
+            "concealer_storage_rows_read_total",
+            "rows read from storage, as the host observes them",
+            secrecy=telemetry.PUBLIC_SIZE,
+        ).inc()
         return row
 
     def lookup(self, table: str, column: str, key) -> list[Row]:
         """Index point lookup: all rows whose ``column`` equals ``key``."""
         tree = self._index(table, column)
         self.access_log.record(AccessKind.INDEX_LOOKUP, table, key)
+        telemetry.counter(
+            "concealer_index_lookups_total",
+            "B+-tree point lookups submitted to storage",
+            secrecy=telemetry.PUBLIC_SIZE,
+        ).inc()
         return [self.fetch_row(table, row_id) for row_id in tree.get(key)]
 
     def lookup_many(self, table: str, column: str, keys: Sequence) -> list[Row]:
@@ -167,10 +193,11 @@ class StorageEngine:
         stored data stays intact), exactly the misbehaviour the paper's
         hash-chain tags detect.
         """
-        rows: list[Row] = []
-        for key in keys:
-            rows.extend(self.lookup(table, column, key))
-        return self._tamper(rows)
+        with telemetry.span("storage.lookup", table=table, keys=len(keys)):
+            rows: list[Row] = []
+            for key in keys:
+                rows.extend(self.lookup(table, column, key))
+            return self._tamper(rows)
 
     def range_lookup(self, table: str, column: str, low, high) -> list[Row]:
         """Index range scan over ``[low, high]``."""

@@ -1,0 +1,126 @@
+"""The leakage-audit ledger: observability that proves it does not leak.
+
+Volume hiding makes a sharp, testable promise: everything the host
+observes about a query — rows fetched, bins touched, trapdoor counts,
+EPC reservations — is a function of *public* parameters only.  The
+metrics registry records those very quantities, so the registry itself
+becomes a regression check: run the same public-shape workload over two
+*different* datasets of equal public size, and every family tagged
+:data:`~repro.telemetry.metrics.PUBLIC_SIZE` must land on identical
+values.  Any divergence is either a genuine volume leak in the query
+pipeline or a data-dependent metric mislabeled public — both are bugs
+this module turns into a loud :class:`~repro.exceptions.LeakageAuditError`.
+
+Usage::
+
+    report_a = audit_run(lambda: workload(dataset_a))
+    report_b = audit_run(lambda: workload(dataset_b))
+    assert_equal_public_view(report_a, report_b)
+
+``audit_run`` executes the workload under a fresh scoped registry so
+ambient telemetry from earlier activity cannot contaminate the
+comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import LeakageAuditError
+from repro.telemetry.metrics import MetricsRegistry, PUBLIC_SIZE
+
+
+@dataclass
+class AuditReport:
+    """One audited run: the registry it filled plus the workload's result."""
+
+    registry: MetricsRegistry
+    result: object = None
+
+    def public_view(self, extra_public: tuple[str, ...] = ()) -> dict:
+        """Every public-size family's samples, canonically keyed.
+
+        ``extra_public`` forces additional families into the view *as if*
+        they were tagged public — the hook the mislabel regression test
+        uses to prove the auditor would catch a wrong tag.
+        """
+        return public_view(self.registry, extra_public=extra_public)
+
+
+def public_view(
+    registry: MetricsRegistry, extra_public: tuple[str, ...] = ()
+) -> dict:
+    """``{metric_name: {label-tuple: value}}`` over the public families.
+
+    Histograms contribute their per-bucket counts and observation count
+    (their ``sum`` too — for a public-size histogram, observed values
+    are public quantities like checkpoint bytes).
+    """
+    view: dict = {}
+    for family in registry.families():
+        if family.secrecy != PUBLIC_SIZE and family.name not in extra_public:
+            continue
+        samples: dict = {}
+        for key, child in family.children.items():
+            if family.kind == "histogram":
+                samples[key] = (
+                    tuple(child.bucket_counts),
+                    child.count,
+                    child.sum,
+                )
+            else:
+                samples[key] = child.value
+        view[family.name] = samples
+    return view
+
+
+def diff_public_views(view_a: dict, view_b: dict) -> list[str]:
+    """Human-readable mismatches between two public views (empty = equal)."""
+    problems: list[str] = []
+    for name in sorted(set(view_a) | set(view_b)):
+        a, b = view_a.get(name), view_b.get(name)
+        if a is None or b is None:
+            missing = "first" if a is None else "second"
+            problems.append(f"{name}: absent from the {missing} run")
+            continue
+        for key in sorted(set(a) | set(b)):
+            left, right = a.get(key), b.get(key)
+            if left != right:
+                problems.append(
+                    f"{name}{list(key) if key else ''}: {left!r} != {right!r}"
+                )
+    return problems
+
+
+def assert_equal_public_view(
+    report_a: AuditReport,
+    report_b: AuditReport,
+    extra_public: tuple[str, ...] = (),
+) -> None:
+    """Raise :class:`LeakageAuditError` unless public views are identical."""
+    problems = diff_public_views(
+        report_a.public_view(extra_public),
+        report_b.public_view(extra_public),
+    )
+    if problems:
+        raise LeakageAuditError(
+            "public-size metrics diverged between equal-public-size runs "
+            "(volume leak, or a data-dependent metric mislabeled public):\n  "
+            + "\n  ".join(problems)
+        )
+
+
+def audit_run(workload, clock=None) -> AuditReport:
+    """Run ``workload()`` under a fresh scoped registry and tracer.
+
+    Returns the isolated registry for comparison.  ``clock`` (anything
+    with ``now()``) feeds the scoped tracer so audited runs can use a
+    virtual clock.
+    """
+    from repro import telemetry
+
+    with telemetry.scoped_registry() as registry, telemetry.scoped_tracer(
+        clock=clock
+    ):
+        result = workload()
+    return AuditReport(registry=registry, result=result)

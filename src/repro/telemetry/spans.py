@@ -1,0 +1,150 @@
+"""Lightweight span tracing across client → service → enclave → storage.
+
+A *span* is one timed, named region of work with public attributes
+(``with span("service.range_query", method="ebpb"): ...``).  Spans nest:
+a span opened while another is active becomes its child, so one query
+produces a small tree — ``service.range_query`` → ``enclave.fetch`` →
+``storage.lookup`` — mirroring the paper's §9 cost decomposition of bin
+fetch vs. in-enclave processing.
+
+Durations come from an injectable clock (anything with ``now()``; the
+:class:`~repro.faults.clock.VirtualClock` in tests, the real monotonic
+clock by default).  Completed root spans land in a bounded ring buffer
+(:class:`Tracer`), dumpable via ``python -m repro --trace-dump``.
+
+Span *attributes* should carry only public-size quantities (bin counts,
+trapdoor counts, byte sizes): the ring buffer is operator-facing and the
+same volume-hiding discipline as the metrics registry applies.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+
+class _MonotonicClock:
+    """The production default: real monotonic time."""
+
+    def now(self) -> float:
+        return time.monotonic()
+
+
+@dataclass
+class Span:
+    """One timed region; ``children`` are spans opened inside it."""
+
+    name: str
+    attributes: dict
+    start: float
+    end: float | None = None
+    error: str | None = None
+    children: list["Span"] = field(default_factory=list)
+
+    @property
+    def duration(self) -> float:
+        """Seconds between start and end (0.0 while still open)."""
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    def set(self, **attributes) -> None:
+        """Attach attributes discovered mid-span (public sizes only)."""
+        self.attributes.update(attributes)
+
+    def walk(self):
+        """Yield this span and every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def depth(self) -> int:
+        """Nesting depth of the deepest descendant (a leaf is 1)."""
+        if not self.children:
+            return 1
+        return 1 + max(child.depth() for child in self.children)
+
+    def find(self, name: str) -> list["Span"]:
+        """Every span named ``name`` in this subtree."""
+        return [s for s in self.walk() if s.name == name]
+
+
+class Tracer:
+    """Builds span trees and keeps the last ``capacity`` completed traces.
+
+    >>> from repro.faults.clock import VirtualClock
+    >>> clock = VirtualClock()
+    >>> tracer = Tracer(clock=clock)
+    >>> with tracer.span("outer") as outer:
+    ...     clock.sleep(1.0)
+    ...     with tracer.span("inner"):
+    ...         clock.sleep(0.5)
+    >>> outer.duration
+    1.5
+    >>> [s.name for s in tracer.traces()[0].walk()]
+    ['outer', 'inner']
+    """
+
+    def __init__(self, clock=None, capacity: int = 64):
+        self.clock = clock if clock is not None else _MonotonicClock()
+        self._traces: deque[Span] = deque(maxlen=capacity)
+        self._stack: list[Span] = []
+
+    @contextmanager
+    def span(self, name: str, **attributes):
+        """Open one span; nests under the currently open span, if any."""
+        opened = Span(name=name, attributes=attributes, start=self.clock.now())
+        if self._stack:
+            self._stack[-1].children.append(opened)
+        self._stack.append(opened)
+        try:
+            yield opened
+        except BaseException as error:
+            opened.error = type(error).__name__
+            raise
+        finally:
+            opened.end = self.clock.now()
+            self._stack.pop()
+            if not self._stack:
+                self._traces.append(opened)
+
+    def current(self) -> Span | None:
+        """The innermost open span, or ``None`` outside any span."""
+        return self._stack[-1] if self._stack else None
+
+    def traces(self) -> list[Span]:
+        """Completed root spans, oldest first."""
+        return list(self._traces)
+
+    def clear(self) -> None:
+        """Drop all completed traces (open spans are unaffected)."""
+        self._traces.clear()
+
+
+def format_span(span: Span, indent: int = 0) -> list[str]:
+    """Render one span subtree as indented text lines."""
+    attrs = " ".join(f"{k}={v}" for k, v in sorted(span.attributes.items()))
+    suffix = f"  [{attrs}]" if attrs else ""
+    error = f"  !{span.error}" if span.error else ""
+    lines = [
+        f"{'  ' * indent}{span.name}  {span.duration * 1000:.3f}ms{error}{suffix}"
+    ]
+    for child in span.children:
+        lines.extend(format_span(child, indent + 1))
+    return lines
+
+
+def format_traces(tracer: Tracer, limit: int | None = None) -> str:
+    """Render the ring buffer's traces, newest last."""
+    traces = tracer.traces()
+    if limit is not None:
+        traces = traces[-limit:]
+    if not traces:
+        return "(no completed traces)"
+    blocks = []
+    for position, root in enumerate(traces):
+        blocks.append(f"trace {position}:")
+        blocks.extend(format_span(root, indent=1))
+    return "\n".join(blocks)

@@ -1,0 +1,194 @@
+"""End-to-end instrumentation: exact counters and span trees per query."""
+
+import pytest
+
+from repro import telemetry
+from repro.core.queries import PointQuery, RangeQuery
+from repro.enclave.trace import TraceRecorder
+from tests.conftest import ground_truth_count, make_stack
+
+
+@pytest.fixture
+def scoped():
+    """A fresh registry + tracer pair isolating one test's telemetry."""
+    with telemetry.scoped_registry() as registry:
+        with telemetry.scoped_tracer() as tracer:
+            yield registry, tracer
+
+
+class TestQueryCounters:
+    def test_point_and_range_query_account_exactly(
+        self, scoped, grid_spec, wifi_records
+    ):
+        registry, _ = scoped
+        provider, service = make_stack(grid_spec, wifi_records)
+        location, timestamp, _ = wifi_records[0]
+
+        answer, point_stats = service.execute_point(
+            PointQuery(index_values=(location,), timestamp=timestamp)
+        )
+        assert answer == ground_truth_count(
+            wifi_records, location=location, t0=timestamp, t1=timestamp
+        )
+        range_answer, range_stats = service.execute_range(
+            RangeQuery(index_values=(location,), time_start=0, time_end=600),
+            method="ebpb",
+        )
+        assert range_answer == ground_truth_count(
+            wifi_records, location=location, t0=0, t1=600
+        )
+
+        # One query of each kind, attributed to its method.
+        assert (
+            registry.value("concealer_queries_total", kind="point", method="bpb")
+            == 1
+        )
+        assert (
+            registry.value(
+                "concealer_queries_total", kind="range", method="ebpb"
+            )
+            == 1
+        )
+
+        # The registry mirrors the per-query stats exactly: a point query
+        # touches one bin; every generated trapdoor fetches one row.
+        assert point_stats.bins_fetched == 1
+        for kind, stats in (("point", point_stats), ("range", range_stats)):
+            assert (
+                registry.value("concealer_bins_fetched_total", kind=kind)
+                == stats.bins_fetched
+            )
+            assert (
+                registry.value("concealer_trapdoors_total", kind=kind)
+                == stats.trapdoors_generated
+            )
+            assert (
+                registry.value("concealer_rows_fetched_total", kind=kind)
+                == stats.rows_fetched
+            )
+            assert (
+                registry.value("concealer_rows_matched_total", kind=kind)
+                == stats.rows_matched
+            )
+            assert stats.rows_fetched == stats.trapdoors_generated
+
+        # Real + fake tuples partition the trapdoors, and fakes exist.
+        real = registry.value("concealer_tuples_fetched_total", kind="real")
+        fake = registry.value("concealer_tuples_fetched_total", kind="fake")
+        assert real + fake == (
+            point_stats.trapdoors_generated + range_stats.trapdoors_generated
+        )
+        assert fake > 0
+
+        # Storage saw at least every fetched row; the EPC was charged;
+        # the EBPB budget gauge carries the range query's row budget.
+        assert registry.value("concealer_storage_rows_read_total") >= (
+            point_stats.rows_fetched + range_stats.rows_fetched
+        )
+        assert registry.value("concealer_epc_high_water_bytes") > 0
+        assert registry.value("concealer_ebpb_budget_rows") > 0
+
+        # Timing histogram: one observation per query kind.
+        seconds = registry.get("concealer_query_seconds")
+        assert seconds.secrecy == telemetry.DATA_DEPENDENT
+        assert seconds.labels(kind="point").count == 1
+        assert seconds.labels(kind="range").count == 1
+
+    def test_ingestion_writes_are_counted(self, scoped, grid_spec, wifi_records):
+        registry, _ = scoped
+        make_stack(grid_spec, wifi_records)
+        # Real rows plus fakes: strictly more writes than plaintext rows.
+        assert (
+            registry.value("concealer_storage_rows_written_total")
+            > len(wifi_records)
+        )
+
+
+class TestSpanTrees:
+    def test_queries_produce_nested_service_enclave_storage_spans(
+        self, scoped, grid_spec, wifi_records
+    ):
+        _, tracer = scoped
+        provider, service = make_stack(grid_spec, wifi_records)
+        location, timestamp, _ = wifi_records[0]
+        _, point_stats = service.execute_point(
+            PointQuery(index_values=(location,), timestamp=timestamp)
+        )
+        service.execute_range(
+            RangeQuery(index_values=(location,), time_start=0, time_end=600),
+            method="multipoint",
+        )
+
+        roots = {root.name: root for root in tracer.traces()}
+        point = roots["service.point_query"]
+        ranged = roots["service.range_query"]
+
+        # The acceptance bar: at least three nested layers per query
+        # (service -> enclave -> storage); the fetch hop makes it four.
+        assert point.depth() >= 3
+        assert ranged.depth() >= 3
+        for root, enclave_name in (
+            (point, "enclave.point_query"),
+            (ranged, "enclave.range_query"),
+        ):
+            (enclave_span,) = root.find(enclave_name)
+            assert enclave_span.find("enclave.fetch")
+            assert enclave_span.find("storage.lookup")
+
+        # Span attributes carry the same public sizes as the metrics.
+        (fetch,) = point.find("enclave.fetch")
+        assert fetch.attributes["trapdoors"] == point_stats.trapdoors_generated
+        assert ranged.find("enclave.range_query")[0].attributes["method"] == (
+            "multipoint"
+        )
+
+        # Real-clock durations: children are contained in their parents.
+        for root in (point, ranged):
+            for span in root.walk():
+                assert span.end is not None
+                for child in span.children:
+                    assert child.start >= span.start
+                    assert child.end <= span.end
+
+
+class TestObliviousOpsBridge:
+    def test_recorder_events_become_op_counters(self, scoped):
+        registry, _ = scoped
+        recorder = TraceRecorder()
+        recorder.emit("cmov", 4)
+        recorder.emit("cmov", 8)
+        recorder.emit("compare_exchange")
+        assert (
+            registry.value("concealer_oblivious_ops_total", op="cmov") == 2
+        )
+        assert (
+            registry.value(
+                "concealer_oblivious_ops_total", op="compare_exchange"
+            )
+            == 1
+        )
+        # The event stream itself is untouched by the bridge.
+        assert len(recorder) == 3
+
+    def test_disabled_recorder_counts_nothing(self, scoped):
+        registry, _ = scoped
+        recorder = TraceRecorder()
+        with recorder.disabled():
+            recorder.emit("cmov")
+        assert registry.total("concealer_oblivious_ops_total") == 0
+        assert len(recorder) == 0
+
+    def test_oblivious_query_path_feeds_the_bridge(
+        self, scoped, grid_spec, wifi_records
+    ):
+        registry, _ = scoped
+        provider, service = make_stack(grid_spec, wifi_records, oblivious=True)
+        location, timestamp, _ = wifi_records[0]
+        before = registry.total("concealer_oblivious_ops_total")
+        service.execute_point(
+            PointQuery(index_values=(location,), timestamp=timestamp)
+        )
+        assert registry.total("concealer_oblivious_ops_total") > before
+        assert registry.get("concealer_oblivious_ops_total").secrecy == (
+            telemetry.PUBLIC_SIZE
+        )

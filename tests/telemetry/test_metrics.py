@@ -1,0 +1,221 @@
+"""Registry semantics: families, labels, cardinality cap, exporters."""
+
+import json
+
+import pytest
+
+from repro.exceptions import TelemetryError
+from repro.telemetry import (
+    DATA_DEPENDENT,
+    DEFAULT_LABEL_CARDINALITY,
+    OVERFLOW_LABEL,
+    PUBLIC_SIZE,
+    MetricsRegistry,
+)
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self, registry):
+        counter = registry.counter("x_total", "a help line")
+        assert registry.value("x_total") == 0
+        counter.inc()
+        counter.inc(2)
+        assert registry.value("x_total") == 3
+
+    def test_untouched_metric_reads_zero(self, registry):
+        assert registry.value("absent_total") == 0
+        assert registry.total("absent_total") == 0
+        assert registry.label_values("absent_total") == {}
+        assert registry.get("absent_total") is None
+
+    def test_negative_increment_rejected(self, registry):
+        with pytest.raises(TelemetryError):
+            registry.counter("x_total").inc(-1)
+
+    def test_labeled_children_are_independent(self, registry):
+        family = registry.counter("rows_total", labels=("kind",))
+        family.labels(kind="real").inc(5)
+        family.labels(kind="fake").inc(7)
+        assert registry.value("rows_total", kind="real") == 5
+        assert registry.value("rows_total", kind="fake") == 7
+        assert registry.value("rows_total", kind="never") == 0
+        assert registry.total("rows_total") == 12
+        assert registry.label_values("rows_total") == {
+            ("real",): 5,
+            ("fake",): 7,
+        }
+
+    def test_wrong_label_set_rejected(self, registry):
+        family = registry.counter("rows_total", labels=("kind",))
+        with pytest.raises(TelemetryError):
+            family.labels(kinds="real")
+        with pytest.raises(TelemetryError):
+            family.labels(kind="real", extra="x")
+        with pytest.raises(TelemetryError):
+            registry.value("rows_total", wrong="x")
+
+    def test_labeled_family_has_no_default_child(self, registry):
+        family = registry.counter("rows_total", labels=("kind",))
+        with pytest.raises(TelemetryError):
+            family.inc()
+
+
+class TestGauge:
+    def test_moves_both_directions(self, registry):
+        gauge = registry.gauge("epc_bytes")
+        gauge.set(100)
+        gauge.inc(50)
+        gauge.dec(30)
+        assert registry.value("epc_bytes") == 120
+
+    def test_set_max_keeps_high_water(self, registry):
+        gauge = registry.gauge("peak_bytes")
+        gauge.set_max(10)
+        gauge.set_max(5)
+        assert registry.value("peak_bytes") == 10
+        gauge.set_max(25)
+        assert registry.value("peak_bytes") == 25
+
+
+class TestHistogram:
+    def test_bucketing_against_fixed_boundaries(self, registry):
+        family = registry.histogram("h_seconds", boundaries=(1.0, 10.0, 100.0))
+        for value in (0.5, 1.0, 5, 50, 500, 5000):
+            family.observe(value)
+        child = family.default()
+        # `le` semantics: a value equal to a boundary lands in that bucket.
+        assert child.bucket_counts == [2, 1, 1, 2]
+        assert child.cumulative_counts() == [2, 3, 4, 6]
+        assert child.count == 6
+        assert child.sum == pytest.approx(5556.5)
+
+    def test_unsorted_boundaries_rejected(self, registry):
+        with pytest.raises(TelemetryError):
+            registry.histogram("h_seconds", boundaries=(10.0, 1.0))
+
+
+class TestRegistration:
+    def test_get_or_create_returns_same_family(self, registry):
+        first = registry.counter("x_total", "help", labels=("kind",))
+        second = registry.counter("x_total", "help", labels=("kind",))
+        assert first is second
+
+    def test_kind_conflict_fails_loudly(self, registry):
+        registry.counter("x_total")
+        with pytest.raises(TelemetryError):
+            registry.gauge("x_total")
+
+    def test_label_conflict_fails_loudly(self, registry):
+        registry.counter("x_total", labels=("kind",))
+        with pytest.raises(TelemetryError):
+            registry.counter("x_total", labels=("site",))
+
+    def test_secrecy_conflict_fails_loudly(self, registry):
+        registry.counter("x_total", secrecy=PUBLIC_SIZE)
+        with pytest.raises(TelemetryError):
+            registry.counter("x_total", secrecy=DATA_DEPENDENT)
+
+    def test_default_secrecy_is_data_dependent(self, registry):
+        # Mislabelling toward *public* is the dangerous direction, so a
+        # site that does not think about secrecy gets the safe tag.
+        assert registry.counter("x_total").secrecy == DATA_DEPENDENT
+
+    def test_invalid_names_rejected(self, registry):
+        with pytest.raises(TelemetryError):
+            registry.counter("bad name")
+        with pytest.raises(TelemetryError):
+            registry.counter("x_total", labels=("bad-label",))
+        with pytest.raises(TelemetryError):
+            registry.counter("x_total", secrecy="secretish")
+
+
+class TestCardinalityCap:
+    def test_overflow_child_absorbs_the_tail(self):
+        registry = MetricsRegistry(max_label_values=3)
+        family = registry.counter("many_total", labels=("id",))
+        for i in range(10):
+            family.labels(id=i).inc()
+        values = registry.label_values("many_total")
+        # 3 real children, then one overflow child for everything else.
+        assert len(values) == 4
+        assert values[(OVERFLOW_LABEL,)] == 7
+        assert registry.total("many_total") == 10
+
+    def test_existing_children_still_reachable_past_cap(self):
+        registry = MetricsRegistry(max_label_values=2)
+        family = registry.counter("many_total", labels=("id",))
+        family.labels(id="a").inc()
+        family.labels(id="b").inc()
+        family.labels(id="c").inc()   # over the cap -> overflow
+        family.labels(id="a").inc()   # pre-existing child, not overflow
+        assert registry.value("many_total", id="a") == 2
+        assert registry.value("many_total", id=OVERFLOW_LABEL) == 1
+
+    def test_default_cap(self):
+        registry = MetricsRegistry()
+        family = registry.counter("many_total", labels=("id",))
+        for i in range(DEFAULT_LABEL_CARDINALITY + 6):
+            family.labels(id=i).inc()
+        values = registry.label_values("many_total")
+        assert len(values) == DEFAULT_LABEL_CARDINALITY + 1
+        assert values[(OVERFLOW_LABEL,)] == 6
+
+
+class TestJsonExporter:
+    def test_round_trips_through_json(self, registry):
+        registry.counter(
+            "a_total", "rows seen", secrecy=PUBLIC_SIZE, labels=("k",)
+        ).labels(k="x").inc(2)
+        registry.gauge("b_bytes").set(9)
+        document = json.loads(registry.to_json())
+        assert document["a_total"]["type"] == "counter"
+        assert document["a_total"]["secrecy"] == PUBLIC_SIZE
+        assert document["a_total"]["help"] == "rows seen"
+        assert document["a_total"]["samples"] == [
+            {"labels": {"k": "x"}, "value": 2}
+        ]
+        assert document["b_bytes"]["samples"] == [{"labels": {}, "value": 9}]
+
+    def test_histogram_snapshot_shape(self, registry):
+        registry.histogram("h_seconds", boundaries=(1.0,)).observe(0.5)
+        sample = registry.snapshot()["h_seconds"]["samples"][0]
+        assert sample["buckets"] == {"1.0": 1, "+Inf": 1}
+        assert sample["count"] == 1
+        assert sample["sum"] == 0.5
+
+    def test_empty_registry(self, registry):
+        assert registry.snapshot() == {}
+        assert registry.to_prometheus() == ""
+
+
+class TestPrometheusExporter:
+    def test_comment_and_sample_lines(self, registry):
+        registry.counter(
+            "a_total", "rows seen", secrecy=PUBLIC_SIZE, labels=("k",)
+        ).labels(k="x").inc(2)
+        lines = registry.to_prometheus().splitlines()
+        assert lines == [
+            "# HELP a_total rows seen",
+            "# TYPE a_total counter",
+            "# SECRECY a_total public-size",
+            'a_total{k="x"} 2',
+        ]
+
+    def test_histogram_series(self, registry):
+        registry.histogram("h_seconds", boundaries=(1.0, 10.0)).observe(5)
+        text = registry.to_prometheus()
+        assert 'h_seconds_bucket{le="1.0"} 0' in text
+        assert 'h_seconds_bucket{le="10.0"} 1' in text
+        assert 'h_seconds_bucket{le="+Inf"} 1' in text
+        assert "h_seconds_sum 5" in text
+        assert "h_seconds_count 1" in text
+
+    def test_label_values_escaped(self, registry):
+        registry.counter("a_total", labels=("k",)).labels(k='a"b\nc\\d').inc()
+        sample = registry.to_prometheus().splitlines()[-1]
+        assert sample == 'a_total{k="a\\"b\\nc\\\\d"} 1'

@@ -1,0 +1,97 @@
+"""``make metrics-smoke`` — tiny workload, then the Prometheus export
+must pass a hand-rolled text-exposition line checker (no new deps)."""
+
+import re
+
+import pytest
+
+from repro import GridSpec, telemetry
+from repro.core.queries import PointQuery, RangeQuery
+from tests.conftest import make_stack
+
+_NAME = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+_LABEL = r'[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"'
+_VALUE = r"[+-]?(?:\d+(?:\.\d+)?(?:[eE][+-]?\d+)?|Inf|NaN)"
+COMMENT_RE = re.compile(rf"^# (HELP|TYPE|SECRECY) {_NAME}( .*)?$")
+SAMPLE_RE = re.compile(rf"^({_NAME})(\{{{_LABEL}(,{_LABEL})*\}})? {_VALUE}$")
+
+
+@pytest.fixture(scope="module")
+def exported():
+    """Run a tiny workload under a fresh registry; export both formats."""
+    records = [
+        (f"ap{(t // 60 + d) % 3}", t, f"dev{d}")
+        for t in range(0, 300, 60)
+        for d in range(4)
+    ]
+    spec = GridSpec(dimension_sizes=(3, 5), cell_id_count=8, epoch_duration=300)
+    with telemetry.scoped_registry() as registry:
+        provider, service = make_stack(spec, records)
+        location, timestamp, _ = records[0]
+        service.execute_point(
+            PointQuery(index_values=(location,), timestamp=timestamp)
+        )
+        service.execute_range(
+            RangeQuery(index_values=(location,), time_start=0, time_end=120),
+            method="ebpb",
+        )
+        return registry.to_prometheus()
+
+
+def _base_name(sample_name: str) -> str:
+    """Strip the histogram-series suffix to recover the family name."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if sample_name.endswith(suffix):
+            return sample_name[: -len(suffix)]
+    return sample_name
+
+
+def test_every_line_is_valid_exposition_format(exported):
+    lines = exported.splitlines()
+    assert lines, "the workload produced no metrics"
+    for line in lines:
+        if line.startswith("#"):
+            assert COMMENT_RE.match(line), f"bad comment line: {line!r}"
+        else:
+            assert SAMPLE_RE.match(line), f"bad sample line: {line!r}"
+
+
+def test_families_are_declared_before_their_samples(exported):
+    types: dict[str, str] = {}
+    secrecy: dict[str, str] = {}
+    for line in exported.splitlines():
+        if line.startswith("# TYPE "):
+            _, _, name, kind = line.split(" ")
+            assert kind in ("counter", "gauge", "histogram"), line
+            types[name] = kind
+        elif line.startswith("# SECRECY "):
+            _, _, name, tag = line.split(" ")
+            assert tag in (telemetry.PUBLIC_SIZE, telemetry.DATA_DEPENDENT)
+            secrecy[name] = tag
+        elif not line.startswith("#"):
+            name = SAMPLE_RE.match(line).group(1)
+            base = _base_name(name)
+            family = base if base in types else name
+            assert family in types, f"sample before TYPE: {line!r}"
+            assert family in secrecy, f"sample without SECRECY: {line!r}"
+
+
+def test_histogram_series_are_complete(exported):
+    # The query-latency histogram must expose cumulative buckets ending
+    # at +Inf, plus _sum and _count, for each labeled child.
+    assert 'concealer_query_seconds_bucket{kind="point",le="+Inf"} 1' in exported
+    assert 'concealer_query_seconds_bucket{kind="range",le="+Inf"} 1' in exported
+    assert re.search(r'concealer_query_seconds_sum\{kind="point"\} ', exported)
+    assert 'concealer_query_seconds_count{kind="point"} 1' in exported
+
+
+def test_core_accounting_series_are_present(exported):
+    for needle in (
+        "# SECRECY concealer_rows_fetched_total public-size",
+        "# SECRECY concealer_rows_matched_total data-dependent",
+        'concealer_queries_total{kind="point",method="bpb"} 1',
+        'concealer_queries_total{kind="range",method="ebpb"} 1',
+        'concealer_tuples_fetched_total{kind="fake"} ',
+        "concealer_epc_high_water_bytes ",
+    ):
+        assert needle in exported, f"missing: {needle!r}"

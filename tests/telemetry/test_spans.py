@@ -1,0 +1,139 @@
+"""Span nesting and timing against the VirtualClock; ring-buffer bounds."""
+
+import pytest
+
+from repro.faults.clock import VirtualClock
+from repro.telemetry import Tracer, format_traces
+from repro.telemetry.spans import format_span
+
+
+@pytest.fixture
+def clock():
+    return VirtualClock()
+
+
+@pytest.fixture
+def tracer(clock):
+    return Tracer(clock=clock)
+
+
+class TestNestingAndTiming:
+    def test_nested_spans_form_a_tree_with_exact_durations(self, tracer, clock):
+        with tracer.span("service.range_query", method="ebpb") as root:
+            clock.sleep(1.0)
+            with tracer.span("enclave.fetch") as fetch:
+                clock.sleep(0.25)
+                with tracer.span("storage.lookup") as lookup:
+                    clock.sleep(0.125)
+            clock.sleep(0.5)
+        # Durations are pure VirtualClock arithmetic: each span covers
+        # exactly the sleeps inside it.
+        assert lookup.duration == 0.125
+        assert fetch.duration == 0.375
+        assert root.duration == 1.875
+        assert [s.name for s in root.walk()] == [
+            "service.range_query",
+            "enclave.fetch",
+            "storage.lookup",
+        ]
+        assert root.depth() == 3
+        assert root.find("storage.lookup") == [lookup]
+        assert root.attributes == {"method": "ebpb"}
+
+    def test_only_roots_land_in_the_ring_buffer(self, tracer):
+        with tracer.span("root"):
+            with tracer.span("first"):
+                pass
+            with tracer.span("second"):
+                pass
+        traces = tracer.traces()
+        assert len(traces) == 1
+        assert [child.name for child in traces[0].children] == [
+            "first",
+            "second",
+        ]
+
+    def test_current_tracks_the_innermost_open_span(self, tracer):
+        assert tracer.current() is None
+        with tracer.span("outer") as outer:
+            assert tracer.current() is outer
+            with tracer.span("inner") as inner:
+                assert tracer.current() is inner
+            assert tracer.current() is outer
+        assert tracer.current() is None
+
+    def test_open_span_reports_zero_duration(self, tracer, clock):
+        with tracer.span("outer") as outer:
+            clock.sleep(5.0)
+            assert outer.duration == 0.0
+        assert outer.duration == 5.0
+
+    def test_set_attaches_attributes_mid_span(self, tracer):
+        with tracer.span("enclave.range_query", method="ebpb") as span:
+            span.set(bins=3, budget=310)
+        assert span.attributes == {"method": "ebpb", "bins": 3, "budget": 310}
+
+
+class TestRingBuffer:
+    def test_capacity_evicts_oldest(self, clock):
+        tracer = Tracer(clock=clock, capacity=2)
+        for name in ("first", "second", "third"):
+            with tracer.span(name):
+                clock.sleep(1.0)
+        assert [t.name for t in tracer.traces()] == ["second", "third"]
+
+    def test_clear_drops_completed_traces(self, tracer):
+        with tracer.span("done"):
+            pass
+        tracer.clear()
+        assert tracer.traces() == []
+
+
+class TestErrors:
+    def test_exception_is_recorded_and_reraised(self, tracer, clock):
+        with pytest.raises(ValueError):
+            with tracer.span("failing") as span:
+                clock.sleep(0.5)
+                raise ValueError("boom")
+        assert span.error == "ValueError"
+        assert span.duration == 0.5
+        # A failed root still completes and lands in the buffer.
+        assert tracer.traces() == [span]
+
+    def test_stack_unwinds_past_a_failing_child(self, tracer):
+        with tracer.span("root") as root:
+            with pytest.raises(ValueError):
+                with tracer.span("child"):
+                    raise ValueError("boom")
+            assert tracer.current() is root
+        assert root.error is None
+        assert root.children[0].error == "ValueError"
+
+
+class TestFormatting:
+    def test_format_traces_renders_an_indented_tree(self, tracer, clock):
+        with tracer.span("service.point_query", epoch=0):
+            clock.sleep(1.875)
+            with tracer.span("storage.lookup"):
+                pass
+        text = format_traces(tracer)
+        assert text.splitlines()[0] == "trace 0:"
+        assert "  service.point_query  1875.000ms  [epoch=0]" in text
+        assert "    storage.lookup  0.000ms" in text
+
+    def test_format_span_marks_errors(self, tracer):
+        with pytest.raises(RuntimeError):
+            with tracer.span("failing") as span:
+                raise RuntimeError("boom")
+        assert "!RuntimeError" in format_span(span)[0]
+
+    def test_empty_tracer_formats_placeholder(self, tracer):
+        assert format_traces(tracer) == "(no completed traces)"
+
+    def test_limit_keeps_newest(self, tracer):
+        for name in ("first", "second"):
+            with tracer.span(name):
+                pass
+        text = format_traces(tracer, limit=1)
+        assert "second" in text
+        assert "first" not in text

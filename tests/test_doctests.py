@@ -15,6 +15,8 @@ import repro.crypto.prf
 import repro.enclave.sort
 import repro.storage.btree
 import repro.storage.engine
+import repro.telemetry.metrics
+import repro.telemetry.spans
 
 MODULES = [
     repro.core.binning,
@@ -28,6 +30,8 @@ MODULES = [
     repro.enclave.sort,
     repro.storage.btree,
     repro.storage.engine,
+    repro.telemetry.metrics,
+    repro.telemetry.spans,
 ]
 
 
