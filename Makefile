@@ -1,15 +1,21 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test chaos demo bench metrics-smoke
+.PHONY: test chaos replication-chaos demo bench metrics-smoke lint
 
-test: metrics-smoke
+test: metrics-smoke replication-chaos
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
 
 # Randomized fault-schedule runs; any failure replays deterministically
 # with `python -m repro --chaos-seed N` using the seed pytest prints.
 chaos:
-	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest tests/faults -m chaos -q
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest tests/faults tests/replication -m chaos -q
+
+# The Byzantine replicated-store corpus: ≥200 seeded runs over 3 and 5
+# replicas with tamper/replay/drop/slow faults armed.  Any failure
+# replays with `python -m repro --chaos-seed N --replicas 3`.
+replication-chaos:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest tests/replication/test_replication_chaos.py -q
 
 demo:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro
@@ -20,3 +26,12 @@ bench:
 # Tiny workload → Prometheus export → line-format validation.
 metrics-smoke:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest tests/telemetry/test_metrics_smoke.py -q
+
+# Static checks (config in pyproject.toml).  The runtime toolchain does
+# not require ruff, so skip politely where it is not installed.
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests benchmarks; \
+	else \
+		echo "ruff not installed; skipping lint (pip install ruff to enable)"; \
+	fi

@@ -51,12 +51,19 @@ def _print_traces(tracer) -> None:
     print(telemetry.format_traces(tracer))
 
 
-def run_chaos_cli(seed: int, ops: int, metrics: str | None, trace_dump: bool) -> int:
+def run_chaos_cli(
+    seed: int,
+    ops: int,
+    metrics: str | None,
+    trace_dump: bool,
+    replicas: int = 1,
+) -> int:
     """Replay one seeded fault schedule; non-zero on silent wrongness."""
     from repro.faults.chaos import run_chaos
 
-    report = run_chaos(seed, ops=ops)
-    print(f"chaos replay — {report.summary()}")
+    report = run_chaos(seed, ops=ops, replicas=replicas)
+    label = f" ({replicas} replicas, Byzantine faults)" if replicas > 1 else ""
+    print(f"chaos replay{label} — {report.summary()}")
     for outcome in report.outcomes:
         status = "ok" if outcome.ok else (outcome.error or "WRONG")
         line = f"  {outcome.op:<12} {status}"
@@ -171,6 +178,11 @@ def main() -> int:
         help="operations per chaos run (default 12)",
     )
     parser.add_argument(
+        "--replicas", type=int, default=1, metavar="N",
+        help="chaos only: run against N storage replicas with Byzantine "
+        "replica faults armed (default 1 = the classic single engine)",
+    )
+    parser.add_argument(
         "--metrics", choices=("json", "prom"), default=None,
         help="print the metrics registry after the run, in this format",
     )
@@ -185,6 +197,7 @@ def main() -> int:
             arguments.ops,
             arguments.metrics,
             arguments.trace_dump,
+            replicas=arguments.replicas,
         )
     return run_demo(arguments.metrics, arguments.trace_dump)
 

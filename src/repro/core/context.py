@@ -274,26 +274,62 @@ class EpochContext:
         engine: StorageEngine,
         trapdoors: Sequence[bytes],
         stats: QueryStats,
+        deadline=None,
+        verifier=None,
+        cells: Sequence[int] | None = None,
     ) -> list[Row]:
-        """Submit trapdoors to the DBMS and pull the rows."""
+        """Submit trapdoors to the DBMS and pull the rows.
+
+        Against a replicated engine (``supports_replicated_reads``),
+        the enclave hands its ``verifier`` and the bin's cell-ids down
+        so every replica attempt is verified *before* acceptance and
+        failover happens at bin granularity; ``deadline`` gates the
+        fetch here and every replica attempt below.
+        """
         with telemetry.span(
             "enclave.fetch", epoch=self.epoch_id, trapdoors=len(trapdoors)
         ):
             self.enclave.kill_point("enclave.kill.query")
+            if deadline is not None:
+                deadline.check("enclave.fetch")
             stats.trapdoors_generated += len(trapdoors)
             # The fetched batch transits the EPC (one row per trapdoor,
             # ~256 B of ciphertext each); reserve while pulling so oversized
             # bins feel the budget here rather than succeeding silently.
             with self.enclave.memory(256 * len(trapdoors)):
-                rows = engine.lookup_many(
-                    self.table_name, "index_key", list(trapdoors)
-                )
+                if getattr(engine, "supports_replicated_reads", False):
+                    # Bind the verifier to the requested cells: a replica
+                    # substituting a different (valid) batch must fail
+                    # verification, not just a different chain.
+                    if verifier is not None and cells is not None:
+                        expected = list(cells)
+                        check = lambda batch: verifier(batch, expected)
+                    else:
+                        check = verifier
+                    rows = engine.lookup_many(
+                        self.table_name,
+                        "index_key",
+                        list(trapdoors),
+                        verifier=check,
+                        deadline=deadline,
+                        cells=cells,
+                    )
+                    stats.failovers += engine.last_read_failovers
+                    stats.degraded = stats.degraded or engine.degraded
+                    if verifier is not None:
+                        stats.verified = True
+                else:
+                    rows = engine.lookup_many(
+                        self.table_name, "index_key", list(trapdoors)
+                    )
             stats.rows_fetched += len(rows)
             return rows
 
     # ----------------------------------------------------------- verification
 
-    def verify_rows(self, rows: Sequence[Row]) -> None:
+    def verify_rows(
+        self, rows: Sequence[Row], expected_cells: Sequence[int] | None = None
+    ) -> None:
         """STEP 4 (optional): hash-chain verification of fetched rows.
 
         The enclave decrypts each real row's index key to recover
@@ -302,6 +338,13 @@ class EpochContext:
         Raises a structured :class:`IntegrityViolation` (an
         :class:`~repro.exceptions.IntegrityError` subclass carrying the
         epoch, table, cell-id, and violation kind) on any inconsistency.
+
+        ``expected_cells`` binds the response to the *request*: every
+        named cell-id with a non-zero population must appear in the
+        batch.  Without it, a Byzantine replica replaying a different
+        bin's (internally consistent) batch would verify cleanly while
+        silently under-counting — per-cell chains prove each present
+        cell is whole, not that the right cells are present.
         """
         verifications = telemetry.counter(
             "concealer_hashchain_verifications_total",
@@ -309,7 +352,7 @@ class EpochContext:
             labels=("result",),
         )
         try:
-            self._verify_rows(rows)
+            self._verify_rows(rows, expected_cells)
         except IntegrityViolation as violation:
             verifications.labels(result="violation").inc()
             telemetry.counter(
@@ -320,7 +363,9 @@ class EpochContext:
             raise
         verifications.labels(result="ok").inc()
 
-    def _verify_rows(self, rows: Sequence[Row]) -> None:
+    def _verify_rows(
+        self, rows: Sequence[Row], expected_cells: Sequence[int] | None = None
+    ) -> None:
         column_count = len(self.schema.filter_groups) + 1
         per_cid: dict[int, list[tuple[int, Row]]] = {}
         for row in rows:
@@ -338,6 +383,18 @@ class EpochContext:
                 continue  # fake rows are not covered by per-cid tags
             cid, counter = meta
             per_cid.setdefault(cid, []).append((counter, row))
+
+        if expected_cells is not None:
+            for cid in expected_cells:
+                if self.c_tuple[cid] > 0 and cid not in per_cid:
+                    raise IntegrityViolation(
+                        f"cell {cid}: requested but absent from the response "
+                        "batch (a substituted or replayed answer)",
+                        epoch_id=self.epoch_id,
+                        cell_id=cid,
+                        table=self.table_name,
+                        kind="missing-cell",
+                    )
 
         for cid, numbered in per_cid.items():
             numbered.sort(key=lambda pair: pair[0])

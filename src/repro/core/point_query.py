@@ -58,11 +58,21 @@ class BPBExecutor:
         self.quarantine = quarantine
 
     def execute(
-        self, query: PointQuery, context: EpochContext
+        self, query: PointQuery, context: EpochContext, deadline=None
     ) -> tuple[object, QueryStats]:
-        """Run Algorithm 2; returns ``(answer, stats)``."""
+        """Run Algorithm 2; returns ``(answer, stats)``.
+
+        ``deadline`` (a :class:`~repro.replication.deadline.Deadline`)
+        bounds the whole execution; it is checked at every fetch and at
+        every replica failover decision below.
+        """
         stats = QueryStats(oblivious=self.oblivious)
         predicate = self._resolve_predicate(query, context)
+        # Against a replicated engine, verification moves *into* the
+        # fetch: each replica's answer is checked before acceptance so
+        # a tampered bin costs a failover, not the query.
+        replicated = getattr(self.engine, "supports_replicated_reads", False)
+        verifier = context.verify_rows if (self.verify and replicated) else None
 
         with telemetry.span(
             "enclave.point_query", epoch=context.epoch_id
@@ -94,10 +104,19 @@ class BPBExecutor:
                     trapdoors = context.oblivious_trapdoors_for_bin(fetch_bin)
                 else:
                     trapdoors = context.trapdoors_for_bin(fetch_bin)
-                rows.extend(context.fetch(self.engine, trapdoors, stats))
+                rows.extend(
+                    context.fetch(
+                        self.engine,
+                        trapdoors,
+                        stats,
+                        deadline=deadline,
+                        verifier=verifier,
+                        cells=fetch_bin.cell_ids,
+                    )
+                )
 
             # STEP 4: verification, filtering, aggregation.
-            if self.verify:
+            if self.verify and not stats.verified:
                 context.verify_rows(rows)
                 stats.verified = True
 

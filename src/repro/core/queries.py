@@ -145,4 +145,9 @@ class QueryStats:
     bins_fetched: int = 0
     verified: bool = False
     oblivious: bool = False
+    # Replication health of the serving read path: how many replica
+    # failovers the query absorbed, and whether it was served below the
+    # healthy-replica threshold.  Both are public-size (fault-driven).
+    degraded: bool = False
+    failovers: int = 0
     extra: dict = field(default_factory=dict)

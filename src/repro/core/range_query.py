@@ -92,10 +92,11 @@ class RangeExecutor:
     # ----------------------------------------------------------- §5.1 trivial
 
     def execute_multipoint(
-        self, query: RangeQuery, context: EpochContext
+        self, query: RangeQuery, context: EpochContext, deadline=None
     ) -> tuple[object, QueryStats]:
         """Convert the range into point-query bins and fetch them all."""
         stats = QueryStats(oblivious=self.oblivious)
+        verifier = self._fetch_verifier(context)
         needed_cids: list[int] = []
         for combo in query.candidate_combinations():
             for cid in context.grid.cell_ids_for_range(
@@ -118,16 +119,26 @@ class RangeExecutor:
                     trapdoors = context.oblivious_trapdoors_for_bin(chosen)
                 else:
                     trapdoors = context.trapdoors_for_bin(chosen)
-                rows.extend(context.fetch(self.engine, trapdoors, stats))
+                rows.extend(
+                    context.fetch(
+                        self.engine,
+                        trapdoors,
+                        stats,
+                        deadline=deadline,
+                        verifier=verifier,
+                        cells=chosen.cell_ids,
+                    )
+                )
             return self._finish(query, context, rows, stats)
 
     # -------------------------------------------------------------- §5.2 eBPB
 
     def execute_ebpb(
-        self, query: RangeQuery, context: EpochContext
+        self, query: RangeQuery, context: EpochContext, deadline=None
     ) -> tuple[object, QueryStats]:
         """Fetch the covering cells' cell-ids, padded to the top-ℓ budget."""
         stats = QueryStats(oblivious=self.oblivious)
+        verifier = self._fetch_verifier(context)
         combos = query.candidate_combinations()
         span = len(
             context.grid.time_buckets_for_range(query.time_start, query.time_end)
@@ -163,7 +174,14 @@ class RangeExecutor:
             budget=budget,
         ):
             trapdoors = context.trapdoors_for_cell_ids(needed_cids, fake_ids)
-            rows = context.fetch(self.engine, trapdoors, stats)
+            rows = context.fetch(
+                self.engine,
+                trapdoors,
+                stats,
+                deadline=deadline,
+                verifier=verifier,
+                cells=needed_cids,
+            )
             return self._finish(query, context, rows, stats)
 
     def _ebpb_budget(self, context: EpochContext, span: int) -> _EBPBState:
@@ -215,10 +233,11 @@ class RangeExecutor:
     # ------------------------------------------------------ §5.3 winSecRange
 
     def execute_winsecrange(
-        self, query: RangeQuery, context: EpochContext
+        self, query: RangeQuery, context: EpochContext, deadline=None
     ) -> tuple[object, QueryStats]:
         """Fetch whole fixed-λ time windows covering the range."""
         stats = QueryStats(oblivious=self.oblivious)
+        verifier = self._fetch_verifier(context)
         windows = self._covering_windows(query, context)
         window_size = self._window_budget(context)
 
@@ -238,7 +257,16 @@ class RangeExecutor:
                 )
                 fake_offset += len(fake_ids)
                 trapdoors = context.trapdoors_for_cell_ids(cids, fake_ids)
-                rows.extend(context.fetch(self.engine, trapdoors, stats))
+                rows.extend(
+                    context.fetch(
+                        self.engine,
+                        trapdoors,
+                        stats,
+                        deadline=deadline,
+                        verifier=verifier,
+                        cells=cids,
+                    )
+                )
             stats.bins_fetched = len(windows)
             stats.extra["window_size"] = window_size
             return self._finish(query, context, rows, stats)
@@ -291,6 +319,19 @@ class RangeExecutor:
 
     # ---------------------------------------------------------------- shared
 
+    def _fetch_verifier(self, context: EpochContext):
+        """Per-fetch verifier for replicated engines (else ``None``).
+
+        With replication, verification moves into the fetch so each
+        replica's answer is checked before acceptance — a tampered bin
+        costs a failover, not the query.  Each fetch retrieves complete
+        cell-id populations, so per-batch chain verification is sound
+        even before the cross-window de-dup in :meth:`_finish`.
+        """
+        if self.verify and getattr(self.engine, "supports_replicated_reads", False):
+            return context.verify_rows
+        return None
+
     def _pad_fakes(
         self, context: EpochContext, needed: int, offset: int = 0
     ) -> list[int]:
@@ -330,7 +371,7 @@ class RangeExecutor:
                 seen.add(row.row_id)
                 unique_rows.append(row)
         rows = unique_rows
-        if self.verify:
+        if self.verify and not stats.verified:
             context.verify_rows(rows)
             stats.verified = True
 

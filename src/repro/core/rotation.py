@@ -95,7 +95,7 @@ class RotationJournal:
         table = service._table_name(epoch_id)
         rows = {
             row.row_id: row.columns
-            for row in service.engine._tables[table].scan()
+            for row in service.engine.snapshot_rows(table)
         }
         package = service._packages[epoch_id]
         fields = {
@@ -157,6 +157,14 @@ def rotate_service_keys(
         raise AuthorizationError("rotation token invalid: not authorized by DP")
 
     journal = RotationJournal()
+    # Fence replicated engines: anti-entropy repair copying rows while
+    # this rewrite is in flight would resurrect pre-rotation ciphertexts.
+    # begin/end both bump the engine's rewrite generation, so a repair
+    # that snapshotted *before* the rotation aborts at apply time even
+    # if it runs after the fence lifts.
+    fenced = getattr(service.engine, "begin_rewrite", None) is not None
+    if fenced:
+        service.engine.begin_rewrite()
     with telemetry.span(
         "rotation.rotate", epochs=len(service.ingested_epochs())
     ) as rotate_span:
@@ -168,6 +176,9 @@ def rotate_service_keys(
         except BaseException:
             journal.rollback(service)
             raise
+        finally:
+            if fenced:
+                service.engine.end_rewrite()
         rotate_span.set(rows=rotated_rows)
         telemetry.counter(
             "concealer_rotation_rows_total",
@@ -212,7 +223,7 @@ def _rotate_all_epochs(
         chained_columns = len(service.schema.filter_groups) + 1
         real_entries: dict[int, list[tuple[int, list[bytes]]]] = {}
         fake_entries: list[tuple[int, list[bytes]]] = []
-        for row in list(service.engine._tables[table].scan()):
+        for row in service.engine.snapshot_rows(table):
             # A kill here leaves the table half-rotated — exactly the
             # torn state the journal's rollback must undo.
             enclave.kill_point("enclave.kill.rotation")

@@ -41,6 +41,8 @@ from repro.exceptions import (
 )
 from repro.faults.clock import RetryPolicy, SystemClock, VirtualClock
 from repro.faults.quarantine import QuarantineLog
+from repro.replication.admission import AdmissionController
+from repro.replication.deadline import Deadline
 from repro.storage.engine import StorageEngine
 
 RANGE_METHODS = ("multipoint", "ebpb", "winsecrange", "auto")
@@ -89,6 +91,20 @@ def _record_query(kind: str, method: str, stats: QueryStats, seconds: float) -> 
         "answer payloads decrypted (enclave-private)",
         labels=("kind",),
     ).labels(kind=kind).inc(stats.rows_decrypted)
+    if stats.degraded:
+        telemetry.counter(
+            "concealer_queries_degraded_total",
+            "queries answered below the healthy-replica threshold",
+            secrecy=telemetry.PUBLIC_SIZE,
+            labels=("kind",),
+        ).labels(kind=kind).inc()
+    if stats.failovers:
+        telemetry.counter(
+            "concealer_query_failovers_total",
+            "replica failovers absorbed while serving queries",
+            secrecy=telemetry.PUBLIC_SIZE,
+            labels=("kind",),
+        ).labels(kind=kind).inc(stats.failovers)
     telemetry.histogram(
         "concealer_query_seconds",
         "end-to-end query latency (timing is a side channel: never public)",
@@ -112,6 +128,17 @@ class ServiceConfig:
     retry_attempts: int = 4
     retry_base_delay: float = 0.01
     retry_max_delay: float = 1.0
+    # Backoff jitter fraction in [0, 1]; the RNG is threaded in by the
+    # caller (ServiceProvider's ``retry_rng``) so runs stay replayable.
+    retry_jitter: float = 0.0
+    # Per-request deadline budget in seconds (None = unbounded).  The
+    # deadline is minted at the service edge and checked at every
+    # fetch, replica attempt, and retry-backoff decision.
+    deadline_seconds: float | None = None
+    # Admission control: at most max_inflight requests execute at once
+    # plus admission_queue waiting; the rest shed with ServiceOverloaded.
+    max_inflight: int = 64
+    admission_queue: int = 128
 
 
 class ServiceProvider:
@@ -124,11 +151,14 @@ class ServiceProvider:
         engine: StorageEngine | None = None,
         enclave: Enclave | None = None,
         clock: SystemClock | VirtualClock | None = None,
+        retry_rng=None,
     ):
         """``engine`` / ``enclave`` may be shared between the services
         hosting several indexes of one relation (§9.1 builds two TPC-H
         indexes and three WiFi indexes on one machine).  ``clock`` is
-        injectable so tests exercise retry backoff without sleeping."""
+        injectable so tests exercise retry backoff without sleeping;
+        ``retry_rng`` (a seeded ``random.Random``) drives backoff
+        jitter when ``config.retry_jitter`` is non-zero."""
         self.schema = schema
         self.config = config or ServiceConfig()
         self.engine = engine if engine is not None else StorageEngine(
@@ -141,6 +171,12 @@ class ServiceProvider:
             base_delay=self.config.retry_base_delay,
             max_delay=self.config.retry_max_delay,
             clock=self.clock,
+            jitter=self.config.retry_jitter,
+            rng=retry_rng,
+        )
+        self.admission = AdmissionController(
+            max_inflight=self.config.max_inflight,
+            max_queue=self.config.admission_queue,
         )
         # Cells with standing hash-chain violations; queries touching
         # them fail fast with a structured IntegrityViolation.
@@ -277,16 +313,21 @@ class ServiceProvider:
         self, query: PointQuery, epoch_id: int | None = None
     ) -> tuple[object, QueryStats]:
         """Run a point query (Algorithm 2) inside the enclave."""
-        eid = epoch_id if epoch_id is not None else self._epoch_of(query.timestamp)
-        context = self.context_for(eid)
-        with telemetry.span("service.point_query", epoch=eid) as query_span:
-            self.engine.access_log.begin_query()
-            try:
-                answer, stats = self._execute_resilient(
-                    lambda: self._point_executor.execute(query, context)
-                )
-            finally:
-                self.engine.access_log.end_query()
+        with self.admission.admit("point"):
+            eid = epoch_id if epoch_id is not None else self._epoch_of(query.timestamp)
+            context = self.context_for(eid)
+            deadline = self._new_deadline()
+            with telemetry.span("service.point_query", epoch=eid) as query_span:
+                self.engine.access_log.begin_query()
+                try:
+                    answer, stats = self._execute_resilient(
+                        lambda: self._point_executor.execute(
+                            query, context, deadline=deadline
+                        ),
+                        deadline=deadline,
+                    )
+                finally:
+                    self.engine.access_log.end_query()
         _record_query("point", "bpb", stats, query_span.duration)
         return answer, stats
 
@@ -306,36 +347,53 @@ class ServiceProvider:
             raise QueryError(
                 "range spans multiple epochs; use DynamicConcealer (§6)"
             )
-        context = self.context_for(eid)
-        if method == "auto":
-            method = self.choose_range_method(query, context)
-        with telemetry.span(
-            "service.range_query", epoch=eid, method=method
-        ) as query_span:
-            self.engine.access_log.begin_query()
-            try:
-                if method == "multipoint":
-                    run = lambda: self._range_executor.execute_multipoint(query, context)
-                elif method == "ebpb":
-                    run = lambda: self._range_executor.execute_ebpb(query, context)
-                else:
-                    run = lambda: self._range_executor.execute_winsecrange(query, context)
-                answer, stats = self._execute_resilient(run)
-            finally:
-                self.engine.access_log.end_query()
+        with self.admission.admit("range"):
+            context = self.context_for(eid)
+            if method == "auto":
+                method = self.choose_range_method(query, context)
+            deadline = self._new_deadline()
+            executor = self._range_executor
+            with telemetry.span(
+                "service.range_query", epoch=eid, method=method
+            ) as query_span:
+                self.engine.access_log.begin_query()
+                try:
+                    if method == "multipoint":
+                        run = lambda: executor.execute_multipoint(
+                            query, context, deadline=deadline
+                        )
+                    elif method == "ebpb":
+                        run = lambda: executor.execute_ebpb(
+                            query, context, deadline=deadline
+                        )
+                    else:
+                        run = lambda: executor.execute_winsecrange(
+                            query, context, deadline=deadline
+                        )
+                    answer, stats = self._execute_resilient(run, deadline=deadline)
+                finally:
+                    self.engine.access_log.end_query()
         _record_query("range", method, stats, query_span.duration)
         return answer, stats
 
-    def _execute_resilient(self, run):
+    def _new_deadline(self) -> Deadline | None:
+        """Mint this request's deadline budget (None = unbounded)."""
+        if self.config.deadline_seconds is None:
+            return None
+        return Deadline.after(self.clock, self.config.deadline_seconds)
+
+    def _execute_resilient(self, run, deadline: Deadline | None = None):
         """Retry transient storage faults; quarantine integrity failures.
 
         Queries are read-only, so re-running the executor after a
         transient fault is safe.  An :class:`IntegrityViolation` is
         *permanent*: its cell is quarantined and the structured report
-        filed before the violation propagates to the caller.
+        filed before the violation propagates to the caller.  The
+        deadline gates every backoff sleep: a request whose budget is
+        spent fails with :class:`DeadlineExceeded` instead of retrying.
         """
         try:
-            return self.retry.call(run)
+            return self.retry.call(run, deadline=deadline)
         except IntegrityViolation as violation:
             self.quarantine.record(violation)
             raise

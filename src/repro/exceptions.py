@@ -62,6 +62,54 @@ class DuplicateKeyError(StorageError):
     """An insert collided with an existing unique key."""
 
 
+class ReplicationError(StorageError):
+    """The replicated storage layer could not satisfy an operation."""
+
+
+class ReplicaTimeout(ReplicationError, TransientError):
+    """A single replica's read exceeded its per-attempt budget.
+
+    Consumed by the failover loop in
+    :class:`repro.replication.engine.ReplicatedStorageEngine`; only
+    surfaces to callers when every replica is slow.
+    """
+
+
+class NoHealthyReplica(ReplicationError, TransientStorageError):
+    """Every replica was skipped, failed, or timed out for a read.
+
+    A :class:`TransientStorageError`: retrying after backoff lets open
+    circuit breakers reach half-open and probe their replicas again.
+    """
+
+
+class RepairFenced(ReplicationError, TransientError):
+    """Anti-entropy repair aborted because an epoch rewrite is in flight.
+
+    A repair copying bins concurrently with a
+    :class:`~repro.core.rotation.RotationJournal` rewrite could
+    resurrect pre-rotation ciphertexts; the repairer re-checks the
+    engine's rewrite generation before applying and backs off instead.
+    """
+
+
+class DeadlineExceeded(TransientError):
+    """A query's deadline budget expired before the operation finished.
+
+    Deliberately *not* a :class:`TransientStorageError`: retrying within
+    the same request cannot help (the budget stays spent); the caller
+    must re-issue the request with a fresh deadline.
+    """
+
+
+class ServiceOverloaded(TransientError):
+    """The admission queue was full and the request was shed.
+
+    Raised *before* any work happens, so a shed request observes
+    nothing about the data and is safe to retry after backoff.
+    """
+
+
 class TableNotFoundError(StorageError):
     """A referenced table does not exist in the storage engine."""
 
@@ -110,8 +158,8 @@ class IntegrityViolation(IntegrityError, PermanentError):
     Carries enough context for the service to quarantine the affected
     cell-id and for an operator to act on the report, instead of a bare
     exception string.  ``kind`` is one of ``"counter-gap"``,
-    ``"missing-tag"``, ``"chain-mismatch"``, ``"quarantined"``, or
-    ``"undecryptable"``.
+    ``"missing-tag"``, ``"chain-mismatch"``, ``"missing-cell"``,
+    ``"quarantined"``, or ``"undecryptable"``.
     """
 
     def __init__(

@@ -28,6 +28,7 @@ aggregates, which is precisely the paper's argument for the tags.
 
 from __future__ import annotations
 
+import hashlib
 import random
 import tempfile
 from dataclasses import dataclass, field
@@ -44,6 +45,8 @@ from repro.exceptions import ConcealerError, EnclaveCrashed
 from repro.faults.clock import VirtualClock
 from repro.faults.injector import FaultInjector, FaultSpec
 from repro.faults.recovery import RecoveryCoordinator
+from repro.replication.byzantine import ByzantineReplica
+from repro.replication.engine import ReplicatedStorageEngine, ReplicationPolicy
 from repro.storage.checkpoint import restore_engine
 from repro.storage.engine import StorageEngine
 
@@ -69,6 +72,25 @@ def default_specs() -> list[FaultSpec]:
         FaultSpec("enclave.kill.rewrite", probability=0.02, max_fires=1),
         FaultSpec("enclave.kill.checkpoint", probability=0.15, max_fires=1),
     ]
+
+
+def byzantine_specs() -> list[FaultSpec]:
+    """The replicated chaos mix: the standard faults plus a Byzantine
+    storage adversary (replica-targeted tamper, stale replay, bin
+    suppression, stragglers) and mid-rotation enclave kills."""
+    specs = [
+        spec
+        if spec.site != "enclave.kill.rotation"
+        else FaultSpec("enclave.kill.rotation", probability=0.05, max_fires=1)
+        for spec in default_specs()
+    ]
+    specs += [
+        FaultSpec("replica.tamper", probability=0.10, max_fires=3),
+        FaultSpec("replica.replay.stale", probability=0.08, max_fires=2),
+        FaultSpec("replica.bin.drop", probability=0.08, max_fires=2),
+        FaultSpec("replica.slow", probability=0.05, max_fires=2),
+    ]
+    return specs
 
 
 @dataclass
@@ -157,12 +179,14 @@ class ChaosRun:
         seed: int,
         specs: list[FaultSpec] | None = None,
         workdir: str | Path | None = None,
+        replicas: int = 1,
     ):
         self.seed = seed
+        self.replicas = replicas
         self.workload_rng = random.Random(f"chaos-workload-{seed}")
-        self.injector = FaultInjector(
-            seed, default_specs() if specs is None else specs
-        )
+        if specs is None:
+            specs = byzantine_specs() if replicas > 1 else default_specs()
+        self.injector = FaultInjector(seed, specs)
         self.report = ChaosReport(seed=seed)
         self._tmp = None
         if workdir is None:
@@ -184,12 +208,43 @@ class ChaosRun:
             rng=random.Random(f"chaos-provider-{seed}"),
         )
         self.clock = VirtualClock()
+        self._master = MASTER_KEY
+        self._rotations = 0
+        if replicas > 1:
+            # N-replica Byzantine setup: replica 0's inner engine keeps
+            # the shared injector (classic storage faults still fire);
+            # every replica's *response channel* is adversarial, driven
+            # by the same injector so runs replay deterministically.
+            members = []
+            for rid in range(replicas):
+                inner = StorageEngine(
+                    fault_injector=self.injector if rid == 0 else None
+                )
+                members.append(
+                    ByzantineReplica(
+                        inner, rid, fault_injector=self.injector, clock=self.clock
+                    )
+                )
+            engine = ReplicatedStorageEngine(
+                members,
+                clock=self.clock,
+                policy=ReplicationPolicy(attempt_timeout=2.0),
+            )
+            config = ServiceConfig(
+                verify=True, deadline_seconds=90.0, retry_jitter=0.2
+            )
+            retry_rng = random.Random(f"chaos-retry-{seed}")
+        else:
+            engine = StorageEngine(fault_injector=self.injector)
+            config = ServiceConfig(verify=True)
+            retry_rng = None
         self.service = ServiceProvider(
             WIFI_SCHEMA,
-            ServiceConfig(verify=True),
-            engine=StorageEngine(fault_injector=self.injector),
+            config,
+            engine=engine,
             enclave=Enclave(EnclaveConfig(), fault_injector=self.injector),
             clock=self.clock,
+            retry_rng=retry_rng,
         )
         self.provider.provision_enclave(self.service.enclave)
         self.service.install_registry(self.provider.sealed_registry())
@@ -281,6 +336,38 @@ class ChaosRun:
         expected = sorted(self.service.engine.table_names())
         return self._attempt("checkpoint", run, expected)
 
+    def rotate_keys(self) -> ChaosOutcome:
+        """Rotate the master key mid-run (replicated schedules only).
+
+        The next key is a deterministic function of the seed and the
+        rotation count, so schedules replay.  A mid-rotation enclave
+        kill rolls the rewrite back (journal) and recovery re-attests —
+        the *old* key stays live, which the oracle checks implicitly by
+        the following queries still answering correctly.
+        """
+        from repro.core.rotation import rotate_service_keys, rotation_token
+
+        self._rotations += 1
+        new_master = hashlib.sha256(
+            b"chaos-rotation|%d|%d" % (self.seed, self._rotations)
+        ).digest()
+
+        def run():
+            token = rotation_token(self._master, new_master)
+            rotated = rotate_service_keys(self.service, new_master, token)
+            self.provider.adopt_master(new_master)
+            self._master = new_master
+            return rotated
+
+        outcome = self._attempt("rotate", run)
+        if outcome.error is None:
+            outcome.ok = True
+        return outcome
+
+    def repair(self) -> list:
+        """One anti-entropy pass; no-op for unreplicated runs."""
+        return self.coordinator.repair_replicas()
+
     def _pick_epoch(self):
         if not self.oracle:
             return None, None
@@ -311,6 +398,12 @@ class ChaosRun:
                     if index == ops // 2 and EPOCH_DURATION not in self.oracle:
                         self.ingest(EPOCH_DURATION)
                         continue
+                    # Replicated schedules rotate keys mid-stream — with
+                    # replica faults armed this exercises failover during
+                    # and after an epoch rewrite (the repair fence).
+                    if self.replicas > 1 and index == max(1, (2 * ops) // 3):
+                        self.rotate_keys()
+                        continue
                     draw = self.workload_rng.random()
                     if draw < 0.45:
                         self.point_query()
@@ -318,6 +411,10 @@ class ChaosRun:
                         self.range_query()
                     else:
                         self.checkpoint_cycle()
+                    if self.replicas > 1 and index % 4 == 3:
+                        self.repair()
+                if self.replicas > 1:
+                    self.repair()
             finally:
                 self.report.schedule = self.injector.encode_schedule()
                 self.report.faults_fired = len(self.injector.fired)
@@ -332,6 +429,15 @@ def run_chaos(
     ops: int = 12,
     specs: list[FaultSpec] | None = None,
     workdir: str | Path | None = None,
+    replicas: int = 1,
 ) -> ChaosReport:
-    """Run one seeded chaos schedule end to end and return its report."""
-    return ChaosRun(seed, specs=specs, workdir=workdir).run(ops=ops)
+    """Run one seeded chaos schedule end to end and return its report.
+
+    ``replicas > 1`` switches to the Byzantine-replicated stack: N
+    engines behind verify-then-failover reads, replica fault sites
+    armed (:func:`byzantine_specs`), a mid-run key rotation, and
+    periodic anti-entropy repair.
+    """
+    return ChaosRun(seed, specs=specs, workdir=workdir, replicas=replicas).run(
+        ops=ops
+    )

@@ -8,6 +8,7 @@ counter (and records the requested delays for assertions).
 
 from __future__ import annotations
 
+import random
 import time
 from dataclasses import dataclass, field
 
@@ -50,28 +51,56 @@ class RetryPolicy:
     matching ``retry_on`` are retried — anything else (integrity
     violations, crashes needing recovery) propagates immediately, which
     is the whole point of the transient/permanent split.
+
+    ``jitter`` spreads the backoff by up to that fraction of the delay
+    (full-jitter style, so concurrent retriers decorrelate).  The draws
+    come from ``rng``, an *explicitly threaded* seeded
+    :class:`random.Random` — never the process-global RNG — so a chaos
+    replay of a retry schedule is byte-deterministic.
     """
 
     attempts: int = 4
     base_delay: float = 0.01
     max_delay: float = 1.0
     multiplier: float = 2.0
+    jitter: float = 0.0
     retry_on: type | tuple = TransientStorageError
     clock: SystemClock | VirtualClock = field(default_factory=SystemClock)
+    rng: random.Random | None = None
 
     def __post_init__(self):
         if self.attempts < 1:
             raise ValueError("attempts must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be within [0, 1]")
+        if self.jitter > 0.0 and self.rng is None:
+            # A fixed-seed fallback keeps un-threaded callers
+            # deterministic too; chaos harnesses thread their own.
+            self.rng = random.Random(0)
 
     def delays(self) -> list[float]:
-        """The backoff sequence this policy sleeps through (for docs/tests)."""
+        """The jitter-free backoff sequence this policy sleeps through."""
         return [
             min(self.base_delay * self.multiplier ** k, self.max_delay)
             for k in range(self.attempts - 1)
         ]
 
-    def call(self, fn):
-        """Run ``fn`` under the policy; returns its value or re-raises."""
+    def _delay(self, attempt: int) -> float:
+        delay = min(self.base_delay * self.multiplier ** attempt, self.max_delay)
+        if self.jitter > 0.0:
+            assert self.rng is not None
+            delay *= 1.0 - self.jitter * self.rng.random()
+        return delay
+
+    def call(self, fn, deadline=None):
+        """Run ``fn`` under the policy; returns its value or re-raises.
+
+        ``deadline`` (anything with ``check(site)``, e.g.
+        :class:`repro.replication.deadline.Deadline`) is consulted
+        before every retry sleep: a spent budget raises
+        :class:`~repro.exceptions.DeadlineExceeded` instead of burning
+        backoff time on an answer nobody is waiting for.
+        """
         last: BaseException | None = None
         for attempt in range(self.attempts):
             try:
@@ -86,9 +115,9 @@ class RetryPolicy:
                 ).inc()
                 if attempt == self.attempts - 1:
                     break
-                delay = min(
-                    self.base_delay * self.multiplier ** attempt, self.max_delay
-                )
+                if deadline is not None:
+                    deadline.check("retry.backoff")
+                delay = self._delay(attempt)
                 telemetry.counter(
                     "concealer_retry_backoff_seconds_total",
                     "total backoff slept between retries",

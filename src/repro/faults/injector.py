@@ -35,7 +35,17 @@ Known fault sites (the strings components consult):
 ``enclave.kill.rotation``       kill the enclave mid-key-rotation
 ``enclave.kill.rewrite``        kill the enclave mid-§6-bin-rewrite
 ``enclave.kill.checkpoint``     kill the enclave mid-checkpoint
+``replica.tamper``              corrupt one row of a replica's response
+``replica.replay.stale``        replica serves a remembered stale batch
+``replica.bin.drop``            replica drops rows from a fetched bin
+``replica.slow``                replica stalls past its attempt budget
 ==============================  =============================================
+
+The ``replica.*`` sites model a *Byzantine* storage replica (see
+:mod:`repro.replication.byzantine`): unlike the ``storage.row.*``
+tampering sites, they fire inside one replica's response path, so a
+verification failure there is recoverable by failing over to a healthy
+peer rather than fatal to the query.
 """
 
 from __future__ import annotations
@@ -57,6 +67,10 @@ FAULT_SITES = (
     "enclave.kill.rotation",
     "enclave.kill.rewrite",
     "enclave.kill.checkpoint",
+    "replica.tamper",
+    "replica.replay.stale",
+    "replica.bin.drop",
+    "replica.slow",
 )
 
 

@@ -76,10 +76,15 @@ class RecoveryCoordinator:
             raise StorageError("no checkpoint path configured")
         if not self.service.enclave.crashed:
             self.service.enclave.kill_point("enclave.kill.checkpoint")
+        # A replicated engine nominates a healthy replica (unwrapped
+        # from any Byzantine response channel) so the checkpoint
+        # captures trustworthy *stored* state, not served state.
+        engine = self.service.engine
+        source = getattr(engine, "checkpoint_source", lambda: engine)()
         return checkpoint_engine(
-            self.service.engine,
+            source,
             self.checkpoint_path,
-            fault_injector=self.service.engine.fault_injector,
+            fault_injector=source.fault_injector,
         )
 
     # ------------------------------------------------------------- recovery
@@ -107,6 +112,45 @@ class RecoveryCoordinator:
             raise StorageError("no checkpoint path configured")
         self.service.adopt_engine(restore_engine(self.checkpoint_path))
         _count_recovery("storage")
+
+    def master_source(self, table: str):
+        """Rebuild one table's encrypted rows from the DP's epoch package.
+
+        The anti-entropy repairer's last resort when no healthy peer
+        holds the table.  Declines (returns ``None``) once a key
+        rotation has run: the retained packages hold *pre-rotation*
+        ciphertexts, and re-installing them would fail verification
+        under the rotated keys — those tables must re-sync from a peer
+        or be re-shipped by the data provider.
+        """
+        from repro.storage.table import Row
+
+        if getattr(self.service.engine, "rewrite_generation", 0) > 0:
+            return None
+        for epoch_id, package in self.service._packages.items():
+            if self.service._table_name(epoch_id) != table:
+                continue
+            rows = [
+                Row(row_id=position, columns=tuple(row.as_columns()))
+                for position, row in enumerate(package.rows)
+            ]
+            return (package.column_names, rows, ["index_key"])
+        return None
+
+    def repair_replicas(self) -> list:
+        """One anti-entropy pass over the service's replicated engine.
+
+        No-op (empty list) for unreplicated engines; otherwise each
+        quarantined (replica, table) re-syncs from a healthy peer or,
+        failing that, from this coordinator's :meth:`master_source`.
+        """
+        from repro.replication.repair import AntiEntropyRepairer
+
+        engine = self.service.engine
+        if not getattr(engine, "supports_replicated_reads", False):
+            return []
+        repairer = AntiEntropyRepairer(engine, master_source=self.master_source)
+        return repairer.run_once()
 
     def recover(self, restore_storage: bool = False) -> dict:
         """Recover whatever is broken; returns a summary of actions taken.

@@ -1,0 +1,97 @@
+"""Bounded admission with load shedding.
+
+Under overload the worst failure mode is accepting every request and
+serving all of them late: deadlines expire deep in the stack after the
+work was already done.  The admission controller bounds the damage at
+the front door: at most ``max_inflight`` requests execute at once, at
+most ``max_queue`` more may wait, and everything beyond that is *shed*
+with a typed :class:`~repro.exceptions.ServiceOverloaded` before any
+query work (or data access) happens.
+
+Shed counts and queue depths are public-size: they are functions of
+request arrival, never of the plaintext data.
+
+>>> controller = AdmissionController(max_inflight=1, max_queue=0)
+>>> with controller.admit("point"):
+...     controller.inflight
+1
+>>> controller.inflight
+0
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from repro import telemetry
+from repro.exceptions import ServiceOverloaded
+
+
+class AdmissionController:
+    """Front-door slot accounting for one service's query traffic."""
+
+    def __init__(self, max_inflight: int = 64, max_queue: int = 128):
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        if max_queue < 0:
+            raise ValueError("max_queue must be >= 0")
+        self.max_inflight = max_inflight
+        self.max_queue = max_queue
+        self.inflight = 0
+        self.queued = 0
+        self.shed = 0
+
+    @property
+    def capacity(self) -> int:
+        """Total requests admissible at once (executing + waiting)."""
+        return self.max_inflight + self.max_queue
+
+    @contextmanager
+    def admit(self, kind: str = "query"):
+        """Take a slot for the ``with`` body or shed the request.
+
+        The synchronous simulator has no true concurrency, so "queued"
+        slots model re-entrant work (e.g. repair running inside a
+        degraded-mode query): occupancy beyond ``max_inflight`` spills
+        into the queue allowance before shedding begins.
+        """
+        if self.inflight + self.queued >= self.capacity:
+            self.shed += 1
+            telemetry.counter(
+                "concealer_requests_shed_total",
+                "requests rejected by admission control, by query kind",
+                secrecy=telemetry.PUBLIC_SIZE,
+                labels=("kind",),
+            ).labels(kind=kind).inc()
+            raise ServiceOverloaded(
+                f"admission queue full ({self.inflight} inflight, "
+                f"{self.queued} queued, capacity {self.capacity}); "
+                f"{kind!r} request shed — retry after backoff"
+            )
+        queued = self.inflight >= self.max_inflight
+        if queued:
+            self.queued += 1
+        else:
+            self.inflight += 1
+        telemetry.counter(
+            "concealer_requests_admitted_total",
+            "requests admitted past the front door, by query kind",
+            secrecy=telemetry.PUBLIC_SIZE,
+            labels=("kind",),
+        ).labels(kind=kind).inc()
+        self._export()
+        try:
+            yield
+        finally:
+            if queued:
+                self.queued -= 1
+            else:
+                self.inflight -= 1
+            self._export()
+
+    def _export(self) -> None:
+        telemetry.gauge(
+            "concealer_admission_inflight",
+            "requests currently executing plus waiting",
+            secrecy=telemetry.PUBLIC_SIZE,
+        ).set(self.inflight + self.queued)

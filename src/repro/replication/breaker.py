@@ -1,0 +1,143 @@
+"""Per-replica circuit breakers (closed → open → half-open).
+
+A replica that keeps failing — timeouts, transient errors, integrity
+violations — should stop being asked at all for a while: every doomed
+attempt burns deadline budget and (for Byzantine replicas) gives the
+adversary another response to poison.  The breaker trips *open* after
+``failure_threshold`` consecutive failures; reads skip open replicas.
+After ``reset_timeout`` seconds on the injectable clock the breaker
+admits a single *half-open* probe: success closes it, failure re-opens
+it for another full timeout.
+
+State transitions are exported as a public-size gauge — breaker state
+is a function of fault behaviour, never of the plaintext data.
+
+>>> from repro.faults.clock import VirtualClock
+>>> clock = VirtualClock()
+>>> breaker = CircuitBreaker(clock, failure_threshold=2, reset_timeout=10.0)
+>>> breaker.record_failure(); breaker.record_failure(); breaker.state
+'open'
+>>> breaker.allow()                     # still inside the cool-down
+False
+>>> clock.sleep(10.0); breaker.allow()  # one half-open probe admitted
+True
+>>> breaker.state
+'half-open'
+>>> breaker.record_success(); breaker.state
+'closed'
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import telemetry
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+# Gauge encoding: exported numerically so dashboards can alert on it.
+_STATE_CODES = {CLOSED: 0, OPEN: 1, HALF_OPEN: 2}
+
+
+@dataclass(frozen=True)
+class BreakerConfig:
+    """Trip and recovery tunables shared by every replica's breaker."""
+
+    failure_threshold: int = 3
+    reset_timeout: float = 30.0
+
+    def __post_init__(self):
+        if self.failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if self.reset_timeout <= 0:
+            raise ValueError("reset_timeout must be positive")
+
+
+class CircuitBreaker:
+    """One replica's health gate, driven by an injectable clock."""
+
+    def __init__(
+        self,
+        clock,
+        failure_threshold: int = 3,
+        reset_timeout: float = 30.0,
+        name: str = "",
+    ):
+        self.clock = clock
+        self.config = BreakerConfig(failure_threshold, reset_timeout)
+        self.name = name
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._export()
+
+    @property
+    def state(self) -> str:
+        """``"closed"``, ``"open"``, or ``"half-open"``."""
+        return self._state
+
+    def allow(self) -> bool:
+        """Whether a request may be sent to this replica right now.
+
+        An open breaker past its cool-down transitions to half-open and
+        admits exactly one probe; further calls return ``False`` until
+        the probe's outcome is recorded.
+        """
+        if self._state == CLOSED:
+            return True
+        if self._state == OPEN:
+            if self.clock.now() - self._opened_at >= self.config.reset_timeout:
+                self._transition(HALF_OPEN)
+                return True
+            return False
+        # Half-open with its probe outstanding: no second probe.
+        return False
+
+    def record_success(self) -> None:
+        """A request to this replica verified and returned in budget."""
+        self._consecutive_failures = 0
+        if self._state != CLOSED:
+            self._transition(CLOSED)
+
+    def record_failure(self) -> None:
+        """A request failed (timeout, transient error, bad integrity)."""
+        self._consecutive_failures += 1
+        if self._state == HALF_OPEN:
+            self._open()
+        elif (
+            self._state == CLOSED
+            and self._consecutive_failures >= self.config.failure_threshold
+        ):
+            self._open()
+
+    def reset(self) -> None:
+        """Force-close (e.g. after an anti-entropy repair resynced us)."""
+        self._consecutive_failures = 0
+        self._transition(CLOSED)
+
+    # ------------------------------------------------------------- internals
+
+    def _open(self) -> None:
+        self._opened_at = self.clock.now()
+        self._transition(OPEN)
+
+    def _transition(self, state: str) -> None:
+        if state != self._state:
+            telemetry.counter(
+                "concealer_replica_breaker_transitions_total",
+                "circuit-breaker state changes, by replica and new state",
+                secrecy=telemetry.PUBLIC_SIZE,
+                labels=("replica", "state"),
+            ).labels(replica=self.name, state=state).inc()
+        self._state = state
+        self._export()
+
+    def _export(self) -> None:
+        telemetry.gauge(
+            "concealer_replica_breaker_state",
+            "breaker state per replica (0=closed, 1=open, 2=half-open)",
+            secrecy=telemetry.PUBLIC_SIZE,
+            labels=("replica",),
+        ).labels(replica=self.name).set(_STATE_CODES[self._state])

@@ -1,0 +1,120 @@
+"""A Byzantine storage replica: correct storage, adversarial responses.
+
+Wraps one :class:`~repro.storage.engine.StorageEngine` and perturbs its
+*read responses* under the seeded fault injector — the replica-targeted
+misbehaviours §7's hash chains must detect and the replication layer
+must survive:
+
+- ``replica.tamper`` — flip bytes of one row in the returned batch
+  (a tampering SP);
+- ``replica.replay.stale`` — serve a remembered earlier batch instead
+  of the live rows (a stale-epoch replay: after a key rotation the
+  remembered ciphertexts no longer decrypt, which is exactly how the
+  enclave catches it);
+- ``replica.bin.drop`` — drop rows from the batch (bin suppression);
+- ``replica.slow`` — stall on the injectable clock past the read
+  budget (a straggler or resource-exhaustion attack).
+
+Writes and DDL pass through untouched — the Byzantine model here is a
+replica whose *stored* state converges with its peers but whose
+*served* state may lie.  Persistent stored-state corruption (the other
+half of the model) is available via :meth:`corrupt_stored`, which the
+degraded-mode tests use to build a permanently tampering replica.
+"""
+
+from __future__ import annotations
+
+from repro.faults.clock import SystemClock
+from repro.faults.injector import FaultInjector, NULL_INJECTOR
+from repro.storage.engine import StorageEngine
+from repro.storage.table import Row
+
+# How long a `replica.slow` stall lasts — deliberately longer than any
+# sane per-attempt budget so the fault reliably converts to a timeout.
+SLOW_STALL_SECONDS = 5.0
+
+
+class ByzantineReplica:
+    """One replica's engine behind an adversarial response channel."""
+
+    def __init__(
+        self,
+        inner: StorageEngine,
+        replica_id: int,
+        fault_injector: FaultInjector | None = None,
+        clock=None,
+        slow_stall: float = SLOW_STALL_SECONDS,
+    ):
+        self.inner = inner
+        self.replica_id = replica_id
+        self.fault_injector = fault_injector or NULL_INJECTOR
+        self.clock = clock if clock is not None else SystemClock()
+        self.slow_stall = slow_stall
+        # Last batch served per table — the replay fault's ammunition.
+        self._remembered: dict[str, list[Row]] = {}
+        # Tables whose *stored* rows were persistently corrupted.
+        self.tampered_tables: set[str] = set()
+
+    # ------------------------------------------------------------ read path
+
+    def lookup_many(self, table: str, column: str, keys) -> list[Row]:
+        """The adversarial response channel for batched bin fetches."""
+        injector = self.fault_injector
+        if injector.fire("replica.slow") is not None:
+            # The stall is observable time, not an error: the replicated
+            # engine's per-attempt budget is what converts it into a
+            # typed ReplicaTimeout.
+            self.clock.sleep(self.slow_stall)
+        stale = None
+        if injector.fire("replica.replay.stale") is not None:
+            stale = self._remembered.get(table)
+        if stale is not None:
+            return list(stale)
+        rows = self.inner.lookup_many(table, column, keys)
+        self._remembered[table] = list(rows)
+        if rows and injector.fire("replica.tamper") is not None:
+            victim = injector.choose(len(rows), "replica.tamper")
+            row = rows[victim]
+            position = injector.choose(len(row.columns), "replica.tamper")
+            columns = list(row.columns)
+            if isinstance(columns[position], bytes):
+                columns[position] = injector.corrupt_bytes(
+                    columns[position], site="replica.tamper"
+                )
+                rows[victim] = Row(row_id=row.row_id, columns=tuple(columns))
+        if rows and injector.fire("replica.bin.drop") is not None:
+            del rows[injector.choose(len(rows), "replica.bin.drop")]
+        return rows
+
+    # --------------------------------------------- persistent stored tamper
+
+    def corrupt_stored(self, table: str, every: int = 1) -> int:
+        """Corrupt the replica's *stored* rows in place (persistently).
+
+        Flips one byte of the first filter column of every ``every``-th
+        row (the column stays unindexed, so the row is still *found* by
+        its trapdoor — and then fails its hash chain).  Models a replica
+        whose disk state was tampered with: all of its responses for the
+        table fail verification until an anti-entropy repair resyncs it
+        from a healthy peer.  Returns the number of rows corrupted.
+        """
+        tampered = 0
+        for row in list(self.inner.snapshot_rows(table)):
+            if row.row_id % every:
+                continue
+            columns = list(row.columns)
+            payload = columns[0]
+            if isinstance(payload, bytes) and payload:
+                columns[0] = payload[:-1] + bytes([payload[-1] ^ 0x5A])
+                self.inner.overwrite(table, row.row_id, columns)
+                tampered += 1
+        if tampered:
+            self.tampered_tables.add(table)
+        return tampered
+
+    # --------------------------------------------------------- delegation
+
+    def __getattr__(self, name: str):
+        # Everything not intercepted (DDL, writes, scans, counts, the
+        # access log) behaves exactly like the wrapped engine.
+        return getattr(self.inner, name)

@@ -1,0 +1,71 @@
+"""Deadline budgets propagated service → enclave → storage.
+
+A :class:`Deadline` is minted once per request at the service edge and
+threaded *down* the stack: the enclave checks it before formulating a
+fetch, the replicated engine checks it before every replica attempt,
+and the retry policy checks it before every backoff sleep.  Every check
+site is named, so the expiry counter tells an operator *where* budgets
+die — at the storage fan-out, in retry backoff, or up in the service.
+
+Deadlines read an injectable clock (:class:`~repro.faults.clock.VirtualClock`
+in tests and chaos runs), so expiry behaviour is deterministic: a
+``replica.slow`` fault sleeps the virtual clock past the budget and the
+query fails with a typed :class:`~repro.exceptions.DeadlineExceeded`
+instead of hanging.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import telemetry
+from repro.exceptions import DeadlineExceeded
+
+
+def _count_expiry(site: str) -> None:
+    # Expiry counts are public-size: they depend on infrastructure
+    # behaviour (slow replicas, budgets), never on the plaintext data.
+    telemetry.counter(
+        "concealer_deadline_expiries_total",
+        "deadline budgets found expired, by check site",
+        secrecy=telemetry.PUBLIC_SIZE,
+        labels=("site",),
+    ).labels(site=site).inc()
+
+
+@dataclass(frozen=True)
+class Deadline:
+    """An absolute expiry instant on an injectable clock."""
+
+    clock: object
+    expires_at: float
+
+    @classmethod
+    def after(cls, clock, seconds: float) -> "Deadline":
+        """A deadline ``seconds`` from the clock's current time."""
+        if seconds <= 0:
+            raise ValueError("deadline budget must be positive")
+        return cls(clock=clock, expires_at=clock.now() + seconds)
+
+    def remaining(self) -> float:
+        """Seconds of budget left (negative once expired)."""
+        return self.expires_at - self.clock.now()
+
+    @property
+    def expired(self) -> bool:
+        """Whether the budget is spent."""
+        return self.clock.now() >= self.expires_at
+
+    def check(self, site: str) -> None:
+        """Raise :class:`DeadlineExceeded` if the budget is spent.
+
+        ``site`` names the decision point (``"enclave.fetch"``,
+        ``"replication.attempt"``, ``"retry.backoff"``, ...) for the
+        expiry counter.
+        """
+        if self.expired:
+            _count_expiry(site)
+            raise DeadlineExceeded(
+                f"deadline exceeded at {site!r} "
+                f"(over budget by {-self.remaining():.3f}s)"
+            )

@@ -1,0 +1,187 @@
+"""Anti-entropy repair: re-sync quarantined replicas from healthy peers.
+
+The repairer walks the engine's quarantine worklist — every (replica,
+table) scope a failed verification or write divergence put there — and
+rebuilds each quarantined table from a trustworthy snapshot:
+
+- **Peer source.**  When two or more healthy peers hold the table,
+  their snapshots are digest-compared and the majority wins — a peer
+  whose *stored* state silently rotted (never caught on the read path
+  because it was never asked) cannot poison the repair.  A single
+  healthy peer is trusted as-is.
+- **Master source.**  When no healthy peer holds the table, an
+  optional ``master_source`` callback (wired to the data provider via
+  :class:`~repro.faults.recovery.RecoveryCoordinator`) reconstructs
+  the encrypted rows from the retained epoch packages.
+
+Every repair is **fenced against epoch rotation**: the engine's
+rewrite generation is captured before the snapshot and re-checked by
+:meth:`~repro.replication.engine.ReplicatedStorageEngine.resync_replica`
+at apply time.  A rotation that begins (or completes) in between aborts
+the repair with :class:`~repro.exceptions.RepairFenced` — applying a
+pre-rotation snapshot would resurrect old-key ciphertexts that no
+longer verify.  Fenced repairs stay on the worklist and succeed on the
+next pass.
+
+Repair outcomes are public-size telemetry: counts of repairs by
+outcome reveal fault behaviour, not data.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+from repro import telemetry
+from repro.exceptions import RepairFenced
+from repro.replication.engine import ReplicatedStorageEngine
+from repro.storage.table import Row
+
+# master_source(table) -> (column_names, rows, indexed_columns) | None
+MasterSource = Callable[
+    [str], "tuple[Sequence[str], Sequence[Row], Sequence[str]] | None"
+]
+
+
+@dataclass(frozen=True)
+class RepairOutcome:
+    """One repair attempt's result, for reports and assertions."""
+
+    replica_id: int
+    table: str
+    outcome: str  # "repaired" | "fenced" | "no-source"
+    rows: int = 0
+    source: str = ""  # "peer:<id>" | "majority:<k>/<n>" | "master" | ""
+
+
+def _snapshot_digest(rows: Sequence[Row]) -> str:
+    """A stable digest of a table snapshot for majority comparison."""
+    digest = hashlib.sha256()
+    for row in sorted(rows, key=lambda r: r.row_id):
+        digest.update(str(row.row_id).encode())
+        for column in row.columns:
+            payload = column if isinstance(column, bytes) else str(column).encode()
+            digest.update(len(payload).to_bytes(4, "big"))
+            digest.update(payload)
+    return digest.hexdigest()
+
+
+class AntiEntropyRepairer:
+    """Drains the quarantine worklist by re-syncing replicas."""
+
+    def __init__(
+        self,
+        engine: ReplicatedStorageEngine,
+        master_source: MasterSource | None = None,
+    ):
+        self.engine = engine
+        self.master_source = master_source
+
+    def run_once(self) -> list[RepairOutcome]:
+        """One repair pass over the current quarantine worklist."""
+        outcomes = []
+        for replica_id, table in self.engine.tables_needing_repair():
+            outcomes.append(self._repair(replica_id, table))
+        return outcomes
+
+    def run_until_clean(self, max_passes: int = 3) -> list[RepairOutcome]:
+        """Repeat passes until the worklist drains or stops shrinking.
+
+        Fenced and source-less repairs can clear up between passes
+        (rotation finishing, peers recovering); anything still stuck
+        after ``max_passes`` is left quarantined for the operator.
+        """
+        outcomes: list[RepairOutcome] = []
+        for _ in range(max_passes):
+            batch = self.run_once()
+            outcomes.extend(batch)
+            if not batch or all(o.outcome == "repaired" for o in batch):
+                break
+        return outcomes
+
+    # -------------------------------------------------------------- internal
+
+    def _repair(self, replica_id: int, table: str) -> RepairOutcome:
+        engine = self.engine
+        if engine.rewrite_in_progress:
+            return self._outcome(replica_id, table, "fenced")
+        generation = engine.rewrite_generation
+        chosen = self._choose_source(replica_id, table)
+        if chosen is None:
+            return self._outcome(replica_id, table, "no-source")
+        column_names, rows, indexed, source = chosen
+        try:
+            installed = engine.resync_replica(
+                replica_id,
+                table,
+                column_names,
+                rows,
+                indexed,
+                expected_generation=generation,
+            )
+        except RepairFenced:
+            return self._outcome(replica_id, table, "fenced")
+        engine.quarantine.clear(replica_id, table)
+        engine.breakers[replica_id].reset()
+        return self._outcome(
+            replica_id, table, "repaired", rows=installed, source=source
+        )
+
+    def _choose_source(self, replica_id: int, table: str):
+        """Pick a trustworthy snapshot: peer majority, lone peer, master."""
+        engine = self.engine
+        quarantined = {rid for rid, _ in engine.quarantine.tables()}
+        peers = [
+            rid
+            for rid in range(len(engine.replicas))
+            if rid != replica_id
+            and rid not in quarantined
+            and engine.breakers[rid].state == "closed"
+            and engine.replicas[rid].has_table(table)
+        ]
+        if peers:
+            snapshots = {
+                rid: engine.replicas[rid].snapshot_rows(table) for rid in peers
+            }
+            if len(peers) == 1:
+                rid = peers[0]
+                return (
+                    engine.replicas[rid].column_names(table),
+                    snapshots[rid],
+                    engine.replicas[rid].indexed_columns(table),
+                    f"peer:{rid}",
+                )
+            by_digest: dict[str, list[int]] = {}
+            for rid in peers:
+                by_digest.setdefault(_snapshot_digest(snapshots[rid]), []).append(rid)
+            majority = max(by_digest.values(), key=len)
+            rid = majority[0]
+            return (
+                engine.replicas[rid].column_names(table),
+                snapshots[rid],
+                engine.replicas[rid].indexed_columns(table),
+                f"majority:{len(majority)}/{len(peers)}",
+            )
+        if self.master_source is not None:
+            reconstructed = self.master_source(table)
+            if reconstructed is not None:
+                column_names, rows, indexed = reconstructed
+                return (column_names, rows, indexed, "master")
+        return None
+
+    def _outcome(
+        self,
+        replica_id: int,
+        table: str,
+        outcome: str,
+        rows: int = 0,
+        source: str = "",
+    ) -> RepairOutcome:
+        telemetry.counter(
+            "concealer_replica_repairs_total",
+            "anti-entropy repair attempts, by outcome",
+            secrecy=telemetry.PUBLIC_SIZE,
+            labels=("outcome",),
+        ).labels(outcome=outcome).inc()
+        return RepairOutcome(replica_id, table, outcome, rows=rows, source=source)

@@ -91,6 +91,48 @@ class StorageEngine:
         """All table names, sorted."""
         return sorted(self._tables)
 
+    def column_names(self, table: str) -> tuple[str, ...]:
+        """The column names of a table (for replication and repair)."""
+        return self._table(table).column_names
+
+    def indexed_columns(self, table: str) -> list[str]:
+        """Columns carrying a B+-tree index on this table, sorted."""
+        self._table(table)
+        return sorted(col for (tname, col) in self._indexes if tname == table)
+
+    def rebuild_table(
+        self,
+        name: str,
+        column_names: Sequence[str],
+        rows: Sequence[Row],
+        indexed_columns: Sequence[str] = (),
+    ) -> int:
+        """Replace a table wholesale from a row snapshot, preserving ids.
+
+        The anti-entropy repair path: a quarantined replica adopts a
+        healthy peer's rows byte-for-byte (same row ids, so physical
+        addresses stay aligned across replicas).  Returns the number of
+        rows installed.
+        """
+        if self.has_table(name):
+            self.drop_table(name)
+        self.create_table(name, column_names)
+        tbl = self._tables[name]
+        next_row_id = 0
+        for row in rows:
+            tbl._rows[row.row_id] = Row(row_id=row.row_id, columns=tuple(row.columns))
+            self._pagers[name].note_row(row.row_id)
+            next_row_id = max(next_row_id, row.row_id + 1)
+        tbl._next_row_id = next_row_id
+        for column in indexed_columns:
+            self.create_index(name, column)
+        telemetry.counter(
+            "concealer_storage_rows_written_total",
+            "rows written to storage (inserts, deletes, overwrites)",
+            secrecy=telemetry.PUBLIC_SIZE,
+        ).inc(len(tbl))
+        return len(tbl)
+
     # ------------------------------------------------------------------- DML
 
     def insert(self, table: str, columns: Sequence) -> int:
@@ -215,6 +257,15 @@ class StorageEngine:
         for row in tbl.scan():
             self.access_log.record(AccessKind.ROW_READ, table, row.row_id)
             yield row
+
+    def snapshot_rows(self, table: str) -> list[Row]:
+        """An unlogged copy of a table's live rows, in row-id order.
+
+        Maintenance-plane read used by key rotation, checkpointing and
+        anti-entropy repair; it bypasses the access log because it
+        models an operator-side bulk copy, not a query-path access.
+        """
+        return list(self._table(table).scan())
 
     def row_count(self, table: str) -> int:
         """Live-row count (part of the paper's setup leakage L_s)."""

@@ -1,0 +1,82 @@
+"""Seeded property test: bin packing never exceeds Theorem 4.1's bounds.
+
+Stdlib-only (``random`` + the binning module, no hypothesis): for every
+seeded draw from a family of adversarial population shapes, FFD/BFD
+must pack into at most ``2n/|b| + 1`` bins with at most
+``n + 1.5·|b|`` fake tuples, every bin padded to exactly ``|b|``
+tuples, and the fake-id ranges disjoint across bins (Example 4.1).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.binning import pack_bins
+
+
+def uniform(rng):
+    return [rng.randrange(0, 50) for _ in range(rng.randrange(1, 64))]
+
+
+def constant(rng):
+    return [rng.randrange(1, 40)] * rng.randrange(1, 48)
+
+
+def zipf_like(rng):
+    scale = rng.randrange(20, 200)
+    return [scale // (i + 1) for i in range(rng.randrange(1, 48))]
+
+
+def zero_heavy(rng):
+    return [
+        0 if rng.random() < 0.7 else rng.randrange(1, 30)
+        for _ in range(rng.randrange(1, 64))
+    ]
+
+
+def single_huge(rng):
+    populations = [rng.randrange(0, 5) for _ in range(rng.randrange(1, 32))]
+    populations[rng.randrange(len(populations))] = rng.randrange(100, 400)
+    return populations
+
+
+SHAPES = (uniform, constant, zipf_like, zero_heavy, single_huge)
+
+
+@pytest.mark.parametrize("algorithm", ("ffd", "bfd"))
+@pytest.mark.parametrize("shape", SHAPES, ids=lambda s: s.__name__)
+@pytest.mark.parametrize("seed", range(25))
+def test_theorem_4_1_bounds_hold(algorithm, shape, seed):
+    rng = random.Random(f"binning-{algorithm}-{shape.__name__}-{seed}")
+    c_tuple = shape(rng)
+    layout = pack_bins(c_tuple, algorithm=algorithm)
+
+    layout.verify_equal_sizes()
+    assert layout.theorem_4_1_holds()
+    n = layout.total_real
+    assert n == sum(c_tuple)
+    if n:
+        assert len(layout.bins) <= 2 * n / layout.bin_size + 1
+        assert layout.total_fakes <= n + 1.5 * layout.bin_size
+    # Every cell-id is packed exactly once.
+    packed = sorted(cid for b in layout.bins for cid in b.cell_ids)
+    assert packed == list(range(len(c_tuple)))
+    # Fake-id ranges are disjoint across bins and account for every fake.
+    fake_ids = [fid for b in layout.bins for fid in b.fake_ids()]
+    assert len(fake_ids) == len(set(fake_ids)) == layout.total_fakes
+
+
+@pytest.mark.parametrize("shape", SHAPES, ids=lambda s: s.__name__)
+def test_packing_is_deterministic_per_seed(shape):
+    rng_a = random.Random(f"det-{shape.__name__}")
+    rng_b = random.Random(f"det-{shape.__name__}")
+    layout_a = pack_bins(shape(rng_a))
+    layout_b = pack_bins(shape(rng_b))
+    assert [b.cell_ids for b in layout_a.bins] == [
+        b.cell_ids for b in layout_b.bins
+    ]
+    assert [b.fake_id_range for b in layout_a.bins] == [
+        b.fake_id_range for b in layout_b.bins
+    ]

@@ -1,0 +1,98 @@
+"""Backoff jitter: explicitly threaded, seeded RNG; deterministic replay."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.exceptions import DeadlineExceeded, TransientStorageError
+from repro.faults.clock import RetryPolicy, VirtualClock
+from repro.replication import Deadline
+
+
+def flaky(failures):
+    state = {"left": failures}
+
+    def fn():
+        if state["left"]:
+            state["left"] -= 1
+            raise TransientStorageError("flaky")
+        return "ok"
+
+    return fn
+
+
+def jittered_sleeps(seed):
+    clock = VirtualClock()
+    policy = RetryPolicy(
+        attempts=4,
+        base_delay=0.1,
+        jitter=0.5,
+        rng=random.Random(seed),
+        clock=clock,
+    )
+    assert policy.call(flaky(3)) == "ok"
+    return clock.sleeps
+
+
+class TestSeededJitter:
+    def test_same_seed_replays_the_same_backoff_schedule(self):
+        assert jittered_sleeps(42) == jittered_sleeps(42)
+
+    def test_different_seeds_decorrelate(self):
+        assert jittered_sleeps(1) != jittered_sleeps(2)
+
+    def test_jittered_delays_stay_within_the_nominal_envelope(self):
+        clock = VirtualClock()
+        policy = RetryPolicy(
+            attempts=6,
+            base_delay=0.1,
+            max_delay=1.0,
+            jitter=0.5,
+            rng=random.Random(7),
+            clock=clock,
+        )
+        with pytest.raises(TransientStorageError):
+            policy.call(flaky(99))
+        assert len(clock.sleeps) == 5
+        for slept, nominal in zip(clock.sleeps, policy.delays()):
+            assert nominal * 0.5 <= slept <= nominal
+
+    def test_delays_reports_the_jitter_free_schedule(self):
+        policy = RetryPolicy(
+            attempts=4, base_delay=0.1, jitter=0.9, rng=random.Random(3)
+        )
+        assert policy.delays() == [0.1, 0.2, 0.4]
+
+    def test_zero_jitter_sleeps_exactly_the_nominal_schedule(self):
+        clock = VirtualClock()
+        policy = RetryPolicy(attempts=4, base_delay=0.1, clock=clock)
+        with pytest.raises(TransientStorageError):
+            policy.call(flaky(99))
+        assert clock.sleeps == policy.delays()
+
+    def test_unthreaded_callers_fall_back_to_a_fixed_seed(self):
+        first = RetryPolicy(jitter=0.5)
+        second = RetryPolicy(jitter=0.5)
+        assert [first._delay(k) for k in range(3)] == [
+            second._delay(k) for k in range(3)
+        ]
+
+    def test_jitter_fraction_is_validated(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=-0.1)
+
+
+class TestDeadlineInBackoff:
+    def test_spent_budget_stops_the_backoff_loop(self):
+        clock = VirtualClock()
+        policy = RetryPolicy(attempts=5, base_delay=10.0, clock=clock)
+        deadline = Deadline.after(clock, 5.0)
+        clock.sleep(6.0)
+        with pytest.raises(DeadlineExceeded):
+            policy.call(flaky(99), deadline=deadline)
+        # The failed attempt never slept: the budget died before backoff.
+        assert clock.sleeps == [6.0]

@@ -1,0 +1,1 @@
+"""Tests for the Byzantine-resilient replicated bin store."""

@@ -1,0 +1,96 @@
+"""Fixtures: full Concealer stacks over N Byzantine-wrapped replicas."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import (
+    DataProvider,
+    GridSpec,
+    ServiceConfig,
+    ServiceProvider,
+    WIFI_SCHEMA,
+)
+from repro.faults.clock import VirtualClock
+from repro.replication import (
+    ByzantineReplica,
+    ReplicatedStorageEngine,
+    ReplicationPolicy,
+)
+from repro.storage.engine import StorageEngine
+
+MASTER_KEY = bytes(range(32))
+EPOCH_DURATION = 600
+TIME_STEP = 60
+LOCATIONS = tuple(f"ap{i}" for i in range(4))
+SPEC = GridSpec(
+    dimension_sizes=(4, 10), cell_id_count=16, epoch_duration=EPOCH_DURATION
+)
+
+
+def replication_records(prefix: str = "dev") -> list[tuple[str, int, str]]:
+    """A tiny deterministic epoch whose (location, timestamp) multiset is
+    independent of ``prefix`` — only device names vary (leakage tests
+    rely on that)."""
+    return [
+        (LOCATIONS[(t // TIME_STEP + d) % len(LOCATIONS)], t, f"{prefix}{d}")
+        for t in range(0, EPOCH_DURATION, TIME_STEP)
+        for d in range(6)
+    ]
+
+
+def make_replicated_stack(
+    records,
+    replicas: int = 3,
+    verify: bool = True,
+    policy: ReplicationPolicy | None = None,
+    config: ServiceConfig | None = None,
+    injector=None,
+    seed: int = 1,
+):
+    """Provisioned (provider, service, engine, members, clock) with one
+    ingested epoch behind ``replicas`` Byzantine-wrapped engines.
+
+    ``injector`` arms replica 0's response channel (replica 0 is the
+    first read candidate, so armed faults actually land on the hot
+    path); the other members stay honest.
+    """
+    clock = VirtualClock()
+    members = [
+        ByzantineReplica(
+            StorageEngine(),
+            rid,
+            fault_injector=injector if rid == 0 else None,
+            clock=clock,
+        )
+        for rid in range(replicas)
+    ]
+    engine = ReplicatedStorageEngine(
+        members, clock=clock, policy=policy or ReplicationPolicy()
+    )
+    provider = DataProvider(
+        WIFI_SCHEMA,
+        SPEC,
+        first_epoch_id=0,
+        master_key=MASTER_KEY,
+        time_granularity=TIME_STEP,
+        rng=random.Random(seed),
+    )
+    service = ServiceProvider(
+        WIFI_SCHEMA,
+        config or ServiceConfig(verify=verify),
+        engine=engine,
+        clock=clock,
+    )
+    provider.provision_enclave(service.enclave)
+    service.ingest_epoch(provider.encrypt_epoch(records, epoch_id=0))
+    return provider, service, engine, members, clock
+
+
+@pytest.fixture
+def rstack():
+    """records + a fresh healthy 3-replica stack with verification on."""
+    records = replication_records()
+    return (records, *make_replicated_stack(records))

@@ -1,0 +1,364 @@
+"""Unit tests for the replicated read/write paths.
+
+Failover, verify-then-failover quarantine, circuit breakers, deadline
+budgets, hedged ordering, degraded-mode flagging, write-divergence
+handling, and admission control — all on raw engines with small
+adversarial wrappers, no full query stack.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import (
+    DeadlineExceeded,
+    IntegrityViolation,
+    NoHealthyReplica,
+    ReplicaTimeout,
+    ServiceOverloaded,
+    TransientError,
+    TransientStorageError,
+)
+from repro.faults.clock import VirtualClock
+from repro.replication import (
+    AdmissionController,
+    BreakerConfig,
+    CircuitBreaker,
+    Deadline,
+    ReplicatedStorageEngine,
+    ReplicationPolicy,
+)
+from repro.storage.engine import StorageEngine
+from repro.storage.table import Row
+
+TABLE = "t"
+POISON = b"TAMPERED"
+
+
+class FlakyReplica:
+    """Reads fail transiently while ``fail_reads`` is positive."""
+
+    def __init__(self, inner=None):
+        self.inner = inner or StorageEngine()
+        self.fail_reads = 0
+
+    def lookup_many(self, table, column, keys):
+        if self.fail_reads:
+            self.fail_reads -= 1
+            raise TransientStorageError("injected transient read fault")
+        return self.inner.lookup_many(table, column, keys)
+
+    def __getattr__(self, name):
+        return getattr(self.inner, name)
+
+
+class LyingReplica:
+    """Serves rows whose payload column was replaced wholesale."""
+
+    def __init__(self, inner=None):
+        self.inner = inner or StorageEngine()
+
+    def lookup_many(self, table, column, keys):
+        rows = self.inner.lookup_many(table, column, keys)
+        return [
+            Row(row_id=r.row_id, columns=(POISON,) + tuple(r.columns[1:]))
+            for r in rows
+        ]
+
+    def __getattr__(self, name):
+        return getattr(self.inner, name)
+
+
+class SlowReplica:
+    """Stalls the injectable clock before answering."""
+
+    def __init__(self, clock, stall=5.0, inner=None):
+        self.inner = inner or StorageEngine()
+        self.clock = clock
+        self.stall = stall
+
+    def lookup_many(self, table, column, keys):
+        self.clock.sleep(self.stall)
+        return self.inner.lookup_many(table, column, keys)
+
+    def __getattr__(self, name):
+        return getattr(self.inner, name)
+
+
+class DivergentWriteReplica:
+    """Inserts fail while ``fail_writes`` is positive (reads are fine)."""
+
+    def __init__(self, inner=None):
+        self.inner = inner or StorageEngine()
+        self.fail_writes = 0
+
+    def insert(self, table, columns):
+        if self.fail_writes:
+            self.fail_writes -= 1
+            raise TransientStorageError("injected write fault")
+        return self.inner.insert(table, columns)
+
+    def __getattr__(self, name):
+        return getattr(self.inner, name)
+
+
+def reject_poison(rows):
+    """Stand-in for the enclave's hash-chain check."""
+    for row in rows:
+        if row.columns[0] == POISON:
+            raise IntegrityViolation(
+                "poisoned payload", cell_id=7, table=TABLE
+            )
+
+
+def build(replicas, policy=None, clock=None, rows=4):
+    """A replicated engine over ``replicas`` with one indexed table."""
+    clock = clock or VirtualClock()
+    engine = ReplicatedStorageEngine(list(replicas), clock=clock, policy=policy)
+    engine.create_table(TABLE, ["payload", "k"])
+    engine.create_index(TABLE, "k")
+    for i in range(rows):
+        engine.insert(TABLE, [b"payload-%d" % i, b"k%d" % i])
+    return engine, clock
+
+
+class TestWritePath:
+    def test_writes_fan_out_to_every_replica(self):
+        engine, _ = build([StorageEngine() for _ in range(3)])
+        assert [r.row_count(TABLE) for r in engine.replicas] == [4, 4, 4]
+
+    def test_write_divergence_quarantines_the_straggler(self):
+        divergent = DivergentWriteReplica()
+        engine, _ = build([StorageEngine(), divergent])
+        divergent.fail_writes = 1
+        engine.insert(TABLE, [b"payload-9", b"k9"])
+        assert engine.replicas[0].row_count(TABLE) == 5
+        assert divergent.row_count(TABLE) == 4
+        assert engine.quarantine.blocks(1, TABLE)
+        assert engine.tables_needing_repair() == [(1, TABLE)]
+
+    def test_write_fails_loudly_when_no_replica_applies(self):
+        first, second = DivergentWriteReplica(), DivergentWriteReplica()
+        engine, _ = build([first, second])
+        first.fail_writes = second.fail_writes = 1
+        with pytest.raises(TransientStorageError):
+            engine.insert(TABLE, [b"payload-9", b"k9"])
+        # Nothing changed anywhere: safe to retry, nothing to repair.
+        assert len(engine.quarantine) == 0
+
+
+class TestReadFailover:
+    def test_transient_fault_fails_over_transparently(self):
+        flaky = FlakyReplica()
+        engine, _ = build([flaky, StorageEngine()])
+        flaky.fail_reads = 1
+        rows = engine.lookup_many(TABLE, "k", [b"k1"])
+        assert [r.columns[0] for r in rows] == [b"payload-1"]
+        assert engine.last_read_failovers == 1
+        assert engine.breakers[0].state == "closed"  # 1 failure < threshold
+
+    def test_tampered_answer_is_quarantined_and_failed_over(self):
+        engine, _ = build([LyingReplica(), StorageEngine()])
+        rows = engine.lookup_many(
+            TABLE, "k", [b"k2"], verifier=reject_poison, cells=[7]
+        )
+        assert rows[0].columns[0] == b"payload-2"
+        assert engine.last_read_failovers == 1
+        # Quarantine is scoped to the bad cell-id…
+        assert engine.quarantine.blocks(0, TABLE, [7])
+        assert not engine.quarantine.blocks(0, TABLE, [8])
+        # …but conservatively blocks unhinted reads for the table.
+        assert engine.quarantine.blocks(0, TABLE)
+        assert engine.candidate_replicas(TABLE, [7]) == [1]
+
+    def test_all_replicas_tampered_raises_integrity_violation(self):
+        engine, _ = build([LyingReplica(), LyingReplica()])
+        with pytest.raises(IntegrityViolation):
+            engine.lookup_many(
+                TABLE, "k", [b"k0"], verifier=reject_poison, cells=[7]
+            )
+
+    def test_slow_replica_converts_to_timeout_and_fails_over(self):
+        clock = VirtualClock()
+        engine, _ = build(
+            [SlowReplica(clock), StorageEngine()],
+            policy=ReplicationPolicy(attempt_timeout=2.0),
+            clock=clock,
+        )
+        rows = engine.lookup_many(TABLE, "k", [b"k3"])
+        assert rows[0].columns[0] == b"payload-3"
+        assert engine.last_read_failovers == 1
+
+    def test_lone_slow_replica_surfaces_the_timeout(self):
+        clock = VirtualClock()
+        engine, _ = build(
+            [SlowReplica(clock)],
+            policy=ReplicationPolicy(attempt_timeout=2.0),
+            clock=clock,
+        )
+        with pytest.raises(NoHealthyReplica) as excinfo:
+            engine.lookup_many(TABLE, "k", [b"k0"])
+        assert isinstance(excinfo.value.__cause__, ReplicaTimeout)
+
+    def test_exhausted_replicas_raise_a_retryable_error(self):
+        flaky = FlakyReplica()
+        engine, _ = build([flaky])
+        flaky.fail_reads = 99
+        with pytest.raises(NoHealthyReplica) as excinfo:
+            engine.lookup_many(TABLE, "k", [b"k0"])
+        # NoHealthyReplica is the one replication error the service's
+        # retry policy targets: backoff lets breakers reach half-open.
+        assert isinstance(excinfo.value, TransientStorageError)
+
+
+class TestCircuitBreakers:
+    def test_breaker_opens_after_consecutive_failures_then_recovers(self):
+        flaky = FlakyReplica()
+        flaky.fail_reads = 99
+        policy = ReplicationPolicy(
+            breaker=BreakerConfig(failure_threshold=3, reset_timeout=30.0)
+        )
+        engine, clock = build([flaky], policy=policy)
+        for _ in range(3):
+            with pytest.raises(NoHealthyReplica):
+                engine.lookup_many(TABLE, "k", [b"k0"])
+        assert engine.breakers[0].state == "open"
+        # Inside the cool-down no attempt reaches the replica at all.
+        with pytest.raises(NoHealthyReplica):
+            engine.lookup_many(TABLE, "k", [b"k0"])
+        assert engine.last_read_failovers == 0
+        # Past the cool-down one half-open probe is admitted; a healthy
+        # answer closes the breaker again.
+        clock.sleep(30.0)
+        flaky.fail_reads = 0
+        rows = engine.lookup_many(TABLE, "k", [b"k1"])
+        assert rows
+        assert engine.breakers[0].state == "closed"
+
+    def test_half_open_admits_exactly_one_probe_and_reopens_on_failure(self):
+        clock = VirtualClock()
+        breaker = CircuitBreaker(clock, failure_threshold=1, reset_timeout=5.0)
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+        clock.sleep(5.0)
+        assert breaker.allow()
+        assert breaker.state == "half-open"
+        assert not breaker.allow()  # the probe is outstanding
+        breaker.record_failure()
+        assert breaker.state == "open"
+
+
+class TestDeadlines:
+    def test_expired_deadline_raises_before_any_attempt(self):
+        engine, clock = build([StorageEngine()])
+        deadline = Deadline.after(clock, 1.0)
+        clock.sleep(2.0)
+        with pytest.raises(DeadlineExceeded):
+            engine.lookup_many(TABLE, "k", [b"k0"], deadline=deadline)
+
+    def test_slow_failovers_burn_the_budget(self):
+        clock = VirtualClock()
+        engine, _ = build(
+            [SlowReplica(clock), SlowReplica(clock)],
+            policy=ReplicationPolicy(attempt_timeout=2.0),
+            clock=clock,
+        )
+        # First attempt stalls 5s; the second attempt's gate finds the
+        # 4s budget already spent.
+        deadline = Deadline.after(clock, 4.0)
+        with pytest.raises(DeadlineExceeded):
+            engine.lookup_many(TABLE, "k", [b"k0"], deadline=deadline)
+
+    def test_deadline_is_transient_but_not_a_storage_retry_target(self):
+        assert issubclass(DeadlineExceeded, TransientError)
+        assert not issubclass(DeadlineExceeded, TransientStorageError)
+
+
+class TestHedging:
+    def test_known_straggler_is_demoted_in_read_order(self):
+        policy = ReplicationPolicy(hedge=True, hedge_threshold=0.5)
+        engine, _ = build([StorageEngine() for _ in range(3)], policy=policy)
+        engine._latency[0] = 2.0
+        assert engine.candidate_replicas(TABLE) == [1, 2, 0]
+        rows = engine.lookup_many(TABLE, "k", [b"k1"])
+        assert rows[0].columns[0] == b"payload-1"
+        assert engine.last_read_failovers == 0  # straggler never asked
+
+    def test_latency_ewma_learns_from_timed_attempts(self):
+        clock = VirtualClock()
+        engine, _ = build(
+            [SlowReplica(clock), StorageEngine()],
+            policy=ReplicationPolicy(
+                attempt_timeout=2.0, hedge=True, hedge_threshold=1.0
+            ),
+            clock=clock,
+        )
+        engine.lookup_many(TABLE, "k", [b"k0"])
+        assert engine._latency[0] >= 5.0
+        assert engine.candidate_replicas(TABLE) == [1, 0]
+
+
+class TestDegradedMode:
+    def test_reads_below_min_healthy_are_flagged_degraded(self):
+        engine, _ = build([StorageEngine() for _ in range(3)])
+        engine.quarantine.record(0, TABLE, None, "test")
+        engine.lookup_many(TABLE, "k", [b"k0"])
+        assert engine.degraded  # 2 healthy < default min_healthy = 3
+
+    def test_min_healthy_policy_relaxes_the_flag(self):
+        engine, _ = build(
+            [StorageEngine() for _ in range(3)],
+            policy=ReplicationPolicy(min_healthy=2),
+        )
+        engine.quarantine.record(0, TABLE, None, "test")
+        engine.lookup_many(TABLE, "k", [b"k0"])
+        assert not engine.degraded
+
+    def test_maintenance_reads_avoid_a_quarantined_primary(self):
+        engine, _ = build([StorageEngine(), StorageEngine()])
+        engine.quarantine.record(0, TABLE, None, "test")
+        assert engine._primary(TABLE) is engine.replicas[1]
+
+    def test_healthy_count_reflects_breakers_and_quarantine(self):
+        engine, _ = build([StorageEngine() for _ in range(3)])
+        assert engine.healthy_replica_count() == 3
+        engine.quarantine.record(1, TABLE, None, "test")
+        for _ in range(3):
+            engine.breakers[2].record_failure()
+        assert engine.healthy_replica_count() == 1
+
+
+class TestAdmissionControl:
+    def test_sheds_beyond_capacity_with_a_typed_error(self):
+        controller = AdmissionController(max_inflight=1, max_queue=1)
+        with controller.admit("point"):
+            with controller.admit("point"):  # spills into the queue
+                with pytest.raises(ServiceOverloaded):
+                    with controller.admit("point"):
+                        pass
+        assert controller.shed == 1
+        assert controller.inflight == 0
+        assert controller.queued == 0
+
+    def test_shed_requests_are_retryable_but_touch_no_storage(self):
+        assert issubclass(ServiceOverloaded, TransientError)
+        assert not issubclass(ServiceOverloaded, TransientStorageError)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionController(max_inflight=0)
+        with pytest.raises(ValueError):
+            AdmissionController(max_queue=-1)
+
+
+class TestPolicyValidation:
+    def test_rejects_bad_tunables(self):
+        with pytest.raises(ValueError):
+            ReplicationPolicy(min_healthy=0)
+        with pytest.raises(ValueError):
+            ReplicationPolicy(attempt_timeout=0.0)
+        with pytest.raises(ValueError):
+            ReplicationPolicy(hedge_threshold=0.0)
+        with pytest.raises(ValueError):
+            ReplicatedStorageEngine([])

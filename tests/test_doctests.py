@@ -13,6 +13,8 @@ import repro.crypto.hashchain
 import repro.crypto.nondet
 import repro.crypto.prf
 import repro.enclave.sort
+import repro.replication.admission
+import repro.replication.breaker
 import repro.storage.btree
 import repro.storage.engine
 import repro.telemetry.metrics
@@ -28,6 +30,8 @@ MODULES = [
     repro.crypto.nondet,
     repro.crypto.prf,
     repro.enclave.sort,
+    repro.replication.admission,
+    repro.replication.breaker,
     repro.storage.btree,
     repro.storage.engine,
     repro.telemetry.metrics,
