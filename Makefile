@@ -1,7 +1,13 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test chaos replication-chaos demo bench metrics-smoke lint
+.PHONY: test chaos replication-chaos demo bench bench-json bench-smoke metrics-smoke lint
+
+# Where `make bench-json` writes its machine-readable metrics.
+BENCH_OUT ?= BENCH_local.json
+BENCH_SCALE ?= ci
+BENCH_BASELINE ?= benchmarks/results/baseline_ci.json
+BENCH_MAX_REGRESSION ?= 0.25
 
 test: metrics-smoke replication-chaos
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
@@ -22,6 +28,23 @@ demo:
 
 bench:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest benchmarks -q
+
+# Deterministic downscaled benchmark → machine-readable JSON
+# (p50/p95 latencies, storage reads/query, fake-tuple overhead, batch
+# dedup).  Regenerate the committed CI baseline after an intentional
+# volume change with: make bench-json BENCH_OUT=$(BENCH_BASELINE)
+bench-json:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/report.py \
+		--bench-json $(BENCH_OUT) --scale $(BENCH_SCALE)
+
+# The CI gate: emit BENCH_pr.json and fail on >25% regression of any
+# tracked (deterministic count) metric vs the committed baseline.
+bench-smoke:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/report.py \
+		--bench-json BENCH_pr.json --scale $(BENCH_SCALE)
+	$(PYTHON) benchmarks/check_regression.py \
+		--baseline $(BENCH_BASELINE) --candidate BENCH_pr.json \
+		--max-regression $(BENCH_MAX_REGRESSION)
 
 # Tiny workload → Prometheus export → line-format validation.
 metrics-smoke:

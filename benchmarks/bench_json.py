@@ -1,0 +1,217 @@
+"""Machine-readable benchmark pass → ``BENCH_*.json``.
+
+This is the CI-facing counterpart of the pytest benchmarks: one
+self-contained, deterministic workload per scale, condensed to a flat
+metrics dict that ``check_regression.py`` can diff against a committed
+baseline.  Two kinds of metrics come out:
+
+- **tracked** — deterministic volume accounting (storage rows read per
+  query, fake-tuple overhead, batch dedup factor).  These are pure
+  functions of the dataset seed and the code, so any drift is a real
+  behavioural change; CI fails the PR when one regresses past the
+  threshold.
+- **informational** — wall-clock latencies (p50/p95).  Recorded in the
+  artifact for humans, never gated: shared-runner timing noise dwarfs
+  any real signal at CI scale.
+
+Usage::
+
+    python benchmarks/report.py --bench-json BENCH_pr.json --scale ci
+    python benchmarks/check_regression.py \
+        --baseline benchmarks/results/baseline_ci.json \
+        --candidate BENCH_pr.json --max-regression 0.25
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import statistics
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+sys.path.insert(0, str(Path(__file__).parent.parent / "src"))
+
+SCHEMA_VERSION = 1
+
+# Which metrics the regression gate enforces, and the good direction.
+# Latencies are deliberately absent: CI timing noise is not a signal.
+TRACKED = {
+    "point_storage_rows_per_query": "lower",
+    "range_multipoint_storage_rows_per_query": "lower",
+    "batch_storage_rows_per_query": "lower",
+    "batch_read_reduction": "higher",
+    "batch_dedup_factor": "higher",
+    "fake_tuple_ratio": "lower",
+    "warm_cache_rows_per_query": "lower",
+}
+
+# Per-scale workload sizing.  "ci" must finish in well under a minute
+# on a shared runner; "full" matches the small pytest-benchmark stack.
+SCALES = {
+    "ci": dict(access_points=12, devices=240, rows_per_hour=600, probes=6, repeats=4),
+    "full": dict(access_points=48, devices=1200, rows_per_hour=1200, probes=8, repeats=6),
+}
+
+
+def _build_service(scale: dict):
+    from repro import GridSpec
+    from repro.workloads import WifiConfig, generate_wifi_epoch
+
+    from harness import EPOCH, EPOCH_DURATION, build_wifi_stack
+
+    config = WifiConfig(
+        access_points=scale["access_points"],
+        devices=scale["devices"],
+        rows_per_hour_offpeak=scale["rows_per_hour"],
+        seed=41,
+    )
+    records = generate_wifi_epoch(
+        config, EPOCH, EPOCH_DURATION, rng=random.Random(41 ^ EPOCH)
+    )
+    spec = GridSpec(
+        dimension_sizes=(scale["access_points"], 120),
+        cell_id_count=256,
+        epoch_duration=EPOCH_DURATION,
+    )
+    _, service = build_wifi_stack(
+        records, spec, verify=True, bin_cache_bins=64, batch_workers=4
+    )
+    return records, service
+
+
+def _percentiles(samples: list[float]) -> tuple[float, float]:
+    ordered = sorted(samples)
+    p50 = statistics.median(ordered)
+    p95 = ordered[min(len(ordered) - 1, int(round(0.95 * (len(ordered) - 1))))]
+    return p50, p95
+
+
+def run_bench(scale_name: str = "ci") -> dict:
+    """Run the workload at one scale; returns the BENCH payload."""
+    if scale_name not in SCALES:
+        raise SystemExit(
+            f"unknown scale {scale_name!r}; choose from {sorted(SCALES)}"
+        )
+    scale = SCALES[scale_name]
+
+    from repro import PointQuery, RangeQuery, telemetry
+    from repro.telemetry import audit_run
+
+    from harness import EPOCH, sample_probes
+
+    metrics: dict[str, float] = {}
+
+    def workload():
+        records, service = _build_service(scale)
+        registry = telemetry.get_registry()
+        reads = lambda: registry.total("concealer_storage_rows_read_total")  # noqa: E731
+        probes = sample_probes(records, scale["probes"], seed=11)
+        point_queries = [
+            PointQuery(index_values=(loc,), timestamp=ts) for loc, ts in probes
+        ]
+        batch_queries = point_queries * scale["repeats"]
+        ranged = RangeQuery(
+            index_values=(probes[0][0],),
+            time_start=EPOCH + 600,
+            time_end=EPOCH + 1499,
+        )
+
+        # Point queries, cold (cache flushed before each): latency + volume.
+        latencies = []
+        before = reads()
+        for query in point_queries:
+            service.bin_cache.invalidate_all("bench-cold")
+            start = time.perf_counter()
+            service.execute_point(query)
+            latencies.append(time.perf_counter() - start)
+        metrics["point_storage_rows_per_query"] = (
+            (reads() - before) / len(point_queries)
+        )
+        p50, p95 = _percentiles(latencies)
+        metrics["point_p50_s"] = round(p50, 6)
+        metrics["point_p95_s"] = round(p95, 6)
+
+        # Warm cache: the same probes again, cache intact.
+        service.bin_cache.invalidate_all("bench-reset")
+        for query in point_queries:
+            service.execute_point(query)
+        before = reads()
+        for query in point_queries:
+            service.execute_point(query)
+        metrics["warm_cache_rows_per_query"] = (
+            (reads() - before) / len(point_queries)
+        )
+
+        # Multipoint range volume.
+        before = reads()
+        service.bin_cache.invalidate_all("bench-cold")
+        start = time.perf_counter()
+        service.execute_range(ranged, method="multipoint")
+        metrics["range_multipoint_p50_s"] = round(time.perf_counter() - start, 6)
+        metrics["range_multipoint_storage_rows_per_query"] = reads() - before
+
+        # Batched execution of the overlapping workload, cache flushed so
+        # the dedup factor (not cache residency) is what's measured.
+        sequential_reads = metrics["point_storage_rows_per_query"] * len(
+            batch_queries
+        )
+        service.bin_cache.invalidate_all("bench-cold")
+        before = reads()
+        start = time.perf_counter()
+        service.execute_batch(batch_queries)
+        metrics["batch_seconds"] = round(time.perf_counter() - start, 6)
+        batch_reads = reads() - before
+        metrics["batch_storage_rows_per_query"] = batch_reads / len(batch_queries)
+        metrics["batch_read_reduction"] = round(
+            sequential_reads / max(1, batch_reads), 4
+        )
+
+        from repro.batching import QueryBatcher
+
+        plan = QueryBatcher(service).plan(batch_queries)
+        metrics["batch_dedup_factor"] = round(plan.dedup_factor, 4)
+
+        # Fake-tuple overhead of everything fetched above.
+        real = registry.value("concealer_tuples_fetched_total", kind="real")
+        fake = registry.value("concealer_tuples_fetched_total", kind="fake")
+        fetched = real + fake
+        metrics["fake_tuple_ratio"] = (
+            round(fake / fetched, 6) if fetched else 0.0
+        )
+
+    audit_run(workload)
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "scale": scale_name,
+        "metrics": {k: metrics[k] for k in sorted(metrics)},
+        "tracked": dict(TRACKED),
+    }
+
+
+def write_bench_json(path: str | Path, scale_name: str = "ci") -> Path:
+    payload = run_bench(scale_name)
+    path = Path(path)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {path} (scale={scale_name})")
+    for name, value in payload["metrics"].items():
+        marker = "tracked" if name in payload["tracked"] else "info"
+        print(f"  {name} = {value} [{marker}]")
+    return path
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("output", help="path of the BENCH_*.json to write")
+    parser.add_argument("--scale", default="ci", choices=sorted(SCALES))
+    args = parser.parse_args(argv)
+    write_bench_json(args.output, args.scale)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

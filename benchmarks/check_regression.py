@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Fail CI when a tracked benchmark metric regresses past the threshold.
+
+Compares a candidate ``BENCH_*.json`` (produced by
+``benchmarks/report.py --bench-json``) against the committed baseline::
+
+    python benchmarks/check_regression.py \
+        --baseline benchmarks/results/baseline_ci.json \
+        --candidate BENCH_pr.json --max-regression 0.25
+
+Only *tracked* metrics gate (deterministic volume accounting: storage
+reads per query, dedup factors, fake-tuple overhead).  Latencies are
+printed for context but never fail the build — shared-runner timing
+noise is not a signal.  A metric's direction comes from the baseline's
+``tracked`` map: "lower" means smaller is better, "higher" the reverse.
+
+Exit status: 0 clean, 1 regression, 2 usage/schema error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load(path: str) -> dict:
+    try:
+        payload = json.loads(Path(path).read_text())
+    except FileNotFoundError:
+        raise SystemExit(f"error: {path} does not exist")
+    except json.JSONDecodeError as exc:
+        raise SystemExit(f"error: {path} is not valid JSON: {exc}")
+    for key in ("schema_version", "metrics", "tracked"):
+        if key not in payload:
+            raise SystemExit(f"error: {path} lacks required key {key!r}")
+    return payload
+
+
+def compare(baseline: dict, candidate: dict, max_regression: float):
+    """Returns (regressions, improvements, notes) line lists."""
+    regressions: list[str] = []
+    improvements: list[str] = []
+    notes: list[str] = []
+    base_metrics = baseline["metrics"]
+    cand_metrics = candidate["metrics"]
+    for name, direction in sorted(baseline["tracked"].items()):
+        if name not in base_metrics:
+            continue
+        if name not in cand_metrics:
+            regressions.append(f"{name}: missing from candidate")
+            continue
+        base = float(base_metrics[name])
+        cand = float(cand_metrics[name])
+        if direction == "lower":
+            # Worse = bigger.  A zero baseline tolerates nothing but zero.
+            limit = base * (1.0 + max_regression)
+            worse = cand > limit + 1e-9
+            better = cand < base - 1e-9
+        elif direction == "higher":
+            limit = base * (1.0 - max_regression)
+            worse = cand < limit - 1e-9
+            better = cand > base + 1e-9
+        else:
+            raise SystemExit(f"error: unknown direction {direction!r} for {name}")
+        line = (
+            f"{name}: baseline={base:g} candidate={cand:g} "
+            f"(allowed {'≤' if direction == 'lower' else '≥'} {limit:g})"
+        )
+        if worse:
+            regressions.append(line)
+        elif better:
+            improvements.append(line)
+        else:
+            notes.append(line)
+    for name, value in sorted(cand_metrics.items()):
+        if name not in baseline["tracked"]:
+            base = base_metrics.get(name)
+            notes.append(
+                f"{name}: candidate={value:g} baseline="
+                f"{base if base is not None else 'n/a'} [informational]"
+            )
+    return regressions, improvements, notes
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--candidate", required=True)
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.25,
+        help="allowed fractional drift on tracked metrics (default 0.25)",
+    )
+    args = parser.parse_args(argv)
+    if not 0 <= args.max_regression < 1:
+        raise SystemExit("error: --max-regression must be in [0, 1)")
+
+    baseline = load(args.baseline)
+    candidate = load(args.candidate)
+    if baseline["schema_version"] != candidate["schema_version"]:
+        raise SystemExit(
+            f"error: schema_version mismatch "
+            f"({baseline['schema_version']} vs {candidate['schema_version']}); "
+            "regenerate the baseline with benchmarks/report.py --bench-json"
+        )
+    if baseline.get("scale") != candidate.get("scale"):
+        print(
+            f"warning: comparing scale {candidate.get('scale')!r} against "
+            f"baseline scale {baseline.get('scale')!r}",
+            file=sys.stderr,
+        )
+
+    regressions, improvements, notes = compare(
+        baseline, candidate, args.max_regression
+    )
+    for line in notes:
+        print(f"  ok   {line}")
+    for line in improvements:
+        print(f"  good {line}")
+    for line in regressions:
+        print(f"  FAIL {line}")
+    if regressions:
+        print(
+            f"\n{len(regressions)} tracked metric(s) regressed more than "
+            f"{args.max_regression:.0%} vs {args.baseline}.\n"
+            "If the change is intentional (e.g. a deliberate volume/"
+            "security trade-off), regenerate the baseline:\n"
+            "  make bench-json BENCH_OUT=benchmarks/results/baseline_ci.json"
+        )
+        return 1
+    print(f"\nall tracked metrics within {args.max_regression:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -85,11 +85,14 @@ def build_wifi_stack(
     cell_id_count: int | None = None,
     bin_size: int | None = None,
     max_cells_per_bin: int | None = 8,
+    **config,
 ):
     """Provision a (provider, service) pair and ingest the records.
 
     ``max_cells_per_bin=8`` bounds the §4.3 oblivious schedule so the
-    Concealer+ benchmarks stay tractable in pure Python.
+    Concealer+ benchmarks stay tractable in pure Python.  Extra keyword
+    arguments flow into :class:`ServiceConfig` (``bin_cache_bins=…``,
+    ``batch_workers=…``, …).
     """
     if cell_id_count is not None:
         spec = GridSpec(
@@ -109,7 +112,7 @@ def build_wifi_stack(
         rng=random.Random(7),
     )
     service = ServiceProvider(
-        WIFI_SCHEMA, ServiceConfig(oblivious=oblivious, verify=verify)
+        WIFI_SCHEMA, ServiceConfig(oblivious=oblivious, verify=verify, **config)
     )
     provider.provision_enclave(service.enclave)
     service.ingest_epoch(provider.encrypt_epoch(records, EPOCH))

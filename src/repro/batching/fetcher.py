@@ -1,0 +1,182 @@
+"""The shared whole-bin fetch path: overlay → cache → storage.
+
+Both the BPB point executor and the multipoint range executor retrieve
+*whole bins* (Theorem 4.1's fixed-size public retrieval unit).  The
+:class:`BinFetcher` centralises that retrieval so a bin fetched once
+can be reused — within a batch (the :class:`BatchOverlay`) and across
+requests (the :class:`~repro.batching.cache.BinCache`) — without any
+caller-visible change in answers.
+
+Verification invariant: whenever a fetched bin may be *reused* (an
+overlay or cache is active) and the service verifies, the bin's hash
+chains are checked **before** it becomes reusable.  A later consumer
+of the cached rows therefore never needs to re-verify, and a tampered
+batch is rejected before it can poison the cache.  With neither
+overlay nor cache in play the fetcher reproduces the legacy executor
+behaviour byte for byte (end-of-query verification over the combined
+row set).
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro import telemetry
+from repro.core.queries import QueryStats
+
+
+def _bin_reuses():
+    return telemetry.counter(
+        "concealer_batch_bin_reuses_total",
+        "whole-bin fetches served from the in-batch overlay",
+        secrecy=telemetry.PUBLIC_SIZE,
+    )
+
+
+class BatchOverlay:
+    """Per-batch map of already-fetched bins: (table, bin_index) → rows.
+
+    Lives only for one ``execute_batch`` call, so it needs no fencing —
+    a rewrite cannot interleave with the read-only batch that owns it.
+    Thread-safe because the parallel prefetch fills it concurrently.
+    """
+
+    def __init__(self):
+        self._entries: dict[tuple[str, int], tuple[tuple, bool]] = {}
+        self._lock = threading.Lock()
+
+    def get(self, key: tuple[str, int]) -> tuple[tuple, bool] | None:
+        with self._lock:
+            return self._entries.get(key)
+
+    def put(self, key: tuple[str, int], rows: tuple, verified: bool) -> None:
+        with self._lock:
+            self._entries[key] = (tuple(rows), verified)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: tuple[str, int]) -> bool:
+        return key in self._entries
+
+
+class BinFetcher:
+    """Fetches whole bins for the executors, sharing where it is sound.
+
+    ``cache`` is optional; without it (and without an overlay) this is
+    exactly the legacy per-query fetch.  Oblivious (§4.3) execution
+    bypasses both overlay and cache: Concealer+'s guarantee is an
+    *identical in-enclave event trace* for every query, and serving
+    from a cache would make the trace depend on the access history.
+    """
+
+    def __init__(self, engine, oblivious=False, verify=False, cache=None):
+        self.engine = engine
+        self.oblivious = oblivious
+        self.verify = verify
+        self.cache = cache
+        # Engines (and their access logs / breakers) are not reentrant;
+        # concurrent prefetch workers serialise the storage round-trip
+        # and parallelise what surrounds it (trapdoor generation,
+        # verification — the in-enclave compute).
+        self._engine_lock = threading.Lock()
+
+    # ------------------------------------------------------------ query path
+
+    def fetch_bin(
+        self, context, fetch_bin, stats: QueryStats, deadline=None, overlay=None
+    ) -> list:
+        """Retrieve one whole bin for an executor, reusing where possible."""
+        key = (context.table_name, fetch_bin.index)
+        if overlay is not None:
+            shared = overlay.get(key)
+            if shared is not None:
+                rows, verified = shared
+                self._count_reuse(stats, rows, verified)
+                return list(rows)
+        reusable = overlay is not None or self._cache_active()
+        rows, verified = self.fetch_bin_entry(
+            context, fetch_bin, stats, deadline=deadline, ensure_verified=reusable
+        )
+        if overlay is not None:
+            overlay.put(key, rows, verified)
+        return list(rows)
+
+    def fetch_bin_entry(
+        self, context, fetch_bin, stats: QueryStats, deadline=None,
+        ensure_verified=False,
+    ) -> tuple[tuple, bool]:
+        """Cache-then-storage retrieval; returns ``(rows, verified)``."""
+        if self._cache_active():
+            entry = self.cache.lookup(
+                context.table_name, fetch_bin.index, require_verified=self.verify
+            )
+            if entry is not None:
+                self._count_hit(stats, entry.rows, entry.verified)
+                return entry.rows, entry.verified
+            stats.cache_misses += 1
+        rows, verified = self._fetch_from_storage(
+            context, fetch_bin, stats, deadline=deadline,
+            ensure_verified=ensure_verified,
+        )
+        return tuple(rows), verified
+
+    # ---------------------------------------------------------- storage path
+
+    def _fetch_from_storage(
+        self, context, fetch_bin, stats: QueryStats, deadline=None,
+        ensure_verified=False,
+    ) -> tuple[list, bool]:
+        engine = self.engine
+        # Fence stamp *before* the read: rows racing a rewrite must not
+        # be cached under the post-rewrite generation.
+        generation = getattr(engine, "rewrite_generation", 0)
+        replicated = getattr(engine, "supports_replicated_reads", False)
+        verifier = context.verify_rows if (self.verify and replicated) else None
+        if self.oblivious:
+            trapdoors = context.oblivious_trapdoors_for_bin(fetch_bin)
+        else:
+            trapdoors = context.trapdoors_for_bin(fetch_bin)
+        with self._engine_lock:
+            rows = context.fetch(
+                engine,
+                trapdoors,
+                stats,
+                deadline=deadline,
+                verifier=verifier,
+                cells=fetch_bin.cell_ids,
+            )
+        verified = verifier is not None
+        if self.verify and ensure_verified and not verified:
+            # The bin becomes reusable, so it must be checked *now*:
+            # a later overlay/cache consumer will trust it as-is.
+            context.verify_rows(rows, fetch_bin.cell_ids)
+            verified = True
+            stats.verified = True
+        if self._cache_active():
+            self.cache.insert(
+                context.table_name,
+                fetch_bin.index,
+                tuple(rows),
+                verified,
+                generation,
+            )
+        return rows, verified
+
+    # ------------------------------------------------------------ accounting
+
+    def _cache_active(self) -> bool:
+        return self.cache is not None and not self.oblivious
+
+    def _count_hit(self, stats: QueryStats, rows, verified: bool) -> None:
+        stats.cache_hits += 1
+        stats.rows_from_cache += len(rows)
+        if self.verify and verified:
+            stats.verified = True
+
+    def _count_reuse(self, stats: QueryStats, rows, verified: bool) -> None:
+        _bin_reuses().inc()
+        stats.cache_hits += 1
+        stats.rows_from_cache += len(rows)
+        if self.verify and verified:
+            stats.verified = True

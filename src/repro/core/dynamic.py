@@ -228,19 +228,31 @@ class DynamicConcealer:
         # restored (host-side bytes, so this works with a dead enclave)
         # and the generation stays put.
         enclave = self.service.enclave
+        engine = self.service.engine
+        # Fence generation-stamped consumers (the enclave bin cache,
+        # anti-entropy repair): a bin cached before this rewrite must
+        # not be served after it, even though the *logical* bin is the
+        # same — its ciphertexts changed key and permutation.
+        fenced = getattr(engine, "begin_rewrite", None) is not None
+        if fenced:
+            engine.begin_rewrite()
         written: list[int] = []
         try:
-            for row_id, columns in zip(slots, contents):
-                enclave.kill_point("enclave.kill.rewrite")
-                self.service.engine.overwrite(context.table_name, row_id, columns)
-                written.append(row_id)
-        except BaseException:
-            originals = {row.row_id: row.columns for row in rows}
-            for row_id in written:
-                self.service.engine.overwrite(
-                    context.table_name, row_id, list(originals[row_id])
-                )
-            raise
+            try:
+                for row_id, columns in zip(slots, contents):
+                    enclave.kill_point("enclave.kill.rewrite")
+                    engine.overwrite(context.table_name, row_id, columns)
+                    written.append(row_id)
+            except BaseException:
+                originals = {row.row_id: row.columns for row in rows}
+                for row_id in written:
+                    engine.overwrite(
+                        context.table_name, row_id, list(originals[row_id])
+                    )
+                raise
+        finally:
+            if fenced:
+                engine.end_rewrite()
 
         self._generations[key] = new_generation
         self._ciphers[key] = new_cipher

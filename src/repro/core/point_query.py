@@ -45,6 +45,7 @@ class BPBExecutor:
         verify: bool = False,
         super_bin_count: int | None = None,
         quarantine=None,
+        fetcher=None,
     ):
         self.engine = engine
         self.oblivious = oblivious
@@ -56,23 +57,69 @@ class BPBExecutor:
         # Optional QuarantineLog: cells with standing integrity
         # violations fail fast instead of serving suspect answers.
         self.quarantine = quarantine
+        # Optional shared whole-bin fetch path (repro.batching): routes
+        # STEP 3 through the overlay/cache; without one, the legacy
+        # inline fetch below runs unchanged.
+        self.fetcher = fetcher
 
-    def execute(
-        self, query: PointQuery, context: EpochContext, deadline=None
-    ) -> tuple[object, QueryStats]:
-        """Run Algorithm 2; returns ``(answer, stats)``.
+    def bins_for(
+        self, query: PointQuery, context: EpochContext, cell_id: int | None = None
+    ) -> list:
+        """STEP 2 as a pure function: the bins this query will fetch.
 
-        ``deadline`` (a :class:`~repro.replication.deadline.Deadline`)
-        bounds the whole execution; it is checked at every fetch and at
-        every replica failover decision below.
+        Shared with the batch planner so a plan can never disagree with
+        what execution retrieves.
         """
-        stats = QueryStats(oblivious=self.oblivious)
-        predicate = self._resolve_predicate(query, context)
+        if cell_id is None:
+            cell_id = context.grid.place_values(
+                query.index_values, query.timestamp
+            )
+        chosen = context.layout.bin_of_cell_id(cell_id)
+        if self.super_bin_count is None:
+            return [chosen]
+        layout = context.super_layout(self.super_bin_count)
+        return [
+            context.layout.bins[index]
+            for index in layout.bins_to_fetch(chosen.index)
+        ]
+
+    def _fetch_bin(self, context, fetch_bin, stats, deadline, overlay):
+        """Retrieve one whole bin (STEP 3), shared path when wired."""
+        if self.fetcher is not None:
+            return self.fetcher.fetch_bin(
+                context, fetch_bin, stats, deadline=deadline, overlay=overlay
+            )
         # Against a replicated engine, verification moves *into* the
         # fetch: each replica's answer is checked before acceptance so
         # a tampered bin costs a failover, not the query.
         replicated = getattr(self.engine, "supports_replicated_reads", False)
         verifier = context.verify_rows if (self.verify and replicated) else None
+        if self.oblivious:
+            trapdoors = context.oblivious_trapdoors_for_bin(fetch_bin)
+        else:
+            trapdoors = context.trapdoors_for_bin(fetch_bin)
+        return context.fetch(
+            self.engine,
+            trapdoors,
+            stats,
+            deadline=deadline,
+            verifier=verifier,
+            cells=fetch_bin.cell_ids,
+        )
+
+    def execute(
+        self, query: PointQuery, context: EpochContext, deadline=None, overlay=None
+    ) -> tuple[object, QueryStats]:
+        """Run Algorithm 2; returns ``(answer, stats)``.
+
+        ``deadline`` (a :class:`~repro.replication.deadline.Deadline`)
+        bounds the whole execution; it is checked at every fetch and at
+        every replica failover decision below.  ``overlay`` (a
+        :class:`~repro.batching.fetcher.BatchOverlay`) serves bins the
+        owning batch already fetched and verified.
+        """
+        stats = QueryStats(oblivious=self.oblivious)
+        predicate = self._resolve_predicate(query, context)
 
         with telemetry.span(
             "enclave.point_query", epoch=context.epoch_id
@@ -85,39 +132,25 @@ class BPBExecutor:
                 self.quarantine.check(context.epoch_id, cell_id)
 
             # STEP 2: bin identification (plus §8 super-bin expansion).
-            chosen = context.layout.bin_of_cell_id(cell_id)
-            if self.super_bin_count is not None:
-                layout = context.super_layout(self.super_bin_count)
-                bins = [
-                    context.layout.bins[index]
-                    for index in layout.bins_to_fetch(chosen.index)
-                ]
-            else:
-                bins = [chosen]
+            bins = self.bins_for(query, context, cell_id=cell_id)
             stats.bins_fetched = len(bins)
             query_span.set(bins=len(bins))
 
-            # STEP 3: trapdoor formulation.
+            # STEP 3: trapdoor formulation and retrieval.
             rows = []
             for fetch_bin in bins:
-                if self.oblivious:
-                    trapdoors = context.oblivious_trapdoors_for_bin(fetch_bin)
-                else:
-                    trapdoors = context.trapdoors_for_bin(fetch_bin)
                 rows.extend(
-                    context.fetch(
-                        self.engine,
-                        trapdoors,
-                        stats,
-                        deadline=deadline,
-                        verifier=verifier,
-                        cells=fetch_bin.cell_ids,
-                    )
+                    self._fetch_bin(context, fetch_bin, stats, deadline, overlay)
                 )
 
-            # STEP 4: verification, filtering, aggregation.
+            # STEP 4: verification, filtering, aggregation.  The verify
+            # is bound to the *requested* cell-ids: without the binding,
+            # dropping every row of a population-1 cell leaves no
+            # counter gap and would pass (per-cell chains prove each
+            # present cell whole, not that the right cells are present).
             if self.verify and not stats.verified:
-                context.verify_rows(rows)
+                expected = [cid for b in bins for cid in b.cell_ids]
+                context.verify_rows(rows, expected)
                 stats.verified = True
 
             filters = context.filters_for(predicate, [query.timestamp])

@@ -150,4 +150,12 @@ class QueryStats:
     # healthy-replica threshold.  Both are public-size (fault-driven).
     degraded: bool = False
     failovers: int = 0
+    # Whole-bin cache accounting (repro.batching).  Hit/miss counts are
+    # per *bin* — the public retrieval unit — and ``rows_from_cache``
+    # the rows those hits served without a storage round-trip.  All
+    # public-size: residency is a pure function of the bin-identity
+    # sequence the storage log already shows.
+    cache_hits: int = 0
+    cache_misses: int = 0
+    rows_from_cache: int = 0
     extra: dict = field(default_factory=dict)

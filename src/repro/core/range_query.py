@@ -81,6 +81,7 @@ class RangeExecutor:
         oblivious: bool = False,
         verify: bool = False,
         window_subintervals: int = 8,
+        fetcher=None,
     ):
         self.engine = engine
         self.oblivious = oblivious
@@ -88,15 +89,15 @@ class RangeExecutor:
         # λ for winSecRange, measured in grid time-subintervals.
         self.window_subintervals = window_subintervals
         self._ebpb_state: dict[int, _EBPBState] = {}
+        # Optional shared whole-bin fetch path (repro.batching), used by
+        # the multipoint method only — eBPB and winSecRange retrieve
+        # padded cell-id sets, not whole bins, so they cannot share.
+        self.fetcher = fetcher
 
     # ----------------------------------------------------------- §5.1 trivial
 
-    def execute_multipoint(
-        self, query: RangeQuery, context: EpochContext, deadline=None
-    ) -> tuple[object, QueryStats]:
-        """Convert the range into point-query bins and fetch them all."""
-        stats = QueryStats(oblivious=self.oblivious)
-        verifier = self._fetch_verifier(context)
+    def multipoint_bins(self, query: RangeQuery, context: EpochContext) -> list:
+        """The point-query bins covering this range (planner-shared)."""
         needed_cids: list[int] = []
         for combo in query.candidate_combinations():
             for cid in context.grid.cell_ids_for_range(
@@ -104,8 +105,34 @@ class RangeExecutor:
             ):
                 if cid not in needed_cids:
                     needed_cids.append(cid)
+        return context.layout.bins_of_cell_ids(needed_cids)
 
-        bins = context.layout.bins_of_cell_ids(needed_cids)
+    def _fetch_bin(self, context, chosen, stats, deadline, overlay):
+        """Retrieve one whole bin, via the shared path when wired."""
+        if self.fetcher is not None:
+            return self.fetcher.fetch_bin(
+                context, chosen, stats, deadline=deadline, overlay=overlay
+            )
+        verifier = self._fetch_verifier(context)
+        if self.oblivious:
+            trapdoors = context.oblivious_trapdoors_for_bin(chosen)
+        else:
+            trapdoors = context.trapdoors_for_bin(chosen)
+        return context.fetch(
+            self.engine,
+            trapdoors,
+            stats,
+            deadline=deadline,
+            verifier=verifier,
+            cells=chosen.cell_ids,
+        )
+
+    def execute_multipoint(
+        self, query: RangeQuery, context: EpochContext, deadline=None, overlay=None
+    ) -> tuple[object, QueryStats]:
+        """Convert the range into point-query bins and fetch them all."""
+        stats = QueryStats(oblivious=self.oblivious)
+        bins = self.multipoint_bins(query, context)
         stats.bins_fetched = len(bins)
         with telemetry.span(
             "enclave.range_query",
@@ -115,21 +142,11 @@ class RangeExecutor:
         ):
             rows: list[Row] = []
             for chosen in bins:
-                if self.oblivious:
-                    trapdoors = context.oblivious_trapdoors_for_bin(chosen)
-                else:
-                    trapdoors = context.trapdoors_for_bin(chosen)
                 rows.extend(
-                    context.fetch(
-                        self.engine,
-                        trapdoors,
-                        stats,
-                        deadline=deadline,
-                        verifier=verifier,
-                        cells=chosen.cell_ids,
-                    )
+                    self._fetch_bin(context, chosen, stats, deadline, overlay)
                 )
-            return self._finish(query, context, rows, stats)
+            expected = [cid for chosen in bins for cid in chosen.cell_ids]
+            return self._finish(query, context, rows, stats, expected)
 
     # -------------------------------------------------------------- §5.2 eBPB
 
@@ -182,7 +199,7 @@ class RangeExecutor:
                 verifier=verifier,
                 cells=needed_cids,
             )
-            return self._finish(query, context, rows, stats)
+            return self._finish(query, context, rows, stats, needed_cids)
 
     def _ebpb_budget(self, context: EpochContext, span: int) -> _EBPBState:
         """STEP 2–3: per-column worst-case volumes for ℓ-window queries.
@@ -249,8 +266,10 @@ class RangeExecutor:
         ):
             rows: list[Row] = []
             fake_offset = 0
+            expected: list[int] = []
             for window in windows:
                 cids = self._window_cell_ids(context, window)
+                expected.extend(cids)
                 real_volume = sum(context.c_tuple[cid] for cid in cids)
                 fake_ids = self._pad_fakes(
                     context, max(0, window_size - real_volume), offset=fake_offset
@@ -269,7 +288,7 @@ class RangeExecutor:
                 )
             stats.bins_fetched = len(windows)
             stats.extra["window_size"] = window_size
-            return self._finish(query, context, rows, stats)
+            return self._finish(query, context, rows, stats, expected)
 
     def _covering_windows(self, query: RangeQuery, context: EpochContext) -> list[int]:
         """The λ-window indices intersecting the query's time range."""
@@ -357,12 +376,18 @@ class RangeExecutor:
         context: EpochContext,
         rows: list[Row],
         stats: QueryStats,
+        expected_cells=None,
     ) -> tuple[object, QueryStats]:
         """Shared STEP 4: verify, filter, decrypt, aggregate.
 
         Rows are de-duplicated by physical id first: winSecRange windows
         (and, with coarse grids, eBPB cell-id unions) can fetch the same
         row more than once, and matching must not double-count it.
+
+        ``expected_cells`` binds verification to the cell-ids the query
+        *requested*: a per-cell hash chain only proves the cells present
+        in the batch are whole, so a host dropping every row of a
+        population-1 cell would otherwise leave no counter gap to find.
         """
         seen: set[int] = set()
         unique_rows: list[Row] = []
@@ -372,7 +397,7 @@ class RangeExecutor:
                 unique_rows.append(row)
         rows = unique_rows
         if self.verify and not stats.verified:
-            context.verify_rows(rows)
+            context.verify_rows(rows, expected_cells)
             stats.verified = True
 
         predicate = self._resolve_predicate(query, context)

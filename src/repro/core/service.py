@@ -23,6 +23,10 @@ import os
 from dataclasses import dataclass
 
 from repro import telemetry
+from repro.batching.cache import BinCache
+from repro.batching.executor import ParallelFetchExecutor
+from repro.batching.fetcher import BatchOverlay, BinFetcher
+from repro.batching.planner import BatchPlan, QueryBatcher
 from repro.core.context import EpochContext
 from repro.core.epoch import EpochPackage
 from repro.core.point_query import BPBExecutor
@@ -48,7 +52,9 @@ from repro.storage.engine import StorageEngine
 RANGE_METHODS = ("multipoint", "ebpb", "winsecrange", "auto")
 
 
-def _record_query(kind: str, method: str, stats: QueryStats, seconds: float) -> None:
+def _record_query(
+    kind: str, method: str, stats: QueryStats, seconds: float | None
+) -> None:
     """Fold one finished query's stats into the ambient registry.
 
     Fetch-side volumes (trapdoors, rows fetched, bins) are tagged
@@ -56,6 +62,8 @@ def _record_query(kind: str, method: str, stats: QueryStats, seconds: float) -> 
     shape, and the leakage auditor holds the registry to that promise.
     Match/decrypt counts are the query's *answer* volume and stay
     data-dependent, as do wall-clock durations (timing side channel).
+    ``seconds=None`` skips the latency histogram: batch members have no
+    individual wall-clock; the batch records one duration for all.
     """
     telemetry.counter(
         "concealer_queries_total",
@@ -105,11 +113,56 @@ def _record_query(kind: str, method: str, stats: QueryStats, seconds: float) -> 
             secrecy=telemetry.PUBLIC_SIZE,
             labels=("kind",),
         ).labels(kind=kind).inc(stats.failovers)
-    telemetry.histogram(
-        "concealer_query_seconds",
-        "end-to-end query latency (timing is a side channel: never public)",
-        labels=("kind",),
-    ).labels(kind=kind).observe(seconds)
+    if stats.cache_hits:
+        telemetry.counter(
+            "concealer_query_cache_hits_total",
+            "whole-bin fetches served from the enclave bin cache/overlay",
+            secrecy=telemetry.PUBLIC_SIZE,
+            labels=("kind",),
+        ).labels(kind=kind).inc(stats.cache_hits)
+    if stats.cache_misses:
+        telemetry.counter(
+            "concealer_query_cache_misses_total",
+            "whole-bin fetches that missed the enclave bin cache",
+            secrecy=telemetry.PUBLIC_SIZE,
+            labels=("kind",),
+        ).labels(kind=kind).inc(stats.cache_misses)
+    if seconds is not None:
+        telemetry.histogram(
+            "concealer_query_seconds",
+            "end-to-end query latency (timing is a side channel: never public)",
+            labels=("kind",),
+        ).labels(kind=kind).observe(seconds)
+
+
+def _record_batch(plan: BatchPlan, fetch_stats: QueryStats, seconds: float) -> None:
+    """Batch-level accounting: size, dedup, and the prefetch volumes.
+
+    Batch size and bin counts are part of the request *shape* (the host
+    sees how many queries arrive and which bins are fetched), so the
+    counters are public-size; the wall clock stays a side channel.
+    """
+    telemetry.counter(
+        "concealer_batches_total",
+        "query batches executed",
+        secrecy=telemetry.PUBLIC_SIZE,
+    ).inc()
+    telemetry.counter(
+        "concealer_batch_queries_total",
+        "queries executed inside batches",
+        secrecy=telemetry.PUBLIC_SIZE,
+    ).inc(len(plan.items))
+    telemetry.counter(
+        "concealer_batch_bin_references_total",
+        "whole-bin references named by batched queries (pre-dedup)",
+        secrecy=telemetry.PUBLIC_SIZE,
+    ).inc(plan.bin_references)
+    telemetry.counter(
+        "concealer_batch_unique_bins_total",
+        "deduplicated whole-bin fetch units executed for batches",
+        secrecy=telemetry.PUBLIC_SIZE,
+    ).inc(len(plan.units))
+    _record_query("batch", "prefetch", fetch_stats, seconds)
 
 
 @dataclass
@@ -139,6 +192,16 @@ class ServiceConfig:
     # plus admission_queue waiting; the rest shed with ServiceOverloaded.
     max_inflight: int = 64
     admission_queue: int = 128
+    # repro.batching: capacity (in whole bins) of the enclave-resident
+    # verified-bin cache; 0 disables it.  Off by default — the cache
+    # changes per-query fetch volumes (repeat queries stop touching
+    # storage), which volume-hiding analyses reason about, so turning
+    # it on is an explicit deployment decision.  Ignored under
+    # oblivious execution (§4.3 trace identity forbids reuse).
+    bin_cache_bins: int = 0
+    # Bounded worker pool for batch prefetches; 1 = fully sequential
+    # (what the chaos harness uses so fault schedules replay).
+    batch_workers: int = 4
 
 
 class ServiceProvider:
@@ -188,18 +251,35 @@ class ServiceProvider:
         # network adversary replaying a captured (challenge, response)
         # pair is rejected (§1.2(ii) replay concern, enclave-side).
         self._open_challenges: set[bytes] = set()
+        # Whole-bin cache + shared fetch path (repro.batching).  The
+        # cache is enclave-resident (EPC-charged) and generation-fenced
+        # against the engine's begin/end_rewrite; oblivious execution
+        # never caches, so the cache is not even built.
+        self.bin_cache: BinCache | None = None
+        if self.config.bin_cache_bins > 0 and not self.config.oblivious:
+            self.bin_cache = BinCache(
+                self.enclave, self.engine, capacity_bins=self.config.bin_cache_bins
+            )
+        self._fetcher = BinFetcher(
+            self.engine,
+            oblivious=self.config.oblivious,
+            verify=self.config.verify,
+            cache=self.bin_cache,
+        )
         self._point_executor = BPBExecutor(
             self.engine,
             oblivious=self.config.oblivious,
             verify=self.config.verify,
             super_bin_count=self.config.super_bin_count,
             quarantine=self.quarantine,
+            fetcher=self._fetcher,
         )
         self._range_executor = RangeExecutor(
             self.engine,
             oblivious=self.config.oblivious,
             verify=self.config.verify,
             window_subintervals=self.config.window_subintervals,
+            fetcher=self._fetcher,
         )
 
     # -------------------------------------------------------------- ingestion
@@ -267,12 +347,20 @@ class ServiceProvider:
         self.enclave = enclave
         self._contexts.clear()
         self._registry = None
+        if self.bin_cache is not None:
+            # The dead instance's EPC (and every cached bin in it) was
+            # wiped by hardware; drop entries without releasing charge.
+            self.bin_cache.rebind_enclave(enclave)
 
     def adopt_engine(self, engine: StorageEngine) -> None:
         """Swap in a storage engine restored from a checkpoint."""
         self.engine = engine
         self._point_executor.engine = engine
         self._range_executor.engine = engine
+        self._fetcher.engine = engine
+        if self.bin_cache is not None:
+            # Restored storage may not match what was cached; flush.
+            self.bin_cache.rebind_engine(engine)
 
     # ---------------------------------------------------------- authentication
 
@@ -376,6 +464,94 @@ class ServiceProvider:
         _record_query("range", method, stats, query_span.duration)
         return answer, stats
 
+    def execute_batch(
+        self, queries, epoch_id: int | None = None
+    ) -> list[tuple[object, QueryStats]]:
+        """Execute a batch of queries over one shared, deduplicated fetch.
+
+        ``queries`` mixes :class:`PointQuery`, :class:`RangeQuery`
+        (default eBPB), and ``(RangeQuery, method)`` pairs.  The batch
+        planner resolves every query's whole-bin set and deduplicates
+        it into one fetch plan; the parallel fetch executor retrieves
+        each unique bin exactly once (verified before reuse), and every
+        query then runs through its normal §5 executor against the
+        shared overlay — answers are byte-identical to running the
+        queries sequentially, while bins overlapping across the batch
+        are fetched once instead of once per query.
+
+        Admission charges the batch as a single request; one deadline
+        budget covers planning, prefetch, and every member's execution.
+        Returns ``[(answer, stats), ...]`` in input order.
+        """
+        items = list(queries)
+        if not items:
+            return []
+        with self.admission.admit("batch"):
+            deadline = self._new_deadline()
+            plan = QueryBatcher(self).plan(items, epoch_id=epoch_id)
+            with telemetry.span(
+                "service.batch",
+                queries=len(plan.items),
+                unique_bins=len(plan.units),
+                references=plan.bin_references,
+            ) as batch_span:
+                self.engine.access_log.begin_query()
+                try:
+                    fetch_stats, results = self._execute_resilient(
+                        lambda: self._run_batch(plan, deadline),
+                        deadline=deadline,
+                    )
+                finally:
+                    self.engine.access_log.end_query()
+        _record_batch(plan, fetch_stats, batch_span.duration)
+        for planned, (answer, stats) in zip(plan.items, results):
+            _record_query(planned.kind, planned.method, stats, None)
+        return results
+
+    def _run_batch(self, plan: BatchPlan, deadline: Deadline | None):
+        """One attempt at a planned batch (read-only, so retry-safe).
+
+        A retry after a transient fault rebuilds the overlay from
+        scratch; with the bin cache enabled the bins verified before
+        the fault are served from it, so retries converge quickly.
+        """
+        overlay = BatchOverlay()
+        executor = ParallelFetchExecutor(
+            self._fetcher, workers=self.config.batch_workers
+        )
+        fetch_stats = executor.prefetch(plan.units, overlay, deadline=deadline)
+        results: list[tuple[object, QueryStats]] = []
+        for item in plan.items:
+            context = self.context_for(item.epoch_id)
+            shared_overlay = overlay if item.shared else None
+            if item.kind == "point":
+                results.append(
+                    self._point_executor.execute(
+                        item.query, context,
+                        deadline=deadline, overlay=shared_overlay,
+                    )
+                )
+            elif item.method == "multipoint":
+                results.append(
+                    self._range_executor.execute_multipoint(
+                        item.query, context,
+                        deadline=deadline, overlay=shared_overlay,
+                    )
+                )
+            elif item.method == "ebpb":
+                results.append(
+                    self._range_executor.execute_ebpb(
+                        item.query, context, deadline=deadline
+                    )
+                )
+            else:
+                results.append(
+                    self._range_executor.execute_winsecrange(
+                        item.query, context, deadline=deadline
+                    )
+                )
+        return fetch_stats, results
+
     def _new_deadline(self) -> Deadline | None:
         """Mint this request's deadline budget (None = unbounded)."""
         if self.config.deadline_seconds is None:
@@ -427,6 +603,23 @@ class ServiceProvider:
 
         answer, stats = self.execute_range(query, method=method, epoch_id=epoch_id)
         return seal_answer(entry.secret, answer), stats
+
+    def execute_batch_sealed(
+        self, queries, entry: RegistryEntry, epoch_id: int | None = None
+    ) -> list[tuple[bytes, QueryStats]]:
+        """Batched execution with every answer sealed for one user.
+
+        The whole batch must belong to a single authenticated user —
+        answers are sealed under that user's registry secret, exactly
+        as :meth:`execute_point_sealed` does per query.
+        """
+        from repro.core.registry import seal_answer
+
+        results = self.execute_batch(queries, epoch_id=epoch_id)
+        return [
+            (seal_answer(entry.secret, answer), stats)
+            for answer, stats in results
+        ]
 
     def choose_range_method(self, query: RangeQuery, context) -> str:
         """Pick a §5 method from the query's *public* shape.

@@ -23,6 +23,7 @@ actually relies on:
 from __future__ import annotations
 
 import os
+import threading
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
@@ -79,6 +80,10 @@ class Enclave:
         self._epc_used = 0
         self._epc_high_water = 0
         self._crashed: str | None = None
+        # The EPC ledger is shared by concurrent batch-prefetch workers;
+        # charge/release must be atomic or parallel fetches could both
+        # pass the budget check and overshoot it.
+        self._epc_lock = threading.RLock()
 
     # ------------------------------------------------------------ crash model
 
@@ -199,13 +204,15 @@ class Enclave:
                 "EPC exhausted (injected fault): concurrent enclave load "
                 "consumed the page cache mid-operation"
             )
-        if self._epc_used + nbytes > self.config.epc_bytes:
-            raise EnclaveMemoryError(
-                f"EPC budget exceeded: {self._epc_used + nbytes} > "
-                f"{self.config.epc_bytes} bytes"
-            )
-        self._epc_used += nbytes
-        self._epc_high_water = max(self._epc_high_water, self._epc_used)
+        with self._epc_lock:
+            if self._epc_used + nbytes > self.config.epc_bytes:
+                raise EnclaveMemoryError(
+                    f"EPC budget exceeded: {self._epc_used + nbytes} > "
+                    f"{self.config.epc_bytes} bytes"
+                )
+            self._epc_used += nbytes
+            self._epc_high_water = max(self._epc_high_water, self._epc_used)
+            used, high_water = self._epc_used, self._epc_high_water
         telemetry.counter(
             "concealer_epc_charge_events_total",
             "EPC working-set reservations",
@@ -215,16 +222,18 @@ class Enclave:
             "concealer_epc_used_bytes",
             "currently reserved in-enclave working memory",
             secrecy=telemetry.PUBLIC_SIZE,
-        ).set(self._epc_used)
+        ).set(used)
         telemetry.gauge(
             "concealer_epc_high_water_bytes",
             "peak reserved in-enclave working memory",
             secrecy=telemetry.PUBLIC_SIZE,
-        ).set_max(self._epc_high_water)
+        ).set_max(high_water)
 
     def release_memory(self, nbytes: int) -> None:
         """Return working memory to the budget."""
-        self._epc_used = max(0, self._epc_used - nbytes)
+        with self._epc_lock:
+            self._epc_used = max(0, self._epc_used - nbytes)
+            used = self._epc_used
         telemetry.counter(
             "concealer_epc_release_events_total",
             "EPC working-set releases",
@@ -234,7 +243,7 @@ class Enclave:
             "concealer_epc_used_bytes",
             "currently reserved in-enclave working memory",
             secrecy=telemetry.PUBLIC_SIZE,
-        ).set(self._epc_used)
+        ).set(used)
 
     @contextmanager
     def memory(self, nbytes: int):

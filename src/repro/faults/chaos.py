@@ -231,12 +231,16 @@ class ChaosRun:
                 policy=ReplicationPolicy(attempt_timeout=2.0),
             )
             config = ServiceConfig(
-                verify=True, deadline_seconds=90.0, retry_jitter=0.2
+                verify=True, deadline_seconds=90.0, retry_jitter=0.2,
+                bin_cache_bins=12, batch_workers=1,
             )
             retry_rng = random.Random(f"chaos-retry-{seed}")
         else:
             engine = StorageEngine(fault_injector=self.injector)
-            config = ServiceConfig(verify=True)
+            # Batching armed: the enclave bin cache is live for every
+            # op (so faults race cache fills and invalidations) and
+            # prefetch is sequential so schedules replay exactly.
+            config = ServiceConfig(verify=True, bin_cache_bins=12, batch_workers=1)
             retry_rng = None
         self.service = ServiceProvider(
             WIFI_SCHEMA,
@@ -325,6 +329,49 @@ class ChaosRun:
             expected,
         )
 
+    def batch_query(self) -> ChaosOutcome:
+        """A shared-fetch batch with deliberate bin overlap.
+
+        Five point queries over two repeated probes plus one multipoint
+        range — so the planner genuinely deduplicates — executed as one
+        ``execute_batch``.  A fault mid-batch must fail the *whole*
+        batch loudly (one answer silently skewed while the rest verify
+        would be the worst possible outcome).
+        """
+        epoch_id, records = self._pick_epoch()
+        if records is None:
+            return self._skip("batch")
+        rng = self.workload_rng
+        probes = []
+        for _ in range(2):
+            location, timestamp, _ = records[rng.randrange(len(records))]
+            probes.append((location, timestamp))
+        queries: list = []
+        expected: list = []
+        for index in range(5):
+            location, timestamp = probes[index % len(probes)]
+            queries.append(
+                PointQuery(index_values=(location,), timestamp=timestamp)
+            )
+            expected.append(_point_truth(records, location, timestamp))
+        location = _LOCATIONS[rng.randrange(len(_LOCATIONS))]
+        t0 = epoch_id
+        t1 = t0 + TIME_STEP
+        queries.append(
+            (
+                RangeQuery(index_values=(location,), time_start=t0, time_end=t1),
+                "multipoint",
+            )
+        )
+        expected.append(_range_truth(records, location, t0, t1))
+        return self._attempt(
+            "batch",
+            lambda: [
+                answer for answer, _ in self.service.execute_batch(queries)
+            ],
+            expected,
+        )
+
     def checkpoint_cycle(self) -> ChaosOutcome:
         """Checkpoint, then restore into a scratch engine and compare."""
 
@@ -405,10 +452,12 @@ class ChaosRun:
                         self.rotate_keys()
                         continue
                     draw = self.workload_rng.random()
-                    if draw < 0.45:
+                    if draw < 0.40:
                         self.point_query()
-                    elif draw < 0.85:
+                    elif draw < 0.75:
                         self.range_query()
+                    elif draw < 0.88:
+                        self.batch_query()
                     else:
                         self.checkpoint_cycle()
                     if self.replicas > 1 and index % 4 == 3:

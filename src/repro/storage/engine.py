@@ -54,6 +54,27 @@ class StorageEngine:
         # *results* may be corrupted / dropped / duplicated — the
         # malicious-host tampering the hash chains are meant to detect.
         self.fault_injector = fault_injector or NULL_INJECTOR
+        # Epoch-rewrite fence, mirroring ReplicatedStorageEngine: key
+        # rotation and §6 bin rewrites bump the generation, and
+        # generation-stamped consumers (the enclave bin cache) discard
+        # state captured under an older generation.
+        self.rewrite_generation = 0
+        self.rewrite_in_progress = False
+
+    # -------------------------------------------------------- rotation fence
+
+    def begin_rewrite(self) -> int:
+        """Mark an epoch rewrite in flight; stale-state consumers fence."""
+        self.rewrite_generation += 1
+        self.rewrite_in_progress = True
+        return self.rewrite_generation
+
+    def end_rewrite(self) -> int:
+        """Lift the rewrite fence; bumps the generation so state captured
+        pre-rewrite is discarded instead of served."""
+        self.rewrite_generation += 1
+        self.rewrite_in_progress = False
+        return self.rewrite_generation
 
     # ------------------------------------------------------------------- DDL
 

@@ -1,0 +1,166 @@
+"""Unit tests for the epoch-fenced whole-bin cache.
+
+The cache holds fully verified whole bins inside the enclave (EPC
+charged), so a hit replays exactly the rows a cold fetch would have
+produced.  Entries are stamped with the engine's rewrite generation at
+fetch time and discarded whenever the generation moves — the same
+fence ``RepairFenced`` uses to keep anti-entropy repair from
+resurrecting pre-rewrite ciphertexts.
+"""
+
+import pytest
+
+from repro.batching import BinCache
+from repro.enclave.enclave import Enclave
+from repro.exceptions import EnclaveMemoryError
+from repro.storage.engine import StorageEngine
+
+
+class _Enclave:
+    """Minimal EPC stand-in: real charge/release accounting."""
+
+    def __init__(self, budget=1 << 20):
+        self.budget = budget
+        self.used = 0
+
+    def charge_memory(self, amount):
+        if self.used + amount > self.budget:
+            raise EnclaveMemoryError("EPC exhausted")
+        self.used += amount
+
+    def release_memory(self, amount):
+        self.used = max(0, self.used - amount)
+
+
+def make_cache(capacity=4, budget=1 << 20):
+    enclave = _Enclave(budget=budget)
+    engine = StorageEngine()
+    return BinCache(enclave, engine, capacity_bins=capacity), enclave, engine
+
+
+ROWS = ("r0", "r1", "r2")
+
+
+class TestLookupInsert:
+    def test_hit_returns_inserted_rows(self):
+        cache, _, engine = make_cache()
+        assert cache.insert("t", 0, list(ROWS), True, engine.rewrite_generation)
+        entry = cache.lookup("t", 0)
+        assert tuple(entry.rows) == ROWS
+        assert entry.verified
+
+    def test_miss_on_absent_bin(self):
+        cache, _, _ = make_cache()
+        assert cache.lookup("t", 7) is None
+
+    def test_require_verified_misses_unverified_entries(self):
+        cache, _, engine = make_cache()
+        cache.insert("t", 0, list(ROWS), False, engine.rewrite_generation)
+        assert cache.lookup("t", 0, require_verified=True) is None
+        assert cache.lookup("t", 0) is not None
+
+    def test_tables_are_distinct_keys(self):
+        cache, _, engine = make_cache()
+        cache.insert("a", 0, ["x"], True, engine.rewrite_generation)
+        cache.insert("b", 0, ["y"], True, engine.rewrite_generation)
+        assert cache.lookup("a", 0).rows != cache.lookup("b", 0).rows
+
+
+class TestCapacityAndEPC:
+    def test_lru_eviction_at_capacity(self):
+        cache, _, engine = make_cache(capacity=2)
+        gen = engine.rewrite_generation
+        cache.insert("t", 0, ["a"], True, gen)
+        cache.insert("t", 1, ["b"], True, gen)
+        cache.lookup("t", 0)  # refresh bin 0 → bin 1 is now LRU
+        cache.insert("t", 2, ["c"], True, gen)
+        assert cache.lookup("t", 0) is not None
+        assert cache.lookup("t", 1) is None
+        assert cache.lookup("t", 2) is not None
+        assert len(cache) == 2
+
+    def test_epc_charged_and_released(self):
+        cache, enclave, engine = make_cache(capacity=1)
+        gen = engine.rewrite_generation
+        cache.insert("t", 0, list(ROWS), True, gen)
+        charged = enclave.used
+        assert charged == cache.row_bytes * len(ROWS)
+        cache.insert("t", 1, ["z"], True, gen)  # evicts bin 0
+        assert enclave.used == cache.row_bytes
+        cache.invalidate_all("test")
+        assert enclave.used == 0
+
+    def test_epc_exhaustion_skips_insert(self):
+        cache, _, engine = make_cache(budget=cache_budget_for(2))
+        gen = engine.rewrite_generation
+        assert cache.insert("t", 0, ["a", "b"], True, gen)
+        assert not cache.insert("t", 1, ["c"], True, gen)
+        assert cache.lookup("t", 1) is None
+
+    def test_zero_capacity_never_stores(self):
+        cache, _, engine = make_cache(capacity=0)
+        assert not cache.insert("t", 0, ["a"], True, engine.rewrite_generation)
+        assert len(cache) == 0
+
+
+def cache_budget_for(rows):
+    from repro.batching.cache import ROW_ESTIMATE_BYTES
+
+    return ROW_ESTIMATE_BYTES * rows
+
+
+class TestGenerationFence:
+    def test_stale_generation_is_evicted_on_lookup(self):
+        cache, _, engine = make_cache()
+        cache.insert("t", 0, list(ROWS), True, engine.rewrite_generation)
+        engine.begin_rewrite()
+        engine.end_rewrite()
+        assert cache.lookup("t", 0) is None
+        assert len(cache) == 0
+
+    def test_in_flight_rewrite_blocks_lookup_and_insert(self):
+        cache, _, engine = make_cache()
+        gen = engine.rewrite_generation
+        cache.insert("t", 0, list(ROWS), True, gen)
+        engine.begin_rewrite()
+        assert cache.lookup("t", 0) is None
+        assert not cache.insert("t", 1, ["x"], True, engine.rewrite_generation)
+        engine.end_rewrite()
+
+    def test_pre_rewrite_snapshot_cannot_land_after_rewrite(self):
+        # A fetch snapshots the generation BEFORE reading storage; if a
+        # rewrite completes in between, the insert must be refused.
+        cache, _, engine = make_cache()
+        stale_gen = engine.rewrite_generation
+        engine.begin_rewrite()
+        engine.end_rewrite()
+        assert not cache.insert("t", 0, list(ROWS), True, stale_gen)
+        assert cache.lookup("t", 0) is None
+
+
+class TestRebinds:
+    def test_rebind_enclave_drops_without_release(self):
+        # A crashed enclave's EPC accounting died with it; releasing
+        # against the replacement would underflow its budget.
+        cache, _, engine = make_cache()
+        cache.insert("t", 0, list(ROWS), True, engine.rewrite_generation)
+        replacement = _Enclave()
+        cache.rebind_enclave(replacement)
+        assert len(cache) == 0
+        assert replacement.used == 0
+
+    def test_rebind_engine_flushes_with_release(self):
+        cache, enclave, engine = make_cache()
+        cache.insert("t", 0, list(ROWS), True, engine.rewrite_generation)
+        cache.rebind_engine(StorageEngine())
+        assert len(cache) == 0
+        assert enclave.used == 0
+
+    def test_works_against_the_real_enclave(self):
+        enclave = Enclave()
+        engine = StorageEngine()
+        cache = BinCache(enclave, engine, capacity_bins=2)
+        assert cache.insert("t", 0, list(ROWS), True, engine.rewrite_generation)
+        assert cache.lookup("t", 0) is not None
+        cache.invalidate_all("test")
+        assert len(cache) == 0

@@ -1,0 +1,156 @@
+"""Property: a cached-then-rewritten epoch never serves stale bins.
+
+Key rotation (and any §6 dynamic rewrite) rewrites ciphertexts in
+place behind ``begin/end_rewrite``, each of which bumps the engine's
+``rewrite_generation``.  Bin-cache entries are stamped with the
+generation snapshotted *before* their fetch, so any entry cached before
+a rewrite is unservable after it — the lookup re-fetches the rewritten
+bytes instead.  These tests drive the full service stack: warm the
+cache, rotate, and prove both that answers stay correct and that the
+post-rotation fetch bypassed the cache entirely.
+"""
+
+import random
+
+import pytest
+
+from repro import GridSpec
+from repro.core.queries import PointQuery, RangeQuery
+from repro.core.rotation import rotate_service_keys, rotation_token
+from tests.conftest import MASTER_KEY, TIME_STEP, ground_truth_count, make_stack
+
+NEW_KEY = bytes(range(32, 64))
+EPOCH_DURATION = 3600
+SPEC = GridSpec(
+    dimension_sizes=(4, 12), cell_id_count=24, epoch_duration=EPOCH_DURATION
+)
+LOCATIONS = [f"ap{i}" for i in range(4)]
+
+
+def _records(rng):
+    return [
+        (LOCATIONS[rng.randrange(4)], t, f"dev{d}")
+        for t in range(0, EPOCH_DURATION, TIME_STEP)
+        for d in range(8)
+    ]
+
+
+def _probe(rng, records):
+    location, timestamp, _ = records[rng.randrange(len(records))]
+    return location, timestamp
+
+
+class TestRotationFence:
+    @pytest.mark.parametrize("seed", [3, 17, 99])
+    def test_rotated_epoch_never_serves_stale_bins(self, seed):
+        rng = random.Random(seed)
+        records = _records(rng)
+        _, service = make_stack(
+            SPEC, records, verify=True, bin_cache_bins=16
+        )
+        probes = [_probe(rng, records) for _ in range(4)]
+
+        # Warm the cache: the second pass must hit for every probe.
+        for location, timestamp in probes:
+            service.execute_point(
+                PointQuery(index_values=(location,), timestamp=timestamp)
+            )
+        warm = [
+            service.execute_point(
+                PointQuery(index_values=(location,), timestamp=timestamp)
+            )
+            for location, timestamp in probes
+        ]
+        for (location, timestamp), (answer, stats) in zip(probes, warm):
+            assert answer == ground_truth_count(
+                records, location=location, t0=timestamp, t1=timestamp
+            )
+            assert stats.cache_hits > 0 and stats.cache_misses == 0
+
+        generation_before = service.engine.rewrite_generation
+        rotate_service_keys(
+            service, NEW_KEY, rotation_token(MASTER_KEY, NEW_KEY)
+        )
+        assert service.engine.rewrite_generation > generation_before
+        assert not service.engine.rewrite_in_progress
+
+        # Every pre-rotation entry is now stale: the first post-rotation
+        # fetch of each *distinct* bin must miss (a hit on a later probe
+        # is a legitimate post-rotation refill when probes share a bin),
+        # and every answer must verify against the rewritten bytes.
+        context = service.context_for(0)
+        seen_bins: set[int] = set()
+        for location, timestamp in probes:
+            query = PointQuery(index_values=(location,), timestamp=timestamp)
+            bins = {
+                b.index for b in service._point_executor.bins_for(query, context)
+            }
+            first_touch = not (bins & seen_bins)
+            seen_bins |= bins
+            answer, stats = service.execute_point(query)
+            assert answer == ground_truth_count(
+                records, location=location, t0=timestamp, t1=timestamp
+            )
+            if first_touch:
+                assert stats.cache_hits == 0
+                assert stats.rows_from_cache == 0
+            assert stats.verified
+
+    def test_cache_refills_after_rotation(self):
+        rng = random.Random(7)
+        records = _records(rng)
+        _, service = make_stack(SPEC, records, verify=True, bin_cache_bins=16)
+        location, timestamp = _probe(rng, records)
+        query = PointQuery(index_values=(location,), timestamp=timestamp)
+
+        service.execute_point(query)
+        rotate_service_keys(service, NEW_KEY, rotation_token(MASTER_KEY, NEW_KEY))
+        _, cold = service.execute_point(query)
+        _, rewarmed = service.execute_point(query)
+        assert cold.cache_hits == 0
+        assert rewarmed.cache_hits > 0
+        assert rewarmed.rows_from_cache > 0
+
+    def test_range_answers_survive_rotation_with_cache(self):
+        rng = random.Random(23)
+        records = _records(rng)
+        _, service = make_stack(SPEC, records, verify=True, bin_cache_bins=16)
+        location = LOCATIONS[0]
+        query = RangeQuery(
+            index_values=(location,), time_start=0, time_end=600
+        )
+        truth = ground_truth_count(records, location=location, t0=0, t1=600)
+
+        before, _ = service.execute_range(query, method="multipoint")
+        rotate_service_keys(service, NEW_KEY, rotation_token(MASTER_KEY, NEW_KEY))
+        after, stats = service.execute_range(query, method="multipoint")
+        assert before == truth and after == truth
+        assert stats.cache_hits == 0
+
+
+class TestFenceWhileInFlight:
+    def test_mid_rewrite_queries_do_not_poison_the_cache(self):
+        # With the fence held open (a rewrite "in flight"), queries must
+        # run from storage and refuse to populate the cache; the fence
+        # lifting must not make any mid-rewrite fill visible.
+        rng = random.Random(41)
+        records = _records(rng)
+        _, service = make_stack(SPEC, records, verify=True, bin_cache_bins=16)
+        location, timestamp = _probe(rng, records)
+        query = PointQuery(index_values=(location,), timestamp=timestamp)
+        truth = ground_truth_count(
+            records, location=location, t0=timestamp, t1=timestamp
+        )
+
+        service.engine.begin_rewrite()
+        answer, stats = service.execute_point(query)
+        assert answer == truth
+        assert stats.cache_hits == 0
+        assert len(service.bin_cache) == 0
+        service.engine.end_rewrite()
+
+        answer, stats = service.execute_point(query)
+        assert answer == truth
+        assert stats.cache_hits == 0  # first post-fence run refills...
+        _, warm = service.execute_point(query)
+        assert warm.cache_hits > 0  # ...and only then can it hit.

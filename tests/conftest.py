@@ -49,8 +49,13 @@ def make_stack(
     verify: bool = False,
     fake_strategy: FakeStrategy = FakeStrategy.SIMULATED,
     seed: int = 1,
+    **config,
 ):
-    """Build a provisioned provider/service pair with one ingested epoch."""
+    """Build a provisioned provider/service pair with one ingested epoch.
+
+    Extra keyword arguments flow into :class:`ServiceConfig` (e.g.
+    ``bin_cache_bins=8`` to enable the batching bin cache).
+    """
     provider = DataProvider(
         WIFI_SCHEMA,
         grid_spec,
@@ -61,7 +66,8 @@ def make_stack(
         rng=random.Random(seed),
     )
     service = ServiceProvider(
-        WIFI_SCHEMA, ServiceConfig(oblivious=oblivious, verify=verify)
+        WIFI_SCHEMA,
+        ServiceConfig(oblivious=oblivious, verify=verify, **config),
     )
     provider.provision_enclave(service.enclave)
     service.ingest_epoch(provider.encrypt_epoch(records, epoch_id=0))
