@@ -1,7 +1,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test chaos replication-chaos demo bench bench-json bench-smoke metrics-smoke lint
+.PHONY: test chaos replication-chaos demo bench bench-json bench-smoke metrics-smoke lint profile
 
 # Where `make bench-json` writes its machine-readable metrics.
 BENCH_OUT ?= BENCH_local.json
@@ -45,6 +45,11 @@ bench-smoke:
 	$(PYTHON) benchmarks/check_regression.py \
 		--baseline $(BENCH_BASELINE) --candidate BENCH_pr.json \
 		--max-regression $(BENCH_MAX_REGRESSION)
+
+# cProfile the ingest + query hot paths; top-30 cumulative functions
+# land in benchmarks/results/profile.txt (and on stdout).
+profile:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/profile_ingest.py
 
 # Tiny workload → Prometheus export → line-format validation.
 metrics-smoke:

@@ -82,6 +82,50 @@ def _build_service(scale: dict):
     return records, service
 
 
+def _ingest_metrics(scale: dict, metrics: dict[str, float]) -> None:
+    """Algorithm 1 throughput: scalar baseline vs batch kernels.
+
+    Wall-clock, hence informational (never gated) — but the committed
+    baseline keeps the trend visible: check_regression.py prints the
+    drift of ``ingest_rows_per_min_kernel`` on every PR.
+    """
+    from repro import GridSpec, WIFI_SCHEMA
+    from repro.core.encryptor import EpochEncryptor
+    from repro.workloads import WifiConfig, generate_wifi_epoch
+
+    from harness import EPOCH, EPOCH_DURATION, MASTER_KEY
+
+    config = WifiConfig(
+        access_points=scale["access_points"],
+        devices=scale["devices"],
+        rows_per_hour_offpeak=scale["rows_per_hour"],
+        seed=41,
+    )
+    records = generate_wifi_epoch(
+        config, EPOCH, EPOCH_DURATION, rng=random.Random(41 ^ EPOCH)
+    )
+    spec = GridSpec(
+        dimension_sizes=(scale["access_points"], 120),
+        cell_id_count=256,
+        epoch_duration=EPOCH_DURATION,
+    )
+
+    def rows_per_min(use_kernels: bool) -> float:
+        encryptor = EpochEncryptor(
+            WIFI_SCHEMA, spec, MASTER_KEY, time_granularity=60,
+            rng=random.Random(7), use_kernels=use_kernels,
+        )
+        start = time.perf_counter()
+        encryptor.encrypt_epoch(records, EPOCH)
+        return len(records) / (time.perf_counter() - start) * 60.0
+
+    scalar = rows_per_min(use_kernels=False)
+    kernel = rows_per_min(use_kernels=True)
+    metrics["ingest_rows_per_min_scalar"] = round(scalar, 1)
+    metrics["ingest_rows_per_min_kernel"] = round(kernel, 1)
+    metrics["ingest_kernel_speedup"] = round(kernel / scalar, 4)
+
+
 def _percentiles(samples: list[float]) -> tuple[float, float]:
     ordered = sorted(samples)
     p50 = statistics.median(ordered)
@@ -181,6 +225,9 @@ def run_bench(scale_name: str = "ci") -> dict:
         metrics["fake_tuple_ratio"] = (
             round(fake / fetched, 6) if fetched else 0.0
         )
+
+        # Algorithm 1 ingest throughput (informational: wall-clock).
+        _ingest_metrics(scale, metrics)
 
     audit_run(workload)
     return {

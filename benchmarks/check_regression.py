@@ -77,9 +77,13 @@ def compare(baseline: dict, candidate: dict, max_regression: float):
     for name, value in sorted(cand_metrics.items()):
         if name not in baseline["tracked"]:
             base = base_metrics.get(name)
+            trend = ""
+            if base is not None and float(base) != 0.0:
+                drift = (float(value) - float(base)) / abs(float(base))
+                trend = f" drift={drift:+.1%}"
             notes.append(
                 f"{name}: candidate={value:g} baseline="
-                f"{base if base is not None else 'n/a'} [informational]"
+                f"{base if base is not None else 'n/a'}{trend} [informational]"
             )
     return regressions, improvements, notes
 

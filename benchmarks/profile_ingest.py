@@ -1,0 +1,92 @@
+"""``make profile`` — cProfile the ingest + query hot paths.
+
+Runs one epoch encryption (kernel path) plus a small verified query mix
+under cProfile and writes the top-30 functions by cumulative time to
+``benchmarks/results/profile.txt``.  Intended as the first stop when
+chasing a throughput regression: compare the table against the one
+committed alongside the offending change.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+import random
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+sys.path.insert(0, str(Path(__file__).parent.parent / "src"))
+
+TOP_N = 30
+
+
+def workload():
+    from repro import GridSpec, PointQuery, RangeQuery, WIFI_SCHEMA
+    from repro.core.encryptor import EpochEncryptor
+    from repro.workloads import WifiConfig, generate_wifi_epoch
+
+    from harness import (
+        EPOCH,
+        EPOCH_DURATION,
+        MASTER_KEY,
+        TIME_STEP,
+        build_wifi_stack,
+        sample_probes,
+    )
+
+    config = WifiConfig(
+        access_points=24, devices=600, rows_per_hour_offpeak=900, seed=41
+    )
+    records = generate_wifi_epoch(
+        config, EPOCH, EPOCH_DURATION, rng=random.Random(41 ^ EPOCH)
+    )
+    spec = GridSpec(
+        dimension_sizes=(24, 120), cell_id_count=256,
+        epoch_duration=EPOCH_DURATION,
+    )
+
+    # Ingest: the batch-kernel Algorithm 1 path.
+    encryptor = EpochEncryptor(
+        WIFI_SCHEMA, spec, MASTER_KEY, time_granularity=TIME_STEP,
+        rng=random.Random(7),
+    )
+    encryptor.encrypt_epoch(records, EPOCH)
+
+    # Query: verified point + range mix over a freshly built stack.
+    _, service = build_wifi_stack(records, spec, verify=True)
+    for location, timestamp in sample_probes(records, 4, seed=11):
+        service.execute_point(
+            PointQuery(index_values=(location,), timestamp=timestamp)
+        )
+    service.execute_range(
+        RangeQuery(
+            index_values=(records[0][0],),
+            time_start=EPOCH + 600,
+            time_end=EPOCH + 1499,
+        ),
+        method="multipoint",
+    )
+
+
+def main() -> int:
+    profiler = cProfile.Profile()
+    profiler.enable()
+    workload()
+    profiler.disable()
+
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.sort_stats("cumulative").print_stats(TOP_N)
+
+    out = Path(__file__).parent / "results" / "profile.txt"
+    out.parent.mkdir(exist_ok=True)
+    out.write_text(buffer.getvalue())
+    print(buffer.getvalue())
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -30,12 +30,12 @@ from repro.core.grid import Grid
 from repro.core.queries import Predicate, QueryStats
 from repro.core.schema import DatasetSchema
 from repro.crypto.det import DeterministicCipher
-from repro.crypto.hashchain import HashChain
+from repro.crypto.kernels import CHAIN_INIT, DetKernel, batch_chain_extend
 from repro.crypto.keys import derive_epoch_key
 from repro.crypto.nondet import RandomizedCipher
 from repro.enclave.enclave import Enclave
 from repro.enclave.sort import bitonic_sort, column_sort
-from repro.exceptions import DecryptionError, IntegrityViolation, QueryError
+from repro.exceptions import IntegrityViolation, QueryError
 from repro.storage.engine import StorageEngine
 from repro.storage.table import Row
 
@@ -78,6 +78,7 @@ class EpochContext:
         package: EpochPackage,
         schema: DatasetSchema,
         table_name: str | None = None,
+        trapdoor_table=None,
     ):
         enclave.require_provisioned()
         self.enclave = enclave
@@ -85,9 +86,14 @@ class EpochContext:
         self.package = package
         self.epoch_id = package.epoch_id
         self.table_name = table_name or f"epoch_{package.epoch_id}"
+        # Optional service-wide TrapdoorTable (rotation-fenced LRU memo
+        # of derived trapdoors); None on the oblivious path, where a
+        # memo hit would break Concealer+'s trace-identity guarantee.
+        self.trapdoor_table = trapdoor_table
 
         epoch_key = derive_epoch_key(enclave.master_key, package.epoch_id)
         self.det = DeterministicCipher(epoch_key)
+        self.det_kernel = DetKernel(epoch_key)
         self.nd = RandomizedCipher(epoch_key)
         grid_key = (
             self.nd.decrypt(package.enc_grid_key)
@@ -166,14 +172,14 @@ class EpochContext:
 
         Table 4's "SM using the filters E_k(l|t_1) ... E_k(l|t_x)".
         """
-        return [
-            self.det.encrypt(
+        return self.det_kernel.encrypt_many(
+            [
                 self.schema.filter_plaintext_for_values(
                     predicate.group, predicate.values, t
                 )
-            )
-            for t in timestamps
-        ]
+                for t in timestamps
+            ]
+        )
 
     def query_timestamps(self, start: int, end: int) -> list[int]:
         """Enumerate the discrete reading timestamps in ``[start, end]``."""
@@ -186,18 +192,51 @@ class EpochContext:
     def trapdoors_for_cell_ids(
         self, cell_ids: Sequence[int], fake_ids: Sequence[int] = ()
     ) -> list[bytes]:
-        """STEP 3: index-key ciphertexts for whole cell-ids plus fakes."""
-        trapdoors = [
-            self.det.encrypt(index_plaintext(cid, j))
+        """STEP 3: index-key ciphertexts for whole cell-ids plus fakes.
+
+        Slots are deduplicated within the request (fake ids cycle when
+        a range query needs more fakes than the pool holds, so one
+        query can name the same fake many times), looked up in the
+        service's :class:`~repro.core.trapdoor_table.TrapdoorTable`
+        when one is wired, and only the remaining misses hit the DET
+        kernel — in one batch.
+        """
+        slots: list[tuple] = [
+            ("real", cid, j)
             for cid in cell_ids
             for j in range(1, self.c_tuple[cid] + 1)
         ]
-        real = len(trapdoors)
-        trapdoors.extend(
-            self.det.encrypt(fake_index_plaintext(fid)) for fid in fake_ids
-        )
-        _count_tuples(real, len(fake_ids))
-        return trapdoors
+        real = len(slots)
+        slots.extend(("fake", fid, 0) for fid in fake_ids)
+        _count_tuples(real, len(slots) - real)
+
+        table = self.trapdoor_table
+        resolved: dict[tuple, bytes] = {}
+        pending: dict[tuple, None] = {}
+        for slot in slots:
+            if slot in resolved or slot in pending:
+                continue
+            if table is not None:
+                cached = table.lookup((self.epoch_id, self.table_name) + slot)
+                if cached is not None:
+                    resolved[slot] = cached
+                    continue
+            pending[slot] = None
+        miss_order = list(pending)
+        if miss_order:
+            derived = self.det_kernel.encrypt_many(
+                [
+                    index_plaintext(slot[1], slot[2])
+                    if slot[0] == "real"
+                    else fake_index_plaintext(slot[1])
+                    for slot in miss_order
+                ]
+            )
+            for slot, trapdoor in zip(miss_order, derived):
+                resolved[slot] = trapdoor
+                if table is not None:
+                    table.insert((self.epoch_id, self.table_name) + slot, trapdoor)
+        return [resolved[slot] for slot in slots]
 
     def trapdoors_for_bin(self, chosen: Bin) -> list[bytes]:
         """All trapdoors retrieving one point-query bin (|b| rows)."""
@@ -223,14 +262,18 @@ class EpochContext:
             "oblivious_trapdoor_schedule", cells_max, tuples_max, fakes_max
         )
 
+        # The memoizing TrapdoorTable is deliberately bypassed here: the
+        # kernel derives every candidate slot unconditionally, so the
+        # schedule's memory-touch sequence stays bin-independent.  The
+        # primed-HMAC amortization is trace-neutral (same per-slot work).
         slots: list[tuple[int, bytes]] = []
         cell_list = list(chosen.cell_ids) + [0] * (cells_max - len(chosen.cell_ids))
         in_bin_count = len(chosen.cell_ids)
+        encrypt = self.det_kernel.encrypt
         for position in range(cells_max):
             cid = cell_list[position]
             in_bin = ((position - in_bin_count) >> 63) & 1  # 1 iff slot is used
             population = self.c_tuple[cid]
-            encrypt = self.det.encrypt
             for j in range(1, tuples_max + 1):
                 within = ((population - j) >> 63) & 1 ^ 1  # 1 iff j <= population
                 slots.append((in_bin & within, encrypt(index_plaintext(cid, j))))
@@ -239,7 +282,7 @@ class EpochContext:
         for j in range(1, fakes_max + 1):
             v = ((fake_count - j) >> 63) & 1 ^ 1  # 1 iff j <= fake_count
             fid = fake_ids[j - 1] if j <= fake_count else 0
-            slots.append((v, self.det.encrypt(fake_index_plaintext(fid))))
+            slots.append((v, encrypt(fake_index_plaintext(fid))))
 
         real = sum(v for v, _ in slots[: cells_max * tuples_max])
         fake = sum(v for v, _ in slots[cells_max * tuples_max:])
@@ -366,23 +409,29 @@ class EpochContext:
     def _verify_rows(
         self, rows: Sequence[Row], expected_cells: Sequence[int] | None = None
     ) -> None:
+        from repro.core.schema import unpad_plaintext
+
         column_count = len(self.schema.filter_groups) + 1
         per_cid: dict[int, list[tuple[int, Row]]] = {}
-        for row in rows:
-            try:
-                meta = self._decode_index_key(row)
-            except DecryptionError:
+        # Index keys are decoded in one kernel batch (the count is the
+        # public fetched volume); a None marks a row whose index key did
+        # not authenticate — tampering, reported per offending row.
+        plaintexts = self.det_kernel.decrypt_many(
+            [row[-1] for row in rows], errors="none"
+        )
+        for row, plaintext in zip(rows, plaintexts):
+            if plaintext is None:
                 raise IntegrityViolation(
                     f"row {row.row_id}: index key fails decryption — the "
                     "stored ciphertext was tampered with",
                     epoch_id=self.epoch_id,
                     table=self.table_name,
                     kind="undecryptable",
-                ) from None
-            if meta is None:
+                )
+            parts = unpad_plaintext(plaintext).split(b"\x1f")
+            if parts[0] != b"idx":
                 continue  # fake rows are not covered by per-cid tags
-            cid, counter = meta
-            per_cid.setdefault(cid, []).append((counter, row))
+            per_cid.setdefault(int(parts[1]), []).append((int(parts[2]), row))
 
         if expected_cells is not None:
             for cid in expected_cells:
@@ -409,10 +458,17 @@ class EpochContext:
                     table=self.table_name,
                     kind="counter-gap",
                 )
-            chains = [HashChain() for _ in range(column_count)]
-            for _, row in numbered:
-                for position in range(column_count):
-                    chains[position].update(row[position])
+            # Per-column chains fold in one kernel batch.  Uncounted:
+            # the fold count is the *real*-row volume, which is exactly
+            # what volume hiding keeps from the host.
+            chains = batch_chain_extend(
+                [CHAIN_INIT] * column_count,
+                [
+                    [row[position] for _, row in numbered]
+                    for position in range(column_count)
+                ],
+                counted=False,
+            )
             tag = self.package.enc_tags.get(cid)
             if tag is None:
                 raise IntegrityViolation(
@@ -424,7 +480,7 @@ class EpochContext:
                 )
             for position, sealed in enumerate(tag):
                 expected = self.nd.decrypt(sealed)
-                if expected != chains[position].digest():
+                if expected != chains[position]:
                     raise IntegrityViolation(
                         f"cell {cid}: column {position} hash chain mismatch",
                         epoch_id=self.epoch_id,
@@ -437,7 +493,7 @@ class EpochContext:
         """Recover (cid, counter) from a row's index key; None for fakes."""
         from repro.core.schema import unpad_plaintext
 
-        plaintext = unpad_plaintext(self.det.decrypt(row[-1]))
+        plaintext = unpad_plaintext(self.det_kernel.decrypt(row[-1]))
         parts = plaintext.split(b"\x1f")
         if parts[0] == b"idx":
             return int(parts[1]), int(parts[2])
@@ -510,13 +566,21 @@ class EpochContext:
         return self.schema.decode_payload(plaintext)
 
     def decrypt_records(self, rows: Sequence[Row], stats: QueryStats) -> list[tuple]:
-        """Decrypt payloads (skipping any fake rows defensively)."""
-        records = []
-        for row in rows:
-            try:
-                records.append(self.decrypt_record(row))
-            except DecryptionError:
-                continue  # a fake row slipped through matching: not real data
+        """Decrypt payloads (skipping any fake rows defensively).
+
+        Batched through the DET kernel with ``counted=False``: the
+        number of matched-and-decrypted rows is data-dependent, so it
+        must not feed a public-size kernel counter.
+        """
+        position = len(self.schema.filter_groups)
+        plaintexts = self.det_kernel.decrypt_many(
+            [row[position] for row in rows], errors="none", counted=False
+        )
+        records = [
+            self.schema.decode_payload(plaintext)
+            for plaintext in plaintexts
+            if plaintext is not None  # a fake that slipped through matching
+        ]
         stats.rows_decrypted += len(records)
         return records
 

@@ -18,10 +18,29 @@ For each epoch the data provider:
 
 Throughput of this function is the paper's Exp 1 (≈37,185 rows/min on
 the authors' hardware).
+
+**Fast paths.**  Lines 4–21 are embarrassingly parallel per cell-id:
+every row's ciphertexts depend only on the epoch key and the row's own
+``(cid, counter)`` assignment, and the per-cell hash chains never cross
+cells.  The encryptor therefore supports
+
+- ``use_kernels=True`` (default): rows run through the primed-HMAC
+  batch kernels of :mod:`repro.crypto.kernels` instead of the scalar
+  ciphers — byte-identical output, a sizeable constant-factor win;
+- ``workers=N``: rows are partitioned *by cell-id* across a bounded
+  process pool, each worker running Lines 4–21 for its cells, and the
+  parent merging results by original row position.  Everything
+  RNG-ordered — fake nonces, tag nonces, the Line-24 permutation, the
+  metadata vectors — stays single-threaded in the parent, in a fixed
+  sequence, so a ``workers=4`` package is **bit-for-bit identical** to
+  ``workers=1`` (property-tested in
+  ``tests/core/test_parallel_encryptor.py``).  Pool failures (no fork
+  support, pickling issues) fall back to the serial kernel path.
 """
 
 from __future__ import annotations
 
+import hashlib
 import random
 from collections.abc import Sequence
 from dataclasses import dataclass
@@ -39,7 +58,7 @@ from repro.core.epoch import (
 from repro.core.grid import Grid, GridSpec, derive_grid_key
 from repro.core.schema import DatasetSchema
 from repro.crypto.det import DeterministicCipher
-from repro.crypto.hashchain import HashChain
+from repro.crypto.kernels import CHAIN_INIT, DetKernel, NdKernel, record_kernel_ops
 from repro.crypto.keys import derive_epoch_key
 from repro.crypto.nondet import RandomizedCipher
 from repro.exceptions import EpochError
@@ -62,6 +81,90 @@ class EncryptionReport:
     bin_size: int
     bin_count: int
     metadata_bytes: int
+    workers: int = 1
+
+
+def _encrypt_partition(args: tuple) -> tuple[list, dict]:
+    """Worker body: Lines 4–11 + 16–21 for one cell-id partition.
+
+    ``jobs`` holds ``(slot, record, cid)`` triples — every job of a
+    given cell-id, in original record order, lives in exactly one
+    partition, so the worker recomputes the per-cell counters and the
+    per-cell chain folds locally and they match the global assignment.
+    Module-level (not a method) so the process pool can pickle it.
+    """
+    epoch_key, schema, jobs = args
+    det = DetKernel(epoch_key)
+    sha = hashlib.sha256
+    filter_groups = schema.filter_groups
+    column_count = len(filter_groups) + 1
+    # Record positions whose values feed each filter column (the group's
+    # attributes plus the folded time attribute) — the memo key below.
+    group_positions: list[tuple[int, ...]] = []
+    for group in filter_groups:
+        positions = [schema.position(attr) for attr in group]
+        if schema.fold_time_into_filters and schema.time_attribute not in group:
+            positions.append(schema.position(schema.time_attribute))
+        group_positions.append(tuple(positions))
+
+    # Phase 1 — collect plaintexts, deduplicated.  DET is deterministic,
+    # so identical plaintexts yield identical ciphertexts: filter
+    # columns repeat across rows (few locations × time buckets), and
+    # each repeat saves a full SIV encryption.  Plaintext *construction*
+    # is memoized too, keyed by the contributing attribute values.
+    unique: dict[bytes, int] = {}
+    pt_cache: dict[tuple, bytes] = {}
+    counters: dict[int, int] = {}
+    row_refs: list[tuple[int, int, list[int]]] = []
+    for slot, record, cid in jobs:
+        counter = counters.get(cid, 0) + 1
+        counters[cid] = counter
+        refs: list[int] = []
+        for gi, positions in enumerate(group_positions):
+            cache_key = (gi, *[record[p] for p in positions])
+            plaintext = pt_cache.get(cache_key)
+            if plaintext is None:
+                plaintext = schema.filter_plaintext(record, filter_groups[gi])
+                pt_cache[cache_key] = plaintext
+            index = unique.get(plaintext)
+            if index is None:
+                index = unique[plaintext] = len(unique)
+            refs.append(index)
+        for plaintext in (
+            schema.payload_plaintext(record),
+            index_plaintext(cid, counter),
+        ):
+            index = unique.get(plaintext)
+            if index is None:
+                index = unique[plaintext] = len(unique)
+            refs.append(index)
+        row_refs.append((slot, cid, refs))
+
+    # Phase 2 — one batched SIV pass over the distinct plaintexts.
+    ciphertexts = det.encrypt_many(list(unique), counted=False)
+
+    # Phase 3 — assemble rows and fold the per-cell chains.
+    digests: dict[int, list[bytes]] = {}
+    rows: list[tuple[int, EncryptedRow]] = []
+    filter_count = column_count - 1
+    for slot, cid, refs in row_refs:
+        columns = [ciphertexts[index] for index in refs]
+        rows.append(
+            (
+                slot,
+                EncryptedRow(
+                    filters=tuple(columns[:filter_count]),
+                    payload=columns[filter_count],
+                    index_key=columns[-1],
+                ),
+            )
+        )
+        chain = digests.get(cid)
+        if chain is None:
+            chain = digests[cid] = [CHAIN_INIT] * column_count
+        for position in range(column_count):
+            chain[position] = sha(columns[position] + chain[position]).digest()
+    return rows, digests
 
 
 class EpochEncryptor:
@@ -69,9 +172,16 @@ class EpochEncryptor:
 
     ``bin_size`` optionally overrides the packing bin size (default:
     the epoch's maximum cell-id population — the paper's ``|b| = max``).
-    ``rng`` seeds the Line-24 permutation; pass a seeded
-    ``random.Random`` for reproducible packages.
+    ``rng`` seeds the Line-24 permutation *and* the randomized-cipher
+    nonces; pass a seeded ``random.Random`` for reproducible packages.
+    ``workers`` sets the default ingest parallelism (overridable per
+    call); ``use_kernels=False`` pins the original scalar ciphers — the
+    pre-kernel baseline the throughput benchmarks compare against.
     """
+
+    # A partition below this many rows is not worth a fork: the pool
+    # spawn + pickle overhead would eat the win.
+    min_rows_per_worker = 64
 
     def __init__(
         self,
@@ -83,6 +193,8 @@ class EpochEncryptor:
         max_cells_per_bin: int | None = None,
         time_granularity: int = 1,
         rng: random.Random | None = None,
+        workers: int = 1,
+        use_kernels: bool = True,
     ):
         self.schema = schema
         self.grid_spec = grid_spec
@@ -96,13 +208,37 @@ class EpochEncryptor:
         # with additional fakes.  None disables (the paper's default).
         self.pad_epoch_rows_to: int | None = None
         self._rng = rng if rng is not None else random.Random()
+        # Nonce source for E_nd: the caller's rng when one was supplied
+        # (reproducible packages), os.urandom otherwise — matching the
+        # scalar RandomizedCipher contract.
+        self._nonce_rng = rng
+        self.workers = workers
+        self.use_kernels = use_kernels
         self.last_report: EncryptionReport | None = None
 
-    def encrypt_epoch(self, records: Sequence[tuple], epoch_id: int) -> EpochPackage:
-        """Encrypt one epoch's records into a transmissible package."""
+    def encrypt_epoch(
+        self,
+        records: Sequence[tuple],
+        epoch_id: int,
+        workers: int | None = None,
+    ) -> EpochPackage:
+        """Encrypt one epoch's records into a transmissible package.
+
+        ``workers`` overrides the instance default for this call.  The
+        produced package bytes depend only on ``(records, epoch_id,
+        master_key, rng state)`` — never on ``workers`` or
+        ``use_kernels``.
+        """
+        workers = self.workers if workers is None else workers
+        if workers < 1:
+            raise EpochError("workers must be >= 1")
+        records = list(records)
         epoch_key = derive_epoch_key(self.master_key, epoch_id)
-        det = DeterministicCipher(epoch_key)
-        nd = RandomizedCipher(epoch_key)
+        nd = (
+            NdKernel(epoch_key, rng=self._nonce_rng)
+            if self.use_kernels
+            else RandomizedCipher(epoch_key, rng=self._nonce_rng)
+        )
         grid_key = derive_grid_key(self.master_key, epoch_id)
         grid = Grid(
             self.grid_spec, self.schema, self.master_key, epoch_id,
@@ -112,44 +248,59 @@ class EpochEncryptor:
         u = self.grid_spec.cell_id_count
         c_tuple = [0] * u
         cell_counts = [0] * self.grid_spec.total_cells
-
-        # One hash chain per (cell-id, encrypted column).  Columns are the
-        # filter groups plus the payload.
         column_count = len(self.schema.filter_groups) + 1
-        chains: dict[int, list[HashChain]] = {}
 
-        real_rows: list[EncryptedRow] = []
+        # Serial pre-pass (Lines 4–7): validation, grid placement, and
+        # the (cid, counter) assignment every later stage keys off.
+        assignments: list[tuple[int, int]] = []
+        cid_order: list[int] = []  # first-appearance order, fixes tag order
+        seen_cids: set[int] = set()
         for record in records:
             self._check_record(record, epoch_id)
             flat = grid.flat_index(grid.coords(record))
             cid = grid.cell_id_of(flat)
             cell_counts[flat] += 1
             c_tuple[cid] += 1
-            counter = c_tuple[cid]
+            assignments.append((cid, c_tuple[cid]))
+            if cid not in seen_cids:
+                seen_cids.add(cid)
+                cid_order.append(cid)
 
-            filters = tuple(
-                det.encrypt(self.schema.filter_plaintext(record, group))
-                for group in self.schema.filter_groups
+        # Row encryption + per-cell chain folds (Lines 8–11, 16–21).
+        effective = min(workers, max(1, len(records) // self.min_rows_per_worker))
+        if not self.use_kernels:
+            real_rows, digests = self._encrypt_rows_scalar(
+                records, assignments, epoch_key, column_count
             )
-            payload = det.encrypt(self.schema.payload_plaintext(record))
-            index_key = det.encrypt(index_plaintext(cid, counter))
-            row = EncryptedRow(filters=filters, payload=payload, index_key=index_key)
-            real_rows.append(row)
-
-            cell_chains = chains.setdefault(
-                cid, [HashChain() for _ in range(column_count)]
+        elif effective > 1:
+            real_rows, digests = self._encrypt_rows_parallel(
+                records, assignments, epoch_key, column_count, effective
             )
-            for position, ciphertext in enumerate((*filters, payload)):
-                cell_chains[position].update(ciphertext)
+        else:
+            real_rows, digests = self._encrypt_rows_kernel(
+                records, assignments, epoch_key, column_count
+            )
+        if self.use_kernels and records:
+            # Worker-side encryptions are counted here, in the parent,
+            # so the public kernel-op count is identical for every
+            # ``workers`` setting (and for the pool-failure fallback).
+            record_kernel_ops("det_encrypt", (column_count + 1) * len(records))
 
-        fake_rows = self._make_fake_rows(
-            det, nd, c_tuple, column_count, chains
+        fake_rows, fake_digests = self._make_fake_rows(
+            epoch_key, nd, c_tuple, column_count
         )
 
+        # Tag sealing consumes one nonce per (label, column), in cell
+        # first-appearance order with the fake chain last — a fixed,
+        # single-threaded sequence regardless of the row-encryption path.
         tags = {
-            label: tuple(nd.encrypt(chain.digest()) for chain in cell_chains)
-            for label, cell_chains in chains.items()
+            label: tuple(nd.encrypt(digest) for digest in digests[label])
+            for label in cid_order
         }
+        if fake_digests is not None:
+            tags[FAKE_CHAIN_LABEL] = tuple(
+                nd.encrypt(digest) for digest in fake_digests
+            )
 
         all_rows = real_rows + fake_rows
         self._rng.shuffle(all_rows)  # Line 24: mix real and fake tuples
@@ -178,19 +329,107 @@ class EpochEncryptor:
             bin_size=layout_size,
             bin_count=-(-sum(c_tuple) // layout_size) if sum(c_tuple) else 0,
             metadata_bytes=package.metadata_bytes(),
+            workers=effective if self.use_kernels else 1,
         )
         return package
+
+    # ------------------------------------------------------------- row paths
+
+    def _encrypt_rows_scalar(
+        self, records, assignments, epoch_key: bytes, column_count: int
+    ) -> tuple[list[EncryptedRow], dict[int, list[bytes]]]:
+        """The original per-row scalar path (the pre-kernel baseline)."""
+        det = DeterministicCipher(epoch_key)
+        schema = self.schema
+        sha = hashlib.sha256
+        rows: list[EncryptedRow] = []
+        digests: dict[int, list[bytes]] = {}
+        for record, (cid, counter) in zip(records, assignments):
+            filters = tuple(
+                det.encrypt(schema.filter_plaintext(record, group))
+                for group in schema.filter_groups
+            )
+            payload = det.encrypt(schema.payload_plaintext(record))
+            index_key = det.encrypt(index_plaintext(cid, counter))
+            rows.append(
+                EncryptedRow(filters=filters, payload=payload, index_key=index_key)
+            )
+            chain = digests.get(cid)
+            if chain is None:
+                chain = digests[cid] = [CHAIN_INIT] * column_count
+            for position, ciphertext in enumerate((*filters, payload)):
+                chain[position] = sha(ciphertext + chain[position]).digest()
+        return rows, digests
+
+    def _encrypt_rows_kernel(
+        self, records, assignments, epoch_key: bytes, column_count: int
+    ) -> tuple[list[EncryptedRow], dict[int, list[bytes]]]:
+        """Serial path through the primed-HMAC DET kernel."""
+        jobs = [
+            (slot, record, cid)
+            for slot, (record, (cid, _)) in enumerate(zip(records, assignments))
+        ]
+        indexed, digests = _encrypt_partition((epoch_key, self.schema, jobs))
+        return [row for _, row in indexed], digests
+
+    def _encrypt_rows_parallel(
+        self, records, assignments, epoch_key: bytes, column_count: int, workers: int
+    ) -> tuple[list[EncryptedRow], dict[int, list[bytes]]]:
+        """Fan Lines 4–21 out over a bounded process pool, by cell-id.
+
+        Partitioning by cell-id keeps each per-cell chain entirely
+        inside one worker; the merge is order-free for chains and
+        slot-indexed for rows, so the result is byte-identical to the
+        serial path.  Any pool failure falls back to serial kernels.
+        """
+        by_cid: dict[int, list[int]] = {}
+        for slot, (cid, _) in enumerate(assignments):
+            by_cid.setdefault(cid, []).append(slot)
+        # Greedy balance: biggest cells first onto the lightest worker.
+        buckets: list[list[int]] = [[] for _ in range(workers)]
+        loads = [0] * workers
+        for cid in sorted(by_cid, key=lambda c: -len(by_cid[c])):
+            lightest = loads.index(min(loads))
+            buckets[lightest].append(cid)
+            loads[lightest] += len(by_cid[cid])
+        tasks = [
+            (
+                epoch_key,
+                self.schema,
+                [(slot, records[slot], cid) for cid in bucket for slot in by_cid[cid]],
+            )
+            for bucket in buckets
+            if bucket
+        ]
+        try:
+            import concurrent.futures
+
+            with concurrent.futures.ProcessPoolExecutor(
+                max_workers=len(tasks)
+            ) as pool:
+                partitions = list(pool.map(_encrypt_partition, tasks))
+        except Exception:
+            # No fork support / pickling trouble: correctness first.
+            return self._encrypt_rows_kernel(
+                records, assignments, epoch_key, column_count
+            )
+        rows: list[EncryptedRow | None] = [None] * len(records)
+        digests: dict[int, list[bytes]] = {}
+        for indexed, part_digests in partitions:
+            for slot, row in indexed:
+                rows[slot] = row
+            digests.update(part_digests)
+        return rows, digests
 
     # ------------------------------------------------------------------ fakes
 
     def _make_fake_rows(
         self,
-        det: DeterministicCipher,
-        nd: RandomizedCipher,
+        epoch_key: bytes,
+        nd,
         c_tuple: list[int],
         column_count: int,
-        chains: dict[int, list[HashChain]],
-    ) -> list[EncryptedRow]:
+    ) -> tuple[list[EncryptedRow], list[bytes] | None]:
         """Lines 12–15: manufacture ciphertext-secure fake tuples.
 
         Fake filter/payload columns are randomized garbage (``E_nd``),
@@ -198,6 +437,10 @@ class EpochEncryptor:
         the key; index keys are ``E_k(f ‖ j)`` so the enclave can
         formulate fake trapdoors.  Fakes get their own hash chain so
         integrity covers them too (a reproduction extension).
+
+        Returns ``(rows, chain_digests)``; digests are ``None`` when no
+        fakes ship.  ``nd`` draws one nonce per encrypted column in row
+        order — the sequence both the scalar and kernel paths follow.
         """
         total_real = sum(c_tuple)
         if self.fake_strategy is FakeStrategy.EQUAL:
@@ -220,29 +463,52 @@ class EpochEncryptor:
                 )
             fake_total = self.pad_epoch_rows_to - total_real
 
+        if not fake_total:
+            return [], None
+
         # Fake filter/payload ciphertexts must be byte-for-byte the same
         # LENGTH as real ones, or length alone would out them at rest.
         # E_nd carries 32 bytes of overhead vs DET's 16, hence the -16.
         fake_filter_body = b"\x00" * (self.schema.filter_pad_width - 16)
         fake_payload_body = b"\x00" * (self.schema.payload_pad_width - 16)
 
-        fake_rows: list[EncryptedRow] = []
-        if fake_total:
-            fake_chains = chains.setdefault(
-                FAKE_CHAIN_LABEL, [HashChain() for _ in range(column_count)]
+        # One E_nd per column per fake, nonces drawn in row order; the
+        # batch kernel consumes the RNG identically to a scalar loop.
+        bodies = ([fake_filter_body] * (column_count - 1) + [fake_payload_body]) * (
+            fake_total
+        )
+        if self.use_kernels:
+            encrypted = nd.encrypt_many(bodies)
+            index_keys = DetKernel(epoch_key).encrypt_many(
+                [fake_index_plaintext(fid) for fid in range(1, fake_total + 1)]
             )
-            for fake_id in range(1, fake_total + 1):
-                filters = tuple(
-                    nd.encrypt(fake_filter_body) for _ in range(column_count - 1)
+        else:
+            encrypted = [nd.encrypt(body) for body in bodies]
+            det = DeterministicCipher(epoch_key)
+            index_keys = [
+                det.encrypt(fake_index_plaintext(fid))
+                for fid in range(1, fake_total + 1)
+            ]
+
+        sha = hashlib.sha256
+        fake_digests = [CHAIN_INIT] * column_count
+        fake_rows: list[EncryptedRow] = []
+        for fake_index in range(fake_total):
+            columns = encrypted[
+                fake_index * column_count : (fake_index + 1) * column_count
+            ]
+            fake_rows.append(
+                EncryptedRow(
+                    filters=tuple(columns[:-1]),
+                    payload=columns[-1],
+                    index_key=index_keys[fake_index],
                 )
-                payload = nd.encrypt(fake_payload_body)
-                index_key = det.encrypt(fake_index_plaintext(fake_id))
-                fake_rows.append(
-                    EncryptedRow(filters=filters, payload=payload, index_key=index_key)
-                )
-                for position, ciphertext in enumerate((*filters, payload)):
-                    fake_chains[position].update(ciphertext)
-        return fake_rows
+            )
+            for position, ciphertext in enumerate(columns):
+                fake_digests[position] = sha(
+                    ciphertext + fake_digests[position]
+                ).digest()
+        return fake_rows, fake_digests
 
     # ------------------------------------------------------------------ misc
 

@@ -128,6 +128,16 @@ class Grid:
         self._prf = Prf(grid_key if grid_key is not None
                         else derive_grid_key(key, epoch_id))
         self._axes = schema.grid_dimensions()
+        # Placement memos.  Both mappings are keyed PRF outputs, fixed
+        # for the grid's lifetime, and axis values repeat massively
+        # (every record of a location hits the same coordinate), so the
+        # ingest/query hot paths would otherwise recompute identical
+        # HMACs millions of times.  Bounded so adversarial value streams
+        # cannot grow them without limit (see SECURITY.md on timing).
+        self._coord_cache: dict[tuple[int, object], int] = {}
+        self._cid_cache: dict[int, int] = {}
+
+    _COORD_CACHE_MAX = 4096
 
     # ------------------------------------------------------------ placement
 
@@ -142,9 +152,16 @@ class Grid:
         return int(offset * self.spec.time_buckets // self.spec.epoch_duration)
 
     def _axis_coord(self, axis_index: int, value) -> int:
-        """Hash one attribute value onto its axis."""
-        size = self.spec.dimension_sizes[axis_index]
-        return self._prf.to_int(b"axis", axis_index, encode_value(value)) % size
+        """Hash one attribute value onto its axis (memoized)."""
+        cache_key = (axis_index, value)
+        coord = self._coord_cache.get(cache_key)
+        if coord is None:
+            size = self.spec.dimension_sizes[axis_index]
+            coord = self._prf.to_int(b"axis", axis_index, encode_value(value)) % size
+            if len(self._coord_cache) >= self._COORD_CACHE_MAX:
+                self._coord_cache.clear()
+            self._coord_cache[cache_key] = coord
+        return coord
 
     def coords_for(self, index_values: Sequence, timestamp: int) -> tuple[int, ...]:
         """Grid coordinates for explicit index-attribute values + time."""
@@ -188,14 +205,22 @@ class Grid:
         draws pseudo-randomly from its own coordinate's block — so an
         id's tuples never straddle subinterval coordinates.
         """
+        cid = self._cid_cache.get(flat)
+        if cid is not None:
+            return cid
         u = self.spec.cell_id_count
         if not self.spec.time_local_cell_ids:
-            return self._prf.to_int(b"cid-alloc", flat) % u
-        y = self.spec.dimension_sizes[-1]
-        time_coord = flat % y
-        base = (time_coord * u) // y
-        span = max(1, ((time_coord + 1) * u) // y - base)
-        return base + self._prf.to_int(b"cid-alloc", flat) % span
+            cid = self._prf.to_int(b"cid-alloc", flat) % u
+        else:
+            y = self.spec.dimension_sizes[-1]
+            time_coord = flat % y
+            base = (time_coord * u) // y
+            span = max(1, ((time_coord + 1) * u) // y - base)
+            cid = base + self._prf.to_int(b"cid-alloc", flat) % span
+        if len(self._cid_cache) >= self._COORD_CACHE_MAX:
+            self._cid_cache.clear()
+        self._cid_cache[flat] = cid
+        return cid
 
     def place(self, record: Sequence) -> int:
         """Record → cell-id (Algorithm 1, Cell-Formation)."""

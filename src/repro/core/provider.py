@@ -45,6 +45,7 @@ class DataProvider:
         max_cells_per_bin: int | None = None,
         time_granularity: int = 1,
         rng: random.Random | None = None,
+        ingest_workers: int = 1,
     ):
         self.schema = schema
         self.grid_spec = grid_spec
@@ -61,6 +62,7 @@ class DataProvider:
             max_cells_per_bin=max_cells_per_bin,
             time_granularity=time_granularity,
             rng=self._rng,
+            workers=ingest_workers,
         )
         self._shipped_epochs: set[int] = set()
 

@@ -45,8 +45,7 @@ from repro import telemetry
 from repro.core.epoch import FAKE_CHAIN_LABEL, encode_int_vector
 from repro.core.service import ServiceProvider
 from repro.core.schema import unpad_plaintext
-from repro.crypto.det import DeterministicCipher
-from repro.crypto.hashchain import HashChain
+from repro.crypto.kernels import CHAIN_INIT, DetKernel, NdKernel, batch_chain_extend
 from repro.crypto.keys import EpochKeySchedule, derive_epoch_key
 from repro.crypto.nondet import RandomizedCipher
 from repro.crypto.prf import Prf
@@ -187,14 +186,22 @@ def rotate_service_keys(
         ).inc(rotated_rows)
 
     # Swap the sealed key material; cached contexts hold old ciphers.
+    # swap_master_key bumps the enclave key generation, so any cache
+    # stamped under the old key (the TrapdoorTable above all) becomes
+    # unservable even where the explicit flush below is missed.
     old_schedule = enclave.key_schedule
-    enclave._sealed.master_key = new_master
-    enclave._sealed.key_schedule = EpochKeySchedule(
-        master_key=new_master,
-        first_epoch_id=old_schedule.first_epoch_id,
-        epoch_duration=old_schedule.epoch_duration,
+    enclave.swap_master_key(
+        new_master,
+        EpochKeySchedule(
+            master_key=new_master,
+            first_epoch_id=old_schedule.first_epoch_id,
+            epoch_duration=old_schedule.epoch_duration,
+        ),
     )
     service._contexts.clear()
+    table = getattr(service, "trapdoor_table", None)
+    if table is not None:
+        table.invalidate_all("rotation")
     return rotated_rows
 
 
@@ -213,8 +220,12 @@ def _rotate_all_epochs(
         enclave.kill_point("enclave.kill.rotation")
         old_key = derive_epoch_key(old_master, epoch_id)
         new_key = derive_epoch_key(new_master, epoch_id)
-        old_det, new_det = DeterministicCipher(old_key), DeterministicCipher(new_key)
-        old_nd, new_nd = RandomizedCipher(old_key), RandomizedCipher(new_key)
+        # Batch kernels: rotation touches every stored row, so the
+        # primed-HMAC ciphers pay their key-block setup once per epoch
+        # instead of twice per column.
+        old_det, new_det = DetKernel(old_key), DetKernel(new_key)
+        old_nd = RandomizedCipher(old_key)
+        new_nd = NdKernel(new_key)
 
         table = service._table_name(epoch_id)
         # Verifiable tags chain the *stored* ciphertexts, so rotation must
@@ -255,21 +266,27 @@ def _rotate_all_epochs(
         new_tags: dict[int, tuple[bytes, ...]] = {}
         for label, numbered in real_entries.items():
             numbered.sort(key=lambda pair: pair[0])
-            chains = [HashChain() for _ in range(chained_columns)]
-            for _, columns in numbered:
-                for position in range(chained_columns):
-                    chains[position].update(columns[position])
-            new_tags[label] = tuple(
-                new_nd.encrypt(chain.digest()) for chain in chains
+            chains = batch_chain_extend(
+                [CHAIN_INIT] * chained_columns,
+                [
+                    [columns[position] for _, columns in numbered]
+                    for position in range(chained_columns)
+                ],
+                counted=False,
             )
+            new_tags[label] = tuple(new_nd.encrypt(digest) for digest in chains)
         if fake_entries:
             fake_entries.sort(key=lambda pair: pair[0])
-            chains = [HashChain() for _ in range(chained_columns)]
-            for _, columns in fake_entries:
-                for position in range(chained_columns):
-                    chains[position].update(columns[position])
+            chains = batch_chain_extend(
+                [CHAIN_INIT] * chained_columns,
+                [
+                    [columns[position] for _, columns in fake_entries]
+                    for position in range(chained_columns)
+                ],
+                counted=False,
+            )
             new_tags[FAKE_CHAIN_LABEL] = tuple(
-                new_nd.encrypt(chain.digest()) for chain in chains
+                new_nd.encrypt(digest) for digest in chains
             )
 
         # Metadata vectors and tags move to the new epoch key too.

@@ -1,0 +1,210 @@
+"""Per-epoch trapdoor memo table — an EPC-charged, rotation-fenced LRU.
+
+STEP 3 of Algorithm 2 derives one DET trapdoor ``E_k(idx‖cid‖j)`` per
+``(cell-id, counter)`` slot of every bin a query touches.  Trapdoors
+are *deterministic per epoch*: the same slot yields the same ciphertext
+until the epoch key changes.  Queries revisit bins constantly (the
+whole point of bin-packing is that many cells share a bin), so without
+memoization the enclave re-derives identical trapdoors on every query
+— PR 4 deduplicated *fetches*; this table deduplicates the *crypto*.
+
+Leakage: a hit/miss on this table is keyed by ``(epoch, table, kind,
+id, counter)`` — exactly the slots the storage access log already
+reveals when the trapdoors are sent out as index-lookup keys.  The
+granularity equals the PR-4 BinCache's whole-bin granularity (every
+slot of a bin is derived or memoized together), so the table leaks
+nothing beyond what Theorem 4.1 already concedes: *which bins* a query
+touched.  The §4.3 oblivious path never consults it — Concealer+'s
+trace-identity guarantee forbids memory touches that depend on whether
+a slot was seen before.
+
+Staleness follows the BinCache discipline with one addition: entries
+are stamped with both the storage engine's ``rewrite_generation`` *and*
+the enclave's ``key_generation`` at fill time.  Key rotation bumps the
+key generation (and flushes the table outright); §6 dynamic rewrites
+bump the engine generation.  A lookup observing either fence moved —
+or a rewrite in flight — discards the entry instead of serving a
+trapdoor derived under dead key material.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro import telemetry
+from repro.exceptions import EnclaveMemoryError
+
+# EPC estimate per resident entry: a 48-byte trapdoor (32-byte padded
+# index plaintext + 16-byte DET tag) plus key/stamp overhead.
+ENTRY_ESTIMATE_BYTES = 96
+
+
+def _hits():
+    return telemetry.counter(
+        "concealer_trapdoor_table_hits_total",
+        "trapdoor-table hits (slot trapdoors served without re-derivation)",
+        secrecy=telemetry.PUBLIC_SIZE,
+    )
+
+
+def _misses():
+    return telemetry.counter(
+        "concealer_trapdoor_table_misses_total",
+        "trapdoor-table misses (slot trapdoors derived by the DET kernel)",
+        secrecy=telemetry.PUBLIC_SIZE,
+    )
+
+
+def _evictions():
+    return telemetry.counter(
+        "concealer_trapdoor_table_evictions_total",
+        "trapdoor-table evictions, by reason",
+        secrecy=telemetry.PUBLIC_SIZE,
+        labels=("reason",),
+    )
+
+
+def _occupancy():
+    return telemetry.gauge(
+        "concealer_trapdoor_table_entries",
+        "trapdoors currently memoized in the enclave",
+        secrecy=telemetry.PUBLIC_SIZE,
+    )
+
+
+@dataclass(frozen=True)
+class _Entry:
+    trapdoor: bytes
+    engine_generation: int
+    key_generation: int
+
+
+class TrapdoorTable:
+    """LRU memo of ``(epoch, table, kind, id, counter) → trapdoor``.
+
+    Thread-safe (parallel batch-prefetch workers derive trapdoors for
+    different bins concurrently).  Residency is EPC-charged; an entry
+    that cannot reserve budget is simply not memoized — memoization is
+    an optimisation, never a correctness requirement.
+    """
+
+    def __init__(
+        self,
+        enclave,
+        engine,
+        capacity: int,
+        entry_bytes: int = ENTRY_ESTIMATE_BYTES,
+    ):
+        if capacity < 0:
+            raise ValueError("capacity must be >= 0")
+        self.enclave = enclave
+        self.engine = engine
+        self.capacity = capacity
+        self.entry_bytes = entry_bytes
+        self._entries: OrderedDict[tuple, _Entry] = OrderedDict()
+        self._lock = threading.RLock()
+
+    # --------------------------------------------------------------- fences
+
+    def _engine_generation(self) -> int:
+        return getattr(self.engine, "rewrite_generation", 0)
+
+    def _key_generation(self) -> int:
+        return getattr(self.enclave, "key_generation", 0)
+
+    def _stale(self, entry: _Entry) -> bool:
+        if getattr(self.engine, "rewrite_in_progress", False):
+            return True
+        if entry.engine_generation != self._engine_generation():
+            return True
+        return entry.key_generation != self._key_generation()
+
+    # --------------------------------------------------------------- lookups
+
+    def lookup(self, key: tuple) -> bytes | None:
+        """The memoized trapdoor, or ``None`` on miss/stale entry."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None and self._stale(entry):
+                self._evict(key, "generation")
+                entry = None
+            if entry is None:
+                _misses().inc()
+                return None
+            self._entries.move_to_end(key)
+            _hits().inc()
+            return entry.trapdoor
+
+    def insert(self, key: tuple, trapdoor: bytes) -> bool:
+        """Memoize a freshly derived trapdoor; returns residency.
+
+        Skipped while a rewrite is in flight (the derivation may span
+        the fence) and when the EPC cannot cover the entry.
+        """
+        if self.capacity <= 0:
+            return False
+        if getattr(self.engine, "rewrite_in_progress", False):
+            return False
+        with self._lock:
+            if key in self._entries:
+                self._evict(key, "replaced")
+            try:
+                self.enclave.charge_memory(self.entry_bytes)
+            except EnclaveMemoryError:
+                _evictions().labels(reason="epc-full").inc()
+                return False
+            while len(self._entries) >= self.capacity:
+                self._evict(next(iter(self._entries)), "capacity")
+            self._entries[key] = _Entry(
+                trapdoor=trapdoor,
+                engine_generation=self._engine_generation(),
+                key_generation=self._key_generation(),
+            )
+            _occupancy().set(len(self._entries))
+            return True
+
+    # ------------------------------------------------------------ invalidation
+
+    def invalidate_all(self, reason: str = "clear", release: bool = True) -> int:
+        """Drop every entry; returns how many were resident."""
+        with self._lock:
+            dropped = len(self._entries)
+            for key in list(self._entries):
+                self._evict(key, reason, release=release)
+            return dropped
+
+    def rebind_enclave(self, enclave) -> None:
+        """Point at a replacement enclave after a crash (EPC already
+        wiped by hardware, so charges are not returned)."""
+        self.invalidate_all(reason="enclave-replaced", release=False)
+        self.enclave = enclave
+
+    def rebind_engine(self, engine) -> None:
+        """Point at a replacement engine (checkpoint restore)."""
+        self.invalidate_all(reason="engine-replaced", release=True)
+        self.engine = engine
+
+    def _evict(self, key: tuple, reason: str, release: bool = True) -> None:
+        entry = self._entries.pop(key, None)
+        if entry is None:
+            return
+        if release:
+            self.enclave.release_memory(self.entry_bytes)
+        _evictions().labels(reason=reason).inc()
+        _occupancy().set(len(self._entries))
+
+    # ------------------------------------------------------------- inspection
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: tuple) -> bool:
+        return key in self._entries
+
+    @property
+    def resident_bytes(self) -> int:
+        """EPC bytes currently charged to memoized trapdoors."""
+        with self._lock:
+            return len(self._entries) * self.entry_bytes

@@ -1,0 +1,167 @@
+"""Equivalence properties for the fast ingest paths.
+
+Three paths produce epoch packages — the original scalar ciphers
+(``use_kernels=False``), the serial batch-kernel path, and the
+cell-id-partitioned process pool (``workers=N``).  Given the same
+records and the same-seed RNG, all three must serialize to the **same
+bytes**: the fast paths are performance rewrites of Algorithm 1, not
+semantic forks, and the Line-24 permutation plus every nonce draw stays
+single-threaded in the parent for exactly this reason.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import WIFI_SCHEMA, GridSpec
+from repro.core.encryptor import EpochEncryptor, FakeStrategy
+from repro.exceptions import EpochError
+
+MASTER_KEY = bytes(range(32))
+EPOCH_DURATION = 3600
+SPEC = GridSpec(
+    dimension_sizes=(8, 24), cell_id_count=64, epoch_duration=EPOCH_DURATION
+)
+
+
+def _records(count: int, seed: int = 7) -> list[tuple]:
+    rng = random.Random(seed)
+    locations = [f"ap{i}" for i in range(10)]
+    return [
+        (
+            locations[rng.randrange(10)],
+            rng.randrange(0, EPOCH_DURATION, 60),
+            f"dev{i % 40}",
+        )
+        for i in range(count)
+    ]
+
+
+def _package_bytes(
+    records,
+    *,
+    workers: int = 1,
+    use_kernels: bool = True,
+    fake_strategy: FakeStrategy = FakeStrategy.SIMULATED,
+    seed: int = 1,
+) -> bytes:
+    encryptor = EpochEncryptor(
+        WIFI_SCHEMA,
+        SPEC,
+        MASTER_KEY,
+        fake_strategy=fake_strategy,
+        time_granularity=60,
+        rng=random.Random(seed),
+        workers=workers,
+        use_kernels=use_kernels,
+    )
+    return encryptor.encrypt_epoch(records, epoch_id=0).serialize()
+
+
+class TestKernelEqualsScalar:
+    """The batch-kernel path is byte-identical to the scalar ciphers."""
+
+    @pytest.mark.parametrize("count", [0, 1, 37, 300])
+    def test_serialized_packages_match(self, count):
+        records = _records(count)
+        assert _package_bytes(records, use_kernels=True) == _package_bytes(
+            records, use_kernels=False
+        )
+
+    @pytest.mark.parametrize("strategy", list(FakeStrategy))
+    def test_matches_across_fake_strategies(self, strategy):
+        records = _records(120)
+        assert _package_bytes(
+            records, use_kernels=True, fake_strategy=strategy
+        ) == _package_bytes(records, use_kernels=False, fake_strategy=strategy)
+
+
+class TestParallelEqualsSerial:
+    """``workers=N`` packages are bit-for-bit ``workers=1`` packages."""
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_serialized_packages_match(self, workers):
+        # Enough rows that the pool actually engages (the encryptor
+        # degrades to serial below min_rows_per_worker * workers rows).
+        records = _records(EpochEncryptor.min_rows_per_worker * workers + 50)
+        assert _package_bytes(records, workers=workers) == _package_bytes(
+            records, workers=1
+        )
+
+    def test_small_epochs_degrade_to_serial(self):
+        records = _records(EpochEncryptor.min_rows_per_worker - 1)
+        assert _package_bytes(records, workers=4) == _package_bytes(
+            records, workers=1
+        )
+
+    def test_report_records_effective_workers(self):
+        records = _records(EpochEncryptor.min_rows_per_worker * 4 + 50)
+        encryptor = EpochEncryptor(
+            WIFI_SCHEMA,
+            SPEC,
+            MASTER_KEY,
+            time_granularity=60,
+            rng=random.Random(1),
+            workers=4,
+        )
+        encryptor.encrypt_epoch(records, epoch_id=0)
+        assert encryptor.last_report.workers > 1
+
+    def test_workers_override_per_call(self):
+        records = _records(EpochEncryptor.min_rows_per_worker * 2 + 50)
+        one = EpochEncryptor(
+            WIFI_SCHEMA, SPEC, MASTER_KEY, time_granularity=60,
+            rng=random.Random(1), workers=4,
+        )
+        two = EpochEncryptor(
+            WIFI_SCHEMA, SPEC, MASTER_KEY, time_granularity=60,
+            rng=random.Random(1),
+        )
+        assert (
+            one.encrypt_epoch(records, epoch_id=0, workers=1).serialize()
+            == two.encrypt_epoch(records, epoch_id=0, workers=2).serialize()
+        )
+
+    def test_zero_workers_rejected(self):
+        encryptor = EpochEncryptor(WIFI_SCHEMA, SPEC, MASTER_KEY)
+        with pytest.raises(EpochError):
+            encryptor.encrypt_epoch([], epoch_id=0, workers=0)
+
+
+class TestParallelPackagesServe:
+    """A pool-built package survives ingest + verified querying."""
+
+    def test_ingest_and_query(self):
+        from tests.conftest import make_stack
+        from repro.core.queries import PointQuery
+
+        records = [
+            (f"ap{d % 8}", t, f"dev{d}")
+            for t in range(0, EPOCH_DURATION, 60)
+            for d in range(8)
+        ]
+        _, serial_service = make_stack(SPEC, records, verify=True)
+        provider_records = records  # identical inputs, parallel provider
+        from tests.conftest import MASTER_KEY as CONF_KEY
+        from repro import DataProvider, ServiceConfig, ServiceProvider
+
+        provider = DataProvider(
+            WIFI_SCHEMA,
+            SPEC,
+            first_epoch_id=0,
+            master_key=CONF_KEY,
+            time_granularity=60,
+            rng=random.Random(1),
+            ingest_workers=4,
+        )
+        service = ServiceProvider(WIFI_SCHEMA, ServiceConfig(verify=True))
+        provider.provision_enclave(service.enclave)
+        service.ingest_epoch(provider.encrypt_epoch(provider_records, epoch_id=0))
+
+        query = PointQuery(index_values=("ap3",), timestamp=120)
+        assert (
+            service.execute_point(query)[0]
+            == serial_service.execute_point(query)[0]
+        )
