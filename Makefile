@@ -1,7 +1,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test chaos replication-chaos demo bench bench-json bench-smoke metrics-smoke lint profile
+.PHONY: test chaos replication-chaos shard-chaos serve demo bench bench-json bench-smoke metrics-smoke lint profile
 
 # Where `make bench-json` writes its machine-readable metrics.
 BENCH_OUT ?= BENCH_local.json
@@ -22,6 +22,18 @@ chaos:
 # replays with `python -m repro --chaos-seed N --replicas 3`.
 replication-chaos:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest tests/replication/test_replication_chaos.py -q
+
+# The sharded multi-enclave corpus: ≥200 seeded runs over 2/3/4-shard
+# fleets with shard kills, slow shards, router crashes, and mid-stream
+# two-phase rotation/ingest.  Any failure replays with
+# `python -m repro --chaos-seed N --shards 2`.
+shard-chaos:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest tests/faults/test_chaos_sharded.py -q
+
+# The sharded fleet behind the JSON-lines TCP door (SIGTERM drains,
+# checkpoints, and exits 0).
+serve:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro --serve --shards 2
 
 demo:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro

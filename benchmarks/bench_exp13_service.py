@@ -1,0 +1,181 @@
+"""Exp 13 (beyond the paper) — the sharded service under concurrency.
+
+The paper evaluates one enclave answering one query at a time.  A
+deployed Concealer front door multiplexes many analysts over a fleet of
+enclaves, so this experiment measures what the sharded asyncio router
+buys (and costs):
+
+- **latency vs concurrency** — p50/p99 per-request latency as 1/4/8
+  concurrent clients drive a mixed point/range workload through fleets
+  of 1, 2, and 4 shards.  Scatter-gather adds per-shard dispatch
+  overhead to every range query; per-shard thread pools claw it back as
+  concurrency rises because sub-queries overlap across shards.
+- **dispatch accounting** — sub-dispatches per range query equal the
+  participant count (a pure function of the topology and the routed
+  cells, so it is tracked by the CI regression gate via bench_json).
+- **degraded mode** — the same workload with one shard down: partial
+  answers must not cost more than full ones (the isolated shard is
+  skipped at planning time, not timed out).
+
+Latencies here are wall-clock and therefore informational; the
+JSON artifact feeds EXPERIMENTS.md, not the regression gate.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import statistics
+import time
+
+import pytest
+
+from repro import telemetry
+from repro.core.queries import PointQuery, RangeQuery
+
+from harness import paper_row, save_result
+
+CLIENT_COUNTS = (1, 4, 8)
+SHARD_COUNTS = (1, 2, 4)
+REQUESTS_PER_CLIENT = 12
+
+
+def _percentiles(samples: list[float]) -> tuple[float, float]:
+    ordered = sorted(samples)
+    p50 = statistics.median(ordered)
+    p99 = ordered[min(len(ordered) - 1, int(round(0.99 * (len(ordered) - 1))))]
+    return p50, p99
+
+
+def _client_mix(records, client_id: int):
+    """A deterministic per-client mix: 2 ranges per 10 points."""
+    queries = []
+    for index in range(REQUESTS_PER_CLIENT):
+        record = records[(client_id * 37 + index * 11) % len(records)]
+        if index % 6 == 5:
+            queries.append(
+                RangeQuery(
+                    index_values=(tuple(sorted({r[0] for r in records})),),
+                    time_start=0,
+                    time_end=1799,
+                )
+            )
+        else:
+            queries.append(
+                PointQuery(index_values=(record[0],), timestamp=record[1])
+            )
+    return queries
+
+
+async def _drive(router, records, clients: int) -> list[float]:
+    """``clients`` concurrent loops; returns every per-request latency."""
+    latencies: list[float] = []
+
+    async def client(client_id: int):
+        for query in _client_mix(records, client_id):
+            start = time.perf_counter()
+            if isinstance(query, PointQuery):
+                await router.execute_point(query)
+            else:
+                await router.execute_range(query)
+            latencies.append(time.perf_counter() - start)
+
+    await asyncio.gather(*(client(i) for i in range(clients)))
+    return latencies
+
+
+@pytest.fixture(scope="module", params=SHARD_COUNTS)
+def fleet(request, tmp_path_factory):
+    from repro.sharding.server import build_demo_fleet
+
+    shards = request.param
+    workdir = tmp_path_factory.mktemp(f"exp13-{shards}")
+    sharded, router, records = build_demo_fleet(shards, workdir)
+    yield shards, sharded, router, records
+    router.close()
+
+
+def test_exp13_latency_vs_concurrency(fleet):
+    shards, _, router, records = fleet
+    rows = {}
+    for clients in CLIENT_COUNTS:
+        latencies = asyncio.run(_drive(router, records, clients))
+        p50, p99 = _percentiles(latencies)
+        throughput = len(latencies) / sum(latencies)
+        rows[f"clients_{clients}"] = {
+            "requests": len(latencies),
+            "p50_s": round(p50, 6),
+            "p99_s": round(p99, 6),
+            "throughput_qps": round(throughput, 2),
+        }
+        print(paper_row(
+            "exp13", f"shards-{shards}-clients-{clients}",
+            p50_s=round(p50, 5), p99_s=round(p99, 5),
+            qps=round(throughput, 1),
+        ))
+    save_result("exp13_service", {f"shards_{shards}": rows})
+
+
+def test_exp13_dispatch_accounting(fleet):
+    """Sub-dispatches per range query == healthy participant count."""
+    shards, sharded, router, records = fleet
+    registry = telemetry.get_registry()
+    wildcard = (tuple(sorted({r[0] for r in records})),)
+    query = RangeQuery(index_values=wildcard, time_start=0, time_end=3599)
+    _, _, participants = sharded.plan_range(query)
+
+    before = sum(
+        value
+        for key, value in registry.label_values(
+            "concealer_shard_dispatch_total"
+        ).items()
+        if key[1] == "range"
+    )
+    asyncio.run(router.execute_range(query))
+    after = sum(
+        value
+        for key, value in registry.label_values(
+            "concealer_shard_dispatch_total"
+        ).items()
+        if key[1] == "range"
+    )
+    assert after - before == len(participants)
+    save_result("exp13_service", {
+        f"shards_{shards}_dispatch": {
+            "participants": len(participants),
+            "dispatches_per_range": after - before,
+        }
+    })
+
+
+def test_exp13_degraded_mode_is_not_slower(fleet):
+    """One shard down: partials are planned around, never timed out."""
+    shards, sharded, router, records = fleet
+    if shards == 1:
+        pytest.skip("degraded mode needs a fleet")
+    wildcard = (tuple(sorted({r[0] for r in records})),)
+    query = RangeQuery(index_values=wildcard, time_start=0, time_end=3599)
+
+    start = time.perf_counter()
+    asyncio.run(router.execute_range(query))
+    healthy_s = time.perf_counter() - start
+
+    sharded.shards[shards - 1].service.enclave.crash()
+    start = time.perf_counter()
+    answer, stats = asyncio.run(router.execute_range(query))
+    degraded_s = time.perf_counter() - start
+    assert stats.missing_shards == (shards - 1,)
+    # Generous bound: skipping a dead shard must not add a timeout-like
+    # delay (the deadline budget is 30s; 5× a healthy query is noise).
+    assert degraded_s < max(1.0, healthy_s * 5)
+
+    sharded.heal()
+    print(paper_row(
+        "exp13", f"shards-{shards}-degraded",
+        healthy_s=round(healthy_s, 5), degraded_s=round(degraded_s, 5),
+    ))
+    save_result("exp13_service", {
+        f"shards_{shards}_degraded": {
+            "healthy_s": round(healthy_s, 6),
+            "degraded_s": round(degraded_s, 6),
+        }
+    })

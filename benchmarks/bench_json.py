@@ -46,6 +46,7 @@ TRACKED = {
     "batch_dedup_factor": "higher",
     "fake_tuple_ratio": "lower",
     "warm_cache_rows_per_query": "lower",
+    "sharded_range_participants": "lower",
 }
 
 # Per-scale workload sizing.  "ci" must finish in well under a minute
@@ -124,6 +125,55 @@ def _ingest_metrics(scale: dict, metrics: dict[str, float]) -> None:
     metrics["ingest_rows_per_min_scalar"] = round(scalar, 1)
     metrics["ingest_rows_per_min_kernel"] = round(kernel, 1)
     metrics["ingest_kernel_speedup"] = round(kernel / scalar, 4)
+
+
+def _service_metrics(metrics: dict[str, float]) -> None:
+    """The sharded front door (Exp 13 at CI scale).
+
+    ``sharded_range_participants`` — how many shards a fleet-wide range
+    query scatters to — is a pure function of the grid, the topology,
+    and the routed cells, so it is tracked: drift means the planner
+    started touching more (or fewer) enclaves per query.  The router
+    latencies are wall-clock and informational.
+    """
+    import asyncio
+    import tempfile
+
+    from repro.core.queries import PointQuery, RangeQuery
+    from repro.sharding.server import build_demo_fleet
+
+    with tempfile.TemporaryDirectory(prefix="bench-sharded-") as workdir:
+        sharded, router, records = build_demo_fleet(2, workdir)
+        try:
+            wildcard = (tuple(sorted({r[0] for r in records})),)
+            ranged = RangeQuery(
+                index_values=wildcard, time_start=0, time_end=3599
+            )
+            _, _, participants = sharded.plan_range(ranged)
+            metrics["sharded_range_participants"] = len(participants)
+
+            async def drive():
+                point_latencies = []
+                for index in range(8):
+                    record = records[(index * 17) % len(records)]
+                    start = time.perf_counter()
+                    await router.execute_point(
+                        PointQuery(
+                            index_values=(record[0],), timestamp=record[1]
+                        )
+                    )
+                    point_latencies.append(time.perf_counter() - start)
+                start = time.perf_counter()
+                await router.execute_range(ranged)
+                return point_latencies, time.perf_counter() - start
+
+            point_latencies, range_seconds = asyncio.run(drive())
+            p50, p95 = _percentiles(point_latencies)
+            metrics["service_point_p50_s"] = round(p50, 6)
+            metrics["service_point_p95_s"] = round(p95, 6)
+            metrics["service_range_s"] = round(range_seconds, 6)
+        finally:
+            router.close()
 
 
 def _percentiles(samples: list[float]) -> tuple[float, float]:
@@ -228,6 +278,9 @@ def run_bench(scale_name: str = "ci") -> dict:
 
         # Algorithm 1 ingest throughput (informational: wall-clock).
         _ingest_metrics(scale, metrics)
+
+        # The sharded front door (tracked participants + latencies).
+        _service_metrics(metrics)
 
     audit_run(workload)
     return {

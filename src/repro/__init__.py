@@ -78,11 +78,19 @@ from repro.faults import (
     VirtualClock,
 )
 from repro.faults.recovery import RecoveryCoordinator
+from repro.sharding import (
+    AsyncShardRouter,
+    PartialResult,
+    ShardTopology,
+    ShardedConfig,
+    ShardedService,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
     "Aggregate",
+    "AsyncShardRouter",
     "Bin",
     "BinLayout",
     "Client",
@@ -99,6 +107,7 @@ __all__ = [
     "GridSpec",
     "IntegrityViolation",
     "MultiIndexDeployment",
+    "PartialResult",
     "PermanentError",
     "PointQuery",
     "Predicate",
@@ -111,6 +120,9 @@ __all__ = [
     "RetryPolicy",
     "ServiceConfig",
     "ServiceProvider",
+    "ShardTopology",
+    "ShardedConfig",
+    "ShardedService",
     "TransientError",
     "TPCH_2D_SCHEMA",
     "TPCH_4D_SCHEMA",

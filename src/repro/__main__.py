@@ -7,7 +7,13 @@ observed.  Exits non-zero if any answer disagrees with ground truth.
 ``python -m repro --chaos-seed N [--ops K]`` instead replays one
 deterministic chaos schedule (see :mod:`repro.faults.chaos`): any chaos
 failure seen in CI reproduces locally from its seed alone.  Exits
-non-zero iff an operation returned a silently-wrong answer.
+non-zero iff an operation returned a silently-wrong answer.  Add
+``--replicas N`` for the Byzantine-replicated stack or ``--shards N``
+for the sharded fleet (shard kills, stalls, router crashes).
+
+``python -m repro --serve [--shards N] [--port P]`` serves the demo
+dataset through the sharded asyncio front door as a JSON-lines TCP
+service; SIGTERM/SIGINT drain, checkpoint, and exit 0.
 
 Observability flags (both modes):
 
@@ -51,18 +57,37 @@ def _print_traces(tracer) -> None:
     print(telemetry.format_traces(tracer))
 
 
+def run_serve_cli(shards: int, port: int, drain_seconds: float) -> int:
+    """``--serve``: the sharded fleet behind the JSON-lines TCP door."""
+    import asyncio
+    import tempfile
+
+    from repro.sharding.server import serve
+
+    with tempfile.TemporaryDirectory(prefix="concealer-serve-") as workdir:
+        return asyncio.run(
+            serve(shards, port, workdir, drain_seconds=drain_seconds)
+        )
+
+
 def run_chaos_cli(
     seed: int,
     ops: int,
     metrics: str | None,
     trace_dump: bool,
     replicas: int = 1,
+    shards: int = 1,
 ) -> int:
     """Replay one seeded fault schedule; non-zero on silent wrongness."""
     from repro.faults.chaos import run_chaos
 
-    report = run_chaos(seed, ops=ops, replicas=replicas)
-    label = f" ({replicas} replicas, Byzantine faults)" if replicas > 1 else ""
+    report = run_chaos(seed, ops=ops, replicas=replicas, shards=shards)
+    if shards > 1:
+        label = f" ({shards} shards, shard/router faults)"
+    elif replicas > 1:
+        label = f" ({replicas} replicas, Byzantine faults)"
+    else:
+        label = ""
     print(f"chaos replay{label} — {report.summary()}")
     for outcome in report.outcomes:
         status = "ok" if outcome.ok else (outcome.error or "WRONG")
@@ -183,6 +208,25 @@ def main() -> int:
         "replica faults armed (default 1 = the classic single engine)",
     )
     parser.add_argument(
+        "--shards", type=int, default=1, metavar="N",
+        help="chaos/serve: partition the fleet across N enclave+storage "
+        "shards (chaos arms shard kill/stall and router crash faults)",
+    )
+    parser.add_argument(
+        "--serve", action="store_true",
+        help="serve the demo dataset over a JSON-lines TCP socket; "
+        "SIGTERM/SIGINT drain in-flight queries, checkpoint every "
+        "shard, and exit 0",
+    )
+    parser.add_argument(
+        "--port", type=int, default=7433,
+        help="--serve: TCP port to bind on 127.0.0.1 (default 7433)",
+    )
+    parser.add_argument(
+        "--drain-seconds", type=float, default=10.0,
+        help="--serve: graceful-shutdown drain deadline (default 10s)",
+    )
+    parser.add_argument(
         "--metrics", choices=("json", "prom"), default=None,
         help="print the metrics registry after the run, in this format",
     )
@@ -191,6 +235,10 @@ def main() -> int:
         help="print the recent-trace ring buffer after the run",
     )
     arguments = parser.parse_args()
+    if arguments.serve:
+        return run_serve_cli(
+            max(1, arguments.shards), arguments.port, arguments.drain_seconds
+        )
     if arguments.chaos_seed is not None:
         return run_chaos_cli(
             arguments.chaos_seed,
@@ -198,6 +246,7 @@ def main() -> int:
             arguments.metrics,
             arguments.trace_dump,
             replicas=arguments.replicas,
+            shards=arguments.shards,
         )
     return run_demo(arguments.metrics, arguments.trace_dump)
 

@@ -144,6 +144,75 @@ class DataProvider:
         self._shipped_epochs.add(epoch_id)
         return package
 
+    def partition_records(
+        self, records: Sequence[tuple], epoch_id: int, topology
+    ) -> list[list[tuple]]:
+        """Split one epoch's records by owning shard (provider-side).
+
+        Placement uses the *same* keyed grid construction Algorithm 1
+        uses, then the public cell-id → shard map — so the shard a
+        record lands on is exactly the shard whose bins a query for it
+        will touch.  Record order within each partition is preserved
+        (counter assignment, and therefore the verifiable tag chains,
+        stay deterministic per shard).
+        """
+        from repro.core.grid import Grid, derive_grid_key
+
+        grid = Grid(
+            self.grid_spec,
+            self.schema,
+            self.master_key,
+            epoch_id,
+            grid_key=derive_grid_key(self.master_key, epoch_id),
+        )
+        partitions: list[list[tuple]] = [
+            [] for _ in range(topology.shard_count)
+        ]
+        for record in records:
+            partitions[topology.shard_of(grid.place(record))].append(record)
+        return partitions
+
+    def encrypt_epoch_sharded(
+        self, records: Sequence[tuple], epoch_id: int, topology
+    ) -> list[EpochPackage]:
+        """Phase 1 for a sharded fleet: one full package per shard.
+
+        Every shard's package is a complete Algorithm-1 run over its
+        partition — its own fakes, bins, metadata vectors, and tag
+        chains — so each shard verifies independently and non-owned
+        cell-ids still materialise as fake-only bins (queries hashing
+        there retrieve only fakes, exactly like empty cells today).
+        The epoch is marked shipped once, for the whole fleet.
+        """
+        if epoch_id < self.first_epoch_id:
+            raise EpochError(
+                f"epoch {epoch_id} precedes first epoch {self.first_epoch_id}"
+            )
+        if (epoch_id - self.first_epoch_id) % self.grid_spec.epoch_duration:
+            raise EpochError(
+                f"epoch id {epoch_id} is not aligned to the epoch duration "
+                f"{self.grid_spec.epoch_duration}"
+            )
+        if epoch_id in self._shipped_epochs:
+            raise EpochError(f"epoch {epoch_id} was already encrypted and shipped")
+        partitions = self.partition_records(records, epoch_id, topology)
+        packages = [
+            self.encryptor.encrypt_epoch(partition, epoch_id)
+            for partition in partitions
+        ]
+        self._shipped_epochs.add(epoch_id)
+        return packages
+
+    def unship_epoch(self, epoch_id: int) -> None:
+        """Forget a shipped epoch so it can be re-encrypted and re-sent.
+
+        The two-phase sharded ingest calls this when a shard crashed
+        mid-landing and the already-landed shards were evicted — the
+        epoch never became queryable anywhere, so the provider may ship
+        it again on retry.
+        """
+        self._shipped_epochs.discard(epoch_id)
+
     def epoch_id_for_time(self, timestamp: int) -> int:
         """Which epoch a reading belongs to."""
         duration = self.grid_spec.epoch_duration

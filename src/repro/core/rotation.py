@@ -137,16 +137,53 @@ class RotationJournal:
         return restored
 
 
-def rotate_service_keys(
-    service: ServiceProvider, new_master: bytes, token: bytes
-) -> int:
-    """Re-encrypt every ingested epoch under keys from ``new_master``.
+class PreparedRotation:
+    """Phase-1 output: every row rewritten, nothing irreversible yet.
 
-    Returns the number of rows re-encrypted.  Raises
-    :class:`AuthorizationError` on a bad token and
-    :class:`CryptoError` if any stored real row fails to decrypt (the
-    storage was tampered with — rotation aborts before swapping keys,
-    leaving the old key valid).
+    Between :func:`prepare_rotation` and :func:`commit_rotation` the
+    stored rows are under the *new* epoch keys but the enclave still
+    seals the *old* master and the journal still holds every intent —
+    so :func:`abort_rotation` can restore the pre-rotation bytes
+    host-side even if the enclave has since died.  The engine's rewrite
+    fence (``begin_rewrite``) is held across the whole window; both
+    ``commit`` and ``abort`` release it.
+    """
+
+    def __init__(
+        self,
+        service: ServiceProvider,
+        journal: RotationJournal,
+        old_master: bytes,
+        new_master: bytes,
+        rotated_rows: int,
+        fenced: bool,
+    ):
+        self.service = service
+        self.journal = journal
+        self.old_master = old_master
+        self.new_master = new_master
+        self.rotated_rows = rotated_rows
+        self._fenced = fenced
+        self._settled = False
+
+    def _settle(self) -> None:
+        if self._settled:
+            raise CryptoError("rotation already committed or aborted")
+        self._settled = True
+        if self._fenced:
+            self.service.engine.end_rewrite()
+
+
+def prepare_rotation(
+    service: ServiceProvider, new_master: bytes, token: bytes
+) -> PreparedRotation:
+    """Phase 1: verify the token and rewrite every epoch under the journal.
+
+    On any failure (including an injected enclave kill) the journal
+    rolls the touched epochs back, the rewrite fence lifts, and the
+    exception propagates — the old key stays fully valid.  On success
+    the returned :class:`PreparedRotation` *must* be settled with
+    :func:`commit_rotation` or :func:`abort_rotation`.
     """
     enclave = service.enclave
     enclave.require_provisioned()
@@ -165,25 +202,36 @@ def rotate_service_keys(
     if fenced:
         service.engine.begin_rewrite()
     with telemetry.span(
-        "rotation.rotate", epochs=len(service.ingested_epochs())
+        "rotation.prepare", epochs=len(service.ingested_epochs())
     ) as rotate_span:
         try:
             rotated_rows = _rotate_all_epochs(
                 service, old_master, new_master, journal
             )
-            journal.commit()
         except BaseException:
             journal.rollback(service)
-            raise
-        finally:
             if fenced:
                 service.engine.end_rewrite()
+            raise
         rotate_span.set(rows=rotated_rows)
-        telemetry.counter(
-            "concealer_rotation_rows_total",
-            "rows re-encrypted by committed key rotations",
-            secrecy=telemetry.PUBLIC_SIZE,
-        ).inc(rotated_rows)
+    return PreparedRotation(
+        service, journal, old_master, new_master, rotated_rows, fenced
+    )
+
+
+def commit_rotation(prepared: PreparedRotation) -> int:
+    """Phase 2: point of no return — journal commits, sealed key swaps."""
+    service = prepared.service
+    enclave = service.enclave
+    # The sealed key swap is an ecall; a dead enclave cannot commit.
+    enclave.require_provisioned()
+    prepared.journal.commit()
+    prepared._settle()
+    telemetry.counter(
+        "concealer_rotation_rows_total",
+        "rows re-encrypted by committed key rotations",
+        secrecy=telemetry.PUBLIC_SIZE,
+    ).inc(prepared.rotated_rows)
 
     # Swap the sealed key material; cached contexts hold old ciphers.
     # swap_master_key bumps the enclave key generation, so any cache
@@ -191,9 +239,9 @@ def rotate_service_keys(
     # unservable even where the explicit flush below is missed.
     old_schedule = enclave.key_schedule
     enclave.swap_master_key(
-        new_master,
+        prepared.new_master,
         EpochKeySchedule(
-            master_key=new_master,
+            master_key=prepared.new_master,
             first_epoch_id=old_schedule.first_epoch_id,
             epoch_duration=old_schedule.epoch_duration,
         ),
@@ -202,7 +250,37 @@ def rotate_service_keys(
     table = getattr(service, "trapdoor_table", None)
     if table is not None:
         table.invalidate_all("rotation")
-    return rotated_rows
+    return prepared.rotated_rows
+
+
+def abort_rotation(prepared: PreparedRotation) -> int:
+    """Undo a prepared rotation: restore pre-rotation bytes host-side.
+
+    Works with a dead enclave (rollback rewrites the host's own stored
+    ciphertexts); the old master stays the live key.  Returns the
+    number of epochs restored.
+    """
+    restored = prepared.journal.rollback(prepared.service)
+    prepared._settle()
+    return restored
+
+
+def rotate_service_keys(
+    service: ServiceProvider, new_master: bytes, token: bytes
+) -> int:
+    """Re-encrypt every ingested epoch under keys from ``new_master``.
+
+    The single-service entry point: prepare + commit in one call.
+    Returns the number of rows re-encrypted.  Raises
+    :class:`AuthorizationError` on a bad token and
+    :class:`CryptoError` if any stored real row fails to decrypt (the
+    storage was tampered with — rotation aborts before swapping keys,
+    leaving the old key valid).  The sharded tier drives the two
+    phases separately (:mod:`repro.sharding.coordinator`) so every
+    shard prepares before any shard commits.
+    """
+    prepared = prepare_rotation(service, new_master, token)
+    return commit_rotation(prepared)
 
 
 def _rotate_all_epochs(

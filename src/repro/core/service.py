@@ -337,6 +337,28 @@ class ServiceProvider:
         """Epoch ids landed so far, sorted."""
         return sorted(self._packages)
 
+    def evict_epoch(self, epoch_id: int) -> bool:
+        """Drop one landed epoch entirely (table, package, context).
+
+        The sharded two-phase ingest uses this to roll back shards that
+        already landed an epoch when a later shard failed — a fleet
+        must never serve an epoch only some shards hold, or range
+        queries would silently under-count.  Returns whether anything
+        was evicted.  Cached bins for the epoch are flushed via the
+        engine rebind (the cache is fenced on table identity, not
+        epoch, so a partial flush is not expressible).
+        """
+        evicted = epoch_id in self._packages
+        table = self._table_name(epoch_id)
+        if table in self.engine.table_names():
+            self.engine.drop_table(table)
+            evicted = True
+        self._packages.pop(epoch_id, None)
+        self._contexts.pop(epoch_id, None)
+        if evicted and self.bin_cache is not None:
+            self.bin_cache.rebind_engine(self.engine)
+        return evicted
+
     # ------------------------------------------------------------ epoch state
 
     def context_for(self, epoch_id: int) -> EpochContext:

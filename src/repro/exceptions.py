@@ -140,6 +140,45 @@ class EnclaveCrashed(EnclaveError, TransientError):
     """
 
 
+class ShardError(ConcealerError):
+    """The sharded service layer could not satisfy an operation."""
+
+
+class ShardUnavailable(ShardError, TransientError):
+    """The shard owning the touched cell-ids is isolated right now.
+
+    Raised for point queries (and non-mergeable range aggregates) whose
+    single owning shard is crashed, breaker-open, or past its deadline
+    budget.  Transient: the router re-admits the shard after
+    re-attestation + checkpoint restore, after which a re-issued
+    request succeeds.  Carries ``shard_ids`` so callers (and the chaos
+    oracle) know exactly which partitions were missing.
+    """
+
+    def __init__(self, message: str, shard_ids: tuple[int, ...] = ()):
+        super().__init__(message)
+        self.shard_ids = tuple(shard_ids)
+
+
+class NoHealthyShard(ShardError, TransientError):
+    """Every shard of the topology is isolated; nothing can be planned."""
+
+
+class RouterFenced(ShardError, TransientError):
+    """A cross-shard two-phase operation (epoch ingest, key rotation)
+    holds the router fence; queries are rejected rather than risk a
+    mixed-epoch or mixed-key answer.  Safe to retry once the fence
+    lifts — no query work happened.
+    """
+
+
+class ShardMisrouted(ShardError):
+    """A shard received a single-shard query for cell-ids it does not
+    own — a router bug (or a tampered router); the shard fails loudly
+    instead of answering from a partition that cannot hold the rows.
+    """
+
+
 class AuthenticationError(ConcealerError):
     """A user could not be authenticated against the registry."""
 

@@ -479,6 +479,7 @@ def run_chaos(
     specs: list[FaultSpec] | None = None,
     workdir: str | Path | None = None,
     replicas: int = 1,
+    shards: int = 1,
 ) -> ChaosReport:
     """Run one seeded chaos schedule end to end and return its report.
 
@@ -486,7 +487,23 @@ def run_chaos(
     engines behind verify-then-failover reads, replica fault sites
     armed (:func:`byzantine_specs`), a mid-run key rotation, and
     periodic anti-entropy repair.
+
+    ``shards > 1`` switches to the sharded fleet instead (see
+    :mod:`repro.faults.chaos_sharded`): shard kills, stalls, router
+    crashes, two-phase ingest/rotation, and partial-result checking
+    against a per-shard oracle.  Mutually exclusive with replicas.
     """
+    if shards > 1:
+        if replicas > 1:
+            raise ValueError(
+                "sharded chaos and replicated chaos are separate stacks; "
+                "pick one of shards>1 / replicas>1"
+            )
+        from repro.faults.chaos_sharded import ShardedChaosRun
+
+        return ShardedChaosRun(
+            seed, specs=specs, workdir=workdir, shards=shards
+        ).run(ops=ops)
     return ChaosRun(seed, specs=specs, workdir=workdir, replicas=replicas).run(
         ops=ops
     )

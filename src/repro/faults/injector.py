@@ -39,6 +39,10 @@ Known fault sites (the strings components consult):
 ``replica.replay.stale``        replica serves a remembered stale batch
 ``replica.bin.drop``            replica drops rows from a fetched bin
 ``replica.slow``                replica stalls past its attempt budget
+``shard.kill``                  kill one shard's enclave at a dispatch or
+                                mid-cross-shard-ingest boundary
+``shard.slow``                  a shard stalls past its dispatch budget
+``router.crash``                the sharded query router process dies
 ==============================  =============================================
 
 The ``replica.*`` sites model a *Byzantine* storage replica (see
@@ -71,6 +75,9 @@ FAULT_SITES = (
     "replica.replay.stale",
     "replica.bin.drop",
     "replica.slow",
+    "shard.kill",
+    "shard.slow",
+    "router.crash",
 )
 
 

@@ -1,0 +1,162 @@
+"""Two-phase epoch ingest and key rotation across the shard fleet.
+
+Both operations share a shape: they mutate every shard, and a fleet
+where only *some* shards applied the mutation serves wrong answers —
+a half-ingested epoch under-counts, a half-rotated fleet cannot answer
+at all under either key.  The coordinator therefore fences queries at
+the router, applies a prepare/commit (or land/evict) protocol, and
+guarantees that any crash leaves every shard on the *same* side:
+
+**Ingest** — the provider partitions the epoch by the public topology
+and encrypts one full package per shard; shards land them in shard
+order.  A failure mid-fleet evicts the epoch from every shard that
+already landed it and un-ships it at the provider, so a retry starts
+from scratch — no shard ever serves an epoch its peers lack.
+
+**Rotation** — phase 1 ``prepare_rotation`` on every shard (rows
+rewritten under the journal, old key still sealed, rewrite fence
+held); only when *all* shards prepared does phase 2 ``commit_rotation``
+run.  A phase-1 crash aborts every prepared shard (journal rollback is
+host-side, so a dead enclave cannot block it) — the old key stays
+live fleet-wide.  A phase-2 crash reverse-rotates the shards that
+already committed back to the old master (the coordinator knows both
+keys, so it can mint the reverse token) and aborts the rest — again
+converging on the old key.  Either way queries resume on a fleet that
+is all-old or all-new, never mixed.
+"""
+
+from __future__ import annotations
+
+from repro import telemetry
+from repro.core.rotation import (
+    PreparedRotation,
+    abort_rotation,
+    commit_rotation,
+    prepare_rotation,
+    rotate_service_keys,
+    rotation_token,
+)
+from repro.exceptions import ConcealerError
+from repro.sharding.service import Shard, ShardedService
+
+
+def _count_phase(operation: str, phase: str) -> None:
+    telemetry.counter(
+        "concealer_sharded_twophase_total",
+        "cross-shard two-phase transitions, by operation and phase",
+        secrecy=telemetry.PUBLIC_SIZE,
+        labels=("operation", "phase"),
+    ).labels(operation=operation, phase=phase).inc()
+
+
+def ingest_epoch_sharded(
+    sharded: ShardedService, records, epoch_id: int
+) -> dict[int, int]:
+    """Land one epoch on every shard, all-or-nothing across the fleet.
+
+    Returns ``{shard_id: stored_row_count}`` on success.  On failure
+    the epoch is evicted from every shard that landed it, un-shipped at
+    the provider, and the original error propagates — the fleet looks
+    exactly as it did before the call (modulo fresh fake randomness on
+    retry).
+    """
+    sharded.fence("ingest")
+    _count_phase("ingest", "prepare")
+    landed: list[Shard] = []
+    try:
+        packages = sharded.provider.encrypt_epoch_sharded(
+            records, epoch_id, sharded.topology
+        )
+        try:
+            for shard, package in zip(sharded.shards, packages):
+                # A shard may be killed between its peers landing the
+                # epoch and its own landing — the window the eviction
+                # rollback below exists for.
+                if not shard.service.enclave.crashed:
+                    shard.service.enclave.kill_point("shard.kill")
+                shard.service.ingest_epoch(package)
+                landed.append(shard)
+        except BaseException:
+            # Roll back the shards that already landed the epoch; the
+            # eviction is host-side (drop table + forget package), so a
+            # crashed enclave on the failing shard cannot block it.
+            for shard in landed:
+                shard.service.evict_epoch(epoch_id)
+            sharded.provider.unship_epoch(epoch_id)
+            _count_phase("ingest", "rollback")
+            raise
+    finally:
+        sharded.unfence()
+    _count_phase("ingest", "commit")
+    return {
+        shard.shard_id: shard.service.engine.row_count(
+            shard.service._table_name(epoch_id)
+        )
+        for shard in sharded.shards
+    }
+
+
+def rotate_sharded_keys(
+    sharded: ShardedService, new_master: bytes, token: bytes
+) -> int:
+    """Rotate the fleet's master key with a cross-shard two-phase commit.
+
+    ``token`` authorizes rotation from the *current* master (same
+    construction as the single-service protocol; every shard verifies
+    it independently against its own sealed key).  Returns the total
+    number of rows re-encrypted.  On success the provider adopts the
+    new master.  On any failure the fleet converges back to the old
+    master — see the module docstring for both crash windows.
+    """
+    sharded.fence("rotation")
+    prepared: dict[int, PreparedRotation] = {}
+    old_master = None
+    try:
+        _count_phase("rotation", "prepare")
+        try:
+            for shard in sharded.shards:
+                plan = prepare_rotation(shard.service, new_master, token)
+                if old_master is None:
+                    old_master = plan.old_master
+                prepared[shard.shard_id] = plan
+        except BaseException:
+            # Phase-1 failure: nothing committed anywhere.  Abort every
+            # prepared shard (host-side rollback) — the failing shard
+            # already rolled itself back inside prepare_rotation.
+            for plan in prepared.values():
+                abort_rotation(plan)
+            _count_phase("rotation", "rollback")
+            raise
+
+        _count_phase("rotation", "commit")
+        committed: list[int] = []
+        rotated_rows = 0
+        try:
+            for shard in sharded.shards:
+                rotated_rows += commit_rotation(prepared[shard.shard_id])
+                committed.append(shard.shard_id)
+        except BaseException:
+            # Phase-2 failure: some shards sealed the new key.  Reverse
+            # them to the old master (the coordinator holds both keys),
+            # abort the never-committed remainder, and surface the
+            # original error.  Shards whose enclaves died mid-commit
+            # are left un-swapped with their journal intact; abort
+            # restores their bytes host-side and recovery re-provisions
+            # the old master (the provider never adopted the new one).
+            reverse = rotation_token(new_master, old_master)
+            for shard_id in committed:
+                rotate_service_keys(
+                    sharded.shards[shard_id].service, old_master, reverse
+                )
+            for shard_id, plan in prepared.items():
+                if shard_id not in committed:
+                    try:
+                        abort_rotation(plan)
+                    except ConcealerError:
+                        pass  # already settled by its own failure path
+            _count_phase("rotation", "rollback")
+            raise
+    finally:
+        sharded.unfence()
+    sharded.provider.adopt_master(new_master)
+    return rotated_rows

@@ -1,0 +1,356 @@
+"""The asyncio front door: fault-isolated scatter-gather over shards.
+
+The router owns one small thread pool *per shard*, so a shard that
+stalls (slow storage, injected ``shard.slow``, a wedged enclave call)
+blocks only its own threads — sub-queries to every other shard keep
+flowing.  On top of that isolation it adds:
+
+- **asyncio admission**: at most ``max_inflight`` requests execute at
+  once and at most ``admission_queue`` more may wait; everything beyond
+  is shed with a typed :class:`~repro.exceptions.ServiceOverloaded`
+  before any shard work starts (counts are public-size — functions of
+  arrival, never of plaintext).
+- **hedged dispatch**: when a sub-query has not returned within
+  ``hedge_delay`` seconds, a duplicate attempt is launched on the same
+  shard's second thread; the first success wins.  Because a shard's
+  execution is serialized by its lock, the hedge acts as an immediate
+  retry when the primary dies to a transient — it cannot double-apply
+  work.  Both failing raises the *primary's* error (the hedge's is
+  recorded as telemetry only).
+- **graceful drain**: :meth:`AsyncShardRouter.drain` stops admitting,
+  waits for in-flight requests under a deadline, and reports whether
+  the fleet went idle; :meth:`AsyncShardRouter.shutdown` drains, then
+  checkpoints every shard and tears the pools down — the SIGTERM path
+  of ``python -m repro --serve``.
+
+Per-shard deadline budgets and breaker bookkeeping live in
+:meth:`ShardedService._dispatch` (shared with the sync path), so a
+hedged attempt is governed by exactly the same budget as a primary.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+from concurrent.futures import ThreadPoolExecutor
+
+from repro import telemetry
+from repro.core.queries import PointQuery, QueryStats, RangeQuery
+from repro.exceptions import (
+    ConcealerError,
+    RouterFenced,
+    ServiceOverloaded,
+    ShardUnavailable,
+)
+from repro.sharding.results import ShardedQueryStats, merged_stats
+from repro.sharding.service import Shard, ShardedService, _count_isolated
+
+
+def _count_shed(kind: str) -> None:
+    telemetry.counter(
+        "concealer_router_shed_total",
+        "requests shed by the async router's admission gate, by kind",
+        secrecy=telemetry.PUBLIC_SIZE,
+        labels=("kind",),
+    ).labels(kind=kind).inc()
+
+
+def _count_hedge(shard_id: int, outcome: str) -> None:
+    telemetry.counter(
+        "concealer_hedged_dispatch_total",
+        "hedged (duplicate) sub-query attempts, by shard and outcome",
+        secrecy=telemetry.PUBLIC_SIZE,
+        labels=("shard", "outcome"),
+    ).labels(shard=shard_id, outcome=outcome).inc()
+
+
+class AsyncShardRouter:
+    """Async scatter-gather over a :class:`ShardedService`.
+
+    The router never touches bins or keys itself: planning and
+    execution run on shard threads through the sync core, so the
+    verification, leakage, and partial-result semantics are byte-for-
+    byte those of :class:`ShardedService` — this class only decides
+    *where and when* the work runs.
+    """
+
+    def __init__(
+        self,
+        sharded: ShardedService,
+        hedge_delay: float | None = None,
+        max_inflight: int | None = None,
+        admission_queue: int | None = None,
+    ):
+        self.sharded = sharded
+        self.hedge_delay = hedge_delay
+        self.max_inflight = (
+            max_inflight
+            if max_inflight is not None
+            else sharded.config.max_inflight
+        )
+        self.admission_queue = (
+            admission_queue
+            if admission_queue is not None
+            else sharded.config.admission_queue
+        )
+        # Two workers per shard: one for the primary attempt, one so a
+        # hedge (or a plan probe) is never stuck behind it in the pool.
+        self._executors = {
+            shard.shard_id: ThreadPoolExecutor(
+                max_workers=2, thread_name_prefix=f"shard-{shard.shard_id}"
+            )
+            for shard in sharded.shards
+        }
+        self._inflight = 0
+        self._queued = 0
+        self._slots: asyncio.Semaphore | None = None
+        self._idle: asyncio.Event | None = None
+        self._draining = False
+        self._closed = False
+
+    # -------------------------------------------------------------- admission
+
+    def _lazy_async_state(self) -> None:
+        # Created on first use so the router can be constructed outside
+        # a running event loop (e.g. by the server before asyncio.run).
+        if self._slots is None:
+            self._slots = asyncio.Semaphore(self.max_inflight)
+            self._idle = asyncio.Event()
+            self._idle.set()
+
+    async def _admit(self, kind: str):
+        self._lazy_async_state()
+        if self._draining or self._closed:
+            _count_shed(kind)
+            raise RouterFenced(
+                "router is draining; new queries are rejected — retry "
+                "against the restarted service"
+            )
+        if self._slots.locked() and self._queued >= self.admission_queue:
+            _count_shed(kind)
+            raise ServiceOverloaded(
+                f"router admission queue full ({self._inflight} inflight, "
+                f"{self._queued} queued); {kind!r} request shed"
+            )
+        self._queued += 1
+        try:
+            await self._slots.acquire()
+        finally:
+            self._queued -= 1
+        self._inflight += 1
+        self._idle.clear()
+
+    def _release(self) -> None:
+        self._inflight -= 1
+        self._slots.release()
+        if self._inflight == 0:
+            self._idle.set()
+
+    # --------------------------------------------------------------- dispatch
+
+    async def _run_on(self, shard: Shard, fn):
+        """Run a callable on the shard's own thread pool."""
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(self._executors[shard.shard_id], fn)
+
+    async def _dispatch(self, shard: Shard, kind: str, thunk):
+        """One sub-query with optional hedging; same budget semantics
+        as the sync path (``ShardedService._dispatch`` does the breaker
+        and deadline work on the shard thread)."""
+        primary = asyncio.ensure_future(
+            self._run_on(
+                shard,
+                functools.partial(self.sharded._dispatch, shard, kind, thunk),
+            )
+        )
+        if self.hedge_delay is None:
+            return await primary
+        done, _ = await asyncio.wait({primary}, timeout=self.hedge_delay)
+        if primary in done:
+            return primary.result()
+        _count_hedge(shard.shard_id, "launched")
+        hedge = asyncio.ensure_future(
+            self._run_on(
+                shard,
+                functools.partial(
+                    self.sharded._dispatch, shard, f"{kind}-hedge", thunk
+                ),
+            )
+        )
+        pending = {primary, hedge}
+        failures: list[tuple[bool, BaseException]] = []
+        while pending:
+            done, pending = await asyncio.wait(
+                pending, return_when=asyncio.FIRST_COMPLETED
+            )
+            for future in done:
+                error = future.exception()
+                if error is None:
+                    _count_hedge(
+                        shard.shard_id,
+                        "hedge-won" if future is hedge else "primary-won",
+                    )
+                    # The loser finishes on the shard thread; retrieve
+                    # its eventual exception so it never surfaces as an
+                    # un-consumed future warning.
+                    for late in pending:
+                        late.add_done_callback(lambda f: f.exception())
+                    return future.result()
+                failures.append((future is primary, error))
+        _count_hedge(shard.shard_id, "both-failed")
+        failures.sort(key=lambda pair: not pair[0])  # primary's error first
+        raise failures[0][1]
+
+    # ---------------------------------------------------------------- queries
+
+    async def execute_point(
+        self, query: PointQuery, epoch_id: int | None = None
+    ) -> tuple[object, ShardedQueryStats]:
+        """Admission-gated async point query (single owning shard)."""
+        await self._admit("point")
+        try:
+            self.sharded._check_fence()
+            eid, cell_id, owner_id = await self._plan(
+                lambda: self.sharded.plan_point(query, epoch_id)
+            )
+            owner = self.sharded.shards[owner_id]
+            if not owner.healthy():
+                _count_isolated(owner.shard_id, owner.isolation_reason())
+                raise ShardUnavailable(
+                    f"shard {owner.shard_id} owning cell-id {cell_id} is "
+                    f"isolated ({owner.isolation_reason()})",
+                    shard_ids=(owner.shard_id,),
+                )
+            owner.assert_owns((cell_id,))
+            answer, stats = await self._dispatch(
+                owner,
+                "point",
+                lambda: owner.service.execute_point(query, epoch_id=eid),
+            )
+            return answer, ShardedQueryStats(
+                merged=merged_stats({owner.shard_id: stats}),
+                per_shard={owner.shard_id: stats},
+            )
+        finally:
+            self._release()
+
+    async def execute_range(
+        self,
+        query: RangeQuery,
+        method: str = "ebpb",
+        epoch_id: int | None = None,
+    ) -> tuple[object, ShardedQueryStats]:
+        """Admission-gated async scatter-gather range query.
+
+        Healthy participants run *concurrently*, each on its own shard
+        thread under its own deadline budget; isolated or failing
+        shards degrade to the same :class:`PartialResult` semantics as
+        the sync path (:meth:`ShardedService.finish_range` is shared).
+        """
+        await self._admit("range")
+        try:
+            self.sharded._check_fence()
+            eid, method, participants = await self._plan(
+                lambda: self.sharded.plan_range(query, method, epoch_id)
+            )
+
+            answers: dict[int, object] = {}
+            per_shard: dict[int, QueryStats] = {}
+            errors: dict[int, str] = {}
+            gathers = []
+            for shard_id in participants:
+                shard = self.sharded.shards[shard_id]
+                if not shard.healthy():
+                    _count_isolated(shard_id, shard.isolation_reason())
+                    errors[shard_id] = "ShardUnavailable"
+                    continue
+                gathers.append(
+                    (
+                        shard_id,
+                        self._dispatch(
+                            shard,
+                            "range",
+                            functools.partial(
+                                shard.service.execute_range,
+                                query,
+                                method=method,
+                                epoch_id=eid,
+                            ),
+                        ),
+                    )
+                )
+            outcomes = await asyncio.gather(
+                *(coro for _, coro in gathers), return_exceptions=True
+            )
+            for (shard_id, _), outcome in zip(gathers, outcomes):
+                if isinstance(outcome, ConcealerError):
+                    errors[shard_id] = type(outcome).__name__
+                elif isinstance(outcome, BaseException):
+                    raise outcome
+                else:
+                    answers[shard_id], per_shard[shard_id] = outcome
+            return self.sharded.finish_range(
+                query, participants, answers, per_shard, errors
+            )
+        finally:
+            self._release()
+
+    async def heal(self) -> dict[int, dict]:
+        """Run the sync re-admission protocol off the event loop."""
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(None, self.sharded.heal)
+
+    async def _plan(self, fn):
+        """Planning runs off the event loop (it decrypts metadata in an
+        enclave); any pool works since the plan shard's lock is taken
+        inside the sync core."""
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(None, fn)
+
+    # ---------------------------------------------------------------- drain
+
+    @property
+    def inflight(self) -> int:
+        return self._inflight
+
+    async def drain(self, deadline_seconds: float = 10.0) -> bool:
+        """Stop admitting and wait for in-flight work; True if idle.
+
+        Queries arriving after drain starts are shed with a typed
+        :class:`RouterFenced`.  Returns ``False`` when the deadline
+        expired with requests still running (the caller may still
+        checkpoint — shard state is only mutated under shard locks, so
+        a checkpoint taken afterwards is consistent per shard).
+        """
+        self._lazy_async_state()
+        self._draining = True
+        if self._inflight == 0:
+            return True
+        try:
+            await asyncio.wait_for(self._idle.wait(), timeout=deadline_seconds)
+            return True
+        except asyncio.TimeoutError:
+            return False
+
+    async def shutdown(self, drain_seconds: float = 10.0) -> bool:
+        """Drain, checkpoint every shard, and tear down the pools.
+
+        Idempotent; returns the drain verdict.  After shutdown the
+        router rejects all queries.
+        """
+        if self._closed:
+            return True
+        drained = await self.drain(drain_seconds)
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(None, self.sharded.checkpoint_all)
+        self._closed = True
+        for executor in self._executors.values():
+            executor.shutdown(wait=True, cancel_futures=True)
+        return drained
+
+    def close(self) -> None:
+        """Synchronous teardown (no drain) for non-async callers."""
+        self._closed = True
+        self._draining = True
+        for executor in self._executors.values():
+            executor.shutdown(wait=False, cancel_futures=True)

@@ -1,0 +1,245 @@
+"""``python -m repro --serve`` — the sharded fleet behind a TCP door.
+
+A deliberately tiny JSON-lines protocol (one request object per line,
+one response object per line) so load generators, the service bench,
+and ``nc`` can all drive the fleet without a client library:
+
+Requests::
+
+    {"op": "point", "index_values": ["ap1"], "timestamp": 120}
+    {"op": "range", "index_values": [["ap0", "ap1"]],
+     "time_start": 0, "time_end": 1800,
+     "aggregate": "count", "method": "ebpb"}
+    {"op": "health"}
+    {"op": "heal"}
+
+Responses carry ``ok``; query responses add ``answer``, ``partial``,
+``verified_shards`` / ``missing_shards`` (the QueryStats shard
+accounting), and failures carry the *typed* error name — a
+``ShardUnavailable`` on the wire is distinguishable from a verification
+failure, exactly like in process.
+
+Lifecycle: SIGTERM / SIGINT stop the accept loop, **drain** in-flight
+queries under a deadline, checkpoint every shard, and exit 0 — the
+graceful-shutdown contract the systemd/K8s style supervisors assume.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import signal
+
+from repro.core.queries import Aggregate, PointQuery, RangeQuery
+from repro.exceptions import ConcealerError
+from repro.sharding.results import PartialResult
+from repro.sharding.router import AsyncShardRouter
+
+
+def _parse_index_values(raw) -> tuple:
+    """JSON slots → query slots (lists become wildcard tuples)."""
+    return tuple(
+        tuple(slot) if isinstance(slot, list) else slot for slot in raw
+    )
+
+
+def _query_response(answer, stats) -> dict:
+    response = {
+        "ok": True,
+        "partial": isinstance(answer, PartialResult),
+        "verified_shards": list(stats.verified_shards),
+        "missing_shards": list(stats.missing_shards),
+        "verified": stats.merged.verified,
+    }
+    if isinstance(answer, PartialResult):
+        response["answer"] = answer.answer
+        response["served_shards"] = list(answer.served_shards)
+        response["errors"] = dict(answer.errors)
+    else:
+        response["answer"] = answer
+    return response
+
+
+class ShardServer:
+    """Asyncio JSON-lines front end over an :class:`AsyncShardRouter`."""
+
+    def __init__(
+        self,
+        router: AsyncShardRouter,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        drain_seconds: float = 10.0,
+    ):
+        self.router = router
+        self.host = host
+        self.port = port
+        self.drain_seconds = drain_seconds
+        self._server: asyncio.AbstractServer | None = None
+        self._stop = asyncio.Event()
+
+    # --------------------------------------------------------------- lifecycle
+
+    async def start(self) -> int:
+        """Bind and start accepting; returns the bound port."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self.port
+
+    def request_stop(self) -> None:
+        """Signal-handler entry point: begin graceful shutdown."""
+        self._stop.set()
+
+    def install_signal_handlers(self) -> None:
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(signum, self.request_stop)
+
+    async def serve_until_stopped(self) -> bool:
+        """Accept until a stop is requested, then drain and checkpoint.
+
+        Returns the drain verdict (True = all in-flight work finished
+        before the deadline).  Callers exit 0 either way — shutdown
+        completed and state was checkpointed; the verdict is logged so
+        an operator can tell a clean drain from a deadline expiry.
+        """
+        await self._stop.wait()
+        # Stop accepting before draining: a connection racing shutdown
+        # gets a RouterFenced response, never a hung socket.
+        self._server.close()
+        await self._server.wait_closed()
+        return await self.router.shutdown(self.drain_seconds)
+
+    # ------------------------------------------------------------- connections
+
+    async def _handle_connection(self, reader, writer) -> None:
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                response = await self._handle_request(line)
+                writer.write(json.dumps(response).encode() + b"\n")
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    async def _handle_request(self, line: bytes) -> dict:
+        try:
+            request = json.loads(line)
+            operation = request.get("op")
+            if operation == "point":
+                query = PointQuery(
+                    index_values=_parse_index_values(request["index_values"]),
+                    timestamp=int(request["timestamp"]),
+                    aggregate=Aggregate(request.get("aggregate", "count")),
+                    target=request.get("target"),
+                    k=int(request.get("k", 1)),
+                )
+                answer, stats = await self.router.execute_point(query)
+                return _query_response(answer, stats)
+            if operation == "range":
+                query = RangeQuery(
+                    index_values=_parse_index_values(request["index_values"]),
+                    time_start=int(request["time_start"]),
+                    time_end=int(request["time_end"]),
+                    aggregate=Aggregate(request.get("aggregate", "count")),
+                    target=request.get("target"),
+                    k=int(request.get("k", 1)),
+                )
+                answer, stats = await self.router.execute_range(
+                    query, method=request.get("method", "ebpb")
+                )
+                return _query_response(answer, stats)
+            if operation == "health":
+                sharded = self.router.sharded
+                return {
+                    "ok": True,
+                    "shards": {
+                        shard.shard_id: (
+                            "healthy"
+                            if shard.healthy()
+                            else shard.isolation_reason()
+                        )
+                        for shard in sharded.shards
+                    },
+                    "inflight": self.router.inflight,
+                    "epochs": sharded.ingested_epochs(),
+                }
+            if operation == "heal":
+                return {"ok": True, "actions": await self.router.heal()}
+            return {"ok": False, "error": "BadRequest",
+                    "message": f"unknown op {operation!r}"}
+        except ConcealerError as error:
+            return {
+                "ok": False,
+                "error": type(error).__name__,
+                "message": str(error),
+            }
+        except (KeyError, ValueError, TypeError, json.JSONDecodeError) as error:
+            return {
+                "ok": False,
+                "error": "BadRequest",
+                "message": f"{type(error).__name__}: {error}",
+            }
+
+
+def build_demo_fleet(shards: int, workdir, seed: int = 99, hedge_delay=None):
+    """A provisioned, ingested fleet + router for --serve and the bench.
+
+    One WiFi epoch (same generator as the demo) lands on ``shards``
+    shards via the two-phase coordinator; the caller owns teardown.
+    """
+    import random
+
+    from repro import WIFI_SCHEMA, DataProvider, GridSpec
+    from repro.sharding.coordinator import ingest_epoch_sharded
+    from repro.sharding.service import ShardedConfig, ShardedService
+    from repro.workloads import WifiConfig, generate_wifi_epoch
+
+    config = WifiConfig(access_points=16, devices=80, seed=seed)
+    records = generate_wifi_epoch(config, epoch_start=0, epoch_duration=3600)
+    spec = GridSpec(
+        dimension_sizes=(16, 30), cell_id_count=128, epoch_duration=3600
+    )
+    provider = DataProvider(
+        WIFI_SCHEMA, spec, first_epoch_id=0,
+        time_granularity=60, rng=random.Random(seed),
+    )
+    sharded = ShardedService.build(
+        provider,
+        ShardedConfig(shards=shards),
+        workdir,
+        retry_rng_seed=f"serve-{seed}",
+    )
+    ingest_epoch_sharded(sharded, records, epoch_id=0)
+    router = AsyncShardRouter(sharded, hedge_delay=hedge_delay)
+    return sharded, router, records
+
+
+async def serve(shards: int, port: int, workdir, drain_seconds: float = 10.0) -> int:
+    """The ``--serve`` entry point; returns a process exit code."""
+    sharded, router, records = build_demo_fleet(shards, workdir)
+    server = ShardServer(router, port=port, drain_seconds=drain_seconds)
+    bound = await server.start()
+    server.install_signal_handlers()
+    print(
+        f"serving {len(records)} records across {shards} shard(s) "
+        f"on 127.0.0.1:{bound} — JSON lines; SIGTERM drains and "
+        "checkpoints",
+        flush=True,
+    )
+    drained = await server.serve_until_stopped()
+    print(
+        "shutdown: "
+        + ("drained cleanly" if drained else "drain deadline expired")
+        + ", all shards checkpointed",
+        flush=True,
+    )
+    return 0

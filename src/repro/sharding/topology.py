@@ -1,0 +1,60 @@
+"""Cell-id → shard placement: deterministic, unkeyed, public-size.
+
+The sharded tier partitions *by cell-id*, the same unit the bin store
+already exposes to the host: which cell-ids a query touches is exactly
+the L_q access-pattern leakage of the paper, so routing on a public
+hash of the cell-id tells the adversary nothing it does not already
+see.  Deliberately **unkeyed** (plain SHA-256 over the cell-id, no
+secret material): a keyed map would suggest the placement hides
+something, and a hidden placement could not be computed by the
+untrusted router anyway.
+
+Determinism matters twice over: the data provider partitions records
+with the same map the router plans queries with (no resharding
+metadata to ship), and chaos replays depend on the map never moving
+between runs or hosts (``PYTHONHASHSEED`` does not affect it).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ShardTopology:
+    """The static cell-id → shard map for one deployment.
+
+    >>> topo = ShardTopology(4)
+    >>> topo.shard_of(7) == topo.shard_of(7)
+    True
+    >>> sorted(topo.shards_for([0, 1, 2, 3]).keys()) == sorted(
+    ...     {topo.shard_of(c) for c in range(4)})
+    True
+    """
+
+    shard_count: int
+
+    def __post_init__(self):
+        if self.shard_count < 1:
+            raise ValueError("shard_count must be >= 1")
+
+    def shard_of(self, cell_id: int) -> int:
+        """The shard owning one cell-id (uniform by SHA-256 avalanche)."""
+        digest = hashlib.sha256(b"concealer-shard|%d" % cell_id).digest()
+        return int.from_bytes(digest[:8], "big") % self.shard_count
+
+    def shards_for(self, cell_ids) -> dict[int, list[int]]:
+        """Group cell-ids by owning shard, both axes sorted.
+
+        The sorted return order is what makes scatter-gather merges
+        deterministic: participants are visited in ascending shard id
+        regardless of the set/iteration order the planner produced.
+        """
+        owners: dict[int, list[int]] = {}
+        for cell_id in sorted(set(cell_ids)):
+            owners.setdefault(self.shard_of(cell_id), []).append(cell_id)
+        return dict(sorted(owners.items()))
+
+    def all_shards(self) -> tuple[int, ...]:
+        return tuple(range(self.shard_count))

@@ -33,9 +33,20 @@ from __future__ import annotations
 
 import json
 import re
+import threading
 from dataclasses import dataclass, field
 
 from repro.exceptions import TelemetryError
+
+# One lock guards every mutation across every registry.  The sharded
+# async router runs shard work on per-shard threads that all write into
+# the same ambient registry, and ``+=`` on an attribute is a
+# read-modify-write the GIL may interleave — without the lock,
+# concurrent increments lose counts.  A single module-level lock (rather
+# than per-child locks) keeps the child objects ``__slots__``-small and
+# is never held across user code, only across a couple of attribute
+# operations, so contention stays negligible next to query work.
+_MUTATION_LOCK = threading.Lock()
 
 PUBLIC_SIZE = "public-size"
 DATA_DEPENDENT = "data-dependent"
@@ -62,7 +73,8 @@ class Counter:
         """Add ``amount`` (must be non-negative) to the counter."""
         if amount < 0:
             raise TelemetryError("counters only go up; use a gauge")
-        self.value += amount
+        with _MUTATION_LOCK:
+            self.value += amount
 
 
 class Gauge:
@@ -74,18 +86,22 @@ class Gauge:
         self.value = 0
 
     def set(self, value: int | float) -> None:
-        self.value = value
+        with _MUTATION_LOCK:
+            self.value = value
 
     def inc(self, amount: int | float = 1) -> None:
-        self.value += amount
+        with _MUTATION_LOCK:
+            self.value += amount
 
     def dec(self, amount: int | float = 1) -> None:
-        self.value -= amount
+        with _MUTATION_LOCK:
+            self.value -= amount
 
     def set_max(self, value: int | float) -> None:
         """Keep the high-water mark: ``value = max(value, current)``."""
-        if value > self.value:
-            self.value = value
+        with _MUTATION_LOCK:
+            if value > self.value:
+                self.value = value
 
 
 class Histogram:
@@ -106,13 +122,14 @@ class Histogram:
 
     def observe(self, value: int | float) -> None:
         """Record one observation."""
-        self.sum += value
-        self.count += 1
-        for position, bound in enumerate(self.boundaries):
-            if value <= bound:
-                self.bucket_counts[position] += 1
-                return
-        self.bucket_counts[-1] += 1
+        with _MUTATION_LOCK:
+            self.sum += value
+            self.count += 1
+            for position, bound in enumerate(self.boundaries):
+                if value <= bound:
+                    self.bucket_counts[position] += 1
+                    return
+            self.bucket_counts[-1] += 1
 
     def cumulative_counts(self) -> list[int]:
         """Prometheus ``le`` buckets: cumulative counts, +Inf last."""
@@ -152,13 +169,19 @@ class MetricFamily:
         key = tuple(str(labels[name]) for name in self.label_names)
         child = self.children.get(key)
         if child is None:
-            if len(self.children) >= self.max_label_values:
-                key = (OVERFLOW_LABEL,) * len(self.label_names)
+            # Two threads racing the first touch of a label combination
+            # must agree on one child object, or increments land on an
+            # orphan and the family under-counts.
+            with _MUTATION_LOCK:
                 child = self.children.get(key)
-                if child is not None:
-                    return child
-            child = self._new_child()
-            self.children[key] = child
+                if child is None:
+                    if len(self.children) >= self.max_label_values:
+                        key = (OVERFLOW_LABEL,) * len(self.label_names)
+                        child = self.children.get(key)
+                        if child is not None:
+                            return child
+                    child = self._new_child()
+                    self.children[key] = child
         return child
 
     def default(self):
@@ -169,8 +192,11 @@ class MetricFamily:
             )
         child = self.children.get(())
         if child is None:
-            child = self._new_child()
-            self.children[()] = child
+            with _MUTATION_LOCK:
+                child = self.children.get(())
+                if child is None:
+                    child = self._new_child()
+                    self.children[()] = child
         return child
 
     def _new_child(self):
@@ -246,22 +272,32 @@ class MetricsRegistry:
 
     def _family(self, name, kind, help, secrecy, labels, boundaries):
         family = self._families.get(name)
-        if family is not None:
-            if family.kind != kind:
-                raise TelemetryError(
-                    f"metric {name!r} already registered as {family.kind}"
-                )
-            if family.label_names != tuple(labels):
-                raise TelemetryError(
-                    f"metric {name!r} already registered with labels "
-                    f"{family.label_names}, not {tuple(labels)}"
-                )
-            if family.secrecy != secrecy:
-                raise TelemetryError(
-                    f"metric {name!r} already registered with secrecy "
-                    f"{family.secrecy!r}, not {secrecy!r}"
-                )
-            return family
+        if family is None:
+            # First registration may race across threads; serialize it so
+            # both sites end up holding the same family object.
+            with _MUTATION_LOCK:
+                family = self._families.get(name)
+                if family is None:
+                    return self._register(
+                        name, kind, help, secrecy, labels, boundaries
+                    )
+        if family.kind != kind:
+            raise TelemetryError(
+                f"metric {name!r} already registered as {family.kind}"
+            )
+        if family.label_names != tuple(labels):
+            raise TelemetryError(
+                f"metric {name!r} already registered with labels "
+                f"{family.label_names}, not {tuple(labels)}"
+            )
+        if family.secrecy != secrecy:
+            raise TelemetryError(
+                f"metric {name!r} already registered with secrecy "
+                f"{family.secrecy!r}, not {secrecy!r}"
+            )
+        return family
+
+    def _register(self, name, kind, help, secrecy, labels, boundaries):
         if not _NAME_RE.match(name):
             raise TelemetryError(f"invalid metric name {name!r}")
         for label in labels:

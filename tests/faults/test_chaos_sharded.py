@@ -1,0 +1,150 @@
+"""The sharded chaos corpus: ≥200 multi-enclave runs, zero silent lies.
+
+Each run drives the whole sharded stack — two-phase ingest, scatter-
+gather point/range queries, checkpoint cycles, a mid-stream two-phase
+key rotation, router crashes and restarts — over 2/3/4 shards whose
+enclaves are killed mid-query, mid-ingest, and mid-rotation under a
+seeded schedule, with slow-shard deadline expiries layered on top.
+
+The invariant is the same as every other corpus: an operation either
+returns the oracle's answer (a :class:`PartialResult` must match the
+oracle restricted to *exactly* its claimed served shards — an honest
+partial, never a quiet undercount sold as complete) or fails with a
+typed error.  Any failure replays exactly with
+``python -m repro --chaos-seed <seed> --shards <n>``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults.chaos import run_chaos
+from repro.faults.injector import FaultSpec
+
+pytestmark = pytest.mark.chaos
+
+
+def assert_never_silently_wrong(report, shards=2):
+    assert not report.silent_wrong, (
+        f"SILENT WRONG answers under seed {report.seed} — replay with "
+        f"`python -m repro --chaos-seed {report.seed} --shards {shards}`: "
+        + "; ".join(
+            f"{o.op}: answer={o.answer!r} expected={o.expected!r}"
+            for o in report.silent_wrong
+        )
+    )
+
+
+def hostile_shard_specs():
+    """Shard and router faults at elevated, mostly unbounded rates."""
+    return [
+        FaultSpec("shard.kill", probability=0.15, max_fires=None),
+        FaultSpec("shard.slow", probability=0.10, max_fires=4),
+        FaultSpec("router.crash", probability=0.10, max_fires=2),
+        FaultSpec("enclave.kill.rotation", probability=0.05, max_fires=1),
+    ]
+
+
+class TestNoSilentWrongAnswers:
+    """≥220 seeded sharded runs across three fleet sizes and two mixes."""
+
+    @pytest.mark.parametrize("seed", range(4000, 4080))
+    def test_two_shard_default_mix(self, seed):
+        assert_never_silently_wrong(run_chaos(seed, ops=14, shards=2))
+
+    @pytest.mark.parametrize("seed", range(4100, 4180))
+    def test_three_shard_default_mix(self, seed):
+        assert_never_silently_wrong(
+            run_chaos(seed, ops=14, shards=3), shards=3
+        )
+
+    @pytest.mark.parametrize("seed", range(4200, 4240))
+    def test_four_shard_default_mix(self, seed):
+        assert_never_silently_wrong(
+            run_chaos(seed, ops=12, shards=4), shards=4
+        )
+
+    @pytest.mark.parametrize("seed", range(4300, 4330))
+    def test_hostile_shard_mix(self, seed):
+        assert_never_silently_wrong(
+            run_chaos(seed, ops=12, shards=2, specs=hostile_shard_specs())
+        )
+
+
+class TestCorpusCoverage:
+    """The corpus must exercise the sharded machinery, not vacuously pass."""
+
+    def test_shard_faults_fire_and_partials_are_honest(self):
+        reports = [
+            run_chaos(seed, ops=14, shards=2) for seed in range(4000, 4030)
+        ]
+        assert sum(r.faults_fired for r in reports) >= 30
+        assert any(b"shard." in r.schedule for r in reports)
+        # Killed shards degrade ranges to *checked* partial answers …
+        partial_ops = sum(
+            sum(o.op == "range-partial" for o in r.outcomes) for r in reports
+        )
+        assert partial_ops > 0
+        # … and re-admission brings every one of them back.
+        readmissions = sum(r.recoveries for r in reports)
+        assert readmissions > 0
+        ok = sum(sum(o.ok for o in r.outcomes) for r in reports)
+        total = sum(len(r.outcomes) for r in reports)
+        assert ok / total > 0.6
+
+    def test_router_crashes_and_restarts_mid_stream(self):
+        ops = set()
+        for seed in range(4100, 4125):
+            report = run_chaos(seed, ops=14, shards=3)
+            ops.update(o.op for o in report.outcomes)
+        assert "router-restart" in ops
+        assert {"ingest", "point", "range"} <= ops
+
+    def test_rotation_and_second_epoch_run_with_shard_faults_armed(self):
+        rotated = ingested_second = 0
+        for seed in range(4000, 4020):
+            report = run_chaos(seed, ops=14, shards=2)
+            ops = [o.op for o in report.outcomes]
+            rotated += "rotate" in ops
+            ingested_second += ops.count("ingest") >= 2
+        assert rotated > 0
+        assert ingested_second > 0
+
+    def test_every_run_converges_to_a_fully_verified_fleet(self):
+        # The closing sweep (faults disarmed, fleet healed) must answer
+        # every epoch completely — killed shards really were re-admitted.
+        for seed in range(4200, 4215):
+            report = run_chaos(seed, ops=12, shards=4)
+            finals = [o for o in report.outcomes if o.op == "final-verify"]
+            assert finals and all(o.ok for o in finals), (
+                f"seed {seed}: final verification failed — replay with "
+                f"`python -m repro --chaos-seed {seed} --shards 4`"
+            )
+
+
+class TestDeterministicReplay:
+    @pytest.mark.parametrize("seed", [4007, 4111, 4303])
+    def test_sharded_fingerprints_are_byte_identical(self, seed):
+        first = run_chaos(seed, ops=12, shards=2)
+        second = run_chaos(seed, ops=12, shards=2)
+        assert first.schedule == second.schedule
+        assert first.fingerprint() == second.fingerprint()
+
+    def test_legacy_single_shard_path_is_untouched(self):
+        # shards=1 must stay byte-identical to the pre-sharding harness
+        # (the default), so old seeds keep replaying exactly.
+        assert (
+            run_chaos(3, ops=10).fingerprint()
+            == run_chaos(3, ops=10, shards=1).fingerprint()
+        )
+
+    def test_shards_and_replicas_are_mutually_exclusive(self):
+        with pytest.raises(ValueError):
+            run_chaos(1, ops=4, shards=2, replicas=3)
+
+    def test_schedules_differ_across_seeds(self):
+        schedules = {
+            run_chaos(seed, ops=12, shards=2).schedule
+            for seed in range(4000, 4012)
+        }
+        assert len(schedules) > 1

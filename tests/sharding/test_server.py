@@ -1,0 +1,178 @@
+"""The JSON-lines TCP front end and its graceful-shutdown contract."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+import subprocess
+import sys
+
+import pytest
+
+from repro.sharding.router import AsyncShardRouter
+from repro.sharding.server import ShardServer, build_demo_fleet
+from tests.sharding.conftest import make_fleet
+
+
+async def _rpc(reader, writer, request: dict) -> dict:
+    writer.write(json.dumps(request).encode() + b"\n")
+    await writer.drain()
+    return json.loads(await reader.readline())
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+class TestProtocol:
+    def test_point_range_health_and_errors_over_the_wire(self, tmp_path):
+        async def scenario():
+            sharded, router, records = build_demo_fleet(2, tmp_path)
+            server = ShardServer(router, drain_seconds=2.0)
+            port = await server.start()
+            serve_task = asyncio.create_task(server.serve_until_stopped())
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+
+            location, timestamp, _ = records[0]
+            truth = sum(
+                1 for r in records if r[0] == location and r[1] == timestamp
+            )
+            point = await _rpc(
+                reader,
+                writer,
+                {"op": "point", "index_values": [location],
+                 "timestamp": timestamp},
+            )
+            assert point["ok"] and point["answer"] == truth
+            assert point["verified"] and not point["partial"]
+
+            locations = sorted({r[0] for r in records})
+            ranged = await _rpc(
+                reader,
+                writer,
+                {"op": "range", "index_values": [locations],
+                 "time_start": 0, "time_end": 1800},
+            )
+            assert ranged["ok"]
+            assert ranged["answer"] == sum(1 for r in records if r[1] <= 1800)
+            assert ranged["verified_shards"] == [0, 1]
+
+            health = await _rpc(reader, writer, {"op": "health"})
+            assert health["ok"] and health["epochs"] == [0]
+            assert set(health["shards"].values()) == {"healthy"}
+
+            bad = await _rpc(reader, writer, {"op": "frobnicate"})
+            assert not bad["ok"] and bad["error"] == "BadRequest"
+            malformed = await _rpc(
+                reader, writer, {"op": "point", "index_values": [location]}
+            )
+            assert not malformed["ok"] and malformed["error"] == "BadRequest"
+
+            writer.close()
+            server.request_stop()
+            assert await serve_task is True
+
+        run(scenario())
+
+    def test_partial_results_and_heal_are_first_class_on_the_wire(
+        self, tmp_path
+    ):
+        async def scenario():
+            sharded, router, records = build_demo_fleet(2, tmp_path)
+            server = ShardServer(router, drain_seconds=2.0)
+            port = await server.start()
+            serve_task = asyncio.create_task(server.serve_until_stopped())
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+
+            sharded.shards[1].service.enclave.crash()
+            locations = sorted({r[0] for r in records})
+            request = {"op": "range", "index_values": [locations],
+                       "time_start": 0, "time_end": 3599}
+            partial = await _rpc(reader, writer, request)
+            assert partial["ok"] and partial["partial"]
+            assert partial["missing_shards"] == [1]
+            assert partial["served_shards"] == [0]
+            assert partial["errors"] == {"1": "ShardUnavailable"}
+
+            healed = await _rpc(reader, writer, {"op": "heal"})
+            assert healed["ok"]
+            assert healed["actions"]["1"]["readmitted"]
+
+            full = await _rpc(reader, writer, request)
+            assert full["ok"] and not full["partial"]
+            assert full["answer"] == len(records)
+
+            writer.close()
+            server.request_stop()
+            await serve_task
+
+        run(scenario())
+
+    def test_queries_racing_shutdown_get_typed_rejections(self, tmp_path):
+        async def scenario():
+            _, sharded, _ = make_fleet(tmp_path)
+            router = AsyncShardRouter(sharded)
+            server = ShardServer(router, drain_seconds=2.0)
+            port = await server.start()
+            serve_task = asyncio.create_task(server.serve_until_stopped())
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+
+            server.request_stop()
+            await serve_task  # accept loop closed, router drained
+
+            # The pre-existing connection stays readable until close;
+            # its queries now fail typed rather than hanging.
+            response = await _rpc(
+                reader, writer,
+                {"op": "point", "index_values": ["ap0"], "timestamp": 0},
+            )
+            assert not response["ok"]
+            assert response["error"] == "RouterFenced"
+            writer.close()
+
+        run(scenario())
+
+
+class TestGracefulSignals:
+    """``python -m repro --serve`` must drain and exit 0 on SIGTERM."""
+
+    @pytest.mark.parametrize("signum", [signal.SIGTERM, signal.SIGINT])
+    def test_serve_drains_checkpoints_and_exits_zero(self, signum, tmp_path):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = "src"
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro", "--serve", "--shards", "2",
+             "--port", "0", "--drain-seconds", "5"],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            env=env,
+            text=True,
+        )
+        try:
+            banner = process.stdout.readline()
+            assert "serving" in banner and "2 shard(s)" in banner
+            port = int(banner.split("127.0.0.1:")[1].split(" ")[0])
+
+            async def query_then_signal():
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", port
+                )
+                response = await _rpc(
+                    reader, writer, {"op": "health"}
+                )
+                writer.close()
+                return response
+
+            health = asyncio.run(query_then_signal())
+            assert health["ok"]
+
+            process.send_signal(signum)
+            stdout, _ = process.communicate(timeout=30)
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.communicate()
+        assert process.returncode == 0, stdout
+        assert "shutdown" in stdout and "checkpointed" in stdout

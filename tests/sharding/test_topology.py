@@ -1,0 +1,106 @@
+"""Topology properties: deterministic, balanced, and data-independent.
+
+The cell-id → shard map is the one piece of routing the untrusted host
+can observe per query, so these tests pin down its three contracts:
+the mapping is a *pure function* of (cell-id, shard count) — same on
+every process, every run, every replica of the router; it spreads cells
+uniformly (±20 %) at fleet sizes that matter; and the scatter plan it
+produces is deterministically ordered, so merged answers (COLLECT
+order, chaos fingerprints) never depend on dict iteration or timing.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.sharding.topology import ShardTopology
+
+# Frozen expected mappings: a change here is a *re-sharding event* —
+# every deployed fleet's data placement would silently rot, so the
+# constant in topology.py must never change compatibility-silently.
+GOLDEN_2 = [1, 1, 1, 0, 1, 1, 1, 0, 1, 1, 1, 0]
+GOLDEN_4 = [3, 1, 3, 2, 3, 3, 1, 2, 1, 1, 1, 0]
+GOLDEN_8 = [3, 5, 7, 2, 3, 7, 5, 6, 5, 5, 5, 0]
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize(
+        "count,golden", [(2, GOLDEN_2), (4, GOLDEN_4), (8, GOLDEN_8)]
+    )
+    def test_mapping_matches_frozen_golden_values(self, count, golden):
+        topology = ShardTopology(count)
+        assert [topology.shard_of(c) for c in range(len(golden))] == golden
+
+    def test_mapping_identical_across_instances(self):
+        a, b = ShardTopology(4), ShardTopology(4)
+        cells = random.Random(5).sample(range(1 << 32), 500)
+        assert [a.shard_of(c) for c in cells] == [b.shard_of(c) for c in cells]
+
+    def test_mapping_is_a_pure_function_of_the_cell_id(self):
+        """No keys, no state: calling in any order gives the same map —
+        the routing decision cannot encode anything data-dependent."""
+        topology = ShardTopology(4)
+        forward = [topology.shard_of(c) for c in range(256)]
+        backward = [topology.shard_of(c) for c in reversed(range(256))]
+        assert forward == list(reversed(backward))
+
+
+class TestBalance:
+    @pytest.mark.parametrize("count", [2, 4, 8])
+    def test_uniform_within_twenty_percent_over_10k_cells(self, count):
+        topology = ShardTopology(count)
+        loads = [0] * count
+        for cell_id in range(10_000):
+            loads[topology.shard_of(cell_id)] += 1
+        expected = 10_000 / count
+        for shard_id, load in enumerate(loads):
+            assert abs(load - expected) <= 0.20 * expected, (
+                f"shard {shard_id} holds {load} of 10k cells "
+                f"(expected {expected:.0f} ±20%)"
+            )
+
+    def test_every_shard_owns_something(self):
+        topology = ShardTopology(8)
+        owned = {topology.shard_of(c) for c in range(10_000)}
+        assert owned == set(range(8))
+
+
+class TestScatterPlan:
+    def test_shards_for_groups_every_cell_under_its_owner(self):
+        topology = ShardTopology(3)
+        cells = set(random.Random(9).sample(range(100_000), 200))
+        plan = topology.shards_for(cells)
+        regrouped = {c for owned in plan.values() for c in owned}
+        assert regrouped == cells
+        for shard_id, owned in plan.items():
+            assert all(topology.shard_of(c) == shard_id for c in owned)
+
+    def test_shards_for_is_deterministically_ordered(self):
+        """Ascending shard ids, ascending cell-ids within each — the
+        property the cross-shard merge (COLLECT order!) relies on."""
+        topology = ShardTopology(4)
+        cells = random.Random(3).sample(range(50_000), 300)
+        plan = topology.shards_for(cells)
+        assert list(plan) == sorted(plan)
+        for owned in plan.values():
+            assert owned == sorted(owned)
+        shuffled = list(cells)
+        random.Random(4).shuffle(shuffled)
+        assert topology.shards_for(shuffled) == plan
+
+    def test_single_shard_owns_everything(self):
+        topology = ShardTopology(1)
+        assert topology.shards_for([5, 9, 2]) == {0: [2, 5, 9]}
+
+
+class TestValidation:
+    def test_rejects_non_positive_counts(self):
+        with pytest.raises(ValueError):
+            ShardTopology(0)
+        with pytest.raises(ValueError):
+            ShardTopology(-2)
+
+    def test_all_shards(self):
+        assert ShardTopology(3).all_shards() == (0, 1, 2)

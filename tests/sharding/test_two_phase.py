@@ -1,0 +1,177 @@
+"""Two-phase cross-shard ingest and rotation: all-or-nothing, always.
+
+The invariant under test: after any crash mid-protocol, every shard is
+on the *same side* — no shard serves an epoch its peers lack, and no
+mixed-key fleet ever answers a query.  Crash points are driven through
+the replay-mode fault injector, so each test pins the exact consult
+index where the fleet dies.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import pytest
+
+from repro.core.queries import RangeQuery
+from repro.core.rotation import rotation_token
+from repro.exceptions import ConcealerError, CryptoError, EnclaveCrashed
+from repro.faults.injector import FaultEvent, FaultInjector
+from repro.sharding.coordinator import ingest_epoch_sharded, rotate_sharded_keys
+from tests.sharding.conftest import (
+    EPOCH_DURATION,
+    LOCATIONS,
+    MASTER_KEY,
+    epoch_records,
+    make_fleet,
+    truth,
+)
+
+WILDCARD = (LOCATIONS,)
+NEW_MASTER = hashlib.sha256(b"two-phase-tests-new-master").digest()
+
+
+def _full_count(sharded, epoch_id, records):
+    answer, stats = sharded.execute_range(
+        RangeQuery(
+            index_values=WILDCARD,
+            time_start=epoch_id,
+            time_end=epoch_id + EPOCH_DURATION - 1,
+        )
+    )
+    assert stats.missing_shards == ()
+    assert answer == truth(records, LOCATIONS, epoch_id, epoch_id + EPOCH_DURATION - 1)
+    return answer
+
+
+class TestTwoPhaseIngest:
+    def test_mid_fleet_crash_rolls_the_whole_epoch_back(self, tmp_path):
+        # The fleet-build ingest consults shard.kill at indices 0 and 1;
+        # index 3 is shard 1's landing of the *second* epoch — after
+        # shard 0 already landed it.
+        injector = FaultInjector.from_schedule([FaultEvent("shard.kill", 3)])
+        _, sharded, _ = make_fleet(tmp_path, fault_injector=injector)
+        second = epoch_records(EPOCH_DURATION, seed=21)
+
+        with pytest.raises(EnclaveCrashed):
+            ingest_epoch_sharded(sharded, second, EPOCH_DURATION)
+
+        # No shard kept the epoch — including shard 0, which had landed
+        # it before shard 1 died.
+        for shard in sharded.shards:
+            assert EPOCH_DURATION not in shard.service.ingested_epochs()
+        # The fence is released and the healthy remainder still serves.
+        assert sharded.heal()[1]["readmitted"]
+        assert sharded.ingested_epochs() == [0]
+
+        # The provider un-shipped the epoch, so a retry lands cleanly
+        # and the epoch becomes queryable fleet-wide.
+        counts = ingest_epoch_sharded(sharded, second, EPOCH_DURATION)
+        assert set(counts) == {0, 1}
+        _full_count(sharded, EPOCH_DURATION, second)
+
+    def test_successful_ingest_is_visible_on_every_shard(self, fleet):
+        _, sharded, records = fleet
+        assert sharded.ingested_epochs() == [0]
+        for shard in sharded.shards:
+            assert shard.service.ingested_epochs() == [0]
+        _full_count(sharded, 0, records)
+
+    def test_partitioning_is_deterministic_and_total(self, fleet):
+        provider, sharded, records = fleet
+        first = provider.partition_records(records, 0, sharded.topology)
+        second = provider.partition_records(records, 0, sharded.topology)
+        assert first == second
+        assert sum(len(part) for part in first) == len(records)
+
+
+class TestTwoPhaseRotation:
+    def test_phase1_crash_aborts_fleetwide_and_keeps_the_old_key(
+        self, tmp_path
+    ):
+        # Shard 0's prepare consults enclave.kill.rotation once per
+        # epoch plus once per stored row; the *next* consult is shard
+        # 1's first — crash there, after shard 0 fully prepared.
+        _, probe, _ = make_fleet(tmp_path / "probe")
+        rows_shard0 = probe.shards[0].service.engine.row_count(
+            probe.shards[0].service._table_name(0)
+        )
+        crash_index = 1 + rows_shard0
+
+        injector = FaultInjector.from_schedule(
+            [FaultEvent("enclave.kill.rotation", crash_index)]
+        )
+        provider, sharded, records = make_fleet(
+            tmp_path / "fleet", fault_injector=injector
+        )
+        token = rotation_token(MASTER_KEY, NEW_MASTER)
+        with pytest.raises(EnclaveCrashed):
+            rotate_sharded_keys(sharded, NEW_MASTER, token)
+
+        # Nothing committed anywhere: the provider still holds the old
+        # master and post-heal queries answer under it.
+        assert provider.master_key == MASTER_KEY
+        assert sharded.heal()[1]["readmitted"]
+        _full_count(sharded, 0, records)
+
+        # A fresh attempt (new token, same keys) completes fleet-wide.
+        rotated = rotate_sharded_keys(
+            sharded, NEW_MASTER, rotation_token(MASTER_KEY, NEW_MASTER)
+        )
+        assert rotated > 0
+        assert provider.master_key == NEW_MASTER
+        _full_count(sharded, 0, records)
+
+    def test_phase2_crash_reverse_rotates_committed_shards(
+        self, tmp_path, monkeypatch
+    ):
+        """A commit-phase failure must converge the fleet *back*.
+
+        ``commit_rotation`` has no injectable crash site (the journal
+        commit and key swap are host-side bookkeeping), so the failure
+        is simulated: the first shard commits, the second throws — the
+        coordinator must reverse-rotate shard 0 to the old master and
+        leave the provider un-adopted.
+        """
+        import repro.sharding.coordinator as coordinator_module
+
+        provider, sharded, records = make_fleet(tmp_path)
+        real_commit = coordinator_module.commit_rotation
+        calls = []
+
+        def failing_commit(prepared):
+            calls.append(prepared)
+            if len(calls) == 2:
+                raise CryptoError("simulated commit-phase crash")
+            return real_commit(prepared)
+
+        monkeypatch.setattr(
+            coordinator_module, "commit_rotation", failing_commit
+        )
+        token = rotation_token(MASTER_KEY, NEW_MASTER)
+        with pytest.raises(CryptoError, match="simulated"):
+            rotate_sharded_keys(sharded, NEW_MASTER, token)
+
+        assert provider.master_key == MASTER_KEY
+        # Shard 0 committed the new key and was reverse-rotated; shard 1
+        # aborted.  Either way the whole fleet answers under the old key.
+        sharded.heal()
+        _full_count(sharded, 0, records)
+
+    def test_rotation_rejects_a_bad_token_before_touching_any_shard(
+        self, fleet
+    ):
+        _, sharded, records = fleet
+        with pytest.raises(ConcealerError):
+            rotate_sharded_keys(sharded, NEW_MASTER, b"not-a-valid-token")
+        _full_count(sharded, 0, records)
+
+    def test_successful_rotation_serves_identical_answers(self, fleet):
+        provider, sharded, records = fleet
+        before = _full_count(sharded, 0, records)
+        rotated = rotate_sharded_keys(
+            sharded, NEW_MASTER, rotation_token(MASTER_KEY, NEW_MASTER)
+        )
+        assert rotated > 0
+        assert provider.master_key == NEW_MASTER
+        assert _full_count(sharded, 0, records) == before

@@ -1,0 +1,115 @@
+"""The registry under fire: concurrent mutation must lose nothing.
+
+The async router runs shard work on per-shard threads that all write
+into one ambient registry; ``+=`` on a Python attribute is a
+read-modify-write the GIL is free to interleave.  These tests hammer
+every mutation path from many threads and demand *exact* totals — a
+single lost increment is a failure, not noise.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro import telemetry
+from repro.telemetry.metrics import MetricsRegistry
+
+THREADS = 8
+ROUNDS = 10_000
+
+
+def _hammer(worker):
+    """Start THREADS copies of ``worker`` behind a barrier, join all."""
+    barrier = threading.Barrier(THREADS)
+
+    def run(thread_id):
+        barrier.wait()
+        worker(thread_id)
+
+    threads = [
+        threading.Thread(target=run, args=(thread_id,))
+        for thread_id in range(THREADS)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+
+class TestExactCountsUnderContention:
+    def test_counter_increments_are_never_lost(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("hammer_total", "contended counter")
+        _hammer(lambda _: [counter.inc() for _ in range(ROUNDS)])
+        assert registry.value("hammer_total") == THREADS * ROUNDS
+
+    def test_gauge_inc_dec_balance_exactly(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("hammer_inflight", "contended gauge")
+
+        def worker(_):
+            for _ in range(ROUNDS):
+                gauge.inc()
+                gauge.dec()
+            gauge.inc(3)
+
+        _hammer(worker)
+        assert registry.value("hammer_inflight") == THREADS * 3
+
+    def test_histogram_count_and_sum_are_exact(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram(
+            "hammer_seconds", "contended histogram", boundaries=(1.0, 10.0)
+        )
+
+        def worker(thread_id):
+            for _ in range(ROUNDS):
+                histogram.observe(thread_id % 3)  # buckets 1.0, 1.0, 10.0
+
+        _hammer(worker)
+        child = histogram.default()
+        assert child.count == THREADS * ROUNDS
+        expected_sum = sum(
+            (thread_id % 3) * ROUNDS for thread_id in range(THREADS)
+        )
+        assert child.sum == expected_sum
+        assert child.cumulative_counts()[-1] == THREADS * ROUNDS
+
+
+class TestCreationRaces:
+    def test_racing_first_touch_of_a_label_child_agrees_on_one_child(self):
+        registry = MetricsRegistry()
+        family = registry.counter(
+            "hammer_labeled_total", "label-race counter", labels=("shard",)
+        )
+
+        def worker(thread_id):
+            for index in range(ROUNDS):
+                family.labels(shard=index % 4).inc()
+
+        _hammer(worker)
+        assert len(family.children) == 4
+        assert registry.total("hammer_labeled_total") == THREADS * ROUNDS
+        for shard in range(4):
+            assert (
+                registry.value("hammer_labeled_total", shard=str(shard))
+                == THREADS * ROUNDS // 4
+            )
+
+    def test_racing_family_registration_agrees_on_one_family(self):
+        with telemetry.scoped_registry() as registry:
+
+            def worker(_):
+                for _ in range(ROUNDS):
+                    telemetry.counter(
+                        "hammer_ambient_total", "family-race counter"
+                    ).inc()
+
+            _hammer(worker)
+            families = [
+                family
+                for family in registry.families()
+                if family.name == "hammer_ambient_total"
+            ]
+            assert len(families) == 1
+            assert registry.value("hammer_ambient_total") == THREADS * ROUNDS
