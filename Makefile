@@ -1,7 +1,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test chaos replication-chaos shard-chaos serve demo bench bench-json bench-smoke metrics-smoke lint profile
+.PHONY: test chaos replication-chaos shard-chaos serve demo bench bench-json bench-smoke trace-overhead metrics-smoke lint profile
 
 # Where `make bench-json` writes its machine-readable metrics.
 BENCH_OUT ?= BENCH_local.json
@@ -57,6 +57,16 @@ bench-smoke:
 	$(PYTHON) benchmarks/check_regression.py \
 		--baseline $(BENCH_BASELINE) --candidate BENCH_pr.json \
 		--max-regression $(BENCH_MAX_REGRESSION)
+
+# The tracing-cost gate: the same workload with the tracer off vs on,
+# compared as a drift-cancelling paired ratio; >10% wall-time overhead
+# fails.  Tracing is meant to stay on in production.
+trace-overhead:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/trace_overhead.py \
+		--baseline-out TRACE_off.json --candidate-out TRACE_on.json
+	$(PYTHON) benchmarks/check_regression.py \
+		--baseline TRACE_off.json --candidate TRACE_on.json \
+		--max-regression 0.10
 
 # cProfile the ingest + query hot paths; top-30 cumulative functions
 # land in benchmarks/results/profile.txt (and on stdout).

@@ -24,6 +24,7 @@ JSON artifact feeds EXPERIMENTS.md, not the regression gate.
 from __future__ import annotations
 
 import asyncio
+import json
 import statistics
 import time
 
@@ -31,8 +32,9 @@ import pytest
 
 from repro import telemetry
 from repro.core.queries import PointQuery, RangeQuery
+from repro.telemetry import Tracer, tracing
 
-from harness import paper_row, save_result
+from harness import RESULTS_DIR, paper_row, save_result
 
 CLIENT_COUNTS = (1, 4, 8)
 SHARD_COUNTS = (1, 2, 4)
@@ -66,18 +68,25 @@ def _client_mix(records, client_id: int):
     return queries
 
 
-async def _drive(router, records, clients: int) -> list[float]:
-    """``clients`` concurrent loops; returns every per-request latency."""
-    latencies: list[float] = []
+async def _drive(router, records, clients: int) -> list[tuple[float, str]]:
+    """``clients`` concurrent loops; per-request ``(latency, trace_id)``.
+
+    Every request runs under its own root span, so any latency sample —
+    in particular the p99-driving one — links to a full trace tree in
+    the run's buffer (the exemplar the results artifact records).
+    """
+    latencies: list[tuple[float, str]] = []
 
     async def client(client_id: int):
         for query in _client_mix(records, client_id):
+            kind = "point" if isinstance(query, PointQuery) else "range"
             start = time.perf_counter()
-            if isinstance(query, PointQuery):
-                await router.execute_point(query)
-            else:
-                await router.execute_range(query)
-            latencies.append(time.perf_counter() - start)
+            with telemetry.span("bench.request", kind=kind) as root:
+                if isinstance(query, PointQuery):
+                    await router.execute_point(query)
+                else:
+                    await router.execute_range(query)
+            latencies.append((time.perf_counter() - start, root.trace_id))
 
     await asyncio.gather(*(client(i) for i in range(clients)))
     return latencies
@@ -98,19 +107,50 @@ def test_exp13_latency_vs_concurrency(fleet):
     shards, _, router, records = fleet
     rows = {}
     for clients in CLIENT_COUNTS:
-        latencies = asyncio.run(_drive(router, records, clients))
+        # A run-scoped tracer large enough that no request's trace is
+        # evicted before the slowest one is identified.
+        with telemetry.scoped_tracer(
+            Tracer(capacity=4 * clients * REQUESTS_PER_CLIENT)
+        ) as tracer:
+            samples = asyncio.run(_drive(router, records, clients))
+        latencies = [latency for latency, _ in samples]
         p50, p99 = _percentiles(latencies)
         throughput = len(latencies) / sum(latencies)
+
+        # Exemplar: the slowest request is the one that set p99 — dump
+        # its full trace tree next to the results so a regression in
+        # this row is diagnosable from the artifact alone.
+        slowest_s, slowest_trace = max(samples)
+        tree = tracing.find_trace(tracer.traces(), slowest_trace)
+        trace_file = f"exp13_trace_shards_{shards}_clients_{clients}.json"
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / trace_file).write_text(json.dumps(
+            {
+                "latency_s": round(slowest_s, 6),
+                "trace_id": slowest_trace,
+                "stage_timings_s": {
+                    stage: round(seconds, 6)
+                    for stage, seconds in sorted(
+                        tracing.stage_timings(tree).items()
+                    )
+                } if tree is not None else {},
+                "tree": tracing.span_to_dict(tree) if tree is not None else None,
+            },
+            indent=2,
+        ))
+
         rows[f"clients_{clients}"] = {
             "requests": len(latencies),
             "p50_s": round(p50, 6),
             "p99_s": round(p99, 6),
             "throughput_qps": round(throughput, 2),
+            "p99_exemplar_trace_id": slowest_trace,
+            "p99_exemplar_trace_file": trace_file,
         }
         print(paper_row(
             "exp13", f"shards-{shards}-clients-{clients}",
             p50_s=round(p50, 5), p99_s=round(p99, 5),
-            qps=round(throughput, 1),
+            qps=round(throughput, 1), exemplar=slowest_trace,
         ))
     save_result("exp13_service", {f"shards_{shards}": rows})
 

@@ -21,7 +21,14 @@ Observability flags (both modes):
   workload — every counter/gauge/histogram the instrumented stack
   recorded, each tagged with its secrecy level;
 - ``--trace-dump`` prints the span ring buffer: the nested
-  service → enclave → storage timing trees of recent queries.
+  service → enclave → storage timing trees of recent queries.  With
+  ``--connect HOST:PORT`` it instead merges a live server's shard span
+  buffers through the admin endpoint.
+
+``python -m repro --trace point AP T`` (or ``--trace range AP T0 T1
+[METHOD]``) runs one query against a local sharded fleet — or a live
+server via ``--connect`` — and pretty-prints the assembled cross-shard
+trace tree with per-stage timings.
 """
 
 from __future__ import annotations
@@ -55,6 +62,145 @@ def _print_metrics(registry, fmt: str) -> None:
 def _print_traces(tracer) -> None:
     print()
     print(telemetry.format_traces(tracer))
+
+
+def _send_jsonlines(host: str, port: int, requests: list[dict]) -> list[dict]:
+    """One connection, N request lines, N response lines."""
+    import json
+    import socket
+
+    with socket.create_connection((host, port), timeout=30) as sock:
+        with sock.makefile("rw", encoding="utf-8") as stream:
+            responses = []
+            for request in requests:
+                stream.write(json.dumps(request) + "\n")
+                stream.flush()
+                responses.append(json.loads(stream.readline()))
+            return responses
+
+
+def _parse_connect(connect: str) -> tuple[str, int]:
+    host, _, port = connect.rpartition(":")
+    return host or "127.0.0.1", int(port)
+
+
+def _parse_trace_query(trace_args: list[str]):
+    """``point AP T`` / ``range AP T0 T1 [METHOD]`` → a query request."""
+    kind = trace_args[0]
+    if kind == "point" and len(trace_args) == 3:
+        return {
+            "op": "point",
+            "index_values": [trace_args[1]],
+            "timestamp": int(trace_args[2]),
+        }
+    if kind == "range" and len(trace_args) in (4, 5):
+        request = {
+            "op": "range",
+            "index_values": [trace_args[1]],
+            "time_start": int(trace_args[2]),
+            "time_end": int(trace_args[3]),
+        }
+        if len(trace_args) == 5:
+            request["method"] = trace_args[4]
+        return request
+    raise SystemExit(
+        "--trace expects: point AP TIMESTAMP | range AP T0 T1 [METHOD]"
+    )
+
+
+def _print_trace_roots(roots, trace_id: str) -> None:
+    matches = [root for root in roots if root.trace_id == trace_id]
+    if not matches:
+        print(f"trace {trace_id}: not found in buffers")
+        return
+    for root in matches:
+        print()
+        print(telemetry.format_trace_tree(root))
+
+
+def run_trace_cli(trace_args: list[str], shards: int, connect: str | None) -> int:
+    """``--trace``: one traced query, pretty-printed as a whole tree."""
+    request = _parse_trace_query(trace_args)
+
+    if connect is not None:
+        host, port = _parse_connect(connect)
+        (reply,) = _send_jsonlines(host, port, [request])
+        trace_id = reply.get("trace_id")
+        print(f"answer: {reply.get('answer')!r}  ok={reply.get('ok')}")
+        if trace_id is None:
+            print(f"server returned no trace_id: {reply}")
+            return 1
+        (trace,) = _send_jsonlines(
+            host, port, [{"op": "trace", "trace_id": trace_id}]
+        )
+        if not trace.get("ok"):
+            print(f"trace fetch failed: {trace}")
+            return 1
+        roots = [telemetry.tracing.span_from_dict(d) for d in trace["roots"]]
+        _print_trace_roots(roots, trace_id)
+        return 0
+
+    import asyncio
+    import tempfile
+
+    from repro.core.queries import PointQuery, RangeQuery
+    from repro.sharding.server import (
+        assemble_fleet_traces,
+        attach_ops_plane,
+        build_demo_fleet,
+    )
+
+    async def _run(workdir):
+        sharded, router, _records = build_demo_fleet(shards, workdir)
+        attach_ops_plane(router)
+        try:
+            with telemetry.span("client.request", op=request["op"]) as root:
+                trace_id = root.trace_id
+                if request["op"] == "point":
+                    query = PointQuery(
+                        index_values=(request["index_values"][0],),
+                        timestamp=request["timestamp"],
+                    )
+                    answer, _stats = await router.execute_point(query)
+                else:
+                    query = RangeQuery(
+                        index_values=(request["index_values"][0],),
+                        time_start=request["time_start"],
+                        time_end=request["time_end"],
+                    )
+                    answer, _stats = await router.execute_range(
+                        query, method=request.get("method", "ebpb")
+                    )
+        finally:
+            await router.shutdown(5.0)
+        roots, dropped = assemble_fleet_traces(router)
+        return trace_id, answer, roots, dropped
+
+    with tempfile.TemporaryDirectory(prefix="concealer-trace-") as workdir:
+        trace_id, answer, roots, dropped = asyncio.run(_run(workdir))
+    print(f"answer: {answer!r}")
+    if any(dropped.values()):
+        print(f"dropped spans per buffer: {dropped}")
+    _print_trace_roots(roots, trace_id)
+    return 0
+
+
+def run_trace_dump_remote(connect: str) -> int:
+    """``--trace-dump --connect``: merge a live fleet's span buffers."""
+    host, port = _parse_connect(connect)
+    (reply,) = _send_jsonlines(host, port, [{"op": "traces", "limit": 16}])
+    if not reply.get("ok"):
+        print(f"traces fetch failed: {reply}")
+        return 1
+    roots = [telemetry.tracing.span_from_dict(d) for d in reply["traces"]]
+    print(
+        f"{reply['assembled']} assembled trace(s); dropped per buffer: "
+        f"{reply['dropped']}"
+    )
+    for root in roots:
+        print()
+        print(telemetry.format_trace_tree(root))
+    return 0
 
 
 def run_serve_cli(shards: int, port: int, drain_seconds: float) -> int:
@@ -112,10 +258,20 @@ def run_chaos_cli(
         f"{registry.total('concealer_faults_fired_total'):.0f} faults fired, "
         f"{registry.total('concealer_recoveries_total'):.0f} recoveries"
     )
+    for alert in report.slo_alerts:
+        print(f"SLO alert: {alert.summary()}")
     if metrics is not None:
         _print_metrics(registry, metrics)
     if trace_dump:
-        _print_traces(telemetry.get_tracer())
+        if report.traces is not None:
+            # Sharded runs buffer spans on the report; assemble the
+            # local roots into whole trees before printing.
+            print()
+            for root in telemetry.assemble(report.traces):
+                print(telemetry.format_trace_tree(root))
+                print()
+        else:
+            _print_traces(telemetry.get_tracer())
     if report.silent_wrong:
         print(f"\nFAILED: {len(report.silent_wrong)} silently wrong answers")
         return 1
@@ -232,9 +388,27 @@ def main() -> int:
     )
     parser.add_argument(
         "--trace-dump", action="store_true",
-        help="print the recent-trace ring buffer after the run",
+        help="print the recent-trace ring buffer after the run "
+        "(with --connect: merge a live server's shard buffers)",
+    )
+    parser.add_argument(
+        "--trace", nargs="+", default=None, metavar="QUERY",
+        help="run one traced query and pretty-print its assembled "
+        "cross-shard trace tree: point AP TIMESTAMP | "
+        "range AP T0 T1 [METHOD]",
+    )
+    parser.add_argument(
+        "--connect", default=None, metavar="HOST:PORT",
+        help="--trace/--trace-dump: talk to a live --serve fleet "
+        "instead of building a local one",
     )
     arguments = parser.parse_args()
+    if arguments.trace is not None:
+        return run_trace_cli(
+            arguments.trace, max(1, arguments.shards), arguments.connect
+        )
+    if arguments.trace_dump and arguments.connect is not None:
+        return run_trace_dump_remote(arguments.connect)
     if arguments.serve:
         return run_serve_cli(
             max(1, arguments.shards), arguments.port, arguments.drain_seconds

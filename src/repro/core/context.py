@@ -330,7 +330,10 @@ class EpochContext:
         fetch here and every replica attempt below.
         """
         with telemetry.span(
-            "enclave.fetch", epoch=self.epoch_id, trapdoors=len(trapdoors)
+            "enclave.fetch",
+            stage="fetch",
+            epoch=self.epoch_id,
+            trapdoors=len(trapdoors),
         ):
             self.enclave.kill_point("enclave.kill.query")
             if deadline is not None:
@@ -394,17 +397,22 @@ class EpochContext:
             "hash-chain verifications of fetched row batches, by outcome",
             labels=("result",),
         )
-        try:
-            self._verify_rows(rows, expected_cells)
-        except IntegrityViolation as violation:
-            verifications.labels(result="violation").inc()
-            telemetry.counter(
-                "concealer_integrity_violations_total",
-                "structured integrity-verification failures, by kind",
-                labels=("kind",),
-            ).labels(kind=violation.kind).inc()
-            raise
-        verifications.labels(result="ok").inc()
+        # Row count here is the *fetched* volume — public-size by the
+        # volume-hiding argument — so it may ride on the span.
+        with telemetry.span(
+            "enclave.verify", stage="verify", epoch=self.epoch_id, rows=len(rows)
+        ):
+            try:
+                self._verify_rows(rows, expected_cells)
+            except IntegrityViolation as violation:
+                verifications.labels(result="violation").inc()
+                telemetry.counter(
+                    "concealer_integrity_violations_total",
+                    "structured integrity-verification failures, by kind",
+                    labels=("kind",),
+                ).labels(kind=violation.kind).inc()
+                raise
+            verifications.labels(result="ok").inc()
 
     def _verify_rows(
         self, rows: Sequence[Row], expected_cells: Sequence[int] | None = None
@@ -572,15 +580,19 @@ class EpochContext:
         number of matched-and-decrypted rows is data-dependent, so it
         must not feed a public-size kernel counter.
         """
-        position = len(self.schema.filter_groups)
-        plaintexts = self.det_kernel.decrypt_many(
-            [row[position] for row in rows], errors="none", counted=False
-        )
-        records = [
-            self.schema.decode_payload(plaintext)
-            for plaintext in plaintexts
-            if plaintext is not None  # a fake that slipped through matching
-        ]
-        stats.rows_decrypted += len(records)
-        return records
+        # No row count on this span: matched-row volume is the answer
+        # volume (data-dependent).  The span itself is fine — every query
+        # has exactly one decrypt stage, a public fact.
+        with telemetry.span("enclave.decrypt", stage="decrypt", epoch=self.epoch_id):
+            position = len(self.schema.filter_groups)
+            plaintexts = self.det_kernel.decrypt_many(
+                [row[position] for row in rows], errors="none", counted=False
+            )
+            records = [
+                self.schema.decode_payload(plaintext)
+                for plaintext in plaintexts
+                if plaintext is not None  # a fake that slipped through matching
+            ]
+            stats.rows_decrypted += len(records)
+            return records
 

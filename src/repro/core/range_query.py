@@ -404,22 +404,32 @@ class RangeExecutor:
         timestamps = context.query_timestamps(query.time_start, query.time_end)
         filters = self._expand_filters(query, context, predicate, timestamps)
 
-        if self.oblivious:
-            matched = context.match_rows_oblivious(
-                rows, filters, predicate.group, stats
-            )
-        else:
-            matched = context.match_rows(rows, filters, predicate.group, stats)
+        with telemetry.span(
+            "enclave.aggregate",
+            stage="aggregate",
+            epoch=context.epoch_id,
+            filters=len(filters),
+        ):
+            if self.oblivious:
+                matched = context.match_rows_oblivious(
+                    rows, filters, predicate.group, stats
+                )
+            else:
+                matched = context.match_rows(
+                    rows, filters, predicate.group, stats
+                )
 
-        if query.aggregate is Aggregate.COUNT:
-            return len(matched), stats
-        if not needs_decryption(query.aggregate):
-            raise QueryError(f"unhandled match-only aggregate {query.aggregate}")
-        records = context.decrypt_records(matched, stats)
-        answer = evaluate_aggregate(
-            query.aggregate, records, context.schema, query.target, query.k
-        )
-        return answer, stats
+            if query.aggregate is Aggregate.COUNT:
+                return len(matched), stats
+            if not needs_decryption(query.aggregate):
+                raise QueryError(
+                    f"unhandled match-only aggregate {query.aggregate}"
+                )
+            records = context.decrypt_records(matched, stats)
+            answer = evaluate_aggregate(
+                query.aggregate, records, context.schema, query.target, query.k
+            )
+            return answer, stats
 
     def _expand_filters(
         self,

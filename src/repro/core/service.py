@@ -129,11 +129,17 @@ def _record_query(
             labels=("kind",),
         ).labels(kind=kind).inc(stats.cache_misses)
     if seconds is not None:
+        # The exemplar links each latency bucket to the last trace that
+        # landed in it — "what does a p99 query look like?" becomes a
+        # trace lookup.  The histogram stays data-dependent (timing),
+        # and exemplars never enter the auditor's public view.
         telemetry.histogram(
             "concealer_query_seconds",
             "end-to-end query latency (timing is a side channel: never public)",
             labels=("kind",),
-        ).labels(kind=kind).observe(seconds)
+        ).labels(kind=kind).observe(
+            seconds, trace_id=telemetry.current_trace_id()
+        )
 
 
 def _record_batch(plan: BatchPlan, fetch_stats: QueryStats, seconds: float) -> None:

@@ -124,6 +124,11 @@ class ChaosReport:
     # the fault schedule, not about observability internals like backoff
     # float sums.
     telemetry: object = field(default=None, compare=False, repr=False)
+    # Sharded runs also keep the run-scoped span buffer (local trace
+    # roots) and the burn-rate alerts evaluated at the end of the op
+    # stream.  Same rule: observability rides along, never fingerprints.
+    traces: list = field(default=None, compare=False, repr=False)
+    slo_alerts: list = field(default_factory=list, compare=False, repr=False)
 
     @property
     def silent_wrong(self) -> list[ChaosOutcome]:

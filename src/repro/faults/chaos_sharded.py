@@ -58,6 +58,7 @@ from repro.faults.chaos import (
 )
 from repro.faults.clock import VirtualClock
 from repro.faults.injector import FaultInjector, FaultSpec
+from repro.telemetry.slo import SLOMonitor
 from repro.sharding.coordinator import ingest_epoch_sharded, rotate_sharded_keys
 from repro.sharding.results import PartialResult
 from repro.sharding.service import ShardedConfig, ShardedService
@@ -139,6 +140,10 @@ class ShardedChaosRun:
         )
         self._master = MASTER_KEY
         self._rotations = 0
+        # SLO monitor on the fleet's virtual clock: a shard.slow burns
+        # its dispatch budget in *virtual* seconds, so the latency
+        # objective trips deterministically on replay.
+        self.slo = SLOMonitor(clock=self.clock)
         # Plaintext oracle: epoch -> records; epoch -> per-shard records.
         # Partitions are captured at ingest (grid keys never change for
         # an ingested epoch, so ownership is stable across rotations).
@@ -156,14 +161,17 @@ class ShardedChaosRun:
         roughly half the failures leave the fleet degraded for a while.
         """
         outcome = ChaosOutcome(op=op, ok=False, expected=expected)
+        started = self.clock.now()
         try:
             outcome.answer = thunk()
         except ConcealerError as error:
             outcome.error = type(error).__name__
+            self.slo.record(self.clock.now() - started, ok=False)
             if self.workload_rng.random() < 0.5:
                 outcome.recovered = self._heal()
         else:
             outcome.ok = outcome.answer == expected
+            self.slo.record(self.clock.now() - started, ok=True)
         self.report.outcomes.append(outcome)
         return outcome
 
@@ -243,13 +251,16 @@ class ShardedChaosRun:
         )
 
         outcome = ChaosOutcome(op="range", ok=False, expected=expected)
+        started = self.clock.now()
         try:
             answer = self.sharded.execute_range(query, method=method)[0]
         except ConcealerError as error:
             outcome.error = type(error).__name__
+            self.slo.record(self.clock.now() - started, ok=False)
             if self.workload_rng.random() < 0.5:
                 outcome.recovered = self._heal()
         else:
+            self.slo.record(self.clock.now() - started, ok=True)
             if isinstance(answer, PartialResult):
                 outcome.op = "range-partial"
                 outcome.expected = self._partial_truth(
@@ -387,8 +398,17 @@ class ShardedChaosRun:
     # ------------------------------------------------------------------- run
 
     def run(self, ops: int = 12) -> ChaosReport:
-        """Execute the seeded schedule over the fleet."""
-        with telemetry.scoped_registry() as registry:
+        """Execute the seeded schedule over the fleet.
+
+        Spans are captured into a run-scoped tracer (kept on the
+        report, like the registry) and the SLO monitor is evaluated
+        once at the end of the op stream — *before* the final heal
+        sweep, so the alerts describe the faulted workload, not the
+        recovery.  Neither feeds ``fingerprint()``: replay determinism
+        is about outcomes and the schedule.
+        """
+        with telemetry.scoped_registry() as registry, \
+                telemetry.scoped_tracer(clock=self.clock) as tracer:
             try:
                 self.ingest(0)
                 for index in range(ops):
@@ -407,11 +427,13 @@ class ShardedChaosRun:
                         self.range_query()
                     else:
                         self.checkpoint_cycle()
+                self.report.slo_alerts = list(self.slo.evaluate())
                 self.final_verify()
             finally:
                 self.report.schedule = self.injector.encode_schedule()
                 self.report.faults_fired = len(self.injector.fired)
                 self.report.telemetry = registry
+                self.report.traces = tracer.traces()
                 if self._tmp is not None:
                     self._tmp.cleanup()
         return self.report

@@ -113,6 +113,12 @@ class RetryPolicy:
                     "concealer_retry_attempts_total",
                     "attempts that failed with a retryable error",
                 ).inc()
+                # Stamp the active query span (if any) so an assembled
+                # trace shows *which* stage burned retry budget.
+                telemetry.annotate(
+                    retry_attempts=attempt + 1,
+                    retry_error=type(error).__name__,
+                )
                 if attempt == self.attempts - 1:
                     break
                 if deadline is not None:

@@ -126,6 +126,11 @@ def _count_fire(site: str) -> None:
         "injected faults that actually fired, by site",
         labels=("site",),
     ).labels(site=site).inc()
+    # Stamp the active span so an assembled trace shows exactly where a
+    # chaos schedule bit: the failed subtree carries both the typed
+    # error (from span error recording) and the fault site that caused
+    # it.  Fault sites are schedule-derived, never plaintext-derived.
+    telemetry.annotate(fault_site=site)
 
 
 class FaultInjector:

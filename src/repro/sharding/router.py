@@ -35,6 +35,7 @@ import functools
 from concurrent.futures import ThreadPoolExecutor
 
 from repro import telemetry
+from repro.telemetry import tracing
 from repro.core.queries import PointQuery, QueryStats, RangeQuery
 from repro.exceptions import (
     ConcealerError,
@@ -80,9 +81,13 @@ class AsyncShardRouter:
         hedge_delay: float | None = None,
         max_inflight: int | None = None,
         admission_queue: int | None = None,
+        slo=None,
     ):
         self.sharded = sharded
         self.hedge_delay = hedge_delay
+        # Optional SLOMonitor: every admitted query's latency + outcome
+        # feeds the availability and latency objectives.
+        self.slo = slo
         self.max_inflight = (
             max_inflight
             if max_inflight is not None
@@ -146,6 +151,10 @@ class AsyncShardRouter:
         if self._inflight == 0:
             self._idle.set()
 
+    def _observe_slo(self, started: float, ok: bool) -> None:
+        if self.slo is not None:
+            self.slo.record(self.sharded.clock.now() - started, ok=ok)
+
     # --------------------------------------------------------------- dispatch
 
     async def _run_on(self, shard: Shard, fn):
@@ -156,11 +165,22 @@ class AsyncShardRouter:
     async def _dispatch(self, shard: Shard, kind: str, thunk):
         """One sub-query with optional hedging; same budget semantics
         as the sync path (``ShardedService._dispatch`` does the breaker
-        and deadline work on the shard thread)."""
+        and deadline work on the shard thread).
+
+        Thread pools do not carry context variables, so both attempts
+        are wrapped with :func:`tracing.propagate` — the shard-side
+        spans join this request's trace instead of starting their own.
+        """
+        captured = tracing.capture()
         primary = asyncio.ensure_future(
             self._run_on(
                 shard,
-                functools.partial(self.sharded._dispatch, shard, kind, thunk),
+                tracing.propagate(
+                    functools.partial(
+                        self.sharded._dispatch, shard, kind, thunk
+                    ),
+                    captured,
+                ),
             )
         )
         if self.hedge_delay is None:
@@ -169,11 +189,15 @@ class AsyncShardRouter:
         if primary in done:
             return primary.result()
         _count_hedge(shard.shard_id, "launched")
+        tracing.annotate(**{f"hedge_shard_{shard.shard_id}": "launched"})
         hedge = asyncio.ensure_future(
             self._run_on(
                 shard,
-                functools.partial(
-                    self.sharded._dispatch, shard, f"{kind}-hedge", thunk
+                tracing.propagate(
+                    functools.partial(
+                        self.sharded._dispatch, shard, f"{kind}-hedge", thunk
+                    ),
+                    captured,
                 ),
             )
         )
@@ -186,9 +210,10 @@ class AsyncShardRouter:
             for future in done:
                 error = future.exception()
                 if error is None:
-                    _count_hedge(
-                        shard.shard_id,
-                        "hedge-won" if future is hedge else "primary-won",
+                    outcome = "hedge-won" if future is hedge else "primary-won"
+                    _count_hedge(shard.shard_id, outcome)
+                    tracing.annotate(
+                        **{f"hedge_shard_{shard.shard_id}": outcome}
                     )
                     # The loser finishes on the shard thread; retrieve
                     # its eventual exception so it never surfaces as an
@@ -198,6 +223,7 @@ class AsyncShardRouter:
                     return future.result()
                 failures.append((future is primary, error))
         _count_hedge(shard.shard_id, "both-failed")
+        tracing.annotate(**{f"hedge_shard_{shard.shard_id}": "both-failed"})
         failures.sort(key=lambda pair: not pair[0])  # primary's error first
         raise failures[0][1]
 
@@ -208,30 +234,35 @@ class AsyncShardRouter:
     ) -> tuple[object, ShardedQueryStats]:
         """Admission-gated async point query (single owning shard)."""
         await self._admit("point")
+        started = self.sharded.clock.now()
+        ok = False
         try:
-            self.sharded._check_fence()
-            eid, cell_id, owner_id = await self._plan(
-                lambda: self.sharded.plan_point(query, epoch_id)
-            )
-            owner = self.sharded.shards[owner_id]
-            if not owner.healthy():
-                _count_isolated(owner.shard_id, owner.isolation_reason())
-                raise ShardUnavailable(
-                    f"shard {owner.shard_id} owning cell-id {cell_id} is "
-                    f"isolated ({owner.isolation_reason()})",
-                    shard_ids=(owner.shard_id,),
+            with telemetry.span("router.query", kind="point"):
+                self.sharded._check_fence()
+                eid, cell_id, owner_id = await self._plan(
+                    lambda: self.sharded.plan_point(query, epoch_id)
                 )
-            owner.assert_owns((cell_id,))
-            answer, stats = await self._dispatch(
-                owner,
-                "point",
-                lambda: owner.service.execute_point(query, epoch_id=eid),
-            )
-            return answer, ShardedQueryStats(
-                merged=merged_stats({owner.shard_id: stats}),
-                per_shard={owner.shard_id: stats},
-            )
+                owner = self.sharded.shards[owner_id]
+                if not owner.healthy():
+                    _count_isolated(owner.shard_id, owner.isolation_reason())
+                    raise ShardUnavailable(
+                        f"shard {owner.shard_id} owning cell-id {cell_id} is "
+                        f"isolated ({owner.isolation_reason()})",
+                        shard_ids=(owner.shard_id,),
+                    )
+                owner.assert_owns((cell_id,))
+                answer, stats = await self._dispatch(
+                    owner,
+                    "point",
+                    lambda: owner.service.execute_point(query, epoch_id=eid),
+                )
+                ok = True
+                return answer, ShardedQueryStats(
+                    merged=merged_stats({owner.shard_id: stats}),
+                    per_shard={owner.shard_id: stats},
+                )
         finally:
+            self._observe_slo(started, ok)
             self._release()
 
     async def execute_range(
@@ -248,51 +279,57 @@ class AsyncShardRouter:
         the sync path (:meth:`ShardedService.finish_range` is shared).
         """
         await self._admit("range")
+        started = self.sharded.clock.now()
+        ok = False
         try:
-            self.sharded._check_fence()
-            eid, method, participants = await self._plan(
-                lambda: self.sharded.plan_range(query, method, epoch_id)
-            )
-
-            answers: dict[int, object] = {}
-            per_shard: dict[int, QueryStats] = {}
-            errors: dict[int, str] = {}
-            gathers = []
-            for shard_id in participants:
-                shard = self.sharded.shards[shard_id]
-                if not shard.healthy():
-                    _count_isolated(shard_id, shard.isolation_reason())
-                    errors[shard_id] = "ShardUnavailable"
-                    continue
-                gathers.append(
-                    (
-                        shard_id,
-                        self._dispatch(
-                            shard,
-                            "range",
-                            functools.partial(
-                                shard.service.execute_range,
-                                query,
-                                method=method,
-                                epoch_id=eid,
-                            ),
-                        ),
-                    )
+            with telemetry.span("router.query", kind="range"):
+                self.sharded._check_fence()
+                eid, method, participants = await self._plan(
+                    lambda: self.sharded.plan_range(query, method, epoch_id)
                 )
-            outcomes = await asyncio.gather(
-                *(coro for _, coro in gathers), return_exceptions=True
-            )
-            for (shard_id, _), outcome in zip(gathers, outcomes):
-                if isinstance(outcome, ConcealerError):
-                    errors[shard_id] = type(outcome).__name__
-                elif isinstance(outcome, BaseException):
-                    raise outcome
-                else:
-                    answers[shard_id], per_shard[shard_id] = outcome
-            return self.sharded.finish_range(
-                query, participants, answers, per_shard, errors
-            )
+
+                answers: dict[int, object] = {}
+                per_shard: dict[int, QueryStats] = {}
+                errors: dict[int, str] = {}
+                gathers = []
+                for shard_id in participants:
+                    shard = self.sharded.shards[shard_id]
+                    if not shard.healthy():
+                        _count_isolated(shard_id, shard.isolation_reason())
+                        errors[shard_id] = "ShardUnavailable"
+                        continue
+                    gathers.append(
+                        (
+                            shard_id,
+                            self._dispatch(
+                                shard,
+                                "range",
+                                functools.partial(
+                                    shard.service.execute_range,
+                                    query,
+                                    method=method,
+                                    epoch_id=eid,
+                                ),
+                            ),
+                        )
+                    )
+                outcomes = await asyncio.gather(
+                    *(coro for _, coro in gathers), return_exceptions=True
+                )
+                for (shard_id, _), outcome in zip(gathers, outcomes):
+                    if isinstance(outcome, ConcealerError):
+                        errors[shard_id] = type(outcome).__name__
+                    elif isinstance(outcome, BaseException):
+                        raise outcome
+                    else:
+                        answers[shard_id], per_shard[shard_id] = outcome
+                result = self.sharded.finish_range(
+                    query, participants, answers, per_shard, errors
+                )
+                ok = True
+                return result
         finally:
+            self._observe_slo(started, ok)
             self._release()
 
     async def heal(self) -> dict[int, dict]:
@@ -303,9 +340,10 @@ class AsyncShardRouter:
     async def _plan(self, fn):
         """Planning runs off the event loop (it decrypts metadata in an
         enclave); any pool works since the plan shard's lock is taken
-        inside the sync core."""
+        inside the sync core.  ``propagate`` carries the trace context
+        onto the pool thread so ``router.plan`` joins this trace."""
         loop = asyncio.get_running_loop()
-        return await loop.run_in_executor(None, fn)
+        return await loop.run_in_executor(None, tracing.propagate(fn))
 
     # ---------------------------------------------------------------- drain
 

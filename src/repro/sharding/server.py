@@ -13,6 +13,21 @@ Requests::
     {"op": "health"}
     {"op": "heal"}
 
+plus the read-only **ops plane** (PR 7):
+
+    {"op": "metrics", "format": "json" | "prom"}
+    {"op": "traces", "limit": 16}       # assembled cross-shard trees
+    {"op": "trace", "trace_id": "..."}  # one assembled tree
+    {"op": "slo"}                       # objectives, burn rates, alerts
+
+Query requests may carry ``"traceparent": "00-<trace>-<span>-01"``; the
+server joins the client's trace and every query response carries the
+``trace_id`` it ran under, so a client can fetch the assembled tree for
+exactly the query it just saw time out.  Each shard buffers its spans
+in its *own* tracer (the disconnected subtrees the ops plane merges) —
+that is the same wire/assembly machinery a genuinely multi-process
+deployment needs, exercised in one process.
+
 Responses carry ``ok``; query responses add ``answer``, ``partial``,
 ``verified_shards`` / ``missing_shards`` (the QueryStats shard
 accounting), and failures carry the *typed* error name — a
@@ -31,10 +46,13 @@ import contextlib
 import json
 import signal
 
+from repro import telemetry
 from repro.core.queries import Aggregate, PointQuery, RangeQuery
-from repro.exceptions import ConcealerError
+from repro.exceptions import ConcealerError, TelemetryError
 from repro.sharding.results import PartialResult
 from repro.sharding.router import AsyncShardRouter
+from repro.telemetry import tracing
+from repro.telemetry.slo import SLOMonitor
 
 
 def _parse_index_values(raw) -> tuple:
@@ -42,6 +60,48 @@ def _parse_index_values(raw) -> tuple:
     return tuple(
         tuple(slot) if isinstance(slot, list) else slot for slot in raw
     )
+
+
+def attach_ops_plane(router: AsyncShardRouter, trace_capacity: int = 256):
+    """Wire the fleet for observation: per-shard span buffers + SLO.
+
+    Each shard gets its own :class:`~repro.telemetry.spans.Tracer`
+    (leaving any already-assigned buffer alone) and the router gets an
+    :class:`SLOMonitor` on the fleet clock.  Returns the monitor.
+    """
+    sharded = router.sharded
+    for shard in sharded.shards:
+        if shard.tracer is None:
+            shard.tracer = telemetry.Tracer(
+                clock=sharded.clock, capacity=trace_capacity
+            )
+    if router.slo is None:
+        router.slo = SLOMonitor(clock=sharded.clock)
+    return router.slo
+
+
+def fleet_tracers(router: AsyncShardRouter) -> dict:
+    """Every span buffer the fleet writes into, by component name."""
+    tracers = {"router": telemetry.get_tracer()}
+    for shard in router.sharded.shards:
+        if shard.tracer is not None:
+            tracers[f"shard-{shard.shard_id}"] = shard.tracer
+    return tracers
+
+
+def assemble_fleet_traces(router: AsyncShardRouter) -> tuple[list, dict]:
+    """Merge all buffers into whole trees + per-buffer drop counts.
+
+    The shard tracers hold *local roots* (spans whose parent lives in
+    the router's buffer); :func:`tracing.assemble` grafts them back
+    under their parents by span id.
+    """
+    roots: list = []
+    dropped: dict = {}
+    for component, tracer in fleet_tracers(router).items():
+        roots.extend(tracer.traces())
+        dropped[component] = tracer.dropped
+    return tracing.assemble(roots), dropped
 
 
 def _query_response(answer, stats) -> dict:
@@ -70,6 +130,7 @@ class ShardServer:
         host: str = "127.0.0.1",
         port: int = 0,
         drain_seconds: float = 10.0,
+        trace_capacity: int = 256,
     ):
         self.router = router
         self.host = host
@@ -77,6 +138,14 @@ class ShardServer:
         self.drain_seconds = drain_seconds
         self._server: asyncio.AbstractServer | None = None
         self._stop = asyncio.Event()
+        # Ops plane: each shard buffers spans in its own tracer (the
+        # disconnected subtrees a multi-process fleet would ship home),
+        # and the router records request outcomes into an SLO monitor
+        # on the fleet's injectable clock.
+        self.slo = attach_ops_plane(router, trace_capacity=trace_capacity)
+
+    def _assembled_traces(self) -> tuple[list, dict]:
+        return assemble_fleet_traces(self.router)
 
     # --------------------------------------------------------------- lifecycle
 
@@ -134,29 +203,51 @@ class ShardServer:
         try:
             request = json.loads(line)
             operation = request.get("op")
-            if operation == "point":
-                query = PointQuery(
-                    index_values=_parse_index_values(request["index_values"]),
-                    timestamp=int(request["timestamp"]),
-                    aggregate=Aggregate(request.get("aggregate", "count")),
-                    target=request.get("target"),
-                    k=int(request.get("k", 1)),
-                )
-                answer, stats = await self.router.execute_point(query)
-                return _query_response(answer, stats)
-            if operation == "range":
-                query = RangeQuery(
-                    index_values=_parse_index_values(request["index_values"]),
-                    time_start=int(request["time_start"]),
-                    time_end=int(request["time_end"]),
-                    aggregate=Aggregate(request.get("aggregate", "count")),
-                    target=request.get("target"),
-                    k=int(request.get("k", 1)),
-                )
-                answer, stats = await self.router.execute_range(
-                    query, method=request.get("method", "ebpb")
-                )
-                return _query_response(answer, stats)
+            if operation in ("point", "range"):
+                return await self._handle_query(operation, request)
+            if operation == "metrics":
+                fmt = request.get("format", "json")
+                if fmt == "prom":
+                    return {
+                        "ok": True,
+                        "format": "prom",
+                        "text": telemetry.get_registry().to_prometheus(),
+                    }
+                if fmt != "json":
+                    return {"ok": False, "error": "BadRequest",
+                            "message": f"unknown metrics format {fmt!r}"}
+                return {
+                    "ok": True,
+                    "format": "json",
+                    "metrics": telemetry.get_registry().snapshot(),
+                }
+            if operation == "traces":
+                limit = int(request.get("limit", 16))
+                roots, dropped = self._assembled_traces()
+                return {
+                    "ok": True,
+                    "traces": [
+                        tracing.span_to_dict(root) for root in roots[-limit:]
+                    ],
+                    "assembled": len(roots),
+                    "dropped": dropped,
+                }
+            if operation == "trace":
+                trace_id = request.get("trace_id", "")
+                roots, _dropped = self._assembled_traces()
+                matches = [
+                    root for root in roots if root.trace_id == trace_id
+                ]
+                if not matches:
+                    return {"ok": False, "error": "TraceNotFound",
+                            "message": f"no buffered trace {trace_id!r}"}
+                return {
+                    "ok": True,
+                    "trace_id": trace_id,
+                    "roots": [tracing.span_to_dict(root) for root in matches],
+                }
+            if operation == "slo":
+                return {"ok": True, "slo": self.slo.snapshot()}
             if operation == "health":
                 sharded = self.router.sharded
                 return {
@@ -188,6 +279,67 @@ class ShardServer:
                 "error": "BadRequest",
                 "message": f"{type(error).__name__}: {error}",
             }
+
+    async def _handle_query(self, operation: str, request: dict) -> dict:
+        """Run a point/range op, joining the client's trace if offered.
+
+        The ``server.request`` span is the server-side root: a client
+        traceparent makes it a child of the caller's span; without one
+        it starts a fresh trace.  Either way its trace id rides back on
+        the response so the client can fetch the assembled tree.
+        """
+        remote = None
+        traceparent = request.get("traceparent")
+        if traceparent is not None:
+            try:
+                remote = tracing.SpanContext.parse(traceparent)
+            except TelemetryError:
+                return {"ok": False, "error": "BadRequest",
+                        "message": f"bad traceparent {traceparent!r}"}
+        trace_id = None
+        try:
+            with tracing.activate(remote):
+                with telemetry.span("server.request", op=operation) as srv:
+                    trace_id = getattr(srv, "trace_id", None)
+                    if operation == "point":
+                        query = PointQuery(
+                            index_values=_parse_index_values(
+                                request["index_values"]
+                            ),
+                            timestamp=int(request["timestamp"]),
+                            aggregate=Aggregate(
+                                request.get("aggregate", "count")
+                            ),
+                            target=request.get("target"),
+                            k=int(request.get("k", 1)),
+                        )
+                        answer, stats = await self.router.execute_point(query)
+                    else:
+                        query = RangeQuery(
+                            index_values=_parse_index_values(
+                                request["index_values"]
+                            ),
+                            time_start=int(request["time_start"]),
+                            time_end=int(request["time_end"]),
+                            aggregate=Aggregate(
+                                request.get("aggregate", "count")
+                            ),
+                            target=request.get("target"),
+                            k=int(request.get("k", 1)),
+                        )
+                        answer, stats = await self.router.execute_range(
+                            query, method=request.get("method", "ebpb")
+                        )
+            response = _query_response(answer, stats)
+        except ConcealerError as error:
+            response = {
+                "ok": False,
+                "error": type(error).__name__,
+                "message": str(error),
+            }
+        if trace_id is not None:
+            response["trace_id"] = trace_id
+        return response
 
 
 def build_demo_fleet(shards: int, workdir, seed: int = 99, hedge_delay=None):

@@ -134,6 +134,11 @@ class Shard:
     # ServiceProvider's caches and context dicts are not re-entrant.
     # Cross-shard work still runs genuinely concurrently.
     lock: threading.Lock = field(default_factory=threading.Lock)
+    # When set, spans opened while this shard executes record into this
+    # dedicated buffer (the ``--serve`` ops plane serves and merges the
+    # per-shard buffers); when None the shard shares the ambient tracer
+    # and its spans attach to the caller's tree directly.
+    tracer: object | None = None
 
     def healthy(self) -> bool:
         """Whether the router may dispatch to this shard right now."""
@@ -357,17 +362,23 @@ class ShardedService:
             else None
         )
         try:
-            with shard.lock:
-                if not shard.service.enclave.crashed:
-                    shard.service.enclave.kill_point("shard.kill")
-                if (
-                    self.injector.fire("shard.slow") is not None
-                    and deadline is not None
-                ):
-                    self.clock.sleep(self.config.deadline_seconds * 2)
-                if deadline is not None:
-                    deadline.check("shard.dispatch")
-                answer = thunk()
+            # The dispatch span records into the shard's own tracer when
+            # one is set (a local root the ops plane re-assembles); its
+            # parent — the router's query span — is linked by parent_id.
+            with telemetry.bind_tracer(shard.tracer), telemetry.span(
+                "shard.dispatch", shard=shard.shard_id, kind=kind
+            ):
+                with shard.lock:
+                    if not shard.service.enclave.crashed:
+                        shard.service.enclave.kill_point("shard.kill")
+                    if (
+                        self.injector.fire("shard.slow") is not None
+                        and deadline is not None
+                    ):
+                        self.clock.sleep(self.config.deadline_seconds * 2)
+                    if deadline is not None:
+                        deadline.check("shard.dispatch")
+                    answer = thunk()
         except ConcealerError:
             if shard.service.enclave.crashed:
                 _count_isolated(shard.shard_id, "enclave-crashed")
@@ -385,10 +396,16 @@ class ShardedService:
         self, query: PointQuery, epoch_id: int | None = None
     ) -> tuple[int, int, int]:
         """Resolve a point query to ``(epoch_id, cell_id, owner_shard)``."""
-        eid = epoch_id if epoch_id is not None else self._epoch_of(query.timestamp)
-        context = self._plan_context(eid)
-        cell_id = context.grid.place_values(query.index_values, query.timestamp)
-        return eid, cell_id, self.topology.shard_of(cell_id)
+        with telemetry.span("router.plan", stage="plan", kind="point") as plan:
+            eid = (
+                epoch_id if epoch_id is not None else self._epoch_of(query.timestamp)
+            )
+            context = self._plan_context(eid)
+            cell_id = context.grid.place_values(
+                query.index_values, query.timestamp
+            )
+            plan.set(epoch=eid)
+            return eid, cell_id, self.topology.shard_of(cell_id)
 
     def plan_range(
         self,
@@ -407,27 +424,38 @@ class ShardedService:
             raise QueryError(
                 f"unknown range method {method!r}; choose from {RANGE_METHODS}"
             )
-        eid = epoch_id if epoch_id is not None else self._epoch_of(query.time_start)
-        context = self._plan_context(eid)
-        cells: set[int] = set()
-        for combo in query.candidate_combinations():
-            cells.update(
-                context.grid.cell_ids_for_range(
-                    combo, query.time_start, query.time_end
+        with telemetry.span("router.plan", stage="plan", kind="range") as plan:
+            eid = (
+                epoch_id
+                if epoch_id is not None
+                else self._epoch_of(query.time_start)
+            )
+            context = self._plan_context(eid)
+            cells: set[int] = set()
+            for combo in query.candidate_combinations():
+                cells.update(
+                    context.grid.cell_ids_for_range(
+                        combo, query.time_start, query.time_end
+                    )
                 )
+            owners = self.topology.shards_for(cells)
+            if len(owners) > 1 and query.aggregate not in MERGEABLE_AGGREGATES:
+                raise QueryError(
+                    f"aggregate {query.aggregate.value!r} cannot be merged "
+                    f"across {len(owners)} shards; supported cross-shard: "
+                    f"{sorted(a.value for a in MERGEABLE_AGGREGATES)}"
+                )
+            if method == "auto":
+                method = self.shards[
+                    next(iter(owners))
+                ].service.choose_range_method(query, context)
+            plan.set(
+                epoch=eid,
+                method=method,
+                cells=len(cells),
+                participants=len(owners),
             )
-        owners = self.topology.shards_for(cells)
-        if len(owners) > 1 and query.aggregate not in MERGEABLE_AGGREGATES:
-            raise QueryError(
-                f"aggregate {query.aggregate.value!r} cannot be merged "
-                f"across {len(owners)} shards; supported cross-shard: "
-                f"{sorted(a.value for a in MERGEABLE_AGGREGATES)}"
-            )
-        if method == "auto":
-            method = self.shards[next(iter(owners))].service.choose_range_method(
-                query, context
-            )
-        return eid, method, tuple(owners)
+            return eid, method, tuple(owners)
 
     def finish_range(
         self,
@@ -443,17 +471,24 @@ class ShardedService:
         semantics (and their telemetry) cannot drift between the two.
         """
         missing = tuple(sorted(errors))
-        if not answers:
-            raise ShardUnavailable(
-                f"all {len(participants)} participating shards are isolated "
-                f"({errors})",
-                shard_ids=missing,
+        with telemetry.span(
+            "router.merge",
+            stage="merge",
+            participants=len(participants),
+            served=len(answers),
+            missing=len(missing),
+        ):
+            if not answers:
+                raise ShardUnavailable(
+                    f"all {len(participants)} participating shards are "
+                    f"isolated ({errors})",
+                    shard_ids=missing,
+                )
+            merged_answer = merge_answers(query.aggregate, answers)
+            stats = ShardedQueryStats(
+                merged=merged_stats(per_shard, missing=missing),
+                per_shard=per_shard,
             )
-        merged_answer = merge_answers(query.aggregate, answers)
-        stats = ShardedQueryStats(
-            merged=merged_stats(per_shard, missing=missing),
-            per_shard=per_shard,
-        )
         if missing:
             if not self.config.allow_partial:
                 raise ShardUnavailable(
@@ -485,27 +520,28 @@ class ShardedService:
         unaffected, which is the point of partitioning.
         """
         self._check_fence()
-        eid, cell_id, owner_id = self.plan_point(query, epoch_id)
-        owner = self.shards[owner_id]
-        if not owner.healthy():
-            _count_isolated(owner.shard_id, owner.isolation_reason())
-            raise ShardUnavailable(
-                f"shard {owner.shard_id} owning cell-id {cell_id} is "
-                f"isolated ({owner.isolation_reason()})",
-                shard_ids=(owner.shard_id,),
+        with telemetry.span("router.query", kind="point"):
+            eid, cell_id, owner_id = self.plan_point(query, epoch_id)
+            owner = self.shards[owner_id]
+            if not owner.healthy():
+                _count_isolated(owner.shard_id, owner.isolation_reason())
+                raise ShardUnavailable(
+                    f"shard {owner.shard_id} owning cell-id {cell_id} is "
+                    f"isolated ({owner.isolation_reason()})",
+                    shard_ids=(owner.shard_id,),
+                )
+            owner.assert_owns((cell_id,))
+            answer = self._dispatch(
+                owner,
+                "point",
+                lambda: owner.service.execute_point(query, epoch_id=eid),
             )
-        owner.assert_owns((cell_id,))
-        answer = self._dispatch(
-            owner,
-            "point",
-            lambda: owner.service.execute_point(query, epoch_id=eid),
-        )
-        result, stats = answer
-        sharded = ShardedQueryStats(
-            merged=merged_stats({owner.shard_id: stats}),
-            per_shard={owner.shard_id: stats},
-        )
-        return result, sharded
+            result, stats = answer
+            sharded = ShardedQueryStats(
+                merged=merged_stats({owner.shard_id: stats}),
+                per_shard={owner.shard_id: stats},
+            )
+            return result, sharded
 
     def execute_range(
         self,
@@ -523,32 +559,35 @@ class ShardedService:
         raised instead (there is nothing to answer from).
         """
         self._check_fence()
-        eid, method, participants = self.plan_range(query, method, epoch_id)
+        with telemetry.span("router.query", kind="range"):
+            eid, method, participants = self.plan_range(query, method, epoch_id)
 
-        answers: dict[int, object] = {}
-        per_shard: dict[int, QueryStats] = {}
-        errors: dict[int, str] = {}
-        for shard_id in participants:
-            shard = self.shards[shard_id]
-            if not shard.healthy():
-                _count_isolated(shard_id, shard.isolation_reason())
-                errors[shard_id] = "ShardUnavailable"
-                continue
-            try:
-                answer, stats = self._dispatch(
-                    shard,
-                    "range",
-                    lambda s=shard: s.service.execute_range(
-                        query, method=method, epoch_id=eid
-                    ),
-                )
-            except ConcealerError as error:
-                errors[shard_id] = type(error).__name__
-                continue
-            answers[shard_id] = answer
-            per_shard[shard_id] = stats
+            answers: dict[int, object] = {}
+            per_shard: dict[int, QueryStats] = {}
+            errors: dict[int, str] = {}
+            for shard_id in participants:
+                shard = self.shards[shard_id]
+                if not shard.healthy():
+                    _count_isolated(shard_id, shard.isolation_reason())
+                    errors[shard_id] = "ShardUnavailable"
+                    continue
+                try:
+                    answer, stats = self._dispatch(
+                        shard,
+                        "range",
+                        lambda s=shard: s.service.execute_range(
+                            query, method=method, epoch_id=eid
+                        ),
+                    )
+                except ConcealerError as error:
+                    errors[shard_id] = type(error).__name__
+                    continue
+                answers[shard_id] = answer
+                per_shard[shard_id] = stats
 
-        return self.finish_range(query, participants, answers, per_shard, errors)
+            return self.finish_range(
+                query, participants, answers, per_shard, errors
+            )
 
     # ---------------------------------------------------------------- healing
 

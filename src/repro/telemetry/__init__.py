@@ -26,6 +26,7 @@ from contextlib import contextmanager
 from repro.telemetry.audit import (
     AuditReport,
     assert_equal_public_view,
+    assert_equal_trace_view,
     audit_run,
     diff_public_views,
     public_view,
@@ -41,7 +42,33 @@ from repro.telemetry.metrics import (
     MetricFamily,
     MetricsRegistry,
 )
-from repro.telemetry.spans import Span, Tracer, format_span, format_traces
+from repro.telemetry.spans import (
+    Span,
+    Tracer,
+    format_span,
+    format_trace_tree,
+    format_traces,
+)
+from repro.telemetry import tracing
+from repro.telemetry.slo import (
+    BurnRule,
+    SLOAlert,
+    SLObjective,
+    SLOMonitor,
+)
+from repro.telemetry.tracing import (
+    SpanContext,
+    activate,
+    annotate,
+    assemble,
+    bind_tracer,
+    capture,
+    current_trace_id,
+    current_traceparent,
+    propagate,
+    public_trace_summary,
+    scoped_ids,
+)
 
 __all__ = [
     "AuditReport",
@@ -54,24 +81,42 @@ __all__ = [
     "MetricsRegistry",
     "OVERFLOW_LABEL",
     "PUBLIC_SIZE",
+    "BurnRule",
+    "SLOAlert",
+    "SLObjective",
+    "SLOMonitor",
     "Span",
+    "SpanContext",
     "Tracer",
+    "activate",
+    "annotate",
+    "assemble",
     "assert_equal_public_view",
+    "assert_equal_trace_view",
     "audit_run",
+    "bind_tracer",
+    "capture",
     "counter",
+    "current_trace_id",
+    "current_traceparent",
     "diff_public_views",
     "format_span",
+    "format_trace_tree",
     "format_traces",
     "gauge",
     "get_registry",
     "get_tracer",
     "histogram",
+    "propagate",
+    "public_trace_summary",
     "public_view",
+    "scoped_ids",
     "scoped_registry",
     "scoped_tracer",
     "set_registry",
     "set_tracer",
     "span",
+    "tracing",
 ]
 
 _registry = MetricsRegistry()
@@ -95,8 +140,14 @@ def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
 
 
 def get_tracer() -> Tracer:
-    """The ambient tracer spans open against."""
-    return _tracer
+    """The tracer spans open against.
+
+    Context-bound first (``bind_tracer`` — how the router routes a
+    shard's spans into that shard's own buffer), then the process
+    ambient.
+    """
+    bound = tracing.bound_tracer()
+    return bound if bound is not None else _tracer
 
 
 def set_tracer(tracer: Tracer) -> Tracer:
@@ -167,6 +218,6 @@ def histogram(
     return _registry.histogram(name, help, secrecy, labels, boundaries)
 
 
-def span(name: str, **attributes):
-    """Open a span on the ambient tracer (context manager)."""
-    return _tracer.span(name, **attributes)
+def span(name: str, secrecy: str = PUBLIC_SIZE, **attributes):
+    """Open a span on the context's tracer (context manager)."""
+    return get_tracer().span(name, secrecy=secrecy, **attributes)

@@ -24,7 +24,8 @@ comparison.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import json
+from dataclasses import dataclass, field
 
 from repro.exceptions import LeakageAuditError
 from repro.telemetry.metrics import MetricsRegistry, PUBLIC_SIZE
@@ -36,6 +37,7 @@ class AuditReport:
 
     registry: MetricsRegistry
     result: object = None
+    traces: list = field(default_factory=list)
 
     def public_view(self, extra_public: tuple[str, ...] = ()) -> dict:
         """Every public-size family's samples, canonically keyed.
@@ -45,6 +47,22 @@ class AuditReport:
         uses to prove the auditor would catch a wrong tag.
         """
         return public_view(self.registry, extra_public=extra_public)
+
+    def trace_summary(self) -> str:
+        """The run's public-size trace view, as one canonical JSON blob.
+
+        Span names, ids, errors, public attributes, and tree structure —
+        no timestamps or durations (timing is a side channel).  Because
+        ``audit_run`` executes under ``tracing.scoped_ids``, two
+        equal-public-view runs must produce **byte-identical** strings:
+        ids come off a public counter, so equal public control flow
+        allocates equal ids.
+        """
+        from repro.telemetry.tracing import public_trace_summary
+
+        return json.dumps(
+            public_trace_summary(self.traces), sort_keys=True, indent=1
+        )
 
 
 def public_view(
@@ -110,17 +128,53 @@ def assert_equal_public_view(
         )
 
 
+def assert_equal_trace_view(
+    report_a: AuditReport, report_b: AuditReport
+) -> None:
+    """Raise :class:`LeakageAuditError` unless trace summaries match.
+
+    The trace analogue of :func:`assert_equal_public_view`: two runs
+    with equal public views must buffer byte-identical public-size
+    trace forests — same span names, same stage structure, same counts,
+    same counter-derived ids.  A divergence means a span (or one of its
+    attributes) carries data-dependent content without being tagged
+    ``DATA_DEPENDENT`` — a mislabeled span, the trace-side volume leak.
+    """
+    summary_a, summary_b = report_a.trace_summary(), report_b.trace_summary()
+    if summary_a != summary_b:
+        lines_a, lines_b = summary_a.splitlines(), summary_b.splitlines()
+        diverging = [
+            f"{left!r} != {right!r}"
+            for left, right in zip(lines_a, lines_b)
+            if left != right
+        ][:8]
+        if len(lines_a) != len(lines_b):
+            diverging.append(
+                f"summary lengths differ: {len(lines_a)} != {len(lines_b)} lines"
+            )
+        raise LeakageAuditError(
+            "public-size trace summaries diverged between equal-public-view "
+            "runs (a span or attribute is data-dependent but not tagged so):\n  "
+            + "\n  ".join(diverging)
+        )
+
+
 def audit_run(workload, clock=None) -> AuditReport:
     """Run ``workload()`` under a fresh scoped registry and tracer.
 
     Returns the isolated registry for comparison.  ``clock`` (anything
     with ``now()``) feeds the scoped tracer so audited runs can use a
-    virtual clock.
+    virtual clock.  The run also gets a fresh trace-id counter
+    (``tracing.scoped_ids``) so the buffered traces of two equal runs
+    are directly comparable, ids included.
     """
     from repro import telemetry
+    from repro.telemetry.tracing import scoped_ids
 
     with telemetry.scoped_registry() as registry, telemetry.scoped_tracer(
         clock=clock
-    ):
+    ) as tracer, scoped_ids():
         result = workload()
-    return AuditReport(registry=registry, result=result)
+    return AuditReport(
+        registry=registry, result=result, traces=tracer.traces()
+    )

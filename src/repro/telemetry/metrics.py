@@ -110,26 +110,38 @@ class Histogram:
     ``boundaries`` are the upper bounds of the finite buckets; one
     implicit ``+Inf`` bucket catches the rest.  Boundaries are fixed at
     registration so two runs of the same build always bucket alike.
+
+    An observation may carry an **exemplar** — the trace id of the
+    query that produced it (OpenMetrics-style).  The last exemplar per
+    bucket is kept, so "what does a p99 query look like?" resolves to a
+    dumpable trace.  Exemplars are operational breadcrumbs, not
+    samples: they are exported, but excluded from the leakage auditor's
+    public view (ids are public-counter-derived, yet *which bucket* a
+    given query landed in is timing — a side channel).
     """
 
-    __slots__ = ("boundaries", "bucket_counts", "sum", "count")
+    __slots__ = ("boundaries", "bucket_counts", "sum", "count", "exemplars")
 
     def __init__(self, boundaries: tuple[float, ...]):
         self.boundaries = boundaries
         self.bucket_counts = [0] * (len(boundaries) + 1)
         self.sum = 0.0
         self.count = 0
+        self.exemplars: dict[int, str] = {}
 
-    def observe(self, value: int | float) -> None:
-        """Record one observation."""
+    def observe(self, value: int | float, trace_id: str | None = None) -> None:
+        """Record one observation, optionally stamped with a trace id."""
         with _MUTATION_LOCK:
             self.sum += value
             self.count += 1
-            for position, bound in enumerate(self.boundaries):
+            position = len(self.boundaries)
+            for index, bound in enumerate(self.boundaries):
                 if value <= bound:
-                    self.bucket_counts[position] += 1
-                    return
-            self.bucket_counts[-1] += 1
+                    position = index
+                    break
+            self.bucket_counts[position] += 1
+            if trace_id is not None:
+                self.exemplars[position] = trace_id
 
     def cumulative_counts(self) -> list[int]:
         """Prometheus ``le`` buckets: cumulative counts, +Inf last."""
@@ -220,8 +232,8 @@ class MetricFamily:
     def set_max(self, value: int | float) -> None:
         self.default().set_max(value)
 
-    def observe(self, value: int | float) -> None:
-        self.default().observe(value)
+    def observe(self, value: int | float, trace_id: str | None = None) -> None:
+        self.default().observe(value, trace_id=trace_id)
 
 
 class MetricsRegistry:
@@ -377,20 +389,25 @@ class MetricsRegistry:
                 child = family.children[key]
                 labels = dict(zip(family.label_names, key))
                 if family.kind == "histogram":
-                    samples.append(
-                        {
-                            "labels": labels,
-                            "buckets": dict(
-                                zip(
-                                    [str(b) for b in (family.boundaries or ())]
-                                    + ["+Inf"],
-                                    child.cumulative_counts(),
-                                )
-                            ),
-                            "sum": child.sum,
-                            "count": child.count,
+                    bounds = [str(b) for b in (family.boundaries or ())] + [
+                        "+Inf"
+                    ]
+                    sample = {
+                        "labels": labels,
+                        "buckets": dict(
+                            zip(bounds, child.cumulative_counts())
+                        ),
+                        "sum": child.sum,
+                        "count": child.count,
+                    }
+                    if child.exemplars:
+                        sample["exemplars"] = {
+                            bounds[position]: trace_id
+                            for position, trace_id in sorted(
+                                child.exemplars.items()
+                            )
                         }
-                    )
+                    samples.append(sample)
                 else:
                     samples.append({"labels": labels, "value": child.value})
             out[family.name] = {
@@ -419,13 +436,27 @@ class MetricsRegistry:
                 labels = dict(zip(family.label_names, key))
                 if family.kind == "histogram":
                     bounds = [str(float(b)) for b in (family.boundaries or ())]
-                    for bound, count in zip(
-                        bounds + ["+Inf"], child.cumulative_counts()
+                    for position, (bound, count) in enumerate(
+                        zip(bounds + ["+Inf"], child.cumulative_counts())
                     ):
-                        lines.append(
+                        line = (
                             f"{family.name}_bucket"
                             f"{_label_text({**labels, 'le': bound})} {count}"
                         )
+                        exemplar = child.exemplars.get(position)
+                        if exemplar is not None:
+                            # OpenMetrics-flavoured exemplar annotation;
+                            # plain v0.0.4 parsers ignore everything
+                            # after the value only in OpenMetrics, so
+                            # ride it on a comment line instead.
+                            lines.append(line)
+                            lines.append(
+                                f"# EXEMPLAR {family.name}_bucket"
+                                f"{_label_text({**labels, 'le': bound})} "
+                                f"trace_id={exemplar}"
+                            )
+                        else:
+                            lines.append(line)
                     lines.append(
                         f"{family.name}_sum{_label_text(labels)} "
                         f"{_format_number(child.sum)}"

@@ -1,0 +1,253 @@
+"""SLO objectives with Google-SRE-style multi-window burn-rate alerts.
+
+An :class:`SLObjective` promises a fraction of *good* events — requests
+that succeeded (availability) or finished under a latency threshold
+(latency).  The error **budget** is ``1 - target``; the **burn rate**
+over a window is ``bad_fraction / budget`` — burn 1.0 spends the budget
+exactly at the sustainable pace, burn 14 spends a month's budget in two
+days.  An alert fires only when *both* a long and a short window exceed
+a rule's factor: the long window proves the problem is real (not one
+blip), the short window proves it is *still happening* (no alerting on
+long-recovered incidents).
+
+Everything runs off the injectable clock (``now()``), so the chaos
+harness evaluates burn rates on the :class:`~repro.faults.clock.VirtualClock`
+deterministically: an injected ``shard.slow`` burns its dispatch budget
+in virtual seconds and must trip the latency objective within one
+evaluation window, while fault-free runs must stay quiet — both are
+regression-tested, not hoped for.
+
+Secrecy: every quantity here derives from request *outcomes and
+timing* — a side channel — so the SLO metric families are tagged
+``DATA_DEPENDENT`` and the ops-plane snapshot carries the same tag.
+Burn rates must never be exported across the trust boundary as if they
+were public-size.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.exceptions import TelemetryError
+
+AVAILABILITY = "availability"
+LATENCY = "latency"
+
+
+@dataclass(frozen=True)
+class SLObjective:
+    """One promise: ``target`` fraction of events must be good."""
+
+    name: str
+    kind: str  # AVAILABILITY | LATENCY
+    target: float  # e.g. 0.99 — fraction of good events promised
+    threshold_seconds: float | None = None  # LATENCY only
+
+    def __post_init__(self):
+        if self.kind not in (AVAILABILITY, LATENCY):
+            raise TelemetryError(
+                f"unknown SLO kind {self.kind!r}; use "
+                f"{AVAILABILITY!r} or {LATENCY!r}"
+            )
+        if not 0.0 < self.target < 1.0:
+            raise TelemetryError(
+                f"SLO target must be in (0, 1), got {self.target}"
+            )
+        if self.kind == LATENCY and self.threshold_seconds is None:
+            raise TelemetryError(
+                f"latency objective {self.name!r} needs threshold_seconds"
+            )
+
+    @property
+    def budget(self) -> float:
+        """The error budget: the bad fraction the target tolerates."""
+        return 1.0 - self.target
+
+    def is_bad(self, latency_seconds: float, ok: bool) -> bool:
+        if self.kind == AVAILABILITY:
+            return not ok
+        return latency_seconds > float(self.threshold_seconds)
+
+
+@dataclass(frozen=True)
+class BurnRule:
+    """Alert when both windows burn faster than ``factor`` × budget."""
+
+    long_window: float   # seconds
+    short_window: float  # seconds
+    factor: float        # burn-rate multiple that trips the alert
+
+
+# The classic two-rule ladder: fast burn (page) and slow burn (ticket).
+DEFAULT_RULES = (
+    BurnRule(long_window=3600.0, short_window=300.0, factor=14.4),
+    BurnRule(long_window=21600.0, short_window=1800.0, factor=6.0),
+)
+
+DEFAULT_OBJECTIVES = (
+    SLObjective(name="availability", kind=AVAILABILITY, target=0.99),
+    SLObjective(
+        name="latency-p99", kind=LATENCY, target=0.99, threshold_seconds=30.0
+    ),
+)
+
+
+@dataclass(frozen=True)
+class SLOAlert:
+    """One tripped burn-rate rule at one evaluation instant."""
+
+    objective: str
+    kind: str
+    factor: float
+    long_window: float
+    short_window: float
+    long_burn: float
+    short_burn: float
+    at: float
+
+    def summary(self) -> str:
+        return (
+            f"SLO {self.objective!r} burning {self.long_burn:.1f}x budget "
+            f"over {self.long_window:.0f}s (short {self.short_burn:.1f}x "
+            f"over {self.short_window:.0f}s, threshold {self.factor}x)"
+        )
+
+
+@dataclass
+class _Event:
+    at: float
+    latency: float
+    ok: bool
+
+
+class SLOMonitor:
+    """Records request outcomes; evaluates burn-rate alerts on demand.
+
+    ``record`` is O(1); ``evaluate`` walks the retained event window
+    (bounded by ``max_events`` and the longest rule window).  All
+    timestamps come from the injectable ``clock``.
+    """
+
+    def __init__(
+        self,
+        clock,
+        objectives: tuple[SLObjective, ...] = DEFAULT_OBJECTIVES,
+        rules: tuple[BurnRule, ...] = DEFAULT_RULES,
+        max_events: int = 4096,
+    ):
+        self.clock = clock
+        self.objectives = tuple(objectives)
+        self.rules = tuple(sorted(rules, key=lambda r: -r.factor))
+        self._events: deque[_Event] = deque(maxlen=max_events)
+
+    # ------------------------------------------------------------- recording
+
+    def record(self, latency_seconds: float, ok: bool = True) -> None:
+        """Record one finished request's latency and outcome."""
+        self._events.append(
+            _Event(at=self.clock.now(), latency=latency_seconds, ok=ok)
+        )
+        from repro import telemetry
+
+        for objective in self.objectives:
+            if objective.is_bad(latency_seconds, ok):
+                telemetry.counter(
+                    "concealer_slo_bad_events_total",
+                    "requests that violated an SLO objective "
+                    "(outcome/timing-derived: never public)",
+                    labels=("objective",),
+                ).labels(objective=objective.name).inc()
+
+    # ------------------------------------------------------------ evaluation
+
+    def _window_burn(
+        self, objective: SLObjective, window: float, now: float
+    ) -> float:
+        total = bad = 0
+        for event in self._events:
+            if event.at > now - window:
+                total += 1
+                bad += objective.is_bad(event.latency, event.ok)
+        if total == 0:
+            return 0.0
+        return (bad / total) / objective.budget
+
+    def evaluate(self) -> list[SLOAlert]:
+        """All currently tripped (objective, rule) pairs.
+
+        At most one alert per objective — the fastest-burning rule wins,
+        which is the one an operator should page on.
+        """
+        now = self.clock.now()
+        alerts: list[SLOAlert] = []
+        for objective in self.objectives:
+            for rule in self.rules:
+                long_burn = self._window_burn(
+                    objective, rule.long_window, now
+                )
+                short_burn = self._window_burn(
+                    objective, rule.short_window, now
+                )
+                if long_burn >= rule.factor and short_burn >= rule.factor:
+                    alerts.append(
+                        SLOAlert(
+                            objective=objective.name,
+                            kind=objective.kind,
+                            factor=rule.factor,
+                            long_window=rule.long_window,
+                            short_window=rule.short_window,
+                            long_burn=long_burn,
+                            short_burn=short_burn,
+                            at=now,
+                        )
+                    )
+                    break
+        if alerts:
+            from repro import telemetry
+
+            for alert in alerts:
+                telemetry.counter(
+                    "concealer_slo_alerts_total",
+                    "burn-rate alerts raised at evaluation time "
+                    "(outcome/timing-derived: never public)",
+                    labels=("objective",),
+                ).labels(objective=alert.objective).inc()
+        return alerts
+
+    def snapshot(self) -> dict:
+        """The ops-plane view: objectives, burns per rule, live alerts."""
+        now = self.clock.now()
+        alerts = self.evaluate()
+        objectives = []
+        for objective in self.objectives:
+            rules = [
+                {
+                    "factor": rule.factor,
+                    "long_window_s": rule.long_window,
+                    "short_window_s": rule.short_window,
+                    "long_burn": round(
+                        self._window_burn(objective, rule.long_window, now), 4
+                    ),
+                    "short_burn": round(
+                        self._window_burn(objective, rule.short_window, now), 4
+                    ),
+                }
+                for rule in self.rules
+            ]
+            objectives.append(
+                {
+                    "name": objective.name,
+                    "kind": objective.kind,
+                    "target": objective.target,
+                    "threshold_seconds": objective.threshold_seconds,
+                    "budget": round(objective.budget, 6),
+                    "rules": rules,
+                }
+            )
+        return {
+            "secrecy": "data-dependent",
+            "events": len(self._events),
+            "objectives": objectives,
+            "alerts": [alert.__dict__ for alert in alerts],
+        }

@@ -7,22 +7,44 @@ produces a small tree — ``service.range_query`` → ``enclave.fetch`` →
 ``storage.lookup`` — mirroring the paper's §9 cost decomposition of bin
 fetch vs. in-enclave processing.
 
+Since PR 7 the "currently active span" lives in a **context variable**
+(:mod:`repro.telemetry.tracing`), not a tracer-local stack, and every
+span carries W3C-style ``trace_id`` / ``span_id`` / ``parent_id``
+identities.  That is what lets one query stay one trace across the
+sharded router's thread pools and the ``--serve`` JSON-lines wire: a
+span whose parent lives in *another* tracer (a shard answering the
+router, a server answering a client) is linked by ``parent_id`` alone
+and buffered as a **local root**; :func:`repro.telemetry.tracing.assemble`
+stitches the forest back into one tree.
+
 Durations come from an injectable clock (anything with ``now()``; the
 :class:`~repro.faults.clock.VirtualClock` in tests, the real monotonic
-clock by default).  Completed root spans land in a bounded ring buffer
-(:class:`Tracer`), dumpable via ``python -m repro --trace-dump``.
+clock by default).  Completed local-root spans land in a bounded ring
+buffer (:class:`Tracer`), dumpable via ``python -m repro --trace-dump``.
+When the buffer is full the oldest trace is evicted **and counted** —
+``Tracer.dropped`` plus the public-size
+``concealer_trace_spans_dropped_total`` counter, visible in both the
+JSON and Prometheus exporters — never silently.
 
 Span *attributes* should carry only public-size quantities (bin counts,
 trapdoor counts, byte sizes): the ring buffer is operator-facing and the
-same volume-hiding discipline as the metrics registry applies.
+same volume-hiding discipline as the metrics registry applies.  A span
+that must record data-dependent context can be opened with
+``secrecy=DATA_DEPENDENT``; the leakage auditor prunes such subtrees
+from the public trace summary, exactly like data-dependent metric
+families stay out of the public view.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import deque
 from contextlib import contextmanager
 from dataclasses import dataclass, field
+
+from repro.telemetry import tracing
+from repro.telemetry.metrics import PUBLIC_SIZE, SECRECY_LEVELS
 
 
 class _MonotonicClock:
@@ -42,6 +64,15 @@ class Span:
     end: float | None = None
     error: str | None = None
     children: list["Span"] = field(default_factory=list)
+    trace_id: str = ""
+    span_id: str = ""
+    parent_id: str | None = None
+    secrecy: str = PUBLIC_SIZE
+
+    def __post_init__(self):
+        # The owning tracer, for the local-root rule.  Not a dataclass
+        # field: identity bookkeeping, not data.
+        self._tracer = None
 
     @property
     def duration(self) -> float:
@@ -49,6 +80,11 @@ class Span:
         if self.end is None:
             return 0.0
         return self.end - self.start
+
+    @property
+    def context(self) -> tracing.SpanContext:
+        """This span's wire identity (``traceparent`` source)."""
+        return tracing.SpanContext(trace_id=self.trace_id, span_id=self.span_id)
 
     def set(self, **attributes) -> None:
         """Attach attributes discovered mid-span (public sizes only)."""
@@ -71,6 +107,54 @@ class Span:
         return [s for s in self.walk() if s.name == name]
 
 
+class _DisabledSpan:
+    """The no-op span a disabled tracer hands out (shared singleton)."""
+
+    __slots__ = ()
+
+    name = ""
+    attributes: dict = {}
+    start = 0.0
+    end = 0.0
+    error = None
+    children: list = []
+    trace_id = ""
+    span_id = ""
+    parent_id = None
+    secrecy = PUBLIC_SIZE
+    duration = 0.0
+
+    def set(self, **attributes) -> None:
+        pass
+
+    def walk(self):
+        yield self
+
+    def depth(self) -> int:
+        return 1
+
+    def find(self, name: str) -> list:
+        return []
+
+
+_DISABLED_SPAN = _DisabledSpan()
+
+
+class _DisabledContext:
+    """Reusable context manager for the tracing-off fast path."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return _DISABLED_SPAN
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_DISABLED_CONTEXT = _DisabledContext()
+
+
 class Tracer:
     """Builds span trees and keeps the last ``capacity`` completed traces.
 
@@ -87,18 +171,66 @@ class Tracer:
     ['outer', 'inner']
     """
 
-    def __init__(self, clock=None, capacity: int = 64):
+    def __init__(self, clock=None, capacity: int = 64, enabled: bool = True):
         self.clock = clock if clock is not None else _MonotonicClock()
+        self.enabled = enabled
+        self._capacity = capacity
         self._traces: deque[Span] = deque(maxlen=capacity)
-        self._stack: list[Span] = []
+        self._lock = threading.Lock()
+        self.dropped = 0
+
+    def span(self, name: str, secrecy: str = PUBLIC_SIZE, **attributes):
+        """Open one span; joins the context's current trace, if any.
+
+        Parentage comes from :mod:`repro.telemetry.tracing`'s context
+        variables: the innermost open span (any tracer), else a remote
+        ``traceparent`` parent, else a fresh trace.  A span whose parent
+        records into a *different* tracer is kept out of that parent's
+        ``children`` (the buffers live in different processes in the
+        ``--serve`` deployment) and lands in this tracer's ring buffer
+        as a local root, to be re-grafted by ``tracing.assemble``.
+        """
+        if not self.enabled:
+            return _DISABLED_CONTEXT
+        return self._span(name, secrecy, attributes)
 
     @contextmanager
-    def span(self, name: str, **attributes):
-        """Open one span; nests under the currently open span, if any."""
-        opened = Span(name=name, attributes=attributes, start=self.clock.now())
-        if self._stack:
-            self._stack[-1].children.append(opened)
-        self._stack.append(opened)
+    def _span(self, name: str, secrecy: str, attributes: dict):
+        if secrecy not in SECRECY_LEVELS:
+            from repro.exceptions import TelemetryError
+
+            raise TelemetryError(
+                f"unknown span secrecy {secrecy!r}; use one of {SECRECY_LEVELS}"
+            )
+        parent = tracing.current_span()
+        remote = None if parent is not None else tracing._REMOTE.get()
+        if parent is not None:
+            trace_id, parent_id = parent.trace_id, parent.span_id
+        elif remote is not None:
+            trace_id, parent_id = remote.trace_id, remote.span_id
+        else:
+            trace_id, parent_id = tracing.new_trace_id(), None
+        opened = Span(
+            name=name,
+            attributes=dict(attributes),
+            start=self.clock.now(),
+            trace_id=trace_id,
+            span_id=tracing.new_span_id(),
+            parent_id=parent_id,
+        )
+        opened.secrecy = secrecy
+        opened._tracer = self
+        local_parent = (
+            parent
+            if parent is not None and parent._tracer is self
+            else None
+        )
+        if local_parent is not None:
+            # Same buffer: attach in place.  list.append is atomic under
+            # the GIL, so concurrent children from sibling shard threads
+            # interleave but never corrupt.
+            local_parent.children.append(opened)
+        token = tracing._CURRENT.set(opened)
         try:
             yield opened
         except BaseException as error:
@@ -106,21 +238,49 @@ class Tracer:
             raise
         finally:
             opened.end = self.clock.now()
-            self._stack.pop()
-            if not self._stack:
-                self._traces.append(opened)
+            tracing._CURRENT.reset(token)
+            if local_parent is None:
+                self._record_root(opened)
+
+    def _record_root(self, root: Span) -> None:
+        with self._lock:
+            if self._capacity and len(self._traces) == self._capacity:
+                self.dropped += 1
+                dropped_now = True
+            else:
+                dropped_now = False
+            self._traces.append(root)
+        if dropped_now:
+            self._count_drop()
+
+    def _count_drop(self) -> None:
+        # Lazy import: telemetry.__init__ imports this module.  The
+        # counter is public-size — it counts buffer pressure (a function
+        # of query volume), never row data.
+        from repro import telemetry
+
+        telemetry.get_registry().counter(
+            "concealer_trace_spans_dropped_total",
+            "root spans evicted from a full trace ring buffer",
+            secrecy=PUBLIC_SIZE,
+        ).inc()
 
     def current(self) -> Span | None:
-        """The innermost open span, or ``None`` outside any span."""
-        return self._stack[-1] if self._stack else None
+        """The innermost open span recording into *this* tracer."""
+        span = tracing.current_span()
+        if span is not None and span._tracer is self:
+            return span
+        return None
 
     def traces(self) -> list[Span]:
-        """Completed root spans, oldest first."""
-        return list(self._traces)
+        """Completed local-root spans, oldest first."""
+        with self._lock:
+            return list(self._traces)
 
     def clear(self) -> None:
         """Drop all completed traces (open spans are unaffected)."""
-        self._traces.clear()
+        with self._lock:
+            self._traces.clear()
 
 
 def format_span(span: Span, indent: int = 0) -> list[str]:
@@ -136,6 +296,18 @@ def format_span(span: Span, indent: int = 0) -> list[str]:
     return lines
 
 
+def format_trace_tree(root: Span) -> str:
+    """Render one assembled trace: header line plus the span tree."""
+    stages = tracing.stage_timings(root)
+    header = f"trace {root.trace_id}:"
+    if stages:
+        header += "  stages " + " ".join(
+            f"{stage}={seconds * 1000:.3f}ms"
+            for stage, seconds in sorted(stages.items())
+        )
+    return "\n".join([header] + format_span(root, indent=1))
+
+
 def format_traces(tracer: Tracer, limit: int | None = None) -> str:
     """Render the ring buffer's traces, newest last."""
     traces = tracer.traces()
@@ -147,4 +319,6 @@ def format_traces(tracer: Tracer, limit: int | None = None) -> str:
     for position, root in enumerate(traces):
         blocks.append(f"trace {position}:")
         blocks.extend(format_span(root, indent=1))
+    if tracer.dropped:
+        blocks.append(f"({tracer.dropped} older trace(s) dropped)")
     return "\n".join(blocks)

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro import telemetry
 from repro.faults.chaos import run_chaos
 from repro.faults.injector import FaultSpec
 
@@ -33,6 +34,29 @@ def assert_never_silently_wrong(report, shards=2):
             for o in report.silent_wrong
         )
     )
+    # Burn-rate alerts must trace back to injected faults: the SLO
+    # engine stays quiet on every corpus run whose schedule gave it no
+    # reason to page.  A false page here is a regression exactly like a
+    # wrong answer.
+    if report.faults_fired == 0:
+        assert not report.slo_alerts, (
+            f"seed {report.seed}: SLO alert on a fault-free run: "
+            f"{[a.summary() for a in report.slo_alerts]}"
+        )
+    if b"shard.slow" not in report.schedule:
+        latency_alerts = [
+            a for a in report.slo_alerts if a.kind == "latency"
+        ]
+        assert not latency_alerts, (
+            f"seed {report.seed}: latency alert without a shard stall "
+            f"in the schedule: {[a.summary() for a in latency_alerts]}"
+        )
+
+
+def _walk(span):
+    yield span
+    for child in span.children:
+        yield from _walk(child)
 
 
 def hostile_shard_specs():
@@ -120,6 +144,62 @@ class TestCorpusCoverage:
                 f"seed {seed}: final verification failed — replay with "
                 f"`python -m repro --chaos-seed {seed} --shards 4`"
             )
+
+
+class TestSLOAndTracing:
+    """PR 7: burn-rate alerts and chaos-annotated trace trees."""
+
+    def test_latency_alert_fires_within_one_window_on_injected_stall(self):
+        # Arm only shard.slow: the stall burns 2x the 60s dispatch
+        # deadline on the virtual clock, far past the 30s latency
+        # threshold, so the very first evaluate() after the op stream
+        # (one evaluation window) must page the latency objective.
+        specs = [FaultSpec("shard.slow", probability=0.9, max_fires=2)]
+        report = run_chaos(4500, ops=8, shards=2, specs=specs)
+        assert b"shard.slow" in report.schedule
+        latency_alerts = [
+            a for a in report.slo_alerts if a.kind == "latency"
+        ]
+        assert latency_alerts, (
+            f"injected stalls (schedule {report.schedule!r}) did not "
+            f"trip the latency objective; alerts={report.slo_alerts}"
+        )
+        alert = latency_alerts[0]
+        assert alert.long_burn >= alert.factor
+        assert alert.short_burn >= alert.factor
+
+    def test_shard_kill_mid_query_annotates_failed_subtree(self):
+        # Satellite: across >=3 seeded corpus runs where shard.kill
+        # fired mid-query, the assembled trace tree's failed dispatch
+        # subtree carries the *typed* error name and the fault site.
+        annotated_runs = 0
+        for seed in range(4000, 4030):
+            report = run_chaos(seed, ops=14, shards=2)
+            if b"shard.kill" not in report.schedule:
+                continue
+            failed = [
+                span
+                for root in telemetry.assemble(report.traces)
+                for span in _walk(root)
+                if span.name == "shard.dispatch" and span.error
+            ]
+            killed = [
+                span
+                for span in failed
+                if span.attributes.get("fault_site") == "shard.kill"
+            ]
+            if not killed:
+                continue
+            for span in killed:
+                assert span.error == "EnclaveCrashed"
+                assert "shard" in span.attributes
+            annotated_runs += 1
+            if annotated_runs >= 3:
+                break
+        assert annotated_runs >= 3, (
+            "fewer than 3 corpus runs produced a shard.kill-annotated "
+            f"trace subtree (got {annotated_runs})"
+        )
 
 
 class TestDeterministicReplay:

@@ -11,8 +11,11 @@ import sys
 
 import pytest
 
+from repro import telemetry
 from repro.sharding.router import AsyncShardRouter
 from repro.sharding.server import ShardServer, build_demo_fleet
+from repro.telemetry import tracing
+from repro.telemetry.tracing import span_from_dict, stage_timings
 from tests.sharding.conftest import make_fleet
 
 
@@ -131,6 +134,186 @@ class TestProtocol:
             assert not response["ok"]
             assert response["error"] == "RouterFenced"
             writer.close()
+
+        run(scenario())
+
+
+class TestOpsPlane:
+    """The read-only admin endpoint: traces, metrics, SLO, health."""
+
+    @pytest.fixture(autouse=True)
+    def hermetic_telemetry(self):
+        # The router records into the *ambient* tracer; in a full-suite
+        # run that buffer carries (and has dropped) spans from every
+        # earlier test.  Scope a fresh tracer so dropped-count and
+        # buffer-content assertions see only this test's traffic.
+        with telemetry.scoped_tracer():
+            yield
+
+    def test_two_shard_range_query_yields_one_assembled_trace_tree(
+        self, tmp_path
+    ):
+        # The PR 7 acceptance check: one range query under --serve,
+        # fanned over both shards' thread pools, must come back from
+        # the admin endpoint as a SINGLE tree — router and both shard
+        # subtrees grafted by parent_id — with per-stage timings for
+        # all six stages.  COLLECT forces payload decryption so the
+        # decrypt stage is exercised too.
+        async def scenario():
+            sharded, router, records = build_demo_fleet(2, tmp_path)
+            server = ShardServer(router, drain_seconds=2.0)
+            port = await server.start()
+            serve_task = asyncio.create_task(server.serve_until_stopped())
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+
+            locations = sorted({r[0] for r in records})
+            reply = await _rpc(
+                reader, writer,
+                {"op": "range", "index_values": [locations],
+                 "time_start": 0, "time_end": 1800,
+                 "aggregate": "collect"},
+            )
+            assert reply["ok"] and reply["verified_shards"] == [0, 1]
+            trace_id = reply["trace_id"]
+
+            fetched = await _rpc(
+                reader, writer, {"op": "trace", "trace_id": trace_id}
+            )
+            assert fetched["ok"]
+            roots = [span_from_dict(d) for d in fetched["roots"]]
+            assert len(roots) == 1, "must assemble into ONE tree"
+            (tree,) = roots
+            assert tree.name == "server.request"
+
+            # Correct parent-child edges across the thread-pool hops:
+            # every span's parent_id is its actual parent's span_id.
+            def check_edges(span):
+                for child in span.children:
+                    assert child.parent_id == span.span_id
+                    assert child.trace_id == tree.trace_id
+                    check_edges(child)
+
+            check_edges(tree)
+
+            # The tree spans the router AND both shard subtrees …
+            dispatches = [
+                s for s in tree.walk() if s.name == "shard.dispatch"
+            ]
+            assert {s.attributes["shard"] for s in dispatches} == {0, 1}
+            # … with timings for all six stages.
+            timings = stage_timings(tree)
+            assert set(timings) >= {
+                "plan", "fetch", "verify", "decrypt", "aggregate", "merge"
+            }
+            assert all(timings[stage] > 0 for stage in timings)
+
+            missing = await _rpc(
+                reader, writer, {"op": "trace", "trace_id": "0" * 32}
+            )
+            assert not missing["ok"]
+            assert missing["error"] == "TraceNotFound"
+
+            writer.close()
+            server.request_stop()
+            await serve_task
+
+        run(scenario())
+
+    def test_client_traceparent_joins_the_server_trace(self, tmp_path):
+        async def scenario():
+            sharded, router, records = build_demo_fleet(2, tmp_path)
+            server = ShardServer(router, drain_seconds=2.0)
+            port = await server.start()
+            serve_task = asyncio.create_task(server.serve_until_stopped())
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+
+            remote = tracing.SpanContext(
+                trace_id="ab" * 16, span_id="cd" * 8
+            )
+            location, timestamp, _ = records[0]
+            reply = await _rpc(
+                reader, writer,
+                {"op": "point", "index_values": [location],
+                 "timestamp": timestamp,
+                 "traceparent": remote.traceparent()},
+            )
+            assert reply["ok"]
+            # The server joined the caller's trace rather than minting
+            # a new one, and says so on the response.
+            assert reply["trace_id"] == remote.trace_id
+
+            fetched = await _rpc(
+                reader, writer,
+                {"op": "trace", "trace_id": remote.trace_id},
+            )
+            assert fetched["ok"]
+            (root,) = [span_from_dict(d) for d in fetched["roots"]]
+            assert root.name == "server.request"
+            assert root.parent_id == remote.span_id
+
+            bad = await _rpc(
+                reader, writer,
+                {"op": "point", "index_values": [location],
+                 "timestamp": timestamp, "traceparent": "nonsense"},
+            )
+            assert not bad["ok"] and bad["error"] == "BadRequest"
+
+            writer.close()
+            server.request_stop()
+            await serve_task
+
+        run(scenario())
+
+    def test_metrics_slo_and_trace_buffers_over_the_wire(self, tmp_path):
+        async def scenario():
+            sharded, router, records = build_demo_fleet(2, tmp_path)
+            server = ShardServer(router, drain_seconds=2.0)
+            port = await server.start()
+            serve_task = asyncio.create_task(server.serve_until_stopped())
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+
+            location, timestamp, _ = records[0]
+            await _rpc(
+                reader, writer,
+                {"op": "point", "index_values": [location],
+                 "timestamp": timestamp},
+            )
+
+            metrics = await _rpc(
+                reader, writer, {"op": "metrics", "format": "json"}
+            )
+            assert metrics["ok"]
+            families = metrics["metrics"]
+            assert "concealer_queries_total" in families
+            prom = await _rpc(
+                reader, writer, {"op": "metrics", "format": "prom"}
+            )
+            assert prom["ok"] and "# TYPE" in prom["text"]
+            bad = await _rpc(
+                reader, writer, {"op": "metrics", "format": "xml"}
+            )
+            assert not bad["ok"] and bad["error"] == "BadRequest"
+
+            slo = await _rpc(reader, writer, {"op": "slo"})
+            assert slo["ok"]
+            snapshot = slo["slo"]
+            assert snapshot["secrecy"] == "data-dependent"
+            assert snapshot["events"] >= 1  # the query we just ran
+            assert snapshot["alerts"] == []  # healthy fleet: quiet
+
+            traces = await _rpc(
+                reader, writer, {"op": "traces", "limit": 4}
+            )
+            assert traces["ok"] and traces["assembled"] >= 1
+            # Satellite: per-buffer dropped-span counts ride along.
+            assert set(traces["dropped"]) == {
+                "router", "shard-0", "shard-1"
+            }
+            assert all(v == 0 for v in traces["dropped"].values())
+
+            writer.close()
+            server.request_stop()
+            await serve_task
 
         run(scenario())
 

@@ -1,0 +1,170 @@
+"""Burn-rate SLO evaluation on the virtual clock: math, windows, alerts."""
+
+import pytest
+
+from repro import telemetry
+from repro.exceptions import TelemetryError
+from repro.faults.clock import VirtualClock
+from repro.telemetry.slo import (
+    AVAILABILITY,
+    BurnRule,
+    LATENCY,
+    SLObjective,
+    SLOMonitor,
+)
+
+
+@pytest.fixture
+def clock():
+    return VirtualClock()
+
+
+def availability(target=0.99):
+    return SLObjective(name="avail", kind=AVAILABILITY, target=target)
+
+
+def latency(target=0.99, threshold=30.0):
+    return SLObjective(
+        name="lat", kind=LATENCY, target=target, threshold_seconds=threshold
+    )
+
+
+class TestObjectiveValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(TelemetryError):
+            SLObjective(name="x", kind="throughput", target=0.99)
+
+    @pytest.mark.parametrize("target", [0.0, 1.0, -0.5, 2.0])
+    def test_target_must_be_a_proper_fraction(self, target):
+        with pytest.raises(TelemetryError):
+            SLObjective(name="x", kind=AVAILABILITY, target=target)
+
+    def test_latency_objective_needs_a_threshold(self):
+        with pytest.raises(TelemetryError):
+            SLObjective(name="x", kind=LATENCY, target=0.99)
+
+    def test_budget_is_one_minus_target(self):
+        assert availability(0.99).budget == pytest.approx(0.01)
+        assert availability(0.999).budget == pytest.approx(0.001)
+
+    def test_badness_per_kind(self):
+        assert availability().is_bad(0.0, ok=False)
+        assert not availability().is_bad(999.0, ok=True)
+        assert latency(threshold=30.0).is_bad(31.0, ok=True)
+        assert not latency(threshold=30.0).is_bad(29.0, ok=False)
+
+
+class TestBurnRates:
+    def test_burn_is_bad_fraction_over_budget(self, clock):
+        monitor = SLOMonitor(clock, objectives=(availability(0.99),))
+        with telemetry.scoped_registry():
+            for _ in range(98):
+                monitor.record(0.1, ok=True)
+            for _ in range(2):
+                monitor.record(0.1, ok=False)
+        # 2% bad over a 1% budget: burning 2x.
+        burn = monitor._window_burn(availability(0.99), 3600.0, clock.now())
+        assert burn == pytest.approx(2.0)
+
+    def test_empty_window_burns_nothing(self, clock):
+        monitor = SLOMonitor(clock, objectives=(availability(),))
+        assert monitor._window_burn(availability(), 3600.0, clock.now()) == 0.0
+        assert monitor.evaluate() == []
+
+    def test_old_events_age_out_of_short_windows(self, clock):
+        monitor = SLOMonitor(clock, objectives=(availability(0.99),))
+        with telemetry.scoped_registry():
+            for _ in range(10):
+                monitor.record(0.1, ok=False)
+            clock.sleep(500.0)  # past the 300s short window
+            for _ in range(10):
+                monitor.record(0.1, ok=True)
+        now = clock.now()
+        assert monitor._window_burn(availability(0.99), 300.0, now) == 0.0
+        assert monitor._window_burn(
+            availability(0.99), 3600.0, now
+        ) == pytest.approx(50.0)
+
+
+class TestAlerts:
+    def test_alert_needs_both_windows_burning(self, clock):
+        # Bad burst, then a long quiet stretch: the long window still
+        # burns but the short window has recovered — no page.
+        monitor = SLOMonitor(clock, objectives=(availability(0.99),))
+        with telemetry.scoped_registry():
+            for _ in range(20):
+                monitor.record(0.1, ok=False)
+            clock.sleep(2000.0)
+            for _ in range(20):
+                monitor.record(0.1, ok=True)
+            assert monitor.evaluate() == []
+
+    def test_fastest_burning_rule_wins_one_alert_per_objective(self, clock):
+        monitor = SLOMonitor(clock, objectives=(availability(0.99),))
+        with telemetry.scoped_registry() as registry:
+            for _ in range(10):
+                monitor.record(0.1, ok=False)
+            alerts = monitor.evaluate()
+            assert len(alerts) == 1
+            (alert,) = alerts
+            # 100% bad / 1% budget = burn 100 — both rules trip; the
+            # 14.4x (fast/page) rule must be the one reported.
+            assert alert.factor == 14.4
+            assert alert.objective == "avail"
+            assert alert.long_burn == pytest.approx(100.0)
+            assert registry.total("concealer_slo_alerts_total") == 1
+            assert "burning" in alert.summary()
+
+    def test_latency_objective_pages_on_virtual_slowness(self, clock):
+        monitor = SLOMonitor(
+            clock, objectives=(latency(0.99, threshold=30.0),)
+        )
+        with telemetry.scoped_registry():
+            for _ in range(6):
+                monitor.record(1.0, ok=True)
+            monitor.record(120.0, ok=True)  # a stalled dispatch
+            alerts = monitor.evaluate()
+        assert [a.kind for a in alerts] == [LATENCY]
+        # 1/7 bad over a 1% budget ≈ 14.3x: the 6x rule trips, the
+        # 14.4x rule (barely) does not.
+        assert alerts[0].factor == 6.0
+
+    def test_bad_events_counter_is_per_objective(self, clock):
+        monitor = SLOMonitor(
+            clock, objectives=(availability(0.99), latency(0.99, 30.0))
+        )
+        with telemetry.scoped_registry() as registry:
+            monitor.record(100.0, ok=False)  # bad for both
+            monitor.record(100.0, ok=True)   # bad for latency only
+        name = "concealer_slo_bad_events_total"
+        assert registry.value(name, objective="avail") == 1
+        assert registry.value(name, objective="lat") == 2
+
+
+class TestSnapshot:
+    def test_snapshot_carries_secrecy_and_burns(self, clock):
+        monitor = SLOMonitor(clock)
+        with telemetry.scoped_registry():
+            for _ in range(5):
+                monitor.record(0.1, ok=True)
+            snapshot = monitor.snapshot()
+        assert snapshot["secrecy"] == "data-dependent"
+        assert snapshot["events"] == 5
+        assert snapshot["alerts"] == []
+        names = {o["name"] for o in snapshot["objectives"]}
+        assert names == {"availability", "latency-p99"}
+        for objective in snapshot["objectives"]:
+            for rule in objective["rules"]:
+                assert rule["long_burn"] == 0.0
+                assert rule["short_burn"] == 0.0
+
+    def test_custom_rules_are_sorted_fastest_first(self, clock):
+        monitor = SLOMonitor(
+            clock,
+            objectives=(availability(),),
+            rules=(
+                BurnRule(21600.0, 1800.0, 6.0),
+                BurnRule(3600.0, 300.0, 14.4),
+            ),
+        )
+        assert [rule.factor for rule in monitor.rules] == [14.4, 6.0]

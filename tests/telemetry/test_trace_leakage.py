@@ -1,0 +1,126 @@
+"""The trace-side leakage audit: identical trees, and catching mislabels.
+
+The tracing layer is a new observable surface — span names, counts,
+tree shapes, and ids all leak if they depend on plaintext.  The
+extended auditor asserts the volume-hiding contract holds for traces
+too: two runs over datasets with *identical* (location, timestamp)
+multisets but disjoint device populations must buffer **byte-identical**
+public-size trace summaries (ids included — they come off a public
+counter).  And a span deliberately "mislabeled" — carrying a
+data-dependent quantity while tagged public-size — must make the audit
+fail loudly.
+"""
+
+import pytest
+
+from repro import GridSpec, telemetry
+from repro.core.queries import PointQuery, RangeQuery
+from repro.exceptions import LeakageAuditError
+from repro.telemetry import (
+    DATA_DEPENDENT,
+    assert_equal_public_view,
+    assert_equal_trace_view,
+    audit_run,
+)
+from tests.conftest import make_stack
+
+EPOCH_DURATION = 600
+_LOCATIONS = tuple(f"ap{i}" for i in range(4))
+_SPEC = GridSpec(
+    dimension_sizes=(4, 10), cell_id_count=16, epoch_duration=EPOCH_DURATION
+)
+
+
+def _records(prefix: str) -> list[tuple[str, int, str]]:
+    """Equal public view across prefixes: only device names differ."""
+    return [
+        (_LOCATIONS[(t // 60 + d) % 4], t, f"{prefix}{d}")
+        for t in range(0, EPOCH_DURATION, 60)
+        for d in range(6)
+    ]
+
+
+def _workload(records):
+    def run():
+        provider, service = make_stack(_SPEC, records, verify=True)
+        point = service.execute_point(
+            PointQuery(index_values=("ap0",), timestamp=60)
+        )[0]
+        ranged = service.execute_range(
+            RangeQuery(index_values=("ap1",), time_start=0, time_end=300),
+            method="ebpb",
+        )[0]
+        return (point, ranged)
+
+    return run
+
+
+@pytest.fixture(scope="module")
+def reports():
+    return (
+        audit_run(_workload(_records("A"))),
+        audit_run(_workload(_records("B"))),
+    )
+
+
+class TestEqualTraceView:
+    def test_equal_public_view_runs_trace_identically(self, reports):
+        report_a, report_b = reports
+        # Sanity: the classic metric-side audit still holds …
+        assert_equal_public_view(report_a, report_b)
+        # … and the trace forests are byte-identical: same span names,
+        # same stage structure and counts, same counter-derived ids.
+        assert_equal_trace_view(report_a, report_b)
+        assert report_a.trace_summary() == report_b.trace_summary()
+
+    def test_summaries_cover_the_whole_pipeline_without_timings(
+        self, reports
+    ):
+        summary = reports[0].trace_summary()
+        for stage in ("fetch", "verify", "aggregate"):
+            assert f'"stage": "{stage}"' in summary
+        assert '"start"' not in summary
+        assert '"duration"' not in summary
+
+    def test_device_names_never_reach_the_summary(self, reports):
+        for report in reports:
+            flat = report.trace_summary()
+            assert "A0" not in flat and "B0" not in flat
+
+
+class TestMislabeledSpans:
+    def _tagged_workload(self, records, secrecy):
+        base = _workload(records)
+
+        def run():
+            result = base()
+            # A span whose attribute is derived from row *content* (the
+            # first device name) — the trace-side mislabel.
+            with telemetry.span(
+                "postprocess", secrecy=secrecy, device=records[0][2]
+            ):
+                pass
+            return result
+
+        return run
+
+    def test_data_dependent_attribute_on_public_span_is_caught(self):
+        report_a = audit_run(
+            self._tagged_workload(_records("A"), telemetry.PUBLIC_SIZE)
+        )
+        report_b = audit_run(
+            self._tagged_workload(_records("B"), telemetry.PUBLIC_SIZE)
+        )
+        with pytest.raises(LeakageAuditError) as excinfo:
+            assert_equal_trace_view(report_a, report_b)
+        assert "device" in str(excinfo.value)
+
+    def test_tagging_the_span_data_dependent_restores_the_audit(self):
+        report_a = audit_run(
+            self._tagged_workload(_records("A"), DATA_DEPENDENT)
+        )
+        report_b = audit_run(
+            self._tagged_workload(_records("B"), DATA_DEPENDENT)
+        )
+        assert_equal_trace_view(report_a, report_b)
+        assert "postprocess" not in report_a.trace_summary()

@@ -1,0 +1,263 @@
+"""Trace-context propagation: ids, thread hops, wire hops, assembly."""
+
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro import telemetry
+from repro.exceptions import TelemetryError
+from repro.faults.clock import VirtualClock
+from repro.telemetry import (
+    DATA_DEPENDENT,
+    SpanContext,
+    Tracer,
+    scoped_ids,
+)
+from repro.telemetry import tracing
+from repro.telemetry.tracing import (
+    public_trace_summary,
+    span_from_dict,
+    span_to_dict,
+    stage_timings,
+)
+
+
+@pytest.fixture
+def clock():
+    return VirtualClock()
+
+
+@pytest.fixture
+def tracer(clock):
+    with telemetry.scoped_tracer(clock=clock) as scoped:
+        with scoped_ids():
+            yield scoped
+
+
+class TestSpanContext:
+    def test_traceparent_roundtrip(self):
+        context = SpanContext(trace_id="ab" * 16, span_id="cd" * 8)
+        header = context.traceparent()
+        assert header == f"00-{'ab' * 16}-{'cd' * 8}-01"
+        assert SpanContext.parse(header) == context
+
+    @pytest.mark.parametrize(
+        "header",
+        [
+            "",
+            "00-abc-def-01",
+            "99-" + "a" * 32 + "-" + "b" * 16 + "-01",
+            "00-" + "z" * 32 + "-" + "b" * 16 + "-01",
+            "00-" + "a" * 32 + "-" + "b" * 16,
+        ],
+    )
+    def test_malformed_traceparents_raise_typed(self, header):
+        with pytest.raises(TelemetryError):
+            SpanContext.parse(header)
+
+
+class TestIdAllocation:
+    def test_ids_come_from_a_monotonic_counter(self):
+        with scoped_ids():
+            assert tracing.new_trace_id() == f"{1:032x}"
+            assert tracing.new_span_id() == f"{2:016x}"
+            assert tracing.new_trace_id() == f"{3:032x}"
+
+    def test_scoped_ids_make_sequences_reproducible(self):
+        def allocate():
+            with scoped_ids():
+                return [tracing.new_trace_id() for _ in range(3)]
+
+        assert allocate() == allocate()
+
+
+class TestContextAccessors:
+    def test_current_ids_inside_and_outside_spans(self, tracer):
+        assert tracing.current_trace_id() is None
+        assert tracing.current_traceparent() is None
+        with telemetry.span("root") as root:
+            assert tracing.current_trace_id() == root.trace_id
+            header = tracing.current_traceparent()
+            parsed = SpanContext.parse(header)
+            assert parsed.span_id == root.span_id
+        assert tracing.current_trace_id() is None
+
+    def test_annotate_reaches_the_innermost_open_span(self, tracer):
+        with telemetry.span("outer") as outer:
+            with telemetry.span("inner") as inner:
+                tracing.annotate(retry_attempts=2)
+        assert inner.attributes["retry_attempts"] == 2
+        assert "retry_attempts" not in outer.attributes
+        # No open span: annotate is a silent no-op, never an error.
+        tracing.annotate(ignored=True)
+
+    def test_activate_adopts_a_remote_parent(self, tracer):
+        remote = SpanContext(trace_id="f" * 32, span_id="e" * 16)
+        with tracing.activate(remote):
+            with telemetry.span("server.request") as span:
+                assert span.trace_id == remote.trace_id
+                assert span.parent_id == remote.span_id
+        # activate(None) must be a no-op for unconditional wrapping.
+        with tracing.activate(None):
+            with telemetry.span("fresh") as fresh:
+                assert fresh.trace_id != remote.trace_id
+
+
+class TestThreadPropagation:
+    def test_executor_hop_joins_the_callers_trace(self, tracer):
+        def work():
+            with telemetry.span("worker"):
+                pass
+
+        with telemetry.span("root") as root:
+            with ThreadPoolExecutor(max_workers=1) as pool:
+                pool.submit(tracing.propagate(work)).result()
+        (trace,) = tracer.traces()
+        assert trace is root
+        assert [c.name for c in trace.children] == ["worker"]
+        assert trace.children[0].trace_id == root.trace_id
+
+    def test_unpropagated_hop_starts_a_disconnected_trace(self, tracer):
+        def work():
+            with telemetry.span("worker"):
+                pass
+
+        with telemetry.span("root") as root:
+            with ThreadPoolExecutor(max_workers=1) as pool:
+                pool.submit(work).result()
+        names = {t.name for t in tracer.traces()}
+        assert names == {"root", "worker"}
+        worker = next(t for t in tracer.traces() if t.name == "worker")
+        assert worker.trace_id != root.trace_id
+
+    def test_propagate_binds_a_destination_tracer(self, tracer, clock):
+        shard_tracer = Tracer(clock=clock)
+
+        def work():
+            with telemetry.span("shard.dispatch"):
+                pass
+
+        with telemetry.span("root") as root:
+            with ThreadPoolExecutor(max_workers=1) as pool:
+                pool.submit(
+                    tracing.propagate(work, tracer=shard_tracer)
+                ).result()
+        # The shard span landed in the shard's buffer as a *local root*
+        # linked by parent_id — not under the ambient root directly.
+        assert root.children == []
+        (local_root,) = shard_tracer.traces()
+        assert local_root.name == "shard.dispatch"
+        assert local_root.parent_id == root.span_id
+        assert local_root.trace_id == root.trace_id
+
+
+class TestWireFormatAndAssembly:
+    def test_span_dict_roundtrip(self, tracer, clock):
+        with telemetry.span("root", kind="range") as root:
+            clock.sleep(0.5)
+            with telemetry.span("child", stage="fetch"):
+                clock.sleep(0.25)
+        rebuilt = span_from_dict(span_to_dict(root))
+        assert rebuilt.name == root.name
+        assert rebuilt.trace_id == root.trace_id
+        assert rebuilt.span_id == root.span_id
+        assert rebuilt.duration == root.duration
+        assert [c.name for c in rebuilt.children] == ["child"]
+
+    def test_assemble_grafts_shard_roots_under_the_router_tree(
+        self, tracer, clock
+    ):
+        shard_a, shard_b = Tracer(clock=clock), Tracer(clock=clock)
+
+        def dispatch(shard_tracer):
+            with telemetry.span("shard.dispatch"):
+                with telemetry.span("enclave.fetch", stage="fetch"):
+                    pass
+
+        with telemetry.span("router.query") as root:
+            with ThreadPoolExecutor(max_workers=2) as pool:
+                for shard_tracer in (shard_a, shard_b):
+                    pool.submit(
+                        tracing.propagate(dispatch, tracer=shard_tracer),
+                        shard_tracer,
+                    ).result()
+        roots = tracing.assemble(
+            list(tracer.traces())
+            + list(shard_a.traces())
+            + list(shard_b.traces())
+        )
+        (tree,) = roots
+        assert tree.name == "router.query"
+        assert [c.name for c in tree.children] == [
+            "shard.dispatch",
+            "shard.dispatch",
+        ]
+        assert {c.parent_id for c in tree.children} == {root.span_id}
+        # assemble never mutates the source buffers.
+        assert root.children == []
+
+    def test_find_trace_returns_the_assembled_tree(self, tracer):
+        with telemetry.span("first") as first:
+            pass
+        with telemetry.span("second"):
+            pass
+        found = tracing.find_trace(tracer.traces(), first.trace_id)
+        assert found is not None and found.name == "first"
+        assert tracing.find_trace(tracer.traces(), "0" * 32) is None
+
+
+class TestPublicSummaries:
+    def test_summary_has_structure_but_no_timings(self, tracer, clock):
+        with telemetry.span("root", kind="range"):
+            clock.sleep(1.0)
+            with telemetry.span("child", stage="verify", rows=7):
+                clock.sleep(0.5)
+        (summary,) = public_trace_summary(tracer.traces())
+        assert summary["name"] == "root"
+        assert summary["attributes"] == {"kind": "range"}
+        (child,) = summary["children"]
+        assert child["attributes"] == {"rows": 7, "stage": "verify"}
+        flat = repr(summary)
+        assert "start" not in flat and "end" not in flat
+        assert "duration" not in flat
+
+    def test_data_dependent_subtrees_are_pruned(self, tracer):
+        with telemetry.span("root"):
+            with telemetry.span(
+                "private", secrecy=DATA_DEPENDENT, device="dev7"
+            ):
+                with telemetry.span("nested-public"):
+                    pass
+        (summary,) = public_trace_summary(tracer.traces())
+        assert summary["children"] == []
+        assert "dev7" not in repr(summary)
+
+    def test_stage_timings_total_per_stage(self, tracer, clock):
+        with telemetry.span("root") as root:
+            with telemetry.span("a", stage="fetch"):
+                clock.sleep(1.0)
+            with telemetry.span("b", stage="fetch"):
+                clock.sleep(0.5)
+            with telemetry.span("c", stage="verify"):
+                clock.sleep(0.25)
+        assert stage_timings(root) == {"fetch": 1.5, "verify": 0.25}
+
+
+class TestDroppedSpans:
+    def test_ring_overflow_counts_drops_in_both_exporters(self, clock):
+        with telemetry.scoped_registry() as registry:
+            with telemetry.scoped_tracer(
+                Tracer(clock=clock, capacity=2)
+            ) as small:
+                for index in range(5):
+                    with telemetry.span(f"trace-{index}"):
+                        pass
+        assert small.dropped == 3
+        assert [t.name for t in small.traces()] == ["trace-3", "trace-4"]
+        # The drop count is public-size (a function of span *counts*)
+        # and lands on the metrics registry for both exporters.
+        total = registry.total("concealer_trace_spans_dropped_total")
+        assert total == 3
+        assert "concealer_trace_spans_dropped_total" in registry.to_prometheus()
+        dump = telemetry.format_traces(small)
+        assert "3 older trace(s) dropped" in dump
