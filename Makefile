@@ -1,7 +1,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test chaos replication-chaos shard-chaos serve demo bench bench-json bench-smoke trace-overhead metrics-smoke lint profile
+.PHONY: test chaos replication-chaos shard-chaos shard-replication-chaos serve demo bench bench-json bench-smoke trace-overhead metrics-smoke lint profile
 
 # Where `make bench-json` writes its machine-readable metrics.
 BENCH_OUT ?= BENCH_local.json
@@ -29,6 +29,15 @@ replication-chaos:
 # `python -m repro --chaos-seed N --shards 2`.
 shard-chaos:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest tests/faults/test_chaos_sharded.py -q
+
+# The composed corpus: sharded fleets where every shard fronts a
+# three-replica group — Byzantine replica faults, shard kills, and
+# mid-stream two-phase rotation at once.  Any failure replays with
+# `python -m repro --chaos-seed N --shards 2 --replicas 3`.  The
+# timeout is a hard ceiling so a wedged replica group fails the run
+# instead of hanging it.
+shard-replication-chaos:
+	PYTHONPATH=$(PYTHONPATH) timeout 600 $(PYTHON) -m pytest tests/faults/test_chaos_composed.py -q
 
 # The sharded fleet behind the JSON-lines TCP door (SIGTERM drains,
 # checkpoints, and exits 0).

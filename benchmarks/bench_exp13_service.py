@@ -16,6 +16,10 @@ buys (and costs):
 - **degraded mode** — the same workload with one shard down: partial
   answers must not cost more than full ones (the isolated shard is
   skipped at planning time, not timed out).
+- **replication overhead** — the same fleet with every shard fronting
+  a three-replica group: reads are served by one replica behind
+  verify-then-failover, so a healthy replicated fleet should track the
+  unreplicated latency rows, not multiply them.
 
 Latencies here are wall-clock and therefore informational; the
 JSON artifact feeds EXPERIMENTS.md, not the regression gate.
@@ -37,7 +41,9 @@ from repro.telemetry import Tracer, tracing
 from harness import RESULTS_DIR, paper_row, save_result
 
 CLIENT_COUNTS = (1, 4, 8)
-SHARD_COUNTS = (1, 2, 4)
+# (shards, replicas): the unreplicated shard axis, plus one replicated
+# shape — 2 shards × 3 replicas — sized like the composed chaos corpus.
+FLEET_SHAPES = ((1, 1), (2, 1), (4, 1), (2, 3))
 REQUESTS_PER_CLIENT = 12
 
 
@@ -92,19 +98,32 @@ async def _drive(router, records, clients: int) -> list[tuple[float, str]]:
     return latencies
 
 
-@pytest.fixture(scope="module", params=SHARD_COUNTS)
+@pytest.fixture(
+    scope="module",
+    params=FLEET_SHAPES,
+    ids=[f"shards{s}-replicas{r}" for s, r in FLEET_SHAPES],
+)
 def fleet(request, tmp_path_factory):
     from repro.sharding.server import build_demo_fleet
 
-    shards = request.param
-    workdir = tmp_path_factory.mktemp(f"exp13-{shards}")
-    sharded, router, records = build_demo_fleet(shards, workdir)
-    yield shards, sharded, router, records
+    shards, replicas = request.param
+    workdir = tmp_path_factory.mktemp(f"exp13-{shards}x{replicas}")
+    sharded, router, records = build_demo_fleet(
+        shards, workdir, replicas=replicas
+    )
+    yield shards, replicas, sharded, router, records
     router.close()
 
 
+def _shape_key(shards: int, replicas: int) -> str:
+    """Result key: unreplicated keys keep their pre-replication names."""
+    if replicas == 1:
+        return f"shards_{shards}"
+    return f"shards_{shards}_replicas_{replicas}"
+
+
 def test_exp13_latency_vs_concurrency(fleet):
-    shards, _, router, records = fleet
+    shards, replicas, _, router, records = fleet
     rows = {}
     for clients in CLIENT_COUNTS:
         # A run-scoped tracer large enough that no request's trace is
@@ -122,7 +141,10 @@ def test_exp13_latency_vs_concurrency(fleet):
         # this row is diagnosable from the artifact alone.
         slowest_s, slowest_trace = max(samples)
         tree = tracing.find_trace(tracer.traces(), slowest_trace)
-        trace_file = f"exp13_trace_shards_{shards}_clients_{clients}.json"
+        trace_file = (
+            f"exp13_trace_{_shape_key(shards, replicas)}"
+            f"_clients_{clients}.json"
+        )
         RESULTS_DIR.mkdir(exist_ok=True)
         (RESULTS_DIR / trace_file).write_text(json.dumps(
             {
@@ -148,16 +170,22 @@ def test_exp13_latency_vs_concurrency(fleet):
             "p99_exemplar_trace_file": trace_file,
         }
         print(paper_row(
-            "exp13", f"shards-{shards}-clients-{clients}",
+            "exp13",
+            f"shards-{shards}-replicas-{replicas}-clients-{clients}",
             p50_s=round(p50, 5), p99_s=round(p99, 5),
             qps=round(throughput, 1), exemplar=slowest_trace,
         ))
-    save_result("exp13_service", {f"shards_{shards}": rows})
+    save_result("exp13_service", {_shape_key(shards, replicas): rows})
 
 
 def test_exp13_dispatch_accounting(fleet):
-    """Sub-dispatches per range query == healthy participant count."""
-    shards, sharded, router, records = fleet
+    """Sub-dispatches per range query == healthy participant count.
+
+    Replication is invisible here by design: a replica group serves
+    behind its shard, so the dispatch count stays a function of the
+    topology and the routed cells regardless of ``replicas``.
+    """
+    shards, replicas, sharded, router, records = fleet
     registry = telemetry.get_registry()
     wildcard = (tuple(sorted({r[0] for r in records})),)
     query = RangeQuery(index_values=wildcard, time_start=0, time_end=3599)
@@ -180,7 +208,7 @@ def test_exp13_dispatch_accounting(fleet):
     )
     assert after - before == len(participants)
     save_result("exp13_service", {
-        f"shards_{shards}_dispatch": {
+        f"{_shape_key(shards, replicas)}_dispatch": {
             "participants": len(participants),
             "dispatches_per_range": after - before,
         }
@@ -189,7 +217,7 @@ def test_exp13_dispatch_accounting(fleet):
 
 def test_exp13_degraded_mode_is_not_slower(fleet):
     """One shard down: partials are planned around, never timed out."""
-    shards, sharded, router, records = fleet
+    shards, replicas, sharded, router, records = fleet
     if shards == 1:
         pytest.skip("degraded mode needs a fleet")
     wildcard = (tuple(sorted({r[0] for r in records})),)
@@ -210,12 +238,62 @@ def test_exp13_degraded_mode_is_not_slower(fleet):
 
     sharded.heal()
     print(paper_row(
-        "exp13", f"shards-{shards}-degraded",
+        "exp13", f"shards-{shards}-replicas-{replicas}-degraded",
         healthy_s=round(healthy_s, 5), degraded_s=round(degraded_s, 5),
     ))
     save_result("exp13_service", {
-        f"shards_{shards}_degraded": {
+        f"{_shape_key(shards, replicas)}_degraded": {
             "healthy_s": round(healthy_s, 6),
             "degraded_s": round(degraded_s, 6),
+        }
+    })
+
+
+def test_exp13_in_shard_failover_is_absorbed(fleet):
+    """Replicated fleets: a dead replica costs failovers, not partials.
+
+    Every shard loses replica 0's epoch table; the fleet-wide range must
+    still come back complete (no missing shards), with the replica
+    failovers visible only in the public-size counter — and at a latency
+    comparable to healthy serving, since failover is one extra storage
+    attempt, not a timeout.
+    """
+    shards, replicas, sharded, router, records = fleet
+    if replicas == 1:
+        pytest.skip("needs replica groups")
+    wildcard = (tuple(sorted({r[0] for r in records})),)
+    query = RangeQuery(index_values=wildcard, time_start=0, time_end=3599)
+
+    start = time.perf_counter()
+    asyncio.run(router.execute_range(query))
+    healthy_s = time.perf_counter() - start
+
+    table = f"epoch_{sharded.ingested_epochs()[0]}"
+    for shard in sharded.shards:
+        shard.replicated_engine().replicas[0].drop_table(table)
+
+    registry = telemetry.get_registry()
+    failovers_before = registry.total("concealer_shard_replica_failovers_total")
+    start = time.perf_counter()
+    answer, stats = asyncio.run(router.execute_range(query))
+    failover_s = time.perf_counter() - start
+    failovers = (
+        registry.total("concealer_shard_replica_failovers_total")
+        - failovers_before
+    )
+    assert stats.missing_shards == ()
+    assert failovers > 0
+
+    sharded.heal()
+    print(paper_row(
+        "exp13", f"shards-{shards}-replicas-{replicas}-failover",
+        healthy_s=round(healthy_s, 5), failover_s=round(failover_s, 5),
+        failovers=failovers,
+    ))
+    save_result("exp13_service", {
+        f"{_shape_key(shards, replicas)}_failover": {
+            "healthy_s": round(healthy_s, 6),
+            "failover_s": round(failover_s, 6),
+            "replica_failovers": failovers,
         }
     })

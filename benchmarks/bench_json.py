@@ -175,6 +175,59 @@ def _service_metrics(metrics: dict[str, float]) -> None:
         finally:
             router.close()
 
+    _replicated_service_metrics(metrics)
+
+
+def _replicated_service_metrics(metrics: dict[str, float]) -> None:
+    """The replicated front door (PR 8): 2 shards × 3 replicas.
+
+    All informational.  A healthy replica group serves from one member,
+    so ``service_replicated_range_s`` should track ``service_range_s``,
+    not multiply it; ``service_replicated_failover_range_s`` re-times
+    the same range after every shard lost one replica's epoch table —
+    the in-shard failover cost the router never observes.
+    """
+    import asyncio
+    import tempfile
+
+    from repro import telemetry
+    from repro.core.queries import RangeQuery
+    from repro.sharding.server import build_demo_fleet
+
+    with tempfile.TemporaryDirectory(prefix="bench-replicated-") as workdir:
+        sharded, router, records = build_demo_fleet(2, workdir, replicas=3)
+        try:
+            wildcard = (tuple(sorted({r[0] for r in records})),)
+            ranged = RangeQuery(
+                index_values=wildcard, time_start=0, time_end=3599
+            )
+
+            async def timed_range():
+                start = time.perf_counter()
+                answer, stats = await router.execute_range(ranged)
+                assert stats.missing_shards == ()
+                return time.perf_counter() - start
+
+            metrics["service_replicated_range_s"] = round(
+                asyncio.run(timed_range()), 6
+            )
+
+            table = f"epoch_{sharded.ingested_epochs()[0]}"
+            for shard in sharded.shards:
+                shard.replicated_engine().replicas[0].drop_table(table)
+            registry = telemetry.get_registry()
+            before = registry.total("concealer_shard_replica_failovers_total")
+            metrics["service_replicated_failover_range_s"] = round(
+                asyncio.run(timed_range()), 6
+            )
+            failovers = (
+                registry.total("concealer_shard_replica_failovers_total")
+                - before
+            )
+            assert failovers > 0
+        finally:
+            router.close()
+
 
 def _percentiles(samples: list[float]) -> tuple[float, float]:
     ordered = sorted(samples)

@@ -8,12 +8,15 @@ observed.  Exits non-zero if any answer disagrees with ground truth.
 deterministic chaos schedule (see :mod:`repro.faults.chaos`): any chaos
 failure seen in CI reproduces locally from its seed alone.  Exits
 non-zero iff an operation returned a silently-wrong answer.  Add
-``--replicas N`` for the Byzantine-replicated stack or ``--shards N``
-for the sharded fleet (shard kills, stalls, router crashes).
+``--replicas N`` for the Byzantine-replicated stack, ``--shards N``
+for the sharded fleet (shard kills, stalls, router crashes), or both
+together for replicated shards — every shard fronting its own
+Byzantine replica group while shard/router faults fire in the same
+schedule.
 
-``python -m repro --serve [--shards N] [--port P]`` serves the demo
-dataset through the sharded asyncio front door as a JSON-lines TCP
-service; SIGTERM/SIGINT drain, checkpoint, and exit 0.
+``python -m repro --serve [--shards N] [--replicas M] [--port P]``
+serves the demo dataset through the sharded asyncio front door as a
+JSON-lines TCP service; SIGTERM/SIGINT drain, checkpoint, and exit 0.
 
 Observability flags (both modes):
 
@@ -203,7 +206,9 @@ def run_trace_dump_remote(connect: str) -> int:
     return 0
 
 
-def run_serve_cli(shards: int, port: int, drain_seconds: float) -> int:
+def run_serve_cli(
+    shards: int, port: int, drain_seconds: float, replicas: int = 1
+) -> int:
     """``--serve``: the sharded fleet behind the JSON-lines TCP door."""
     import asyncio
     import tempfile
@@ -212,7 +217,13 @@ def run_serve_cli(shards: int, port: int, drain_seconds: float) -> int:
 
     with tempfile.TemporaryDirectory(prefix="concealer-serve-") as workdir:
         return asyncio.run(
-            serve(shards, port, workdir, drain_seconds=drain_seconds)
+            serve(
+                shards,
+                port,
+                workdir,
+                drain_seconds=drain_seconds,
+                replicas=replicas,
+            )
         )
 
 
@@ -228,7 +239,12 @@ def run_chaos_cli(
     from repro.faults.chaos import run_chaos
 
     report = run_chaos(seed, ops=ops, replicas=replicas, shards=shards)
-    if shards > 1:
+    if shards > 1 and replicas > 1:
+        label = (
+            f" ({shards} shards x {replicas} replicas, shard/router + "
+            "Byzantine replica faults)"
+        )
+    elif shards > 1:
         label = f" ({shards} shards, shard/router faults)"
     elif replicas > 1:
         label = f" ({replicas} replicas, Byzantine faults)"
@@ -360,13 +376,15 @@ def main() -> int:
     )
     parser.add_argument(
         "--replicas", type=int, default=1, metavar="N",
-        help="chaos only: run against N storage replicas with Byzantine "
-        "replica faults armed (default 1 = the classic single engine)",
+        help="chaos/serve: N storage replicas (per shard when combined "
+        "with --shards) behind verify-then-failover reads; chaos arms "
+        "Byzantine replica faults (default 1 = a single engine)",
     )
     parser.add_argument(
         "--shards", type=int, default=1, metavar="N",
         help="chaos/serve: partition the fleet across N enclave+storage "
-        "shards (chaos arms shard kill/stall and router crash faults)",
+        "shards (chaos arms shard kill/stall and router crash faults); "
+        "composes with --replicas into replicated shards",
     )
     parser.add_argument(
         "--serve", action="store_true",
@@ -403,15 +421,22 @@ def main() -> int:
         "instead of building a local one",
     )
     arguments = parser.parse_args()
+    if arguments.shards < 1:
+        parser.error(f"--shards must be >= 1, got {arguments.shards}")
+    if arguments.replicas < 1:
+        parser.error(f"--replicas must be >= 1, got {arguments.replicas}")
     if arguments.trace is not None:
         return run_trace_cli(
-            arguments.trace, max(1, arguments.shards), arguments.connect
+            arguments.trace, arguments.shards, arguments.connect
         )
     if arguments.trace_dump and arguments.connect is not None:
         return run_trace_dump_remote(arguments.connect)
     if arguments.serve:
         return run_serve_cli(
-            max(1, arguments.shards), arguments.port, arguments.drain_seconds
+            arguments.shards,
+            arguments.port,
+            arguments.drain_seconds,
+            replicas=arguments.replicas,
         )
     if arguments.chaos_seed is not None:
         return run_chaos_cli(

@@ -380,20 +380,27 @@ class RangeExecutor:
     ) -> tuple[object, QueryStats]:
         """Shared STEP 4: verify, filter, decrypt, aggregate.
 
-        Rows are de-duplicated by physical id first: winSecRange windows
-        (and, with coarse grids, eBPB cell-id unions) can fetch the same
-        row more than once, and matching must not double-count it.
+        Rows are de-duplicated by their index-key ciphertext first:
+        winSecRange windows (and, with coarse grids, eBPB cell-id
+        unions) can fetch the same row more than once, and matching must
+        not double-count it.  The index key is the *logical* identity —
+        deterministic encryption of ``cid ‖ counter`` (``fake ‖ j`` for
+        fakes), byte-identical on every replica.  Physical row ids are
+        replica-local and diverge after repair or failover, so two rows
+        sharing an id can be *different* logical rows when a window's
+        fetches land on different replicas; deduplicating by id would
+        silently drop real rows there.
 
         ``expected_cells`` binds verification to the cell-ids the query
         *requested*: a per-cell hash chain only proves the cells present
         in the batch are whole, so a host dropping every row of a
         population-1 cell would otherwise leave no counter gap to find.
         """
-        seen: set[int] = set()
+        seen: set[bytes] = set()
         unique_rows: list[Row] = []
         for row in rows:
-            if row.row_id not in seen:
-                seen.add(row.row_id)
+            if row[-1] not in seen:
+                seen.add(row[-1])
                 unique_rows.append(row)
         rows = unique_rows
         if self.verify and not stats.verified:

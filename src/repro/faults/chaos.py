@@ -496,18 +496,18 @@ def run_chaos(
     ``shards > 1`` switches to the sharded fleet instead (see
     :mod:`repro.faults.chaos_sharded`): shard kills, stalls, router
     crashes, two-phase ingest/rotation, and partial-result checking
-    against a per-shard oracle.  Mutually exclusive with replicas.
+    against a per-shard oracle.
+
+    ``shards > 1`` *and* ``replicas > 1`` compose: every shard fronts
+    its own Byzantine-wrapped replica group, so replica tamper/replay/
+    drop/stall faults race shard kills, router crashes, and the
+    mid-stream two-phase rotation in one schedule — the full gauntlet.
     """
     if shards > 1:
-        if replicas > 1:
-            raise ValueError(
-                "sharded chaos and replicated chaos are separate stacks; "
-                "pick one of shards>1 / replicas>1"
-            )
         from repro.faults.chaos_sharded import ShardedChaosRun
 
         return ShardedChaosRun(
-            seed, specs=specs, workdir=workdir, shards=shards
+            seed, specs=specs, workdir=workdir, shards=shards, replicas=replicas
         ).run(ops=ops)
     return ChaosRun(seed, specs=specs, workdir=workdir, replicas=replicas).run(
         ops=ops

@@ -58,6 +58,9 @@ from repro.faults.chaos import (
 )
 from repro.faults.clock import VirtualClock
 from repro.faults.injector import FaultInjector, FaultSpec
+from repro.replication.byzantine import ByzantineReplica
+from repro.replication.engine import ReplicatedStorageEngine, ReplicationPolicy
+from repro.storage.engine import StorageEngine
 from repro.telemetry.slo import SLOMonitor
 from repro.sharding.coordinator import ingest_epoch_sharded, rotate_sharded_keys
 from repro.sharding.results import PartialResult
@@ -87,6 +90,26 @@ def sharded_specs() -> list[FaultSpec]:
     return specs
 
 
+def composed_specs() -> list[FaultSpec]:
+    """The composed mix: sharded sites *plus* a Byzantine storage
+    adversary inside every shard's replica group.
+
+    This is the full gauntlet — replica-targeted tamper/stale-replay/
+    bin-drop/stragglers racing shard kills, router crashes, and a
+    mid-stream two-phase rotation.  The oracle contract is unchanged:
+    zero silent-wrong, with in-shard failover expected to absorb most
+    replica faults before the router ever sees a degraded shard.
+    """
+    specs = sharded_specs()
+    specs += [
+        FaultSpec("replica.tamper", probability=0.10, max_fires=3),
+        FaultSpec("replica.replay.stale", probability=0.08, max_fires=2),
+        FaultSpec("replica.bin.drop", probability=0.08, max_fires=2),
+        FaultSpec("replica.slow", probability=0.05, max_fires=2),
+    ]
+    return specs
+
+
 class ShardedChaosRun:
     """One seeded N-shard fleet + fault schedule, with a per-shard oracle."""
 
@@ -96,13 +119,15 @@ class ShardedChaosRun:
         specs: list[FaultSpec] | None = None,
         workdir: str | Path | None = None,
         shards: int = 2,
+        replicas: int = 1,
     ):
         self.seed = seed
         self.shard_count = shards
+        self.replicas = replicas
         self.workload_rng = random.Random(f"chaos-workload-{seed}")
-        self.injector = FaultInjector(
-            seed, specs if specs is not None else sharded_specs()
-        )
+        if specs is None:
+            specs = composed_specs() if replicas > 1 else sharded_specs()
+        self.injector = FaultInjector(seed, specs)
         self.report = ChaosReport(seed=seed)
         self._tmp = None
         if workdir is None:
@@ -126,6 +151,7 @@ class ShardedChaosRun:
         self.clock = VirtualClock()
         self.config = ShardedConfig(
             shards=shards,
+            replicas=replicas,
             deadline_seconds=60.0,
             bin_cache_bins=12,
             breaker_reset_seconds=1e9,  # re-admission only via heal()
@@ -137,6 +163,9 @@ class ShardedChaosRun:
             clock=self.clock,
             fault_injector=self.injector,
             retry_rng_seed=f"chaos-retry-{seed}",
+            engine_factory=(
+                self._byzantine_group if replicas > 1 else None
+            ),
         )
         self._master = MASTER_KEY
         self._rotations = 0
@@ -149,6 +178,33 @@ class ShardedChaosRun:
         # an ingested epoch, so ownership is stable across rotations).
         self.oracle: dict[int, list[tuple]] = {}
         self.oracle_parts: dict[int, list[list[tuple]]] = {}
+
+    def _byzantine_group(self, shard_id: int) -> ReplicatedStorageEngine:
+        """One shard's replica group with adversarial response channels.
+
+        Mirrors the single-stack replicated setup: replica 0's *inner*
+        engine keeps the shared injector (classic storage faults still
+        fire inside exactly one replica per shard), and every replica's
+        response channel is Byzantine, driven by the same injector and
+        clock so the composed schedule replays byte-identically.
+        Replica ids restart at 0 per shard — each shard's group is its
+        own failure domain.
+        """
+        members = []
+        for rid in range(self.replicas):
+            inner = StorageEngine(
+                fault_injector=self.injector if rid == 0 else None
+            )
+            members.append(
+                ByzantineReplica(
+                    inner, rid, fault_injector=self.injector, clock=self.clock
+                )
+            )
+        return ReplicatedStorageEngine(
+            members,
+            clock=self.clock,
+            policy=ReplicationPolicy(attempt_timeout=2.0),
+        )
 
     # ------------------------------------------------------------------- ops
 
@@ -427,6 +483,13 @@ class ShardedChaosRun:
                         self.range_query()
                     else:
                         self.checkpoint_cycle()
+                    # Replicated fleets run periodic anti-entropy repair
+                    # (fenced against the cross-shard journal) just like
+                    # a production repair cron would.
+                    if self.replicas > 1 and index % 4 == 3:
+                        self.sharded.repair_replicas()
+                if self.replicas > 1:
+                    self.sharded.repair_replicas()
                 self.report.slo_alerts = list(self.slo.evaluate())
                 self.final_verify()
             finally:

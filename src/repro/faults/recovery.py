@@ -107,10 +107,44 @@ class RecoveryCoordinator:
         return fresh
 
     def recover_storage(self) -> None:
-        """Restore the engine from the latest checkpoint and adopt it."""
+        """Restore storage from the latest checkpoint and re-adopt it.
+
+        For a plain engine the restored instance simply replaces the
+        old one.  For a **replicated** engine the group itself must
+        survive recovery — swapping in the plain restored engine would
+        silently strip the shard of its failover/quarantine machinery —
+        so the checkpoint is instead installed into *every* replica via
+        :meth:`~repro.storage.engine.StorageEngine.rebuild_table`
+        (preserving row ids, so physical addresses stay aligned),
+        stale replica tables are dropped, quarantines clear (every
+        replica now holds checkpoint truth), per-replica breakers
+        reset, and the *same* group object is re-adopted so the bin
+        cache and trapdoor table flush.
+        """
         if self.checkpoint_path is None:
             raise StorageError("no checkpoint path configured")
-        self.service.adopt_engine(restore_engine(self.checkpoint_path))
+        restored = restore_engine(self.checkpoint_path)
+        engine = self.service.engine
+        if getattr(engine, "supports_replicated_reads", False):
+            tables = restored.table_names()
+            for replica in engine.replicas:
+                target = getattr(replica, "inner", replica)
+                for stale in set(target.table_names()) - set(tables):
+                    target.drop_table(stale)
+                for table in tables:
+                    target.rebuild_table(
+                        table,
+                        restored.column_names(table),
+                        restored.snapshot_rows(table),
+                        restored.indexed_columns(table),
+                    )
+            for replica_id, table in list(engine.quarantine.tables()):
+                engine.quarantine.clear(replica_id, table)
+            for breaker in engine.breakers:
+                breaker.reset()
+            self.service.adopt_engine(engine)
+        else:
+            self.service.adopt_engine(restored)
         _count_recovery("storage")
 
     def master_source(self, table: str):
@@ -137,19 +171,26 @@ class RecoveryCoordinator:
             return (package.column_names, rows, ["index_key"])
         return None
 
-    def repair_replicas(self) -> list:
+    def repair_replicas(self, fence=None) -> list:
         """One anti-entropy pass over the service's replicated engine.
 
         No-op (empty list) for unreplicated engines; otherwise each
         quarantined (replica, table) re-syncs from a healthy peer or,
         failing that, from this coordinator's :meth:`master_source`.
+        ``fence`` is an optional zero-arg callable consulted per
+        repair: in a sharded fleet it reflects the *cross-shard*
+        two-phase journal, declining repairs while any shard sits
+        between prepare and commit (this shard's own engine generation
+        cannot see that window).
         """
         from repro.replication.repair import AntiEntropyRepairer
 
         engine = self.service.engine
         if not getattr(engine, "supports_replicated_reads", False):
             return []
-        repairer = AntiEntropyRepairer(engine, master_source=self.master_source)
+        repairer = AntiEntropyRepairer(
+            engine, master_source=self.master_source, fence=fence
+        )
         return repairer.run_once()
 
     def recover(self, restore_storage: bool = False) -> dict:

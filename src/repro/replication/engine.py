@@ -356,50 +356,87 @@ class ReplicatedStorageEngine:
             last_error: Exception | None = None
             failures = 0
             violations = 0
-            for rid in candidates:
-                if deadline is not None:
-                    deadline.check("replication.attempt")
-                breaker = self.breakers[rid]
-                if not breaker.allow():
-                    continue
-                started = self.clock.now()
-                try:
-                    rows = self.replicas[rid].lookup_many(table, column, keys)
-                    elapsed = self.clock.now() - started
-                    timeout = self.policy.attempt_timeout
-                    if timeout is not None and elapsed > timeout:
-                        raise ReplicaTimeout(
-                            f"replica {rid} answered in {elapsed:.3f}s, "
-                            f"over the {timeout:.3f}s attempt budget"
+            # Quarantine and breakers express *preference*, not safety:
+            # every answer is verified against the tag chain before it
+            # is accepted, so when the eligible pool is exhausted the
+            # quarantined replicas are tried as a verified last resort
+            # rather than failing a read whose data may be perfectly
+            # intact (a tampered *response channel* leaves stored rows
+            # untouched).
+            excluded = [
+                rid
+                for rid in range(len(self.replicas))
+                if rid not in set(candidates)
+            ]
+            for last_resort, pool in ((False, candidates), (True, excluded)):
+                for rid in pool:
+                    if deadline is not None:
+                        deadline.check("replication.attempt")
+                    breaker = self.breakers[rid]
+                    if not last_resort and not breaker.allow():
+                        continue
+                    started = self.clock.now()
+                    try:
+                        rows = self.replicas[rid].lookup_many(table, column, keys)
+                        elapsed = self.clock.now() - started
+                        timeout = self.policy.attempt_timeout
+                        if timeout is not None and elapsed > timeout:
+                            raise ReplicaTimeout(
+                                f"replica {rid} answered in {elapsed:.3f}s, "
+                                f"over the {timeout:.3f}s attempt budget"
+                            )
+                        if verifier is not None:
+                            verifier(rows)
+                    except IntegrityViolation as violation:
+                        self._observe_latency(rid, started)
+                        self._record_failure(rid, breaker, "integrity")
+                        self.quarantine.record(
+                            rid, table, violation.cell_id, violation.kind
                         )
-                    if verifier is not None:
-                        verifier(rows)
-                except IntegrityViolation as violation:
+                        last_error = violation
+                        failures += 1
+                        violations += 1
+                        continue
+                    except ReplicaTimeout as error:
+                        self._observe_latency(rid, started)
+                        self._record_failure(rid, breaker, "timeout")
+                        last_error = error
+                        failures += 1
+                        continue
+                    except TransientStorageError as error:
+                        self._observe_latency(rid, started)
+                        self._record_failure(rid, breaker, "transient")
+                        last_error = error
+                        failures += 1
+                        continue
+                    except StorageError as error:
+                        # Permanent storage failure on this replica — a
+                        # host that lost its disk (missing table, torn
+                        # page).  Fail over like any other replica
+                        # fault, and quarantine the whole table so
+                        # anti-entropy repair re-installs it from a
+                        # healthy peer rather than every future read
+                        # re-discovering the loss.
+                        self._observe_latency(rid, started)
+                        self._record_failure(rid, breaker, "storage-error")
+                        self.quarantine.record(
+                            rid, table, None, f"storage-error:{type(error).__name__}"
+                        )
+                        last_error = error
+                        failures += 1
+                        continue
                     self._observe_latency(rid, started)
-                    self._record_failure(rid, breaker, "integrity")
-                    self.quarantine.record(
-                        rid, table, violation.cell_id, violation.kind
-                    )
-                    last_error = violation
-                    failures += 1
-                    violations += 1
-                    continue
-                except ReplicaTimeout as error:
-                    self._observe_latency(rid, started)
-                    self._record_failure(rid, breaker, "timeout")
-                    last_error = error
-                    failures += 1
-                    continue
-                except TransientStorageError as error:
-                    self._observe_latency(rid, started)
-                    self._record_failure(rid, breaker, "transient")
-                    last_error = error
-                    failures += 1
-                    continue
-                self._observe_latency(rid, started)
-                breaker.record_success()
-                self.last_read_failovers = failures
-                return rows
+                    breaker.record_success()
+                    self.last_read_failovers = failures
+                    if last_resort:
+                        telemetry.counter(
+                            "concealer_replica_last_resort_reads_total",
+                            "verified reads served by a quarantined or "
+                            "breaker-open replica after the eligible "
+                            "pool was exhausted",
+                            secrecy=telemetry.PUBLIC_SIZE,
+                        ).inc()
+                    return rows
             self.last_read_failovers = failures
             if violations and violations == failures and last_error is not None:
                 # Every replica that answered answered with tampered

@@ -13,6 +13,12 @@ rebuilds each quarantined table from a trustworthy snapshot:
   optional ``master_source`` callback (wired to the data provider via
   :class:`~repro.faults.recovery.RecoveryCoordinator`) reconstructs
   the encrypted rows from the retained epoch packages.
+- **Stored-state quorum.**  When even the master declines (e.g. after
+  a key rotation invalidated the retained packages), a strict majority
+  of byte-identical *stored* snapshots across the whole group —
+  quarantined members included — is adopted: quarantine distrusts a
+  replica's response channel, not its disk, and independent rot cannot
+  mint a matching majority.
 
 Every repair is **fenced against epoch rotation**: the engine's
 rewrite generation is captured before the snapshot and re-checked by
@@ -52,7 +58,7 @@ class RepairOutcome:
     table: str
     outcome: str  # "repaired" | "fenced" | "no-source"
     rows: int = 0
-    source: str = ""  # "peer:<id>" | "majority:<k>/<n>" | "master" | ""
+    source: str = ""  # "peer:<id>" | "majority:<k>/<n>" | "master" | "quorum:<k>/<n>" | ""
 
 
 def _snapshot_digest(rows: Sequence[Row]) -> str:
@@ -74,9 +80,20 @@ class AntiEntropyRepairer:
         self,
         engine: ReplicatedStorageEngine,
         master_source: MasterSource | None = None,
+        fence: Callable[[], bool] | None = None,
     ):
         self.engine = engine
         self.master_source = master_source
+        # An *external* fence beyond the engine's own rewrite flag: in a
+        # sharded fleet a two-phase rotation holds some OTHER shard
+        # between prepare and commit while this shard's engine already
+        # committed (its rewrite_in_progress is False again).  Applying
+        # a repair then would race the fleet-wide journal — a phase-2
+        # crash reverse-rotates every committed shard, and the repair's
+        # snapshot would be rewritten under keys the journal is about
+        # to roll back.  The callable returns True while the cross-shard
+        # operation is in flight; repairs decline with "fenced".
+        self.fence = fence
 
     def run_once(self) -> list[RepairOutcome]:
         """One repair pass over the current quarantine worklist."""
@@ -105,6 +122,8 @@ class AntiEntropyRepairer:
     def _repair(self, replica_id: int, table: str) -> RepairOutcome:
         engine = self.engine
         if engine.rewrite_in_progress:
+            return self._outcome(replica_id, table, "fenced")
+        if self.fence is not None and self.fence():
             return self._outcome(replica_id, table, "fenced")
         generation = engine.rewrite_generation
         chosen = self._choose_source(replica_id, table)
@@ -168,6 +187,39 @@ class AntiEntropyRepairer:
             if reconstructed is not None:
                 column_names, rows, indexed = reconstructed
                 return (column_names, rows, indexed, "master")
+        # Last resort: a stored-state quorum across the WHOLE group,
+        # quarantined members included.  Quarantine marks a replica's
+        # *response channel* untrusted (tampered answers, stale
+        # replays), not its disk — a Byzantine response channel leaves
+        # stored rows untouched.  When every peer is quarantined and
+        # the master declines, a strict majority of byte-identical
+        # stored snapshots cannot have arisen from independent rot, so
+        # it is adopted as truth and the group re-converges instead of
+        # staying wedged forever.
+        holders = [
+            rid
+            for rid in range(len(engine.replicas))
+            if engine.replicas[rid].has_table(table)
+        ]
+        if len(holders) > 1:
+            snapshots = {
+                rid: engine.replicas[rid].snapshot_rows(table)
+                for rid in holders
+            }
+            by_digest: dict[str, list[int]] = {}
+            for rid in holders:
+                by_digest.setdefault(
+                    _snapshot_digest(snapshots[rid]), []
+                ).append(rid)
+            quorum = max(by_digest.values(), key=len)
+            if len(quorum) > len(engine.replicas) // 2:
+                rid = quorum[0]
+                return (
+                    engine.replicas[rid].column_names(table),
+                    snapshots[rid],
+                    engine.replicas[rid].indexed_columns(table),
+                    f"quorum:{len(quorum)}/{len(holders)}",
+                )
         return None
 
     def _outcome(

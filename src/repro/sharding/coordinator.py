@@ -23,6 +23,20 @@ already committed back to the old master (the coordinator knows both
 keys, so it can mint the reverse token) and aborts the rest — again
 converging on the old key.  Either way queries resume on a fleet that
 is all-old or all-new, never mixed.
+
+**Replicated shards** change nothing about the protocol but everything
+about its blast radius.  ``prepare_rotation`` raises each shard
+engine's ``begin_rewrite`` fence, and on a replica group the rewrite
+(and any reverse rotation) fans out to *every* replica — including
+quarantined ones — through the group's write path, so no replica is
+left holding old-key ciphertexts the repairer could later resurrect.
+Anti-entropy repair is doubly fenced: per-engine by the rewrite
+generation, and fleet-wide by the router fence this module holds from
+before phase 1 until after commit/rollback — a repair on shard A must
+not apply a snapshot while shard B sits between prepare and commit,
+because a phase-2 crash would reverse-rotate A under the journal and
+invalidate what the repair just installed
+(:meth:`ShardedService.repair_replicas` threads that fence down).
 """
 
 from __future__ import annotations

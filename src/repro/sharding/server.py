@@ -249,17 +249,34 @@ class ShardServer:
             if operation == "slo":
                 return {"ok": True, "slo": self.slo.snapshot()}
             if operation == "health":
+                # Structured per-shard causes (satellite of PR 8): the
+                # old single-string reason masked secondary causes — a
+                # crashed enclave hid two quarantined replicas.  The
+                # `status` field keeps the old string contract;
+                # everything else is additive.  Read-only: built from
+                # non-mutating breaker/quarantine state so polling
+                # health can never perturb a breaker's half-open probe.
                 sharded = self.router.sharded
+                shard_health = {}
+                for shard in sharded.shards:
+                    detail = shard.isolation_detail()
+                    detail["status"] = (
+                        "healthy"
+                        if detail["primary"] == "healthy"
+                        else detail["primary"]
+                    )
+                    detail["replica_breakers"] = [
+                        breaker.state
+                        for breaker in (
+                            shard.replicated_engine().breakers
+                            if shard.replicated_engine() is not None
+                            else []
+                        )
+                    ]
+                    shard_health[shard.shard_id] = detail
                 return {
                     "ok": True,
-                    "shards": {
-                        shard.shard_id: (
-                            "healthy"
-                            if shard.healthy()
-                            else shard.isolation_reason()
-                        )
-                        for shard in sharded.shards
-                    },
+                    "shards": shard_health,
                     "inflight": self.router.inflight,
                     "epochs": sharded.ingested_epochs(),
                 }
@@ -342,11 +359,14 @@ class ShardServer:
         return response
 
 
-def build_demo_fleet(shards: int, workdir, seed: int = 99, hedge_delay=None):
+def build_demo_fleet(
+    shards: int, workdir, seed: int = 99, hedge_delay=None, replicas: int = 1
+):
     """A provisioned, ingested fleet + router for --serve and the bench.
 
     One WiFi epoch (same generator as the demo) lands on ``shards``
-    shards via the two-phase coordinator; the caller owns teardown.
+    shards via the two-phase coordinator; with ``replicas > 1`` every
+    shard fronts its own replica group.  The caller owns teardown.
     """
     import random
 
@@ -366,7 +386,7 @@ def build_demo_fleet(shards: int, workdir, seed: int = 99, hedge_delay=None):
     )
     sharded = ShardedService.build(
         provider,
-        ShardedConfig(shards=shards),
+        ShardedConfig(shards=shards, replicas=replicas),
         workdir,
         retry_rng_seed=f"serve-{seed}",
     )
@@ -375,16 +395,27 @@ def build_demo_fleet(shards: int, workdir, seed: int = 99, hedge_delay=None):
     return sharded, router, records
 
 
-async def serve(shards: int, port: int, workdir, drain_seconds: float = 10.0) -> int:
+async def serve(
+    shards: int,
+    port: int,
+    workdir,
+    drain_seconds: float = 10.0,
+    replicas: int = 1,
+) -> int:
     """The ``--serve`` entry point; returns a process exit code."""
-    sharded, router, records = build_demo_fleet(shards, workdir)
+    sharded, router, records = build_demo_fleet(
+        shards, workdir, replicas=replicas
+    )
     server = ShardServer(router, port=port, drain_seconds=drain_seconds)
     bound = await server.start()
     server.install_signal_handlers()
+    replica_note = (
+        f" x {replicas} replica(s)" if replicas > 1 else ""
+    )
     print(
-        f"serving {len(records)} records across {shards} shard(s) "
-        f"on 127.0.0.1:{bound} — JSON lines; SIGTERM drains and "
-        "checkpoints",
+        f"serving {len(records)} records across {shards} shard(s)"
+        f"{replica_note} on 127.0.0.1:{bound} — JSON lines; SIGTERM "
+        "drains and checkpoints",
         flush=True,
     )
     drained = await server.serve_until_stopped()

@@ -57,6 +57,7 @@ from repro.faults.injector import NULL_INJECTOR, FaultInjector
 from repro.faults.recovery import RecoveryCoordinator
 from repro.replication.breaker import CircuitBreaker
 from repro.replication.deadline import Deadline
+from repro.replication.engine import ReplicatedStorageEngine, ReplicationPolicy
 from repro.sharding.results import PartialResult, ShardedQueryStats, merged_stats
 from repro.sharding.topology import ShardTopology
 from repro.storage.engine import StorageEngine
@@ -95,11 +96,51 @@ def _count_isolated(shard_id: int, reason: str) -> None:
     ).labels(shard=shard_id, reason=reason).inc()
 
 
+def build_replica_group(
+    replicas: int,
+    clock=None,
+    fault_injector: FaultInjector | None = None,
+    attempt_timeout: float | None = 2.0,
+    min_healthy: int | None = None,
+) -> ReplicatedStorageEngine:
+    """A shard-local replica group of plain storage engines.
+
+    Replica 0 carries the fault injector so the classic storage fault
+    sites (transient read/write, row corrupt/drop/duplicate) keep
+    firing inside a replicated shard exactly as they would against a
+    single engine; peers stay clean so verify-then-failover has
+    somewhere to go.  Byzantine response-channel faults are layered on
+    by the chaos harness's engine factory, not here.
+    """
+    members = [
+        StorageEngine(fault_injector=fault_injector if rid == 0 else None)
+        for rid in range(replicas)
+    ]
+    return ReplicatedStorageEngine(
+        members,
+        clock=clock,
+        policy=ReplicationPolicy(
+            min_healthy=min_healthy, attempt_timeout=attempt_timeout
+        ),
+    )
+
+
 @dataclass
 class ShardedConfig:
     """Fleet-level knobs; per-shard ServiceConfig fields pass through."""
 
     shards: int = 2
+    # Storage replicas *inside* each shard.  With replicas > 1 every
+    # shard fronts its own ReplicatedStorageEngine: verify-then-failover
+    # reads, per-replica breakers, quarantine, and anti-entropy repair
+    # all run below the router — a single tampered or crashed storage
+    # node never surfaces as a degraded shard.
+    replicas: int = 1
+    # Per-replica attempt budget (seconds) inside a shard's group.
+    replica_attempt_timeout: float | None = 2.0
+    # Healthy-replica count below which a shard's reads are flagged
+    # degraded (None = all of them).
+    replica_min_healthy: int | None = None
     verify: bool = True
     oblivious: bool = False
     # Per-shard dispatch budget in seconds (None = unbounded).  Minted
@@ -141,19 +182,80 @@ class Shard:
     tracer: object | None = None
 
     def healthy(self) -> bool:
-        """Whether the router may dispatch to this shard right now."""
+        """Whether the router may dispatch to this shard right now.
+
+        A replicated shard is additionally unhealthy when its *whole*
+        replica group is exhausted — every replica breaker hard-open —
+        because no read could be served anyway.  One bad replica never
+        isolates the shard; that is the point of the group.
+        """
         return (
             not self.service.enclave.crashed
             and self.service.enclave.provisioned
             and self.breaker.allow()
+            and not self.replicas_exhausted()
         )
 
+    def replicated_engine(self):
+        """The shard's replica group, or ``None`` for a single engine."""
+        engine = self.service.engine
+        if getattr(engine, "supports_replicated_reads", False):
+            return engine
+        return None
+
+    def replicas_exhausted(self) -> bool:
+        """True when no replica in the group may be read from at all."""
+        engine = self.replicated_engine()
+        if engine is None:
+            return False
+        return not any(breaker.allow() for breaker in engine.breakers)
+
+    def isolation_detail(self) -> dict:
+        """Structured health causes — no fixed precedence masks anything.
+
+        Chaos reports and the ops-plane ``health`` op surface this dict
+        so an operator sees *every* contributing cause (a crashed
+        enclave AND two quarantined replicas), not just the first one a
+        precedence order happened to pick.  All fields are public-size:
+        functions of fault behaviour and request arrival, never data.
+        """
+        engine = self.replicated_engine()
+        detail = {
+            "crashed": self.service.enclave.crashed,
+            "unprovisioned": not self.service.enclave.provisioned,
+            "breaker_open": self.breaker.state == "open",
+            "replicas": len(engine.replicas) if engine is not None else 1,
+            "replica_breakers_open": (
+                sum(1 for b in engine.breakers if b.state == "open")
+                if engine is not None
+                else 0
+            ),
+            "replicas_quarantined": (
+                len({rid for rid, _ in engine.quarantine.tables()})
+                if engine is not None
+                else 0
+            ),
+            "quarantined_scopes": len(engine.quarantine) if engine is not None else 0,
+        }
+        if detail["crashed"]:
+            detail["primary"] = "enclave-crashed"
+        elif detail["unprovisioned"]:
+            detail["primary"] = "unprovisioned"
+        elif detail["breaker_open"]:
+            detail["primary"] = "breaker-open"
+        elif engine is not None and detail["replica_breakers_open"] >= detail["replicas"]:
+            detail["primary"] = "replicas-exhausted"
+        elif self.breaker.state != "closed":
+            # A half-open breaker with its probe outstanding still
+            # blocks dispatch; report it rather than claiming health.
+            detail["primary"] = "breaker-open"
+        else:
+            detail["primary"] = "healthy"
+        return detail
+
     def isolation_reason(self) -> str:
-        if self.service.enclave.crashed:
-            return "enclave-crashed"
-        if not self.service.enclave.provisioned:
-            return "unprovisioned"
-        return "breaker-open"
+        """The primary cause, for metric labels and error messages."""
+        return self.isolation_detail()["primary"]
 
     def assert_owns(self, cell_ids) -> None:
         """Shard-side guard: single-shard work must match the public map.
@@ -230,20 +332,31 @@ class ShardedService:
 
         Each shard gets its own enclave (attested + provisioned by the
         provider), its own storage engine (``engine_factory(shard_id)``
-        when given — e.g. a replicated engine per shard), and a private
-        checkpoint path under ``workdir``.  All shards share ``clock``
-        and ``fault_injector`` so chaos schedules replay.
+        when given — e.g. a Byzantine-wrapped replica group for chaos),
+        and a private checkpoint path under ``workdir``.  All shards
+        share ``clock`` and ``fault_injector`` so chaos schedules
+        replay.  With ``config.replicas > 1`` and no factory, every
+        shard fronts its own :class:`ReplicatedStorageEngine` of plain
+        replicas (replica 0 carries the fault injector so classic
+        storage faults keep firing).
         """
         clock = clock if clock is not None else SystemClock()
         topology = ShardTopology(config.shards)
         workdir = Path(workdir)
         shards: list[Shard] = []
         for shard_id in range(config.shards):
-            engine = (
-                engine_factory(shard_id)
-                if engine_factory is not None
-                else StorageEngine(fault_injector=fault_injector)
-            )
+            if engine_factory is not None:
+                engine = engine_factory(shard_id)
+            elif config.replicas > 1:
+                engine = build_replica_group(
+                    config.replicas,
+                    clock=clock,
+                    fault_injector=fault_injector,
+                    attempt_timeout=config.replica_attempt_timeout,
+                    min_healthy=config.replica_min_healthy,
+                )
+            else:
+                engine = StorageEngine(fault_injector=fault_injector)
             service = ServiceProvider(
                 provider.schema,
                 ServiceConfig(
@@ -367,7 +480,7 @@ class ShardedService:
             # parent — the router's query span — is linked by parent_id.
             with telemetry.bind_tracer(shard.tracer), telemetry.span(
                 "shard.dispatch", shard=shard.shard_id, kind=kind
-            ):
+            ) as dispatch_span:
                 with shard.lock:
                     if not shard.service.enclave.crashed:
                         shard.service.enclave.kill_point("shard.kill")
@@ -379,6 +492,7 @@ class ShardedService:
                     if deadline is not None:
                         deadline.check("shard.dispatch")
                     answer = thunk()
+                self._note_replica_health(shard, answer, dispatch_span)
         except ConcealerError:
             if shard.service.enclave.crashed:
                 _count_isolated(shard.shard_id, "enclave-crashed")
@@ -389,6 +503,39 @@ class ShardedService:
             raise
         shard.breaker.record_success()
         return answer
+
+    def _note_replica_health(self, shard: Shard, answer, dispatch_span) -> None:
+        """Surface in-shard failovers the router otherwise never sees.
+
+        The whole point of per-shard replica groups is that a tampered
+        or dead replica is absorbed *below* the router — so without
+        this annotation the event would be invisible: no PartialResult,
+        no isolation counter, nothing.  The dispatch span and a
+        public-size per-shard counter record that the answer was served
+        through failover (how many attempts were abandoned) and whether
+        the group is running below its healthy minimum.  Counts are
+        functions of fault behaviour, never of data.
+        """
+        stats = answer[1] if isinstance(answer, tuple) and len(answer) == 2 else None
+        failovers = getattr(stats, "failovers", 0)
+        degraded = bool(getattr(stats, "degraded", False))
+        if failovers:
+            dispatch_span.set(replica_failovers=failovers)
+            telemetry.counter(
+                "concealer_shard_replica_failovers_total",
+                "in-shard replica failovers absorbed below the router",
+                secrecy=telemetry.PUBLIC_SIZE,
+                labels=("shard",),
+            ).labels(shard=shard.shard_id).inc(failovers)
+        if degraded and shard.replicated_engine() is not None:
+            dispatch_span.set(replica_degraded=True)
+            telemetry.counter(
+                "concealer_shard_degraded_served_total",
+                "dispatches served by a shard whose replica group was "
+                "below its healthy minimum",
+                secrecy=telemetry.PUBLIC_SIZE,
+                labels=("shard",),
+            ).labels(shard=shard.shard_id).inc()
 
     # ---------------------------------------------------------------- queries
 
@@ -596,15 +743,32 @@ class ShardedService:
 
         Re-admission requires, in order: a fresh enclave re-attested
         and re-provisioned by the data provider; storage restored from
-        the shard's checkpoint when tables were lost; and a successful
-        per-epoch context probe.  Only then does the breaker reset —
-        a shard that fails any step stays isolated.
+        the shard's checkpoint when tables were lost; an anti-entropy
+        repair pass over the shard's replica group (quarantined
+        replicas re-sync from healthy peers or the DP's packages, and
+        replicas whose quarantine cleared get their breakers reset —
+        re-admitting a shard must re-admit its replicas, not just
+        re-attest the enclave); and a successful per-epoch context
+        probe.  Only then does the shard breaker reset — a shard that
+        fails any step stays isolated.
+
+        A *healthy* shard whose replica group is merely degraded
+        (quarantined replicas, open replica breakers) also gets the
+        repair pass — in-shard damage is healed before it can
+        accumulate into replica exhaustion — but is not counted as a
+        readmission.
         """
         actions: dict[int, dict] = {}
         for shard in self.shards:
-            if shard.healthy():
+            was_healthy = shard.healthy()
+            if was_healthy and not self._replicas_degraded(shard):
                 continue
-            action = {"enclave": False, "storage": False, "readmitted": False}
+            action = {
+                "enclave": False,
+                "storage": False,
+                "replicas_repaired": 0,
+                "readmitted": False,
+            }
             try:
                 with shard.lock:
                     if (
@@ -616,22 +780,93 @@ class ShardedService:
                     if self._storage_lost(shard):
                         shard.coordinator.recover_storage()
                         action["storage"] = True
+                    action["replicas_repaired"] = self._heal_replicas(shard)
                     shard.probe()
             except ConcealerError:
                 # Probe or recovery failed: stay isolated; a later heal
                 # (or the breaker's half-open window) tries again.
                 actions[shard.shard_id] = action
                 continue
-            shard.breaker.reset()
-            action["readmitted"] = True
+            if not was_healthy:
+                shard.breaker.reset()
+                action["readmitted"] = True
+                telemetry.counter(
+                    "concealer_shard_readmissions_total",
+                    "shards re-admitted after re-attestation + probe",
+                    secrecy=telemetry.PUBLIC_SIZE,
+                    labels=("shard",),
+                ).labels(shard=shard.shard_id).inc()
             actions[shard.shard_id] = action
+        return actions
+
+    @staticmethod
+    def _replicas_degraded(shard: Shard) -> bool:
+        """Whether the shard's replica group needs an anti-entropy pass."""
+        engine = shard.replicated_engine()
+        if engine is None:
+            return False
+        return bool(engine.quarantine.tables()) or any(
+            breaker.state != "closed" for breaker in engine.breakers
+        )
+
+    def _heal_replicas(self, shard: Shard) -> int:
+        """Repair the shard's replica group; re-admit cleared replicas.
+
+        Runs one fenced anti-entropy pass (quarantined tables re-sync
+        from peer majority or the DP master source), then resets the
+        breaker of every replica with no remaining quarantine — a
+        replica whose read failures tripped its breaker without any
+        quarantined table (e.g. pure slowness) is also given a fresh
+        start, since heal() is the operator saying "the fault condition
+        is over".  Replicas still quarantined (repair fenced or
+        source-less) keep their breakers untouched.  Returns the number
+        of successful repairs.
+        """
+        engine = shard.replicated_engine()
+        if engine is None:
+            return 0
+        outcomes = shard.coordinator.repair_replicas(
+            fence=lambda: self._fence is not None
+        )
+        repaired = sum(1 for o in outcomes if o.outcome == "repaired")
+        still_quarantined = {rid for rid, _ in engine.quarantine.tables()}
+        for replica_id, breaker in enumerate(engine.breakers):
+            if replica_id not in still_quarantined and breaker.state != "closed":
+                breaker.reset()
+        if repaired:
             telemetry.counter(
-                "concealer_shard_readmissions_total",
-                "shards re-admitted after re-attestation + probe",
+                "concealer_shard_replica_repairs_total",
+                "replica tables repaired during shard heal, by shard",
                 secrecy=telemetry.PUBLIC_SIZE,
                 labels=("shard",),
-            ).labels(shard=shard.shard_id).inc()
-        return actions
+            ).labels(shard=shard.shard_id).inc(repaired)
+        return repaired
+
+    def repair_replicas(self) -> dict[int, list]:
+        """One fenced anti-entropy pass over every shard's replica group.
+
+        The periodic-repair entry point (the chaos harness and an
+        operator cron both drive it): each shard's quarantined replicas
+        re-sync from healthy peers or the DP's retained packages.
+        Every repair consults the *cross-shard* two-phase fence — while
+        any shard of a fleet-wide ingest or rotation sits between
+        prepare and commit, repairs decline with a "fenced" outcome
+        rather than racing the journal (a phase-2 crash would
+        reverse-rotate state the repair just overwrote).  Returns
+        per-shard :class:`~repro.replication.repair.RepairOutcome`
+        lists for shards that had work.
+        """
+        outcomes: dict[int, list] = {}
+        for shard in self.shards:
+            if shard.replicated_engine() is None:
+                continue
+            with shard.lock:
+                batch = shard.coordinator.repair_replicas(
+                    fence=lambda: self._fence is not None
+                )
+            if batch:
+                outcomes[shard.shard_id] = batch
+        return outcomes
 
     @staticmethod
     def _storage_lost(shard: Shard) -> bool:

@@ -218,9 +218,15 @@ class TestDeterministicReplay:
             == run_chaos(3, ops=10, shards=1).fingerprint()
         )
 
-    def test_shards_and_replicas_are_mutually_exclusive(self):
-        with pytest.raises(ValueError):
-            run_chaos(1, ops=4, shards=2, replicas=3)
+    def test_shards_and_replicas_compose(self):
+        # Once mutually exclusive; now every shard fronts its own
+        # Byzantine replica group, and composed runs replay like any
+        # other seeded schedule.
+        first = run_chaos(1, ops=6, shards=2, replicas=3)
+        second = run_chaos(1, ops=6, shards=2, replicas=3)
+        assert not first.silent_wrong
+        assert first.schedule == second.schedule
+        assert first.fingerprint() == second.fingerprint()
 
     def test_schedules_differ_across_seeds(self):
         schedules = {

@@ -1,0 +1,106 @@
+"""Logical row identity must survive failover across replicas.
+
+Physical row ids are *replica-local*: a rebuild, repair, or divergent
+ingest can leave two replicas storing the same logical rows under
+different ids.  A query whose fetches mix sources — verified bins
+cached from one replica unioned with a failover fetch served by
+another — must therefore never treat the physical id as row identity:
+two different logical rows can collide on an id, and two copies of the
+same logical row can arrive under different ids.  The only stable
+identity is the index-key ciphertext (deterministic encryption of
+``cid ‖ counter``), byte-identical wherever the row is stored.
+
+Regression for a composed-chaos find (seed 9079): an id-keyed de-dup
+silently dropped real rows when a cached bin's ids collided with a
+failover batch's shifted ids — every batch verified, the *union* lied.
+"""
+
+from __future__ import annotations
+
+from repro import ServiceConfig
+from repro.core.queries import PointQuery, RangeQuery
+from repro.storage.table import Row
+
+from tests.conftest import ground_truth_count
+from tests.replication.conftest import (
+    EPOCH_DURATION,
+    LOCATIONS,
+    make_replicated_stack,
+    replication_records,
+)
+
+
+def _shift_physical_ids(member, table: str, offset: int) -> None:
+    """Reinstall a replica's rows under rotated physical ids.
+
+    Contents are untouched — the replica still holds exactly the same
+    logical rows, so every per-bin verification keeps passing.
+    """
+    rows = sorted(member.snapshot_rows(table), key=lambda r: r.row_id)
+    count = len(rows)
+    shifted = [
+        Row(row_id=(row.row_id + offset) % count, columns=tuple(row.columns))
+        for row in rows
+    ]
+    member.rebuild_table(
+        table,
+        member.column_names(table),
+        shifted,
+        member.indexed_columns(table),
+    )
+
+
+def test_failover_into_an_id_diverged_replica_drops_no_rows():
+    records = replication_records()
+    provider, service, engine, members, clock = make_replicated_stack(
+        records,
+        config=ServiceConfig(verify=True, bin_cache_bins=32),
+    )
+    table = service._table_name(0)
+
+    # Warm the verified-bin cache from replica 0: a point query pins its
+    # bin's rows — under replica 0's physical ids — into the cache.
+    answer, _ = service.execute_point(
+        PointQuery(index_values=("ap0",), timestamp=60)
+    )
+    assert answer == ground_truth_count(records, location="ap0", t0=60, t1=60)
+
+    # Replicas 1 and 2 hold the same logical rows under rotated physical
+    # ids (any repair or divergent ingest can legitimately do this)…
+    for member in members[1:]:
+        _shift_physical_ids(member, table, offset=7)
+    # …and replica 0's store is then corrupted, so every further fetch
+    # fails verification there and fails over to the id-shifted peers.
+    assert members[0].corrupt_stored(table) > 0
+
+    # The full-domain range unions cached bins (replica-0 ids) with
+    # failover fetches (shifted ids).  Ids collide across the two
+    # sources while the logical rows differ — an id-keyed de-dup would
+    # silently undercount here; identity by index-key ciphertext must
+    # keep the answer exact.
+    answer, stats = service.execute_range(
+        RangeQuery(
+            index_values=(LOCATIONS,),
+            time_start=0,
+            time_end=EPOCH_DURATION - 1,
+        ),
+        method="ebpb",
+    )
+    assert stats.failovers > 0, "replica 0 was never failed over"
+    assert answer == ground_truth_count(
+        records, t0=0, t1=EPOCH_DURATION - 1
+    )
+
+    # Same guarantee when the *entire* union comes from one shifted
+    # replica (no cache interplay): ids are permuted but complete.
+    answer, _ = service.execute_range(
+        RangeQuery(
+            index_values=(LOCATIONS,),
+            time_start=0,
+            time_end=EPOCH_DURATION // 2,
+        ),
+        method="multipoint",
+    )
+    assert answer == ground_truth_count(
+        records, t0=0, t1=EPOCH_DURATION // 2
+    )

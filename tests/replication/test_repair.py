@@ -129,6 +129,9 @@ class TestRepairSources:
         )
 
     def test_no_source_leaves_the_quarantine_in_place(self):
+        # Both replicas quarantined, no master source, AND their stored
+        # snapshots diverge — so not even the stored-state quorum can
+        # break the tie.  Nothing trustworthy exists; repair declines.
         records = replication_records()
         provider, service, engine, members, clock = make_replicated_stack(
             records, replicas=2
@@ -136,9 +139,31 @@ class TestRepairSources:
         table = epoch_table(service)
         engine.quarantine.record(0, table, None, "test")
         engine.quarantine.record(1, table, None, "test")
+        assert members[1].corrupt_stored(table) > 0
         outcomes = AntiEntropyRepairer(engine).run_once()  # no master source
         assert {o.outcome for o in outcomes} == {"no-source"}
         assert engine.tables_needing_repair() == [(0, table), (1, table)]
+
+    def test_stored_state_quorum_unwedges_a_fully_quarantined_group(self):
+        # Every replica quarantined (a Byzantine response channel
+        # tampered answers without touching disks), no master source:
+        # the strict majority of byte-identical stored snapshots is
+        # adopted and the whole group re-converges.
+        records = replication_records()
+        provider, service, engine, members, clock = make_replicated_stack(records)
+        table = epoch_table(service)
+        for rid in range(len(members)):
+            engine.quarantine.record(rid, table, None, "tampered-response")
+        outcomes = AntiEntropyRepairer(engine).run_once()
+        assert {o.outcome for o in outcomes} == {"repaired"}
+        assert outcomes[0].source.startswith("quorum:")
+        assert engine.tables_needing_repair() == []
+        answer, _ = service.execute_point(
+            PointQuery(index_values=("ap0",), timestamp=60)
+        )
+        assert answer == ground_truth_count(
+            records, location="ap0", t0=60, t1=60
+        )
 
     def test_run_until_clean_drains_a_multi_replica_quarantine(self):
         records = replication_records()

@@ -1,0 +1,366 @@
+"""Replicated shards: failover below the router, heal re-admits replicas.
+
+PR 8's contract in one sentence: a tampered or dead storage replica is
+a *shard-internal* event — verify-then-failover reads, per-replica
+breakers, quarantine, and anti-entropy repair all run inside the
+shard, and the router only learns anything when the whole replica
+group is exhausted.  These tests pin that boundary:
+
+- a dead replica's reads fail over in-shard: the answer is full (never
+  a ``PartialResult``), correct, and the only externally visible sign
+  is the public-size failover counter;
+- ``heal()`` re-admits *replicas*, not just enclaves: quarantines
+  clear via repair and per-replica breakers re-close;
+- a shard whose whole group is exhausted isolates with a structured
+  cause dict (no fixed precedence masking secondary causes);
+- ``recover_storage`` restores the checkpoint into every replica and
+  keeps the group (and its failover machinery) intact;
+- anti-entropy repair declines while *any* shard of a two-phase
+  rotation sits between prepare and commit — the cross-shard journal
+  fence, which this shard's own rewrite generation cannot see.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import telemetry
+from repro.core.queries import PointQuery, RangeQuery
+from repro.exceptions import ShardUnavailable
+from repro.replication.engine import ReplicatedStorageEngine
+from repro.sharding.coordinator import rotate_sharded_keys
+from tests.sharding.conftest import (
+    EPOCH_DURATION,
+    LOCATIONS,
+    MASTER_KEY,
+    make_fleet,
+    truth,
+)
+
+REPLICAS = 3
+
+
+@pytest.fixture
+def replicated_fleet(tmp_path):
+    return make_fleet(tmp_path, replicas=REPLICAS)
+
+
+def _epoch_table(shard) -> str:
+    (epoch_id,) = shard.service.ingested_epochs()
+    return shard.service._table_name(epoch_id)
+
+
+def _open_breaker(breaker) -> None:
+    while breaker.state != "open":
+        breaker.record_failure()
+
+
+class TestInShardFailover:
+    def test_every_shard_fronts_a_replica_group(self, replicated_fleet):
+        _, sharded, _ = replicated_fleet
+        for shard in sharded.shards:
+            engine = shard.replicated_engine()
+            assert isinstance(engine, ReplicatedStorageEngine)
+            assert len(engine.replicas) == REPLICAS
+            # Ingest fanned out: every replica holds the epoch table.
+            table = _epoch_table(shard)
+            for replica in engine.replicas:
+                assert replica.has_table(table)
+
+    def test_dead_replica_is_invisible_to_the_router(self, replicated_fleet):
+        """The acceptance witness: failover the router never observes."""
+        _, sharded, records = replicated_fleet
+        with telemetry.scoped_registry() as registry:
+            for shard in sharded.shards:
+                shard.replicated_engine().replicas[0].drop_table(
+                    _epoch_table(shard)
+                )
+            expected = truth(records, LOCATIONS, 0, EPOCH_DURATION - 1)
+            answer, stats = sharded.execute_range(
+                RangeQuery(
+                    index_values=(LOCATIONS,),
+                    time_start=0,
+                    time_end=EPOCH_DURATION - 1,
+                )
+            )
+            # Full answer, right value, no PartialResult, no missing
+            # shards — the router saw nothing.
+            assert answer == expected
+            assert stats.missing_shards == ()
+            assert stats.merged.failovers > 0
+            assert (
+                registry.total("concealer_shard_replica_failovers_total") > 0
+            )
+            assert registry.total("concealer_partial_results_total") == 0
+            for shard in sharded.shards:
+                assert shard.healthy()
+
+    def test_point_query_fails_over_in_shard(self, replicated_fleet):
+        _, sharded, records = replicated_fleet
+        location, timestamp, _ = records[0]
+        query = PointQuery(index_values=(location,), timestamp=timestamp)
+        _, _, owner_id = sharded.plan_point(query)
+        owner = sharded.shards[owner_id]
+        owner.replicated_engine().replicas[0].drop_table(_epoch_table(owner))
+        answer, stats = sharded.execute_point(query)
+        assert answer == truth(records, location, timestamp, timestamp)
+        assert stats.merged.failovers > 0
+        assert owner.healthy()
+
+
+class TestHealReadmitsReplicas:
+    def test_heal_clears_quarantine_and_recloses_replica_breakers(
+        self, replicated_fleet
+    ):
+        """Satellite: re-admission is about replicas, not just enclaves."""
+        _, sharded, _ = replicated_fleet
+        shard = sharded.shards[0]
+        engine = shard.replicated_engine()
+        table = _epoch_table(shard)
+        engine.quarantine.record(1, table, None, "test-tamper")
+        _open_breaker(engine.breakers[1])
+        assert shard.healthy()  # one bad replica never isolates the shard
+
+        actions = sharded.heal()
+        assert actions[0]["replicas_repaired"] >= 1
+        # Healthy shard: replica repair is maintenance, not readmission.
+        assert not actions[0]["readmitted"]
+        assert engine.quarantine.tables() == []
+        assert engine.breakers[1].state == "closed"
+        assert engine.breakers[1].allow()
+
+    def test_heal_resets_unquarantined_open_breakers(self, replicated_fleet):
+        # A replica whose breaker tripped on pure slowness (no
+        # quarantined table) also gets a fresh start from heal().
+        _, sharded, _ = replicated_fleet
+        engine = sharded.shards[1].replicated_engine()
+        _open_breaker(engine.breakers[2])
+        sharded.heal()
+        assert engine.breakers[2].state == "closed"
+
+    def test_exhausted_replica_group_isolates_the_shard(
+        self, replicated_fleet
+    ):
+        _, sharded, records = replicated_fleet
+        shard = sharded.shards[0]
+        engine = shard.replicated_engine()
+        for breaker in engine.breakers:
+            _open_breaker(breaker)
+        assert not shard.healthy()
+        assert shard.isolation_reason() == "replicas-exhausted"
+        query = RangeQuery(
+            index_values=(LOCATIONS,), time_start=0, time_end=EPOCH_DURATION - 1
+        )
+        answer, stats = sharded.execute_range(query)
+        assert 0 in stats.missing_shards
+
+        actions = sharded.heal()
+        assert actions[0]["readmitted"]
+        assert all(b.state == "closed" for b in engine.breakers)
+        assert sharded.execute_range(query)[0] == truth(
+            records, LOCATIONS, 0, EPOCH_DURATION - 1
+        )
+
+    def test_point_to_exhausted_owner_raises_typed(self, replicated_fleet):
+        _, sharded, records = replicated_fleet
+        location, timestamp, _ = records[0]
+        query = PointQuery(index_values=(location,), timestamp=timestamp)
+        _, _, owner_id = sharded.plan_point(query)
+        owner = sharded.shards[owner_id]
+        for breaker in owner.replicated_engine().breakers:
+            _open_breaker(breaker)
+        with pytest.raises(ShardUnavailable, match="replicas-exhausted"):
+            sharded.execute_point(query)
+
+
+class TestStructuredIsolationDetail:
+    def test_secondary_causes_are_not_masked(self, replicated_fleet):
+        """Satellite: a crashed enclave no longer hides replica damage."""
+        _, sharded, _ = replicated_fleet
+        shard = sharded.shards[0]
+        engine = shard.replicated_engine()
+        table = _epoch_table(shard)
+        shard.service.enclave.crash()
+        engine.quarantine.record(0, table, None, "tamper")
+        engine.quarantine.record(0, "other_table", None, "tamper")
+        engine.quarantine.record(2, table, None, "tamper")
+        _open_breaker(engine.breakers[2])
+
+        detail = shard.isolation_detail()
+        assert detail["primary"] == "enclave-crashed"
+        assert detail["crashed"] is True
+        assert detail["replicas"] == REPLICAS
+        assert detail["replicas_quarantined"] == 2
+        assert detail["quarantined_scopes"] == 3
+        assert detail["replica_breakers_open"] == 1
+        # And the one-string summary still matches the primary cause.
+        assert shard.isolation_reason() == "enclave-crashed"
+
+    def test_healthy_shard_reports_healthy_primary(self, replicated_fleet):
+        _, sharded, _ = replicated_fleet
+        detail = sharded.shards[1].isolation_detail()
+        assert detail["primary"] == "healthy"
+        assert detail["replica_breakers_open"] == 0
+
+    def test_detail_is_read_only(self, replicated_fleet):
+        # Polling health must never perturb a breaker's half-open
+        # probe: isolation_detail uses only non-mutating state.
+        _, sharded, _ = replicated_fleet
+        shard = sharded.shards[0]
+        _open_breaker(shard.breaker)
+        before = shard.breaker.state
+        for _ in range(3):
+            shard.isolation_detail()
+        assert shard.breaker.state == before
+
+
+class TestRecoverStoragePreservesTheGroup:
+    def test_checkpoint_restores_into_every_replica(self, replicated_fleet):
+        _, sharded, records = replicated_fleet
+        sharded.checkpoint_all()
+        # The tiny fixture's partitioner skews rows to one shard; pick
+        # the shard whose epoch table actually has rows so the restore
+        # has something to prove.
+        shard = max(
+            sharded.shards,
+            key=lambda s: s.replicated_engine().replicas[0].row_count(
+                _epoch_table(s)
+            ),
+        )
+        engine = shard.replicated_engine()
+        table = _epoch_table(shard)
+        populated = engine.replicas[0].row_count(table)
+        assert populated > 0
+        for replica in engine.replicas:
+            replica.drop_table(table)
+        shard.service.enclave.crash()
+
+        actions = sharded.heal()
+        action = actions[shard.shard_id]
+        assert action["storage"] and action["readmitted"]
+        # Still the same replica group, every member re-populated.
+        assert shard.replicated_engine() is engine
+        counts = {replica.row_count(table) for replica in engine.replicas}
+        assert counts == {populated}
+
+        # The failover machinery survived recovery: kill a replica
+        # again and the shard still serves full answers.
+        engine.replicas[0].drop_table(table)
+        answer, stats = sharded.execute_range(
+            RangeQuery(
+                index_values=(LOCATIONS,),
+                time_start=0,
+                time_end=EPOCH_DURATION - 1,
+            )
+        )
+        assert answer == truth(records, LOCATIONS, 0, EPOCH_DURATION - 1)
+        assert stats.merged.failovers > 0
+
+
+class TestRepairFencedAgainstCrossShardRotation:
+    @pytest.mark.parametrize(
+        "quarantined",
+        [
+            ((0, 1),),
+            ((0, 0), (1, 2)),
+            ((1, 0), (1, 1), (0, 2)),
+        ],
+    )
+    def test_repair_declines_between_prepare_and_commit(
+        self, tmp_path, quarantined, monkeypatch
+    ):
+        """Satellite property: the *cross-shard* journal fences repair.
+
+        A repair on shard A mid-rotation is dangerous even after A
+        itself committed (its own rewrite_in_progress is back to
+        False): a phase-2 crash on shard B reverse-rotates A under the
+        fleet journal, invalidating the applied snapshot.  So repair
+        must decline while ANY shard sits between prepare and commit —
+        verified here by running a repair pass from inside the commit
+        phase of a real two-phase rotation, across several quarantine
+        shapes (which shard, which replica, how many scopes).
+        """
+        import hashlib
+
+        import repro.sharding.coordinator as coordinator_module
+        from repro.core.rotation import rotation_token
+
+        _, sharded, _ = make_fleet(tmp_path, replicas=REPLICAS)
+        for shard_id, replica_id in quarantined:
+            shard = sharded.shards[shard_id]
+            shard.replicated_engine().quarantine.record(
+                replica_id, _epoch_table(shard), None, "pre-rotation-tamper"
+            )
+        worklist_before = {
+            shard_id: list(
+                sharded.shards[shard_id].replicated_engine().quarantine.tables()
+            )
+            for shard_id, _ in quarantined
+        }
+
+        mid_rotation_outcomes = []
+        real_commit = coordinator_module.commit_rotation
+
+        def commit_with_repair_attempt(plan):
+            # The repair cron firing at the worst possible moment:
+            # after every shard prepared, while commits are landing.
+            mid_rotation_outcomes.append(sharded.repair_replicas())
+            return real_commit(plan)
+
+        monkeypatch.setattr(
+            coordinator_module, "commit_rotation", commit_with_repair_attempt
+        )
+        new_master = hashlib.sha256(b"pr8-fence-test").digest()
+        rotate_sharded_keys(
+            sharded, new_master, rotation_token(MASTER_KEY, new_master)
+        )
+
+        assert mid_rotation_outcomes  # one attempt per shard commit
+        for attempt in mid_rotation_outcomes:
+            for outcomes in attempt.values():
+                assert outcomes  # the worklist was visible…
+                assert all(o.outcome == "fenced" for o in outcomes)
+        # …and untouched: nothing repaired, nothing cleared mid-flight.
+        for shard_id, worklist in worklist_before.items():
+            engine = sharded.shards[shard_id].replicated_engine()
+            assert engine.quarantine.tables() == worklist
+
+        # Fence down: the same worklist now drains.  (Post-rotation the
+        # DP master source declines, but healthy peers hold the
+        # rotated rows, so peer repair succeeds.)
+        drained = sharded.repair_replicas()
+        assert any(
+            o.outcome == "repaired"
+            for outcomes in drained.values()
+            for o in outcomes
+        )
+        for shard_id, _ in quarantined:
+            assert (
+                sharded.shards[shard_id].replicated_engine().quarantine.tables()
+                == []
+            )
+
+    def test_query_fence_and_repair_fence_share_one_source(self, tmp_path):
+        # The fleet fence that blocks queries during two-phase ops is
+        # the same state repair consults — no second flag to forget.
+        _, sharded, _ = make_fleet(tmp_path, replicas=REPLICAS)
+        shard = sharded.shards[0]
+        shard.replicated_engine().quarantine.record(
+            0, _epoch_table(shard), None, "tamper"
+        )
+        sharded.fence("rotation")
+        try:
+            outcomes = sharded.repair_replicas()
+            assert all(
+                o.outcome == "fenced"
+                for batch in outcomes.values()
+                for o in batch
+            )
+        finally:
+            sharded.unfence()
+        outcomes = sharded.repair_replicas()
+        assert all(
+            o.outcome == "repaired"
+            for batch in outcomes.values()
+            for o in batch
+        )

@@ -64,7 +64,14 @@ class TestProtocol:
 
             health = await _rpc(reader, writer, {"op": "health"})
             assert health["ok"] and health["epochs"] == [0]
-            assert set(health["shards"].values()) == {"healthy"}
+            # Structured per-shard detail: every cause visible at once,
+            # with `status` keeping the old one-string summary.
+            for detail in health["shards"].values():
+                assert detail["status"] == "healthy"
+                assert detail["primary"] == "healthy"
+                assert not detail["crashed"]
+                assert detail["replicas_quarantined"] == 0
+                assert detail["replica_breakers"] == []  # unreplicated
 
             bad = await _rpc(reader, writer, {"op": "frobnicate"})
             assert not bad["ok"] and bad["error"] == "BadRequest"

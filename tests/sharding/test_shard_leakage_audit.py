@@ -102,3 +102,102 @@ class TestShardRoutingIsPublic:
         assert [first.shard_of(c) for c in range(64)] == [
             second.shard_of(c) for c in range(64)
         ]
+
+
+def _replicated_workload(records, workdir):
+    """A replicated fleet through failover, anti-entropy repair, heal.
+
+    Replica 0 of every shard loses its epoch table before the queries
+    run, so reads fail over in-shard; repair then re-syncs the lost
+    tables from healthy peers and heal re-closes the breakers.  Every
+    one of those events is keyed only by public state (table names,
+    replica ids, breaker trips) — never by record contents — so the
+    whole lifecycle must be invisible to a device-level observer.
+    """
+
+    def run():
+        _, sharded, _ = make_fleet(workdir, records=records, replicas=3)
+        for shard in sharded.shards:
+            engine = shard.replicated_engine()
+            table = f"epoch_{sharded.ingested_epochs()[0]}"
+            engine.replicas[0].drop_table(table)
+        point = sharded.execute_point(
+            PointQuery(index_values=("ap0",), timestamp=60)
+        )[0]
+        ranged, stats = sharded.execute_range(
+            RangeQuery(
+                index_values=(LOCATIONS,),
+                time_start=0,
+                time_end=EPOCH_DURATION - 1,
+            )
+        )
+        actions = sharded.heal()  # drives anti-entropy repair in-shard
+        outcomes = sharded.repair_replicas()  # idempotent: nothing left
+        return (
+            point,
+            ranged,
+            stats.verified_shards,
+            sorted(
+                (sid, o.replica_id, o.table, o.outcome)
+                for sid, shard_outcomes in outcomes.items()
+                for o in shard_outcomes
+            ),
+            sorted((sid, a["replicas_repaired"]) for sid, a in actions.items()),
+        )
+
+    return run
+
+
+@pytest.fixture(scope="module")
+def replicated_reports(tmp_path_factory):
+    report_a = audit_run(
+        _replicated_workload(_records("A"), tmp_path_factory.mktemp("repl-a"))
+    )
+    report_b = audit_run(
+        _replicated_workload(_records("B"), tmp_path_factory.mktemp("repl-b"))
+    )
+    return report_a, report_b
+
+
+class TestReplicaHealthIsPublic:
+    """PR 8: the replica lifecycle leaks nothing beyond public sizes."""
+
+    def test_device_disjoint_runs_have_equal_public_views(
+        self, replicated_reports
+    ):
+        report_a, report_b = replicated_reports
+        # Failover answers, repair outcomes, and heal bookkeeping all
+        # agree — the replica machinery never branched on record
+        # contents…
+        assert report_a.result == report_b.result
+        # …and the full metric surface (failovers, repairs, breaker
+        # trips, degraded-serve counts) is byte-identical.
+        assert_equal_public_view(report_a, report_b)
+
+    def test_replica_health_metrics_are_in_the_public_view(
+        self, replicated_reports
+    ):
+        report_a, _ = replicated_reports
+        view = report_a.public_view()
+        for family in (
+            "concealer_replica_failovers_total",
+            "concealer_shard_replica_failovers_total",
+            "concealer_replica_repairs_total",
+            "concealer_shard_replica_repairs_total",
+        ):
+            assert family in view, family
+
+    def test_failover_and_repair_counts_match_across_datasets(
+        self, replicated_reports
+    ):
+        report_a, report_b = replicated_reports
+        for family in (
+            "concealer_replica_failovers_total",
+            "concealer_shard_replica_failovers_total",
+            "concealer_replica_repairs_total",
+            "concealer_shard_replica_repairs_total",
+        ):
+            assert (
+                report_a.public_view()[family]
+                == report_b.public_view()[family]
+            ), family

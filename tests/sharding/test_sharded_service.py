@@ -245,7 +245,8 @@ class TestReadmission:
         victim.service.enclave.crash()
         actions = sharded.heal()
         assert actions[1] == {
-            "enclave": True, "storage": True, "readmitted": True,
+            "enclave": True, "storage": True,
+            "replicas_repaired": 0, "readmitted": True,
         }
         expected = truth(records, LOCATIONS, 0, EPOCH_DURATION - 1)
         answer, _ = sharded.execute_range(
