@@ -64,9 +64,14 @@ def _occupancy():
 
 @dataclass(frozen=True)
 class CachedBin:
-    """One resident bin: its verified rows and the fence stamp."""
+    """One resident bin: its verified payload and the fence stamp.
 
-    rows: tuple
+    ``rows`` is either a tuple of scalar rows or a
+    :class:`~repro.core.packed.PackedBin` (the columnar layout is cached
+    in packed form — unpacking would forfeit the vectorized hot path).
+    """
+
+    rows: tuple | object
     verified: bool
     generation: int
     charged_bytes: int
@@ -155,7 +160,15 @@ class BinCache:
             return False
         if generation != getattr(self.engine, "rewrite_generation", 0):
             return False
-        charged = self.row_bytes * len(rows)
+        if hasattr(rows, "nbytes"):
+            # Packed bins carry their exact resident size; charging the
+            # per-row estimate would mis-account the EPC (a packed bin
+            # is typically much denser than row_bytes × rows).
+            stored = rows
+            charged = int(rows.nbytes)
+        else:
+            stored = tuple(rows)
+            charged = self.row_bytes * len(stored)
         with self._lock:
             try:
                 self.enclave.charge_memory(charged)
@@ -169,7 +182,7 @@ class BinCache:
                 oldest = next(iter(self._entries))
                 self._evict(oldest, "capacity")
             self._entries[key] = CachedBin(
-                rows=tuple(rows),
+                rows=stored,
                 verified=verified,
                 generation=generation,
                 charged_bytes=charged,

@@ -20,6 +20,7 @@ all observe the same budget the service minted at admission.
 
 from __future__ import annotations
 
+import threading
 from concurrent.futures import ThreadPoolExecutor
 
 from repro.core.queries import QueryStats
@@ -48,6 +49,27 @@ class ParallelFetchExecutor:
             raise ValueError("workers must be >= 1")
         self.fetcher = fetcher
         self.workers = workers
+        # The worker pool persists across batches: spawning threads per
+        # prefetch costs more than small batches' entire fetch work
+        # (the pool is created lazily and its threads are reused).
+        self._pool: ThreadPoolExecutor | None = None
+        self._pool_lock = threading.Lock()
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.workers,
+                    thread_name_prefix="concealer-prefetch",
+                )
+            return self._pool
+
+    def close(self) -> None:
+        """Shut the persistent pool down (idempotent)."""
+        with self._pool_lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=False)
+                self._pool = None
 
     def prefetch(self, units, overlay, deadline=None) -> QueryStats:
         """Fetch every unit once, filling ``overlay``; returns the
@@ -62,9 +84,13 @@ class ParallelFetchExecutor:
         if not units:
             return stats
         stats.bins_fetched = len(units)
-        if self.workers == 1 or len(units) == 1:
+        # Packed fetches are dominated by batched, GIL-bound kernel
+        # crypto and a storage round-trip serialised by the engine lock,
+        # so worker threads only add contention — run them inline.
+        packed = getattr(self.fetcher, "packed", False)
+        if packed or self.workers == 1 or len(units) == 1:
             for context, fetch_bin in units:
-                rows, verified = self.fetcher.fetch_bin_entry(
+                rows, verified = self.fetcher.fetch_entry_any(
                     context, fetch_bin, stats,
                     deadline=deadline, ensure_verified=True,
                 )
@@ -74,23 +100,20 @@ class ParallelFetchExecutor:
         def fetch_one(unit):
             context, fetch_bin = unit
             local = QueryStats()
-            rows, verified = self.fetcher.fetch_bin_entry(
+            rows, verified = self.fetcher.fetch_entry_any(
                 context, fetch_bin, local,
                 deadline=deadline, ensure_verified=True,
             )
             return rows, verified, local
 
         outcomes: list = [None] * len(units)
-        with ThreadPoolExecutor(
-            max_workers=min(self.workers, len(units)),
-            thread_name_prefix="concealer-prefetch",
-        ) as pool:
-            futures = [pool.submit(fetch_one, unit) for unit in units]
-            for index, future in enumerate(futures):
-                try:
-                    outcomes[index] = (True, future.result())
-                except BaseException as error:  # re-raised below, in order
-                    outcomes[index] = (False, error)
+        pool = self._ensure_pool()
+        futures = [pool.submit(fetch_one, unit) for unit in units]
+        for index, future in enumerate(futures):
+            try:
+                outcomes[index] = (True, future.result())
+            except BaseException as error:  # re-raised below, in order
+                outcomes[index] = (False, error)
         for index, (ok, outcome) in enumerate(outcomes):
             if not ok:
                 raise outcome

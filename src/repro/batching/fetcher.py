@@ -33,25 +33,34 @@ def _bin_reuses():
     )
 
 
+def _is_packed(payload) -> bool:
+    """Duck-typed PackedBin check (avoids importing repro.core here)."""
+    return hasattr(payload, "row_count") and hasattr(payload, "unpack")
+
+
 class BatchOverlay:
     """Per-batch map of already-fetched bins: (table, bin_index) → rows.
 
-    Lives only for one ``execute_batch`` call, so it needs no fencing —
-    a rewrite cannot interleave with the read-only batch that owns it.
-    Thread-safe because the parallel prefetch fills it concurrently.
+    Entries hold either a tuple of scalar rows or a packed bin (the
+    columnar path shares bins in packed form so reuse keeps the
+    vectorized STEP 4).  Lives only for one ``execute_batch`` call, so
+    it needs no fencing — a rewrite cannot interleave with the
+    read-only batch that owns it.  Thread-safe because the parallel
+    prefetch fills it concurrently.
     """
 
     def __init__(self):
-        self._entries: dict[tuple[str, int], tuple[tuple, bool]] = {}
+        self._entries: dict[tuple[str, int], tuple[object, bool]] = {}
         self._lock = threading.Lock()
 
-    def get(self, key: tuple[str, int]) -> tuple[tuple, bool] | None:
+    def get(self, key: tuple[str, int]) -> tuple[object, bool] | None:
         with self._lock:
             return self._entries.get(key)
 
-    def put(self, key: tuple[str, int], rows: tuple, verified: bool) -> None:
+    def put(self, key: tuple[str, int], rows, verified: bool) -> None:
+        payload = rows if _is_packed(rows) else tuple(rows)
         with self._lock:
-            self._entries[key] = (tuple(rows), verified)
+            self._entries[key] = (payload, verified)
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -70,11 +79,16 @@ class BinFetcher:
     from a cache would make the trace depend on the access history.
     """
 
-    def __init__(self, engine, oblivious=False, verify=False, cache=None):
+    def __init__(self, engine, oblivious=False, verify=False, cache=None, packed=True):
         self.engine = engine
         self.oblivious = oblivious
         self.verify = verify
         self.cache = cache
+        # Whole-bin columnar fetches (the vectorized hot path).  Forced
+        # off under oblivious execution: Concealer+'s guarantee is a
+        # per-query-identical in-enclave trace, which only the scalar
+        # trapdoor schedule provides.
+        self.packed = packed and not oblivious
         # Engines (and their access logs / breakers) are not reentrant;
         # concurrent prefetch workers serialise the storage round-trip
         # and parallelise what surrounds it (trapdoor generation,
@@ -93,7 +107,9 @@ class BinFetcher:
             if shared is not None:
                 rows, verified = shared
                 self._count_reuse(stats, rows, verified)
-                return list(rows)
+                # A packed entry unpacks bit-identically for scalar
+                # consumers (the compat shim).
+                return rows.unpack() if _is_packed(rows) else list(rows)
         reusable = overlay is not None or self._cache_active()
         rows, verified = self.fetch_bin_entry(
             context, fetch_bin, stats, deadline=deadline, ensure_verified=reusable
@@ -101,6 +117,34 @@ class BinFetcher:
         if overlay is not None:
             overlay.put(key, rows, verified)
         return list(rows)
+
+    def fetch_bin_any(
+        self, context, fetch_bin, stats: QueryStats, deadline=None, overlay=None
+    ):
+        """Like :meth:`fetch_bin`, preferring the packed representation.
+
+        Returns a :class:`~repro.core.packed.PackedBin` when the engine
+        holds one for this table, otherwise a scalar row list — the
+        caller dispatches STEP 4 on the returned kind.
+        """
+        if not self.packed:
+            return self.fetch_bin(
+                context, fetch_bin, stats, deadline=deadline, overlay=overlay
+            )
+        key = (context.table_name, fetch_bin.index)
+        if overlay is not None:
+            shared = overlay.get(key)
+            if shared is not None:
+                payload, verified = shared
+                self._count_reuse(stats, payload, verified)
+                return payload if _is_packed(payload) else list(payload)
+        reusable = overlay is not None or self._cache_active()
+        payload, verified = self.fetch_entry_any(
+            context, fetch_bin, stats, deadline=deadline, ensure_verified=reusable
+        )
+        if overlay is not None:
+            overlay.put(key, payload, verified)
+        return payload if _is_packed(payload) else list(payload)
 
     def fetch_bin_entry(
         self, context, fetch_bin, stats: QueryStats, deadline=None,
@@ -113,8 +157,45 @@ class BinFetcher:
             )
             if entry is not None:
                 self._count_hit(stats, entry.rows, entry.verified)
+                if _is_packed(entry.rows):
+                    return tuple(entry.rows.unpack()), entry.verified
                 return entry.rows, entry.verified
             stats.cache_misses += 1
+        rows, verified = self._fetch_from_storage(
+            context, fetch_bin, stats, deadline=deadline,
+            ensure_verified=ensure_verified,
+        )
+        return tuple(rows), verified
+
+    def fetch_entry_any(
+        self, context, fetch_bin, stats: QueryStats, deadline=None,
+        ensure_verified=False,
+    ) -> tuple[object, bool]:
+        """Packed-preferring cache-then-storage retrieval.
+
+        Returns ``(payload, verified)`` where payload is a packed bin
+        when available, else a scalar row tuple (the engine had no
+        packed sidecar — post-insert, post-repair, or a legacy engine).
+        """
+        if not self.packed:
+            return self.fetch_bin_entry(
+                context, fetch_bin, stats, deadline=deadline,
+                ensure_verified=ensure_verified,
+            )
+        if self._cache_active():
+            entry = self.cache.lookup(
+                context.table_name, fetch_bin.index, require_verified=self.verify
+            )
+            if entry is not None:
+                self._count_hit(stats, entry.rows, entry.verified)
+                return entry.rows, entry.verified
+            stats.cache_misses += 1
+        packed, verified = self._fetch_packed_from_storage(
+            context, fetch_bin, stats, deadline=deadline,
+            ensure_verified=ensure_verified,
+        )
+        if packed is not None:
+            return packed, verified
         rows, verified = self._fetch_from_storage(
             context, fetch_bin, stats, deadline=deadline,
             ensure_verified=ensure_verified,
@@ -162,6 +243,35 @@ class BinFetcher:
                 generation,
             )
         return rows, verified
+
+    def _fetch_packed_from_storage(
+        self, context, fetch_bin, stats: QueryStats, deadline=None,
+        ensure_verified=False,
+    ) -> tuple[object, bool]:
+        """Whole-bin columnar storage fetch; ``(None, False)`` signals
+        the scalar path is needed (no packed sidecar)."""
+        engine = self.engine
+        generation = getattr(engine, "rewrite_generation", 0)
+        replicated = getattr(engine, "supports_replicated_reads", False)
+        verifier = None
+        if self.verify and replicated:
+            verifier = lambda packed, cells: context.verify_packed([packed], cells)
+        with self._engine_lock:
+            packed = context.fetch_packed(
+                engine, fetch_bin, stats, deadline=deadline, verifier=verifier
+            )
+        if packed is None:
+            return None, False
+        verified = verifier is not None
+        if self.verify and ensure_verified and not verified:
+            context.verify_packed([packed], fetch_bin.cell_ids)
+            verified = True
+            stats.verified = True
+        if self._cache_active():
+            self.cache.insert(
+                context.table_name, fetch_bin.index, packed, verified, generation
+            )
+        return packed, verified
 
     # ------------------------------------------------------------ accounting
 

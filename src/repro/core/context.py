@@ -371,6 +371,72 @@ class EpochContext:
             stats.rows_fetched += len(rows)
             return rows
 
+    def fetch_packed(
+        self,
+        engine,
+        chosen: Bin,
+        stats: QueryStats,
+        deadline=None,
+        verifier=None,
+    ):
+        """Whole-bin columnar fetch of ``chosen`` — the vectorized STEP 3.
+
+        Returns the engine's :class:`~repro.core.packed.PackedBin`, or
+        ``None`` when no packed sidecar exists for this table (after a
+        dynamic insert, a repair, or against an engine predating the
+        columnar layout) — the caller then falls back to the scalar
+        trapdoor fetch, which is authoritative for errors.
+
+        ``verifier`` takes ``(packed, expected_cells)``; against a
+        replicated engine it is bound to the bin's cell-ids and run on
+        every replica attempt before acceptance, exactly like the
+        scalar path's row verifier.
+        """
+        fetch = getattr(engine, "fetch_packed_bin", None)
+        if fetch is None:
+            return None
+        with telemetry.span(
+            "enclave.fetch",
+            stage="fetch",
+            epoch=self.epoch_id,
+            trapdoors=chosen.total_tuples,
+        ):
+            self.enclave.kill_point("enclave.kill.query")
+            if deadline is not None:
+                deadline.check("enclave.fetch")
+            # Same EPC charge as the scalar fetch: the bin transits the
+            # enclave whole either way.
+            with self.enclave.memory(256 * chosen.total_tuples):
+                if getattr(engine, "supports_replicated_reads", False):
+                    check = None
+                    if verifier is not None:
+                        expected = list(chosen.cell_ids)
+                        check = lambda packed: verifier(packed, expected)
+                    packed = engine.fetch_packed_bin(
+                        self.table_name,
+                        chosen.index,
+                        verifier=check,
+                        deadline=deadline,
+                        cells=chosen.cell_ids,
+                    )
+                    if packed is None:
+                        return None
+                    stats.failovers += engine.last_read_failovers
+                    stats.degraded = stats.degraded or engine.degraded
+                    if verifier is not None:
+                        stats.verified = True
+                else:
+                    packed = fetch(self.table_name, chosen.index)
+                    if packed is None:
+                        return None
+            # Stats move only once the fetch is known to have gone the
+            # packed way — a None fallback must leave them untouched for
+            # the scalar path to account.
+            stats.trapdoors_generated += chosen.total_tuples
+            _count_tuples(chosen.real_tuples, chosen.fake_count)
+            stats.rows_fetched += packed.row_count
+            return packed
+
     # ----------------------------------------------------------- verification
 
     def verify_rows(
@@ -497,6 +563,132 @@ class EpochContext:
                         kind="chain-mismatch",
                     )
 
+    def verify_packed(
+        self,
+        packed_bins: Sequence,
+        expected_cells: Sequence[int] | None = None,
+        keep=None,
+    ) -> None:
+        """Hash-chain verification of packed bins — the columnar twin of
+        :meth:`verify_rows`, same counters, same violation taxonomy.
+
+        ``keep`` is an optional boolean mask over the concatenated rows
+        (multipoint queries dedup *before* verifying, exactly like the
+        scalar path tolerates tamper-duplicates at that stage).
+        """
+        verifications = telemetry.counter(
+            "concealer_hashchain_verifications_total",
+            "hash-chain verifications of fetched row batches, by outcome",
+            labels=("result",),
+        )
+        total = sum(pb.row_count for pb in packed_bins)
+        rows = int(keep.sum()) if keep is not None else total
+        with telemetry.span(
+            "enclave.verify", stage="verify", epoch=self.epoch_id, rows=rows
+        ):
+            try:
+                self._verify_packed(packed_bins, expected_cells, keep)
+            except IntegrityViolation as violation:
+                verifications.labels(result="violation").inc()
+                telemetry.counter(
+                    "concealer_integrity_violations_total",
+                    "structured integrity-verification failures, by kind",
+                    labels=("kind",),
+                ).labels(kind=violation.kind).inc()
+                raise
+            verifications.labels(result="ok").inc()
+
+    def _verify_packed(
+        self,
+        packed_bins: Sequence,
+        expected_cells: Sequence[int] | None = None,
+        keep=None,
+    ) -> None:
+        from repro.core.schema import unpad_plaintext
+
+        column_count = len(self.schema.filter_groups) + 1
+        # One flat batch of (kept) index keys across all bins.  Cells
+        # are materialised by plain slicing, never through numpy element
+        # access (S-dtype strips trailing NULs from ciphertext bytes).
+        refs: list[tuple[object, int]] = []
+        index_keys: list[bytes] = []
+        offset = 0
+        for pb in packed_bins:
+            keys = pb.column_cells(len(pb.columns) - 1)
+            for j in range(pb.row_count):
+                if keep is None or keep[offset + j]:
+                    refs.append((pb, j))
+                    index_keys.append(keys[j])
+            offset += pb.row_count
+        plaintexts = self.det_kernel.decrypt_many(index_keys, errors="none")
+        per_cid: dict[int, list[tuple[int, object, int]]] = {}
+        for (pb, j), plaintext in zip(refs, plaintexts):
+            if plaintext is None:
+                raise IntegrityViolation(
+                    f"row {pb.row_ids[j]}: index key fails decryption — the "
+                    "stored ciphertext was tampered with",
+                    epoch_id=self.epoch_id,
+                    table=self.table_name,
+                    kind="undecryptable",
+                )
+            parts = unpad_plaintext(plaintext).split(b"\x1f")
+            if parts[0] != b"idx":
+                continue  # fake rows are not covered by per-cid tags
+            per_cid.setdefault(int(parts[1]), []).append((int(parts[2]), pb, j))
+
+        if expected_cells is not None:
+            for cid in expected_cells:
+                if self.c_tuple[cid] > 0 and cid not in per_cid:
+                    raise IntegrityViolation(
+                        f"cell {cid}: requested but absent from the response "
+                        "batch (a substituted or replayed answer)",
+                        epoch_id=self.epoch_id,
+                        cell_id=cid,
+                        table=self.table_name,
+                        kind="missing-cell",
+                    )
+
+        for cid, numbered in per_cid.items():
+            numbered.sort(key=lambda item: item[0])
+            counters = [c for c, _, _ in numbered]
+            if counters != list(range(1, self.c_tuple[cid] + 1)):
+                raise IntegrityViolation(
+                    f"cell {cid}: expected counters 1..{self.c_tuple[cid]}, "
+                    f"observed {counters[:5]}... (rows dropped, duplicated, "
+                    "or replayed)",
+                    epoch_id=self.epoch_id,
+                    cell_id=cid,
+                    table=self.table_name,
+                    kind="counter-gap",
+                )
+            chains = batch_chain_extend(
+                [CHAIN_INIT] * column_count,
+                [
+                    [pb.cell(j, position) for _, pb, j in numbered]
+                    for position in range(column_count)
+                ],
+                counted=False,
+            )
+            tag = self.package.enc_tags.get(cid)
+            if tag is None:
+                raise IntegrityViolation(
+                    f"cell {cid}: no verifiable tag shipped",
+                    epoch_id=self.epoch_id,
+                    cell_id=cid,
+                    table=self.table_name,
+                    kind="missing-tag",
+                )
+            for position, sealed in enumerate(tag):
+                expected = self.nd.decrypt(sealed)
+                if expected != chains[position]:
+                    raise IntegrityViolation(
+                        f"cell {cid}: column {position} hash chain mismatch",
+                        epoch_id=self.epoch_id,
+                        cell_id=cid,
+                        table=self.table_name,
+                        kind="chain-mismatch",
+                    )
+
     def _decode_index_key(self, row: Row) -> tuple[int, int] | None:
         """Recover (cid, counter) from a row's index key; None for fakes."""
         from repro.core.schema import unpad_plaintext
@@ -526,6 +718,68 @@ class EpochContext:
         matched = [row for row in rows if row[position] in filter_set]
         stats.rows_matched += len(matched)
         return matched
+
+    def packed_dedup_keep(self, packed_bins: Sequence):
+        """First-occurrence keep mask over concatenated packed rows.
+
+        Deduplicates by index-key ciphertext — the columnar twin of the
+        multipoint path's pre-verification dedup.  Fixed-width S-dtype
+        equality is exact here: two distinct ``w``-byte strings cannot
+        compare equal under trailing-NUL stripping at width ``w``.
+        """
+        import numpy as np
+
+        keys = self._packed_column_array(packed_bins, -1)
+        _, first = np.unique(keys, return_index=True)
+        kept = np.zeros(len(keys), dtype=bool)
+        kept[first] = True
+        return kept
+
+    def match_packed(
+        self,
+        packed_bins: Sequence,
+        filters: Sequence[bytes],
+        group: tuple[str, ...],
+        stats: QueryStats,
+        keep=None,
+    ):
+        """Vectorized STEP 4 over packed bins: one ``np.isin`` instead of
+        a per-row set probe.  Returns the boolean match mask over the
+        concatenated rows (ANDed with ``keep`` when given)."""
+        import numpy as np
+
+        position = self.filter_group_position(group)
+        cells = self._packed_column_array(packed_bins, position)
+        # A filter of a different byte-length can never equal a stored
+        # cell; drop such filters rather than let S-dtype truncate them
+        # into spurious matches.
+        width = cells.dtype.itemsize
+        usable = [f for f in filters if len(f) == width]
+        if usable:
+            mask = np.isin(cells, np.array(usable, dtype=cells.dtype))
+        else:
+            mask = np.zeros(len(cells), dtype=bool)
+        if keep is not None:
+            mask &= keep
+        stats.rows_matched += int(mask.sum())
+        return mask
+
+    def _packed_column_array(self, packed_bins: Sequence, column: int):
+        """One column of every bin as a flat fixed-width numpy array.
+
+        Used for *equality only* (isin/unique); byte materialisation
+        always goes through :meth:`PackedBin.cell` slicing because
+        S-dtype element access strips trailing NULs.
+        """
+        import numpy as np
+
+        arrays = [
+            np.frombuffer(
+                pb.columns[column], dtype=f"S{pb.column_widths[column]}"
+            )
+            for pb in packed_bins
+        ]
+        return arrays[0] if len(arrays) == 1 else np.concatenate(arrays)
 
     def match_rows_oblivious(
         self,
@@ -592,6 +846,43 @@ class EpochContext:
                 self.schema.decode_payload(plaintext)
                 for plaintext in plaintexts
                 if plaintext is not None  # a fake that slipped through matching
+            ]
+            stats.rows_decrypted += len(records)
+            return records
+
+    def decrypt_packed_records(
+        self, packed_bins: Sequence, mask, stats: QueryStats
+    ) -> list[tuple]:
+        """Decrypt the mask-selected payload cells of packed bins.
+
+        Row order is the concatenated bin order — identical to the
+        scalar path's fetched-row order, so answers stay byte-for-byte
+        comparable.  Same span/stats discipline as
+        :meth:`decrypt_records`.
+        """
+        with telemetry.span("enclave.decrypt", stage="decrypt", epoch=self.epoch_id):
+            import numpy as np
+
+            position = len(self.schema.filter_groups)
+            selected = np.nonzero(mask)[0]
+            payloads: list[bytes] = []
+            offset = 0
+            for pb in packed_bins:
+                width = pb.column_widths[position]
+                blob = pb.columns[position]
+                end = offset + pb.row_count
+                local = selected[(selected >= offset) & (selected < end)] - offset
+                payloads.extend(
+                    blob[j * width : (j + 1) * width] for j in local.tolist()
+                )
+                offset = end
+            plaintexts = self.det_kernel.decrypt_many(
+                payloads, errors="none", counted=False
+            )
+            records = [
+                self.schema.decode_payload(plaintext)
+                for plaintext in plaintexts
+                if plaintext is not None
             ]
             stats.rows_decrypted += len(records)
             return records

@@ -305,6 +305,10 @@ class EpochEncryptor:
         all_rows = real_rows + fake_rows
         self._rng.shuffle(all_rows)  # Line 24: mix real and fake tuples
 
+        packed_bins = self._build_packed_bins(
+            all_rows, real_rows, fake_rows, assignments, c_tuple
+        )
+
         package = EpochPackage(
             schema_name=self.schema.name,
             epoch_id=epoch_id,
@@ -320,6 +324,7 @@ class EpochEncryptor:
             bin_size=self.bin_size,
             max_cells_per_bin=self.max_cells_per_bin,
             enc_grid_key=nd.encrypt(grid_key),
+            packed_bins=packed_bins,
         )
         layout_size = self.bin_size or max(max(c_tuple), 1)
         self.last_report = EncryptionReport(
@@ -332,6 +337,64 @@ class EpochEncryptor:
             workers=effective if self.use_kernels else 1,
         )
         return package
+
+    # --------------------------------------------------------- columnar bins
+
+    def _build_packed_bins(
+        self, all_rows, real_rows, fake_rows, assignments, c_tuple
+    ):
+        """Columnar form of the shuffled rows, one PackedBin per bin.
+
+        Runs the same deterministic :func:`pack_bins` the enclave runs
+        and lays each bin's member rows out in canonical slot order
+        (per cell-id counters ``1..c_tuple[cid]``, then the bin's fake
+        ids ascending).  Row ids are the rows' positions in the shuffled
+        package — exactly the physical ids sequential ingest assigns —
+        so the packed bins unpack byte-for-byte to what the scalar
+        trapdoor fetch would return.  Returns ``None`` whenever packing
+        is impossible (no real rows, or an explicit epoch-pad override
+        shipped fewer fakes than the layout needs): consumers fall back
+        to the scalar path.
+        """
+        from repro.core.packed import PackedBin
+        from repro.storage.table import Row
+
+        if not real_rows:
+            return None
+        layout = pack_bins(
+            c_tuple,
+            bin_size=self.bin_size,
+            max_cells_per_bin=self.max_cells_per_bin,
+        )
+        if layout.total_fakes > len(fake_rows):
+            return None
+        position = {id(row): index for index, row in enumerate(all_rows)}
+        slot_rows = {
+            (cid, counter): row
+            for row, (cid, counter) in zip(real_rows, assignments)
+        }
+        packed = []
+        for chosen in layout.bins:
+            members = []
+            for cid in chosen.cell_ids:
+                members.extend(
+                    slot_rows[(cid, counter)]
+                    for counter in range(1, c_tuple[cid] + 1)
+                )
+            members.extend(fake_rows[fid - 1] for fid in chosen.fake_ids())
+            try:
+                packed.append(
+                    PackedBin.pack(
+                        chosen.index,
+                        [
+                            Row(position[id(row)], tuple(row.as_columns()))
+                            for row in members
+                        ],
+                    )
+                )
+            except ValueError:
+                return None
+        return packed
 
     # ------------------------------------------------------------- row paths
 

@@ -126,6 +126,11 @@ class EpochPackage:
     # preserves its value — placements survive rotation.  Empty means
     # "derive from the master key" (pre-rotation compatibility).
     enc_grid_key: bytes = b""
+    # Columnar form of the same rows, one PackedBin per Theorem-4.1 bin
+    # in canonical slot order (see repro.core.packed).  ``None`` means
+    # the provider did not (or could not) pack — consumers fall back to
+    # the scalar row path.  Derived data: never part of row accounting.
+    packed_bins: "list | None" = None
 
     def __post_init__(self):
         if self.real_count + self.fake_count != len(self.rows):
@@ -204,6 +209,10 @@ class EpochPackage:
                 for row in self.rows
             ],
         }
+        if self.packed_bins is not None:
+            envelope["packed_bins"] = [
+                b64(packed.to_bytes()) for packed in self.packed_bins
+            ]
         return _json.dumps(envelope, separators=(",", ":")).encode("utf-8")
 
     @classmethod
@@ -214,9 +223,17 @@ class EpochPackage:
 
         from repro.core.grid import GridSpec
 
+        from repro.core.packed import PackedBin
+
         b64d = base64.b64decode
         try:
             envelope = _json.loads(blob.decode("utf-8"))
+            packed_bins = None
+            if envelope.get("packed_bins") is not None:
+                packed_bins = [
+                    PackedBin.from_bytes(b64d(encoded))
+                    for encoded in envelope["packed_bins"]
+                ]
             rows = [
                 EncryptedRow(
                     filters=tuple(b64d(f) for f in filters),
@@ -250,6 +267,7 @@ class EpochPackage:
                 fake_count=envelope["fake_count"],
                 bin_size=envelope["bin_size"],
                 max_cells_per_bin=envelope["max_cells_per_bin"],
+                packed_bins=packed_bins,
             )
         except (KeyError, ValueError, TypeError) as error:
             raise EpochError(f"malformed epoch package: {error}") from error

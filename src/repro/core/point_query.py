@@ -83,8 +83,17 @@ class BPBExecutor:
             for index in layout.bins_to_fetch(chosen.index)
         ]
 
+    def _fetch_bin_any(self, context, fetch_bin, stats, deadline, overlay):
+        """Retrieve one whole bin (STEP 3): packed when the shared path
+        holds a columnar sidecar, scalar rows otherwise."""
+        if self.fetcher is not None:
+            return self.fetcher.fetch_bin_any(
+                context, fetch_bin, stats, deadline=deadline, overlay=overlay
+            )
+        return self._fetch_bin(context, fetch_bin, stats, deadline, overlay)
+
     def _fetch_bin(self, context, fetch_bin, stats, deadline, overlay):
-        """Retrieve one whole bin (STEP 3), shared path when wired."""
+        """Legacy scalar fetch of one whole bin."""
         if self.fetcher is not None:
             return self.fetcher.fetch_bin(
                 context, fetch_bin, stats, deadline=deadline, overlay=overlay
@@ -136,11 +145,24 @@ class BPBExecutor:
             stats.bins_fetched = len(bins)
             query_span.set(bins=len(bins))
 
-            # STEP 3: trapdoor formulation and retrieval.
+            # STEP 3: trapdoor formulation and retrieval.  Each bin
+            # arrives packed (columnar) or scalar; the whole query runs
+            # the vectorized STEP 4 only when every bin came packed —
+            # a mixed batch unpacks to the legacy path (bit-identical
+            # by the compat shim).
+            payloads = [
+                self._fetch_bin_any(context, fetch_bin, stats, deadline, overlay)
+                for fetch_bin in bins
+            ]
+            packed_bins = [p for p in payloads if hasattr(p, "row_count")]
+            if packed_bins and len(packed_bins) == len(payloads):
+                return self._finish_packed(
+                    query, context, bins, packed_bins, stats, predicate
+                )
             rows = []
-            for fetch_bin in bins:
+            for payload in payloads:
                 rows.extend(
-                    self._fetch_bin(context, fetch_bin, stats, deadline, overlay)
+                    payload.unpack() if hasattr(payload, "row_count") else payload
                 )
 
             # STEP 4: verification, filtering, aggregation.  The verify
@@ -184,6 +206,46 @@ class BPBExecutor:
                     query.k,
                 )
                 return answer, stats
+
+    def _finish_packed(
+        self, query, context, bins, packed_bins, stats, predicate
+    ) -> tuple[object, QueryStats]:
+        """STEP 4 over packed bins: batched verify, vectorized filter.
+
+        Same semantics (and byte-identical answers) as the scalar
+        branch; per-row Python is gone — verification decodes index
+        keys in one kernel batch, filtering is a single ``np.isin``,
+        and only matched payloads hit the DET kernel.
+        """
+        if self.verify and not stats.verified:
+            expected = [cid for b in bins for cid in b.cell_ids]
+            context.verify_packed(packed_bins, expected)
+            stats.verified = True
+        filters = context.filters_for(predicate, [query.timestamp])
+        with telemetry.span(
+            "enclave.aggregate",
+            stage="aggregate",
+            epoch=context.epoch_id,
+            filters=len(filters),
+        ):
+            mask = context.match_packed(
+                packed_bins, filters, predicate.group, stats
+            )
+            if query.aggregate is Aggregate.COUNT:
+                return int(mask.sum()), stats
+            if not needs_decryption(query.aggregate):
+                raise QueryError(
+                    f"unhandled match-only aggregate {query.aggregate}"
+                )
+            records = context.decrypt_packed_records(packed_bins, mask, stats)
+            answer = evaluate_aggregate(
+                query.aggregate,
+                records,
+                context.schema,
+                query.target,
+                query.k,
+            )
+            return answer, stats
 
     @staticmethod
     def _resolve_predicate(query: PointQuery, context: EpochContext) -> Predicate:

@@ -107,8 +107,17 @@ class RangeExecutor:
                     needed_cids.append(cid)
         return context.layout.bins_of_cell_ids(needed_cids)
 
+    def _fetch_bin_any(self, context, chosen, stats, deadline, overlay):
+        """Retrieve one whole bin: packed when a columnar sidecar
+        exists, scalar rows otherwise."""
+        if self.fetcher is not None:
+            return self.fetcher.fetch_bin_any(
+                context, chosen, stats, deadline=deadline, overlay=overlay
+            )
+        return self._fetch_bin(context, chosen, stats, deadline, overlay)
+
     def _fetch_bin(self, context, chosen, stats, deadline, overlay):
-        """Retrieve one whole bin, via the shared path when wired."""
+        """Legacy scalar fetch of one whole bin."""
         if self.fetcher is not None:
             return self.fetcher.fetch_bin(
                 context, chosen, stats, deadline=deadline, overlay=overlay
@@ -140,12 +149,21 @@ class RangeExecutor:
             method="multipoint",
             bins=len(bins),
         ):
-            rows: list[Row] = []
-            for chosen in bins:
-                rows.extend(
-                    self._fetch_bin(context, chosen, stats, deadline, overlay)
-                )
+            payloads = [
+                self._fetch_bin_any(context, chosen, stats, deadline, overlay)
+                for chosen in bins
+            ]
             expected = [cid for chosen in bins for cid in chosen.cell_ids]
+            packed_bins = [p for p in payloads if hasattr(p, "row_count")]
+            if packed_bins and len(packed_bins) == len(payloads):
+                return self._finish_packed(
+                    query, context, packed_bins, stats, expected
+                )
+            rows: list[Row] = []
+            for payload in payloads:
+                rows.extend(
+                    payload.unpack() if hasattr(payload, "row_count") else payload
+                )
             return self._finish(query, context, rows, stats, expected)
 
     # -------------------------------------------------------------- §5.2 eBPB
@@ -433,6 +451,52 @@ class RangeExecutor:
                     f"unhandled match-only aggregate {query.aggregate}"
                 )
             records = context.decrypt_records(matched, stats)
+            answer = evaluate_aggregate(
+                query.aggregate, records, context.schema, query.target, query.k
+            )
+            return answer, stats
+
+    def _finish_packed(
+        self,
+        query: RangeQuery,
+        context: EpochContext,
+        packed_bins: list,
+        stats: QueryStats,
+        expected_cells=None,
+    ) -> tuple[object, QueryStats]:
+        """Columnar STEP 4 — byte-identical to :meth:`_finish`.
+
+        The de-dup becomes a first-occurrence keep mask over the
+        concatenated index-key columns (same pre-verification ordering:
+        tamper-duplicates are dropped before chains are checked), the
+        string match one vectorized ``isin``, and decryption touches
+        only the masked payload cells.
+        """
+        keep = context.packed_dedup_keep(packed_bins)
+        if self.verify and not stats.verified:
+            context.verify_packed(packed_bins, expected_cells, keep=keep)
+            stats.verified = True
+
+        predicate = self._resolve_predicate(query, context)
+        timestamps = context.query_timestamps(query.time_start, query.time_end)
+        filters = self._expand_filters(query, context, predicate, timestamps)
+
+        with telemetry.span(
+            "enclave.aggregate",
+            stage="aggregate",
+            epoch=context.epoch_id,
+            filters=len(filters),
+        ):
+            mask = context.match_packed(
+                packed_bins, filters, predicate.group, stats, keep=keep
+            )
+            if query.aggregate is Aggregate.COUNT:
+                return int(mask.sum()), stats
+            if not needs_decryption(query.aggregate):
+                raise QueryError(
+                    f"unhandled match-only aggregate {query.aggregate}"
+                )
+            records = context.decrypt_packed_records(packed_bins, mask, stats)
             answer = evaluate_aggregate(
                 query.aggregate, records, context.schema, query.target, query.k
             )

@@ -217,6 +217,14 @@ class ServiceConfig:
     # view is unchanged (see DESIGN.md §12).  Ignored under oblivious
     # execution (§4.3 trace identity forbids memoization).
     trapdoor_table_slots: int = 8192
+    # Columnar whole-bin fetches: ingest stores each epoch's bins as a
+    # packed (contiguous-bytes) sidecar, and point/multipoint queries
+    # consume them whole so verify→filter→decrypt run as batched
+    # kernel calls.  Answers are byte-identical to the scalar path;
+    # the flag exists for A/B benchmarking and as an escape hatch.
+    # Forced off under oblivious execution (trace identity needs the
+    # scalar trapdoor schedule).
+    packed_bins: bool = True
 
 
 class ServiceProvider:
@@ -290,6 +298,12 @@ class ServiceProvider:
             oblivious=self.config.oblivious,
             verify=self.config.verify,
             cache=self.bin_cache,
+            packed=self.config.packed_bins,
+        )
+        # One persistent prefetch pool per service: batches reuse its
+        # worker threads instead of paying thread spawn per request.
+        self._prefetch_executor = ParallelFetchExecutor(
+            self._fetcher, workers=self.config.batch_workers
         )
         self._point_executor = BPBExecutor(
             self.engine,
@@ -337,6 +351,18 @@ class ServiceProvider:
             # queryable (its bins would silently under-count).
             self.engine.drop_table(table)
             raise
+        # Packed sidecar lands *after* the rows: every insert above
+        # invalidates it, and a failed landing must not leave one
+        # behind.  Purely derived data — engines without the columnar
+        # layout (or packages without packed bins) just skip it.
+        store = getattr(self.engine, "store_packed_bins", None)
+        if (
+            self.config.packed_bins
+            and not self.config.oblivious
+            and store is not None
+            and package.packed_bins
+        ):
+            store(table, package.packed_bins)
         self._packages[package.epoch_id] = package
 
     def ingested_epochs(self) -> list[int]:
@@ -568,10 +594,9 @@ class ServiceProvider:
         the fault are served from it, so retries converge quickly.
         """
         overlay = BatchOverlay()
-        executor = ParallelFetchExecutor(
-            self._fetcher, workers=self.config.batch_workers
+        fetch_stats = self._prefetch_executor.prefetch(
+            plan.units, overlay, deadline=deadline
         )
-        fetch_stats = executor.prefetch(plan.units, overlay, deadline=deadline)
         results: list[tuple[object, QueryStats]] = []
         for item in plan.items:
             context = self.context_for(item.epoch_id)

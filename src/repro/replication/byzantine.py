@@ -52,6 +52,9 @@ class ByzantineReplica:
         self.slow_stall = slow_stall
         # Last batch served per table — the replay fault's ammunition.
         self._remembered: dict[str, list[Row]] = {}
+        # Same, for the columnar read path: last packed bin per
+        # (table, bin_index).
+        self._remembered_packed: dict[tuple[str, int], object] = {}
         # Tables whose *stored* rows were persistently corrupted.
         self.tampered_tables: set[str] = set()
 
@@ -85,6 +88,39 @@ class ByzantineReplica:
         if rows and injector.fire("replica.bin.drop") is not None:
             del rows[injector.choose(len(rows), "replica.bin.drop")]
         return rows
+
+    def fetch_packed_bin(self, table: str, bin_index: int):
+        """The same adversarial channel for whole-bin columnar reads.
+
+        Must be intercepted explicitly: without it ``__getattr__`` would
+        delegate straight to the wrapped engine and the packed path
+        would silently bypass the adversary the chaos corpus arms.
+        """
+        injector = self.fault_injector
+        if injector.fire("replica.slow") is not None:
+            self.clock.sleep(self.slow_stall)
+        stale = None
+        if injector.fire("replica.replay.stale") is not None:
+            stale = self._remembered_packed.get((table, bin_index))
+        if stale is not None:
+            return stale
+        packed = self.inner.fetch_packed_bin(table, bin_index)
+        if packed is None:
+            return None
+        self._remembered_packed[(table, bin_index)] = packed
+        if packed.row_count and injector.fire("replica.tamper") is not None:
+            victim = injector.choose(packed.row_count, "replica.tamper")
+            position = injector.choose(len(packed.columns), "replica.tamper")
+            packed = packed.with_corrupted_cell(
+                victim,
+                position,
+                lambda cell: injector.corrupt_bytes(cell, site="replica.tamper"),
+            )
+        if packed.row_count and injector.fire("replica.bin.drop") is not None:
+            packed = packed.without_row(
+                injector.choose(packed.row_count, "replica.bin.drop")
+            )
+        return packed
 
     # --------------------------------------------- persistent stored tamper
 

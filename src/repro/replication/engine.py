@@ -449,6 +449,133 @@ class ReplicatedStorageEngine:
                 f"{len(self.replicas) - len(candidates)} quarantined/skipped)"
             ) from last_error
 
+    def store_packed_bins(self, table: str, packed_bins: Sequence) -> None:
+        """Install the columnar sidecar on every replica."""
+        self._fanout(
+            "store_packed_bins",
+            table,
+            lambda r: r.store_packed_bins(table, packed_bins),
+        )
+
+    def has_packed_bins(self, table: str) -> bool:
+        return self._primary(table).has_packed_bins(table)
+
+    def fetch_packed_bin(
+        self,
+        table: str,
+        bin_index: int,
+        verifier: Callable | None = None,
+        deadline: Deadline | None = None,
+        cells: Iterable[int] | None = None,
+    ):
+        """Whole-bin columnar read with verify-then-failover semantics.
+
+        Mirrors :meth:`lookup_many`: same breaker gating, per-attempt
+        timeout, verification before acceptance, quarantine scoping and
+        failover accounting.  Two deliberate differences keep the scalar
+        path authoritative for rare states: a replica *without* a packed
+        sidecar (post-repair, post-rotation) short-circuits the whole
+        read to ``None``, and an exhausted pool also returns ``None`` —
+        in both cases the caller falls back to the scalar row fetch,
+        which re-runs the failover loop and raises the authoritative
+        error if the table is truly unserveable.
+        """
+        self.last_read_failovers = 0
+        candidates = self.candidate_replicas(table, cells)
+        healthy = self.healthy_replica_count()
+        self.degraded = healthy < self.min_healthy
+        if self.degraded:
+            telemetry.counter(
+                "concealer_degraded_reads_total",
+                "reads served below the healthy-replica threshold",
+                secrecy=telemetry.PUBLIC_SIZE,
+            ).inc()
+        if self.policy.hedge and candidates and candidates[0] != min(candidates):
+            telemetry.counter(
+                "concealer_hedged_reads_total",
+                "reads whose replica order was hedged away from a straggler",
+                secrecy=telemetry.PUBLIC_SIZE,
+            ).inc()
+        with telemetry.span(
+            "replication.lookup",
+            table=table,
+            bin=bin_index,
+            candidates=len(candidates),
+        ):
+            failures = 0
+            excluded = [
+                rid
+                for rid in range(len(self.replicas))
+                if rid not in set(candidates)
+            ]
+            for last_resort, pool in ((False, candidates), (True, excluded)):
+                for rid in pool:
+                    if deadline is not None:
+                        deadline.check("replication.attempt")
+                    breaker = self.breakers[rid]
+                    if not last_resort and not breaker.allow():
+                        continue
+                    fetch = getattr(self.replicas[rid], "fetch_packed_bin", None)
+                    if fetch is None:
+                        self.last_read_failovers = failures
+                        return None
+                    started = self.clock.now()
+                    try:
+                        packed = fetch(table, bin_index)
+                        elapsed = self.clock.now() - started
+                        timeout = self.policy.attempt_timeout
+                        if timeout is not None and elapsed > timeout:
+                            raise ReplicaTimeout(
+                                f"replica {rid} answered in {elapsed:.3f}s, "
+                                f"over the {timeout:.3f}s attempt budget"
+                            )
+                        if packed is not None and verifier is not None:
+                            verifier(packed)
+                    except IntegrityViolation as violation:
+                        self._observe_latency(rid, started)
+                        self._record_failure(rid, breaker, "integrity")
+                        self.quarantine.record(
+                            rid, table, violation.cell_id, violation.kind
+                        )
+                        failures += 1
+                        continue
+                    except ReplicaTimeout:
+                        self._observe_latency(rid, started)
+                        self._record_failure(rid, breaker, "timeout")
+                        failures += 1
+                        continue
+                    except TransientStorageError:
+                        self._observe_latency(rid, started)
+                        self._record_failure(rid, breaker, "transient")
+                        failures += 1
+                        continue
+                    except StorageError as error:
+                        self._observe_latency(rid, started)
+                        self._record_failure(rid, breaker, "storage-error")
+                        self.quarantine.record(
+                            rid, table, None, f"storage-error:{type(error).__name__}"
+                        )
+                        failures += 1
+                        continue
+                    self._observe_latency(rid, started)
+                    self.last_read_failovers = failures
+                    if packed is None:
+                        # This replica has no packed sidecar — scalar
+                        # fallback, without charging the breaker.
+                        return None
+                    breaker.record_success()
+                    if last_resort:
+                        telemetry.counter(
+                            "concealer_replica_last_resort_reads_total",
+                            "verified reads served by a quarantined or "
+                            "breaker-open replica after the eligible "
+                            "pool was exhausted",
+                            secrecy=telemetry.PUBLIC_SIZE,
+                        ).inc()
+                    return packed
+            self.last_read_failovers = failures
+            return None
+
     def fetch_row(self, table: str, row_id: int) -> Row:
         return self._primary(table).fetch_row(table, row_id)
 

@@ -136,7 +136,7 @@ class StorageEngine:
         rows installed.
         """
         if self.has_table(name):
-            self.drop_table(name)
+            self.drop_table(name)  # also drops the packed sidecar
         self.create_table(name, column_names)
         tbl = self._tables[name]
         next_row_id = 0
@@ -261,6 +261,79 @@ class StorageEngine:
             for key in keys:
                 rows.extend(self.lookup(table, column, key))
             return self._tamper(rows)
+
+    # ------------------------------------------------------------ packed bins
+
+    def store_packed_bins(self, table: str, packed_bins: Sequence) -> None:
+        """Install the columnar sidecar for a table (one PackedBin per bin).
+
+        Derived data: any later mutation of the table (insert, delete,
+        overwrite, rebuild, drop) silently discards it and readers fall
+        back to the scalar row path.  The sidecar lives *on the Table*
+        so even mutations that bypass the engine wrappers (a tampering
+        host writing rows directly) invalidate it — the packed path can
+        never serve pre-tamper bytes a verifier would wrongly bless.
+        """
+        self._table(table).packed_bins = {
+            packed.bin_index: packed for packed in packed_bins
+        }
+
+    def has_packed_bins(self, table: str) -> bool:
+        """Whether a columnar sidecar is installed for this table."""
+        return self._table(table).packed_bins is not None
+
+    def fetch_packed_bin(self, table: str, bin_index: int):
+        """Read one whole bin in columnar form; ``None`` means fall back.
+
+        The host-observable view is identical to the scalar whole-bin
+        fetch: the same physical ROW_READ/PAGE_READ stream (plus one
+        BIN_READ marking the unit), the same rows-read counter, and the
+        same malicious-host response channel — armed tamper faults
+        corrupt, drop, or duplicate rows in the returned batch while
+        stored bytes stay intact.
+        """
+        packed = self._table(table).packed_bins
+        if packed is None:
+            return None
+        chosen = packed.get(bin_index)
+        if chosen is None:
+            return None
+        # Same span family as the scalar batched lookup, so trace trees
+        # (and the trace-leakage audits over them) keep their shape.
+        with telemetry.span("storage.lookup", table=table, keys=chosen.row_count):
+            if self.fault_injector.fire("storage.read.transient") is not None:
+                raise TransientStorageError(
+                    f"transient read failure on {table!r} bin {bin_index} "
+                    "(injected)"
+                )
+            self.access_log.record_bin_read(
+                table, bin_index, chosen.row_ids, self._pagers[table]
+            )
+            telemetry.counter(
+                "concealer_storage_rows_read_total",
+                "rows read from storage, as the host observes them",
+                secrecy=telemetry.PUBLIC_SIZE,
+            ).inc(chosen.row_count)
+            return self._tamper_packed(chosen)
+
+    def _tamper_packed(self, chosen):
+        """The packed-batch analogue of :meth:`_tamper`."""
+        injector = self.fault_injector
+        if chosen.row_count and injector.fire("storage.row.corrupt") is not None:
+            victim = injector.choose(chosen.row_count, "storage.row.corrupt")
+            column = injector.choose(len(chosen.columns), "storage.row.corrupt")
+            chosen = chosen.with_corrupted_cell(
+                victim, column, injector.corrupt_bytes
+            )
+        if chosen.row_count and injector.fire("storage.row.drop") is not None:
+            chosen = chosen.without_row(
+                injector.choose(chosen.row_count, "storage.row.drop")
+            )
+        if chosen.row_count and injector.fire("storage.row.duplicate") is not None:
+            chosen = chosen.with_duplicated_row(
+                injector.choose(chosen.row_count, "storage.row.duplicate")
+            )
+        return chosen
 
     def range_lookup(self, table: str, column: str, low, high) -> list[Row]:
         """Index range scan over ``[low, high]``."""

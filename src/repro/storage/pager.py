@@ -29,6 +29,11 @@ class AccessKind(str, Enum):
     TABLE_SCAN = "table_scan"
     PAGE_READ = "page_read"
     PAGE_WRITE = "page_write"
+    # A whole-bin columnar read: one event per packed-bin fetch, in
+    # addition to the per-row ROW_READ/PAGE_READ events the fetch still
+    # emits (the adversary sees which physical rows left storage either
+    # way; the bin-granular event records that they left as one unit).
+    BIN_READ = "bin_read"
 
 
 @dataclass(frozen=True)
@@ -76,6 +81,30 @@ class AccessLog:
         """Append one event, tagged with the active query scope if any."""
         self._events.append(
             AccessEvent(kind=kind, table=table, detail=detail, query_id=self._active_query)
+        )
+
+    def record_bin_read(self, table: str, bin_index: int, row_ids, pager: "Pager") -> None:
+        """Log one packed-bin fetch: a BIN_READ plus the per-row view.
+
+        Emits exactly the ROW_READ/PAGE_READ stream a scalar whole-bin
+        fetch produces (same row ids, same order), built in bulk so the
+        hot path pays one call instead of ``2·|b|``.
+        """
+        query_id = self._active_query
+        events = self._events
+        events.append(
+            AccessEvent(AccessKind.BIN_READ, table, bin_index, query_id)
+        )
+        rows_per_page = pager.rows_per_page
+        events.extend(
+            event
+            for row_id in row_ids
+            for event in (
+                AccessEvent(AccessKind.ROW_READ, table, row_id, query_id),
+                AccessEvent(
+                    AccessKind.PAGE_READ, table, row_id // rows_per_page, query_id
+                ),
+            )
         )
 
     def events(self, kind: AccessKind | None = None, query_id: int | None = None) -> list[AccessEvent]:

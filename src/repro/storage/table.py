@@ -45,6 +45,12 @@ class Table:
         self.column_names = tuple(column_names)
         self._rows: dict[int, Row] = {}
         self._next_row_id = 0
+        # Columnar sidecar: bin_index → PackedBin, or None when absent.
+        # Derived data — any row mutation drops it, so the packed read
+        # path can never serve bytes that diverge from the row store
+        # (tampering included: a mutator that touches rows behind the
+        # engine's back still invalidates here).
+        self.packed_bins: dict[int, object] | None = None
 
     @property
     def column_count(self) -> int:
@@ -70,6 +76,7 @@ class Table:
         row_id = self._next_row_id
         self._next_row_id += 1
         self._rows[row_id] = Row(row_id=row_id, columns=tuple(columns))
+        self.packed_bins = None
         return row_id
 
     def fetch(self, row_id: int) -> Row:
@@ -90,12 +97,14 @@ class Table:
                 f"table {self.name!r} expects {self.column_count} columns"
             )
         self._rows[row_id] = Row(row_id=row_id, columns=tuple(columns))
+        self.packed_bins = None
 
     def delete(self, row_id: int) -> None:
         """Tombstone a row; its id is never reused."""
         if row_id not in self._rows:
             raise StorageError(f"table {self.name!r} has no row {row_id}")
         del self._rows[row_id]
+        self.packed_bins = None
 
     def scan(self) -> Iterator[Row]:
         """Yield all live rows in row-id order."""

@@ -102,6 +102,25 @@ class TestCapacityAndEPC:
         assert not cache.insert("t", 0, ["a"], True, engine.rewrite_generation)
         assert len(cache) == 0
 
+    def test_packed_bin_charged_at_its_actual_byte_length(self):
+        # Regression: a packed (columnar) bin must be charged at its
+        # real resident size — column blobs plus 8 B per row id — not
+        # the scalar per-row estimate, which overstates dense bins.
+        from repro.core.packed import PackedBin
+        from repro.storage.table import Row
+
+        cache, enclave, engine = make_cache()
+        packed = PackedBin.pack(
+            0, [Row(j, (bytes(16), bytes(32))) for j in range(4)]
+        )
+        assert cache.insert("t", 0, packed, True, engine.rewrite_generation)
+        assert enclave.used == packed.nbytes == (16 + 32) * 4 + 8 * 4
+        assert enclave.used != cache.row_bytes * len(packed)
+        entry = cache.lookup("t", 0)
+        assert entry.rows is packed
+        cache.invalidate_all("test")
+        assert enclave.used == 0
+
 
 def cache_budget_for(rows):
     from repro.batching.cache import ROW_ESTIMATE_BYTES

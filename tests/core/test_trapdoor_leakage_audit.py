@@ -36,7 +36,10 @@ def _records(prefix):
 
 def _cold_then_warm(records):
     def run():
-        _, service = make_stack(SPEC, records, verify=True)
+        # The trapdoor memo exists on the scalar path only — packed
+        # (columnar) fetches never derive per-row trapdoors, so this
+        # audit pins the path that owns the feature.
+        _, service = make_stack(SPEC, records, verify=True, packed_bins=False)
         queries = [
             PointQuery(index_values=("ap0",), timestamp=60),
             PointQuery(index_values=("ap2",), timestamp=120),
@@ -73,7 +76,8 @@ class TestMemoizedVersusDisabled:
         def once(slots):
             def run():
                 _, service = make_stack(
-                    SPEC, records, verify=True, trapdoor_table_slots=slots
+                    SPEC, records, verify=True, trapdoor_table_slots=slots,
+                    packed_bins=False,
                 )
                 return [
                     service.execute_point(
