@@ -1,7 +1,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test chaos replication-chaos shard-chaos shard-replication-chaos serve demo bench bench-json bench-smoke throughput-budget throughput-budget-baseline trace-overhead metrics-smoke lint profile
+.PHONY: test chaos replication-chaos shard-chaos shard-replication-chaos serve demo bench bench-json bench-smoke bench-longrange throughput-budget throughput-budget-baseline trace-overhead metrics-smoke lint profile
 
 # Where `make bench-json` writes its machine-readable metrics.
 BENCH_OUT ?= BENCH_local.json
@@ -66,6 +66,13 @@ bench-smoke:
 	$(PYTHON) benchmarks/check_regression.py \
 		--baseline $(BENCH_BASELINE) --candidate BENCH_pr.json \
 		--max-regression $(BENCH_MAX_REGRESSION)
+
+# Exp 14: the hierarchical aggregate tree vs the bin path on a 30-day
+# epoch — asserts ≥50× fewer rows/query and ≥10× wall-clock on the
+# month-long window (DESIGN.md §17).
+bench-longrange:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest \
+		benchmarks/bench_exp14_longrange.py -q
 
 # The per-stage throughput gate: decompose the query pipeline into
 # fetch/verify/aggregate/decrypt via tracing spans on a packed and a

@@ -3,7 +3,10 @@
 Paper: Q1 over the large dataset with growing time ranges.  BPB and
 eBPB latency grows with the range (more bins / cells fetched);
 winSecRange is flat until the range outgrows one λ window, since it
-always fetches whole windows.
+always fetches whole windows.  The aggregate-tree method (beyond the
+paper, DESIGN.md §17) rides along the same sweep: its node cover
+grows O(log range), so its curve stays near-flat while every bin
+method climbs.
 """
 
 import pytest
@@ -13,7 +16,7 @@ from repro.workloads.queries import build_q1
 from harness import EPOCH, paper_row, save_result
 
 LENGTHS_MIN = [5, 10, 20, 30, 45]
-METHODS = ["multipoint", "ebpb", "winsecrange"]
+METHODS = ["multipoint", "ebpb", "winsecrange", "tree"]
 
 
 @pytest.mark.parametrize("method", METHODS)

@@ -69,6 +69,27 @@ class BatchOverlay:
         return key in self._entries
 
 
+class _CachedTreeNode:
+    """One resident aggregate-tree node ciphertext.
+
+    Wraps the node so the bin cache charges its *exact* byte size
+    (``nbytes``) instead of the per-row EPC estimate, and counts it as
+    one resident unit (``__len__``) in the rows-from-cache accounting.
+    """
+
+    __slots__ = ("node",)
+
+    def __init__(self, node: bytes):
+        self.node = node
+
+    @property
+    def nbytes(self) -> int:
+        return len(self.node)
+
+    def __len__(self) -> int:
+        return 1
+
+
 class BinFetcher:
     """Fetches whole bins for the executors, sharing where it is sound.
 
@@ -201,6 +222,63 @@ class BinFetcher:
             ensure_verified=ensure_verified,
         )
         return tuple(rows), verified
+
+    def fetch_tree_nodes(
+        self, context, meta, coords, stats: QueryStats, deadline=None
+    ):
+        """Assemble aggregate-tree node ciphertexts for a range cover.
+
+        Each node is its own fixed-size public retrieval unit, so the
+        cache is consulted per node — misses are filled in a single
+        storage round-trip.  Returns ciphertexts aligned with
+        ``coords``, or ``None`` when the engine holds no tree sidecar
+        (the caller falls back to the bin path).
+
+        Cache entries are admitted as verified: unlike scalar rows, a
+        tree node is *self-verifying* — every consumer authenticates it
+        via E_d decryption plus the position header — so reuse can
+        never serve a byte no check will cover.
+        """
+        if not self._cache_active():
+            with self._engine_lock:
+                return context.fetch_tree_nodes(
+                    self.engine, meta, coords, stats,
+                    deadline=deadline, verify=self.verify,
+                )
+        table = context.table_name
+        nodes: list = [None] * len(coords)
+        missing: list[int] = []
+        for position, coord in enumerate(coords):
+            entry = self.cache.lookup(table, ("tree",) + tuple(coord))
+            if entry is None:
+                stats.cache_misses += 1
+                missing.append(position)
+            else:
+                self._count_hit(stats, entry.rows, entry.verified)
+                nodes[position] = entry.rows.node
+        if missing:
+            # Fence stamp before the read, exactly like bins: nodes
+            # racing a rewrite must not be cached under the post-rewrite
+            # generation.
+            generation = getattr(self.engine, "rewrite_generation", 0)
+            fetch_coords = [coords[i] for i in missing]
+            with self._engine_lock:
+                fetched = context.fetch_tree_nodes(
+                    self.engine, meta, fetch_coords, stats,
+                    deadline=deadline, verify=self.verify,
+                )
+            if fetched is None:
+                return None
+            for position, node in zip(missing, fetched):
+                nodes[position] = node
+                self.cache.insert(
+                    table,
+                    ("tree",) + tuple(coords[position]),
+                    _CachedTreeNode(node),
+                    True,
+                    generation,
+                )
+        return nodes
 
     # ---------------------------------------------------------- storage path
 

@@ -10,9 +10,10 @@ fetch plan.
 Shareable means the method retrieves whole bins, the public retrieval
 unit: BPB point queries (including §8 super-bin expansion) and the
 §5.1 multipoint range method.  eBPB and winSecRange fetch padded
-cell-id sets / λ-windows — not bins — and run "direct", as does every
-query under oblivious (§4.3) execution, whose trace-identity guarantee
-forbids history-dependent reuse.
+cell-id sets / λ-windows — not bins — and run "direct", as does the
+aggregate-tree method (its nodes are their own retrieval unit with a
+per-node cache) and every query under oblivious (§4.3) execution,
+whose trace-identity guarantee forbids history-dependent reuse.
 
 The planner reuses the executors' own bin-resolution code
 (``BPBExecutor.bins_for`` / ``RangeExecutor.multipoint_bins``), so the
@@ -35,7 +36,7 @@ class PlannedQuery:
     position: int
     kind: str              # "point" | "range"
     query: object
-    method: str            # "bpb" | "multipoint" | "ebpb" | "winsecrange"
+    method: str            # "bpb" | "multipoint" | "ebpb" | "winsecrange" | "tree"
     epoch_id: int
     shared: bool           # True iff served through the shared-bin overlay
 

@@ -35,7 +35,12 @@ from repro.crypto.keys import derive_epoch_key
 from repro.crypto.nondet import RandomizedCipher
 from repro.enclave.enclave import Enclave
 from repro.enclave.sort import bitonic_sort, column_sort
-from repro.exceptions import IntegrityViolation, QueryError
+from repro.exceptions import (
+    DecryptionError,
+    EpochError,
+    IntegrityViolation,
+    QueryError,
+)
 from repro.storage.engine import StorageEngine
 from repro.storage.table import Row
 
@@ -92,6 +97,9 @@ class EpochContext:
         self.trapdoor_table = trapdoor_table
 
         epoch_key = derive_epoch_key(enclave.master_key, package.epoch_id)
+        # Kept for lazily-derived subkeys (the aggregate-tree keys);
+        # enclave-private like every other derived key here.
+        self._epoch_key = epoch_key
         self.det = DeterministicCipher(epoch_key)
         self.det_kernel = DetKernel(epoch_key)
         self.nd = RandomizedCipher(epoch_key)
@@ -128,6 +136,11 @@ class EpochContext:
             raise
         self.fake_pool_size = package.fake_count
         self._super_layouts: dict[int, object] = {}
+        # Aggregate-tree state, decrypted lazily on first tree-path
+        # query: (engine generation, (meta, directory) | None).
+        self._tree_state: tuple[int, object] | None = None
+        self._tree_key_pair: tuple[bytes, bytes] | None = None
+        self._tree_det: DetKernel | None = None
 
     def super_layout(self, super_bin_count: int):
         """The §8 super-bin grouping of this epoch's bins, cached per f.
@@ -436,6 +449,201 @@ class EpochContext:
             _count_tuples(chosen.real_tuples, chosen.fake_count)
             stats.rows_fetched += packed.row_count
             return packed
+
+    # -------------------------------------------------------- aggregate tree
+
+    def _tree_keys(self) -> tuple[bytes, bytes]:
+        """(encryption key, MAC key) of this epoch's tree, derived once."""
+        if self._tree_key_pair is None:
+            from repro.core.aggtree import derive_tree_keys
+
+            self._tree_key_pair = derive_tree_keys(self._epoch_key)
+        return self._tree_key_pair
+
+    def tree_state(self, engine):
+        """``(meta, directory)`` of the engine's tree sidecar, or ``None``.
+
+        The sealed directory is decrypted inside the enclave on first
+        use and fenced on the engine's ``rewrite_generation`` exactly
+        like cached bins: a rewrite (key rotation, §6 bin rewrite)
+        drops the decrypted state so a stale tree can never answer
+        post-rewrite queries.  ``None`` means no sidecar is available
+        (legacy engine, un-sealed epoch, post-mutation) — callers fall
+        back to the bin path.
+        """
+        fetch = getattr(engine, "fetch_agg_tree_meta", None)
+        if fetch is None:
+            return None
+        if getattr(engine, "rewrite_in_progress", False):
+            return None
+        generation = getattr(engine, "rewrite_generation", 0)
+        if self._tree_state is not None and self._tree_state[0] == generation:
+            return self._tree_state[1]
+        meta = fetch(self.table_name)
+        if meta is None:
+            self._tree_state = (generation, None)
+            return None
+        from repro.core.aggtree import decode_directory
+
+        try:
+            directory = decode_directory(
+                self.nd.decrypt(meta.enc_directory), meta.entity_count
+            )
+        except (DecryptionError, EpochError) as error:
+            raise IntegrityViolation(
+                f"tree directory fails authenticated decryption: {error}",
+                epoch_id=self.epoch_id,
+                table=self.table_name,
+                kind="undecryptable",
+            ) from error
+        state = (meta, directory)
+        self._tree_state = (generation, state)
+        return state
+
+    def tree_entity_for(self, meta, directory, index_values) -> tuple[int, bool]:
+        """``(entity, present)`` for one index-value combination.
+
+        An absent combination resolves — inside the enclave — to a
+        decoy entity whose nodes are fetched exactly like a real
+        entity's (the host-visible access is a uniform entity index
+        either way); ``present=False`` tells the executor to discard
+        the decoy's decoded values and answer "no matching records".
+        """
+        from repro.core.aggtree import combo_digest, decoy_entity
+
+        _, mac_key = self._tree_keys()
+        digest = combo_digest(mac_key, tuple(index_values))
+        entity = directory.get(digest[:16])
+        if entity is not None:
+            return entity, True
+        return decoy_entity(digest, meta.entity_count), False
+
+    def fetch_tree_nodes(
+        self, engine, meta, coords, stats: QueryStats, deadline=None,
+        verify: bool = False,
+    ):
+        """Pull encrypted tree nodes by coordinate; ``None`` = fall back.
+
+        The replicated twin of :meth:`fetch_packed`: against a
+        replicated engine the node verifier (authenticated decode bound
+        to the requested coordinates) runs on every replica attempt
+        before acceptance, so a tampered replica costs a failover, not
+        the query.  Node count rides on the span and the stats — it is
+        a pure function of the public range decomposition.
+        """
+        fetch = getattr(engine, "fetch_tree_nodes", None)
+        if fetch is None:
+            return None
+        with telemetry.span(
+            "enclave.fetch",
+            stage="tree_fetch",
+            epoch=self.epoch_id,
+            nodes=len(coords),
+        ):
+            self.enclave.kill_point("enclave.kill.query")
+            if deadline is not None:
+                deadline.check("enclave.fetch")
+            with self.enclave.memory(meta.node_width * len(coords)):
+                if getattr(engine, "supports_replicated_reads", False):
+                    check = None
+                    if verify:
+                        check = lambda nodes: self.decode_tree_nodes(
+                            meta, coords, nodes
+                        )
+                    nodes = engine.fetch_tree_nodes(
+                        self.table_name,
+                        coords,
+                        verifier=check,
+                        deadline=deadline,
+                    )
+                    if nodes is None:
+                        return None
+                    stats.failovers += engine.last_read_failovers
+                    stats.degraded = stats.degraded or engine.degraded
+                    if verify:
+                        stats.verified = True
+                else:
+                    nodes = fetch(self.table_name, coords)
+                    if nodes is None:
+                        return None
+            stats.rows_fetched += len(coords)
+            return nodes
+
+    def decode_tree_nodes(self, meta, coords, nodes):
+        """Authenticate and decode fetched tree nodes.
+
+        Returns ``[(count, [(sum, min, max), ...]), ...]`` aligned with
+        ``coords``.  Every failure mode — flipped ciphertext byte (SIV
+        authentication), substituted node (position header), dropped or
+        duplicated node (batch length), cross-epoch replay (fresh tree
+        key) — raises a structured :class:`IntegrityViolation`; the
+        tree path never returns silently wrong aggregates.
+        """
+        verifications = telemetry.counter(
+            "concealer_hashchain_verifications_total",
+            "hash-chain verifications of fetched row batches, by outcome",
+            labels=("result",),
+        )
+        with telemetry.span(
+            "enclave.verify",
+            stage="tree_verify",
+            epoch=self.epoch_id,
+            nodes=len(coords),
+        ):
+            try:
+                decoded = self._decode_tree_nodes(meta, coords, nodes)
+            except IntegrityViolation as violation:
+                verifications.labels(result="violation").inc()
+                telemetry.counter(
+                    "concealer_integrity_violations_total",
+                    "structured integrity-verification failures, by kind",
+                    labels=("kind",),
+                ).labels(kind=violation.kind).inc()
+                raise
+            verifications.labels(result="ok").inc()
+            return decoded
+
+    def _decode_tree_nodes(self, meta, coords, nodes):
+        from repro.core.aggtree import decode_node
+
+        if len(nodes) != len(coords):
+            raise IntegrityViolation(
+                f"tree node batch has {len(nodes)} nodes, "
+                f"{len(coords)} were requested (dropped or duplicated)",
+                epoch_id=self.epoch_id,
+                table=self.table_name,
+                kind="missing-node",
+            )
+        enc_key, mac_key = self._tree_keys()
+        if self._tree_det is None:
+            self._tree_det = DetKernel(enc_key)
+        plaintexts = self._tree_det.decrypt_many(list(nodes), errors="none")
+        decoded = []
+        for (entity, level, index), plaintext in zip(coords, plaintexts):
+            if plaintext is None:
+                raise IntegrityViolation(
+                    f"tree node ({entity},{level},{index}) fails "
+                    "authenticated decryption — the stored node was "
+                    "tampered with or replayed across epochs",
+                    epoch_id=self.epoch_id,
+                    table=self.table_name,
+                    kind="undecryptable",
+                )
+            try:
+                decoded.append(
+                    decode_node(
+                        mac_key, plaintext, entity, level, index,
+                        len(meta.targets),
+                    )
+                )
+            except ValueError as error:
+                raise IntegrityViolation(
+                    f"tree node ({entity},{level},{index}): {error}",
+                    epoch_id=self.epoch_id,
+                    table=self.table_name,
+                    kind="tree-node",
+                ) from error
+        return decoded
 
     # ----------------------------------------------------------- verification
 

@@ -46,6 +46,7 @@ from collections.abc import Sequence
 from dataclasses import dataclass
 from enum import Enum
 
+from repro.core.aggtree import build_agg_tree, default_entity_count
 from repro.core.binning import pack_bins
 from repro.core.epoch import (
     FAKE_CHAIN_LABEL,
@@ -195,6 +196,9 @@ class EpochEncryptor:
         rng: random.Random | None = None,
         workers: int = 1,
         use_kernels: bool = True,
+        agg_tree: bool = True,
+        agg_tree_fanout: int = 4,
+        agg_tree_entities: int | None = None,
     ):
         self.schema = schema
         self.grid_spec = grid_spec
@@ -203,6 +207,12 @@ class EpochEncryptor:
         self.bin_size = bin_size
         self.max_cells_per_bin = max_cells_per_bin
         self.time_granularity = time_granularity
+        # The hierarchical aggregate-tree sidecar (repro.core.aggtree):
+        # fanout k of the time-aggregation tree and the public entity
+        # capacity (None → one entity per time-free prefix cell).
+        self.agg_tree = agg_tree
+        self.agg_tree_fanout = agg_tree_fanout
+        self.agg_tree_entities = agg_tree_entities
         # §1.2(iii): different per-epoch row counts (day vs night) leak;
         # optionally pad every shipped epoch to a fixed total row count
         # with additional fakes.  None disables (the paper's default).
@@ -309,6 +319,28 @@ class EpochEncryptor:
             all_rows, real_rows, fake_rows, assignments, c_tuple
         )
 
+        # The aggregate-tree sidecar.  Built in the serial parent with a
+        # fixed nd-nonce order (directory, root tag) *before* the
+        # package's metadata-vector encryptions, so packages stay
+        # bit-identical for every ``workers`` setting.
+        agg_tree = None
+        if self.agg_tree and records:
+            agg_tree = build_agg_tree(
+                records,
+                self.schema,
+                grid,
+                epoch_key,
+                nd,
+                fanout=self.agg_tree_fanout,
+                entity_count=self.agg_tree_entities
+                or default_entity_count(
+                    self.grid_spec.total_cells, self.grid_spec.time_buckets
+                ),
+                time_granularity=self.time_granularity,
+            )
+            if agg_tree is not None and self.use_kernels:
+                record_kernel_ops("det_encrypt", agg_tree.node_count)
+
         package = EpochPackage(
             schema_name=self.schema.name,
             epoch_id=epoch_id,
@@ -325,6 +357,7 @@ class EpochEncryptor:
             max_cells_per_bin=self.max_cells_per_bin,
             enc_grid_key=nd.encrypt(grid_key),
             packed_bins=packed_bins,
+            agg_tree=agg_tree,
         )
         layout_size = self.bin_size or max(max(c_tuple), 1)
         self.last_report = EncryptionReport(

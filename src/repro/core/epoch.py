@@ -131,6 +131,12 @@ class EpochPackage:
     # the provider did not (or could not) pack — consumers fall back to
     # the scalar row path.  Derived data: never part of row accounting.
     packed_bins: "list | None" = None
+    # The hierarchical aggregate-tree sidecar (repro.core.aggtree):
+    # fixed-shape encrypted aggregates at every power-of-k time
+    # granularity.  ``None`` means no tree shipped — long-range
+    # aggregates fall back to the bin path.  Derived data, like
+    # ``packed_bins``.
+    agg_tree: "object | None" = None
 
     def __post_init__(self):
         if self.real_count + self.fake_count != len(self.rows):
@@ -213,6 +219,8 @@ class EpochPackage:
             envelope["packed_bins"] = [
                 b64(packed.to_bytes()) for packed in self.packed_bins
             ]
+        if self.agg_tree is not None:
+            envelope["agg_tree"] = b64(self.agg_tree.to_bytes())
         return _json.dumps(envelope, separators=(",", ":")).encode("utf-8")
 
     @classmethod
@@ -223,6 +231,7 @@ class EpochPackage:
 
         from repro.core.grid import GridSpec
 
+        from repro.core.aggtree import AggTree
         from repro.core.packed import PackedBin
 
         b64d = base64.b64decode
@@ -234,6 +243,9 @@ class EpochPackage:
                     PackedBin.from_bytes(b64d(encoded))
                     for encoded in envelope["packed_bins"]
                 ]
+            agg_tree = None
+            if envelope.get("agg_tree") is not None:
+                agg_tree = AggTree.from_bytes(b64d(envelope["agg_tree"]))
             rows = [
                 EncryptedRow(
                     filters=tuple(b64d(f) for f in filters),
@@ -268,6 +280,7 @@ class EpochPackage:
                 bin_size=envelope["bin_size"],
                 max_cells_per_bin=envelope["max_cells_per_bin"],
                 packed_bins=packed_bins,
+                agg_tree=agg_tree,
             )
         except (KeyError, ValueError, TypeError) as error:
             raise EpochError(f"malformed epoch package: {error}") from error

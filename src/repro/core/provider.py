@@ -46,6 +46,9 @@ class DataProvider:
         time_granularity: int = 1,
         rng: random.Random | None = None,
         ingest_workers: int = 1,
+        agg_tree: bool = True,
+        agg_tree_fanout: int = 4,
+        agg_tree_entities: int | None = None,
     ):
         self.schema = schema
         self.grid_spec = grid_spec
@@ -63,6 +66,9 @@ class DataProvider:
             time_granularity=time_granularity,
             rng=self._rng,
             workers=ingest_workers,
+            agg_tree=agg_tree,
+            agg_tree_fanout=agg_tree_fanout,
+            agg_tree_entities=agg_tree_entities,
         )
         self._shipped_epochs: set[int] = set()
 

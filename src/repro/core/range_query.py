@@ -28,13 +28,13 @@ Three methods with distinct cost/leakage trade-offs:
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro import telemetry
 from repro.core.aggregation import evaluate_aggregate, needs_decryption
 from repro.core.context import EpochContext
 from repro.core.queries import Aggregate, Predicate, QueryStats, RangeQuery
-from repro.exceptions import QueryError
+from repro.exceptions import IntegrityViolation, QueryError
 from repro.storage.engine import StorageEngine
 from repro.storage.table import Row
 
@@ -165,6 +165,200 @@ class RangeExecutor:
                     payload.unpack() if hasattr(payload, "row_count") else payload
                 )
             return self._finish(query, context, rows, stats, expected)
+
+    # ------------------------------------------------------ aggregate tree
+
+    # Aggregates a sealed tree node can answer directly.
+    TREE_AGGREGATES = frozenset(
+        {Aggregate.COUNT, Aggregate.SUM, Aggregate.MIN, Aggregate.MAX}
+    )
+
+    @classmethod
+    def tree_eligible(cls, query: RangeQuery, schema) -> bool:
+        """Whether the query *shape* can be answered from tree nodes.
+
+        Every rule is a pure function of public inputs (query shape and
+        schema), never of data values — the planner must stay as public
+        as ObliDB's:
+
+        - the aggregate is decomposable (COUNT/SUM/MIN/MAX; COLLECT and
+          TOP_K need the rows themselves);
+        - a non-COUNT target is one the tree precomputed;
+        - exactly one index-value combination (a wildcard sweep would
+          need one entity per candidate — the bin path serves it);
+        - no custom predicate, and the full index-attribute tuple is a
+          filter group: the bin path then matches rows on the *exact*
+          combination, so the tree — keyed by exact combination — is
+          byte-equivalent even when grid cells collide.
+        """
+        from repro.core.aggtree import tree_targets
+
+        if query.aggregate not in cls.TREE_AGGREGATES:
+            return False
+        if query.aggregate is not Aggregate.COUNT:
+            if query.target not in tree_targets(schema):
+                return False
+        if len(query.candidate_combinations()) != 1:
+            return False
+        if query.predicate is not None:
+            return False
+        return schema.index_attributes in schema.filter_groups
+
+    def execute_tree(
+        self, query: RangeQuery, context: EpochContext, deadline=None, overlay=None
+    ) -> tuple[object, QueryStats]:
+        """Answer a long-window aggregate from O(log range) tree nodes.
+
+        The time range decomposes into a canonical cover of sealed
+        aggregate nodes plus (at most two) leaf-granularity residues at
+        the edges, which re-enter the multipoint bin path as ordinary
+        sub-queries.  An absent sidecar, or a tampered node under
+        ``verify=False`` policy, falls back to the bin path — the tree
+        is an accelerator, never the sole source of truth.
+        """
+        if self.oblivious:
+            # Concealer+'s identical-trace guarantee covers the scalar
+            # trapdoor schedule only; a tree fetch would be a different
+            # in-enclave event trace per range length.
+            raise QueryError("tree path is unavailable under oblivious execution")
+        if not self.tree_eligible(query, context.schema):
+            raise QueryError(
+                "query shape is not tree-eligible (aggregate, target, "
+                "wildcard, or predicate rules); use the bin path"
+            )
+        state = context.tree_state(self.engine)
+        if state is None:
+            return self.execute_multipoint(
+                query, context, deadline=deadline, overlay=overlay
+            )
+        meta, directory = state
+
+        from repro.core.aggtree import cover_nodes, decompose_range
+
+        stats = QueryStats(oblivious=self.oblivious)
+        span = decompose_range(
+            context.epoch_id,
+            context.grid.spec.epoch_duration,
+            meta.leaf_count,
+            query.time_start,
+            query.time_end,
+        )
+        entity, present = context.tree_entity_for(
+            meta, directory, tuple(query.index_values)
+        )
+        coords: list[tuple[int, int, int]] = []
+        if span.full_buckets:
+            coords = [
+                (entity, level, index)
+                for level, index in cover_nodes(
+                    span.full_lo, span.full_hi, meta.fanout, meta.leaf_count
+                )
+            ]
+
+        with telemetry.span(
+            "enclave.range_query",
+            epoch=context.epoch_id,
+            method="tree",
+            nodes=len(coords),
+        ):
+            decoded = []
+            if coords:
+                if self.fetcher is not None:
+                    payload = self.fetcher.fetch_tree_nodes(
+                        context, meta, coords, stats, deadline=deadline
+                    )
+                else:
+                    payload = context.fetch_tree_nodes(
+                        self.engine, meta, coords, stats,
+                        deadline=deadline, verify=self.verify,
+                    )
+                if payload is None:
+                    # Sidecar vanished between the meta read and the
+                    # node read (mutation, legacy replica): the bin
+                    # path is authoritative.
+                    return self.execute_multipoint(
+                        query, context, deadline=deadline, overlay=overlay
+                    )
+                try:
+                    decoded = context.decode_tree_nodes(meta, coords, payload)
+                except IntegrityViolation:
+                    if self.verify:
+                        raise
+                    # Policy without verification: never a silent wrong
+                    # answer — re-answer from the hash-chained rows.
+                    return self.execute_multipoint(
+                        query, context, deadline=deadline, overlay=overlay
+                    )
+                if self.verify:
+                    # Authenticated decode just succeeded over every
+                    # fetched node — that *is* the verification.
+                    stats.verified = True
+            # Touched-node count is a pure function of the public range
+            # decomposition — identical cold or warm, hit or miss.
+            telemetry.counter(
+                "concealer_tree_nodes_fetched_total",
+                "aggregate-tree nodes touched by tree-path range queries",
+                secrecy=telemetry.PUBLIC_SIZE,
+            ).inc(len(coords))
+            stats.extra["tree_nodes_fetched"] = len(coords)
+
+            if present:
+                tree_count = sum(count for count, _ in decoded)
+                parts = [aggs for count, aggs in decoded if count > 0]
+            else:
+                # Decoy entity: the fetch happened (volume hiding) but
+                # the absent combination holds no records — its decoded
+                # values belong to some other combination (or padding)
+                # and must not contribute to the answer.
+                tree_count = 0
+                parts = []
+
+            sub_answers = []
+            for residue_start, residue_end in span.residues:
+                sub_query = replace(
+                    query, time_start=residue_start, time_end=residue_end
+                )
+                sub_answer, sub_stats = self.execute_multipoint(
+                    sub_query, context, deadline=deadline, overlay=overlay
+                )
+                sub_answers.append(sub_answer)
+                self._merge_stats(stats, sub_stats)
+
+            if query.aggregate is Aggregate.COUNT:
+                return tree_count + sum(sub_answers), stats
+
+            target_pos = meta.targets.index(query.target)
+            values = []
+            if parts:
+                if query.aggregate is Aggregate.SUM:
+                    values.append(sum(a[target_pos][0] for a in parts))
+                elif query.aggregate is Aggregate.MIN:
+                    values.append(min(a[target_pos][1] for a in parts))
+                else:
+                    values.append(max(a[target_pos][2] for a in parts))
+            values.extend(v for v in sub_answers if v is not None)
+            if not values:
+                return None, stats
+            if query.aggregate is Aggregate.SUM:
+                return sum(values), stats
+            if query.aggregate is Aggregate.MIN:
+                return min(values), stats
+            return max(values), stats
+
+    @staticmethod
+    def _merge_stats(stats: QueryStats, sub: QueryStats) -> None:
+        """Fold a residue sub-query's accounting into the main stats."""
+        stats.trapdoors_generated += sub.trapdoors_generated
+        stats.rows_fetched += sub.rows_fetched
+        stats.rows_matched += sub.rows_matched
+        stats.rows_decrypted += sub.rows_decrypted
+        stats.bins_fetched += sub.bins_fetched
+        stats.failovers += sub.failovers
+        stats.cache_hits += sub.cache_hits
+        stats.cache_misses += sub.cache_misses
+        stats.rows_from_cache += sub.rows_from_cache
+        stats.verified = stats.verified or sub.verified
+        stats.degraded = stats.degraded or sub.degraded
 
     # -------------------------------------------------------------- §5.2 eBPB
 

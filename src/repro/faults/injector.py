@@ -29,6 +29,8 @@ Known fault sites (the strings components consult):
 ``storage.row.corrupt``         flip bytes of one fetched row (tampering)
 ``storage.row.drop``            drop one fetched row (deletion attack)
 ``storage.row.duplicate``       duplicate one fetched row (replay attack)
+``storage.tree.corrupt``        flip bytes of one fetched aggregate-tree
+                                node (tampering on the tree read path)
 ``storage.checkpoint.torn``     truncate a checkpoint mid-write
 ``enclave.epc.exhaust``         spurious EPC exhaustion in ``charge_memory``
 ``enclave.kill.query``          kill the enclave mid-query fetch
@@ -65,6 +67,7 @@ FAULT_SITES = (
     "storage.row.corrupt",
     "storage.row.drop",
     "storage.row.duplicate",
+    "storage.tree.corrupt",
     "storage.checkpoint.torn",
     "enclave.epc.exhaust",
     "enclave.kill.query",

@@ -55,6 +55,9 @@ class ByzantineReplica:
         # Same, for the columnar read path: last packed bin per
         # (table, bin_index).
         self._remembered_packed: dict[tuple[str, int], object] = {}
+        # Same, for the aggregate-tree read path: last node batch per
+        # (table, coordinate tuple).
+        self._remembered_tree: dict[tuple[str, tuple], list] = {}
         # Tables whose *stored* rows were persistently corrupted.
         self.tampered_tables: set[str] = set()
 
@@ -121,6 +124,37 @@ class ByzantineReplica:
                 injector.choose(packed.row_count, "replica.bin.drop")
             )
         return packed
+
+    def fetch_tree_nodes(self, table: str, coords):
+        """The same adversarial channel for aggregate-tree node reads.
+
+        Intercepted explicitly for the same reason as
+        :meth:`fetch_packed_bin` — otherwise ``__getattr__`` would hand
+        the tree path an honest engine.  ``replica.tamper`` flips bytes
+        of one returned node ciphertext; ``replica.bin.drop`` drops a
+        node from the batch (the enclave detects the count mismatch).
+        """
+        injector = self.fault_injector
+        if injector.fire("replica.slow") is not None:
+            self.clock.sleep(self.slow_stall)
+        key = (table, tuple(coords))
+        stale = None
+        if injector.fire("replica.replay.stale") is not None:
+            stale = self._remembered_tree.get(key)
+        if stale is not None:
+            return list(stale)
+        nodes = self.inner.fetch_tree_nodes(table, coords)
+        if nodes is None:
+            return None
+        self._remembered_tree[key] = list(nodes)
+        if nodes and injector.fire("replica.tamper") is not None:
+            victim = injector.choose(len(nodes), "replica.tamper")
+            nodes[victim] = injector.corrupt_bytes(
+                nodes[victim], site="replica.tamper"
+            )
+        if nodes and injector.fire("replica.bin.drop") is not None:
+            del nodes[injector.choose(len(nodes), "replica.bin.drop")]
+        return nodes
 
     # --------------------------------------------- persistent stored tamper
 

@@ -576,6 +576,138 @@ class ReplicatedStorageEngine:
             self.last_read_failovers = failures
             return None
 
+    def store_agg_tree(self, table: str, tree) -> None:
+        """Install the aggregate-tree sidecar on every replica."""
+        self._fanout(
+            "store_agg_tree", table, lambda r: r.store_agg_tree(table, tree)
+        )
+
+    def has_agg_tree(self, table: str) -> bool:
+        return self._primary(table).has_agg_tree(table)
+
+    def fetch_agg_tree_meta(self, table: str):
+        """The tree's public shape + sealed directory from a healthy peer.
+
+        Maintenance-plane read: everything in the meta is public shape
+        or E_nd ciphertext whose authenticated decryption (inside the
+        enclave) is itself the tamper check, so no failover loop is
+        needed — a tampered meta fails loudly at decryption time.
+        """
+        return self._primary(table).fetch_agg_tree_meta(table)
+
+    def fetch_tree_nodes(
+        self,
+        table: str,
+        coords: Sequence[tuple],
+        verifier: Callable | None = None,
+        deadline: Deadline | None = None,
+        cells: Iterable[int] | None = None,
+    ):
+        """Tree-node batch read with verify-then-failover semantics.
+
+        Mirrors :meth:`fetch_packed_bin`: breaker gating, per-attempt
+        timeout, verification (the enclave's node MAC + position check)
+        before acceptance, quarantine scoping, failover accounting.  A
+        replica without a tree sidecar — or an exhausted pool — returns
+        ``None`` and the caller falls back to the bin path, which is
+        authoritative for errors.
+        """
+        self.last_read_failovers = 0
+        candidates = self.candidate_replicas(table, cells)
+        healthy = self.healthy_replica_count()
+        self.degraded = healthy < self.min_healthy
+        if self.degraded:
+            telemetry.counter(
+                "concealer_degraded_reads_total",
+                "reads served below the healthy-replica threshold",
+                secrecy=telemetry.PUBLIC_SIZE,
+            ).inc()
+        if self.policy.hedge and candidates and candidates[0] != min(candidates):
+            telemetry.counter(
+                "concealer_hedged_reads_total",
+                "reads whose replica order was hedged away from a straggler",
+                secrecy=telemetry.PUBLIC_SIZE,
+            ).inc()
+        with telemetry.span(
+            "replication.lookup",
+            table=table,
+            keys=len(coords),
+            candidates=len(candidates),
+        ):
+            failures = 0
+            excluded = [
+                rid
+                for rid in range(len(self.replicas))
+                if rid not in set(candidates)
+            ]
+            for last_resort, pool in ((False, candidates), (True, excluded)):
+                for rid in pool:
+                    if deadline is not None:
+                        deadline.check("replication.attempt")
+                    breaker = self.breakers[rid]
+                    if not last_resort and not breaker.allow():
+                        continue
+                    fetch = getattr(self.replicas[rid], "fetch_tree_nodes", None)
+                    if fetch is None:
+                        self.last_read_failovers = failures
+                        return None
+                    started = self.clock.now()
+                    try:
+                        nodes = fetch(table, coords)
+                        elapsed = self.clock.now() - started
+                        timeout = self.policy.attempt_timeout
+                        if timeout is not None and elapsed > timeout:
+                            raise ReplicaTimeout(
+                                f"replica {rid} answered in {elapsed:.3f}s, "
+                                f"over the {timeout:.3f}s attempt budget"
+                            )
+                        if nodes is not None and verifier is not None:
+                            verifier(nodes)
+                    except IntegrityViolation as violation:
+                        self._observe_latency(rid, started)
+                        self._record_failure(rid, breaker, "integrity")
+                        self.quarantine.record(
+                            rid, table, violation.cell_id, violation.kind
+                        )
+                        failures += 1
+                        continue
+                    except ReplicaTimeout:
+                        self._observe_latency(rid, started)
+                        self._record_failure(rid, breaker, "timeout")
+                        failures += 1
+                        continue
+                    except TransientStorageError:
+                        self._observe_latency(rid, started)
+                        self._record_failure(rid, breaker, "transient")
+                        failures += 1
+                        continue
+                    except StorageError as error:
+                        self._observe_latency(rid, started)
+                        self._record_failure(rid, breaker, "storage-error")
+                        self.quarantine.record(
+                            rid, table, None, f"storage-error:{type(error).__name__}"
+                        )
+                        failures += 1
+                        continue
+                    self._observe_latency(rid, started)
+                    self.last_read_failovers = failures
+                    if nodes is None:
+                        # This replica has no tree sidecar — bin-path
+                        # fallback, without charging the breaker.
+                        return None
+                    breaker.record_success()
+                    if last_resort:
+                        telemetry.counter(
+                            "concealer_replica_last_resort_reads_total",
+                            "verified reads served by a quarantined or "
+                            "breaker-open replica after the eligible "
+                            "pool was exhausted",
+                            secrecy=telemetry.PUBLIC_SIZE,
+                        ).inc()
+                    return nodes
+            self.last_read_failovers = failures
+            return None
+
     def fetch_row(self, table: str, row_id: int) -> Row:
         return self._primary(table).fetch_row(table, row_id)
 

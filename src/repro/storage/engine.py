@@ -316,6 +316,70 @@ class StorageEngine:
             ).inc(chosen.row_count)
             return self._tamper_packed(chosen)
 
+    # ---------------------------------------------------------- aggregate tree
+
+    def store_agg_tree(self, table: str, tree) -> None:
+        """Install the aggregate-tree sidecar for a table.
+
+        Same derived-data contract as :meth:`store_packed_bins`: any
+        later row mutation discards it (the sidecar lives on the Table,
+        so even engine-bypassing mutations invalidate), and readers fall
+        back to the bin path when it is absent.
+        """
+        self._table(table).agg_tree = tree
+
+    def has_agg_tree(self, table: str) -> bool:
+        """Whether an aggregate-tree sidecar is installed for this table."""
+        return self._table(table).agg_tree is not None
+
+    def fetch_agg_tree_meta(self, table: str):
+        """The tree's public shape + sealed directory; ``None`` = no tree.
+
+        Everything in the returned :class:`~repro.core.aggtree.TreeMeta`
+        is either public geometry (fanout, leaf count, entity count) or
+        ciphertext (the E_nd-sealed directory and root tag), so handing
+        it out is not a read the adversary learns anything new from.
+        """
+        tree = self._table(table).agg_tree
+        return None if tree is None else tree.meta()
+
+    def fetch_tree_nodes(self, table: str, coords: Sequence[tuple]):
+        """Read encrypted tree nodes by (entity, level, index) coordinate.
+
+        Returns one ciphertext per coordinate, or ``None`` when no tree
+        sidecar is installed (callers fall back to the bin path).  The
+        coordinates the host observes are public: they derive from the
+        query's time range plus the tree's public shape (entity indices
+        are keyed-PRF ranks, uniform like cell-ids).  The reproduction
+        surfaces this observable stream through the rows-read counter —
+        one "row" per fixed-size node — rather than per-node access-log
+        entries.  Armed ``storage.tree.corrupt`` faults flip bytes in
+        the returned batch (stored bytes stay intact): the malicious-
+        host response channel the node MAC entries detect.
+        """
+        tree = self._table(table).agg_tree
+        if tree is None:
+            return None
+        with telemetry.span("storage.lookup", table=table, keys=len(coords)):
+            if self.fault_injector.fire("storage.read.transient") is not None:
+                raise TransientStorageError(
+                    f"transient read failure on {table!r} tree nodes (injected)"
+                )
+            nodes = [
+                tree.node_at(entity, level, index)
+                for entity, level, index in coords
+            ]
+            telemetry.counter(
+                "concealer_storage_rows_read_total",
+                "rows read from storage, as the host observes them",
+                secrecy=telemetry.PUBLIC_SIZE,
+            ).inc(len(nodes))
+            injector = self.fault_injector
+            if nodes and injector.fire("storage.tree.corrupt") is not None:
+                victim = injector.choose(len(nodes), "storage.tree.corrupt")
+                nodes[victim] = injector.corrupt_bytes(nodes[victim])
+            return nodes
+
     def _tamper_packed(self, chosen):
         """The packed-batch analogue of :meth:`_tamper`."""
         injector = self.fault_injector

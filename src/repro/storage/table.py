@@ -51,6 +51,11 @@ class Table:
         # (tampering included: a mutator that touches rows behind the
         # engine's back still invalidates here).
         self.packed_bins: dict[int, object] | None = None
+        # Aggregate-tree sidecar (repro.core.aggtree.AggTree), or None.
+        # Same invalidation contract as ``packed_bins``: derived data,
+        # dropped on any row mutation so the tree path can never serve
+        # aggregates that diverge from the row store.
+        self.agg_tree: object | None = None
 
     @property
     def column_count(self) -> int:
@@ -77,6 +82,7 @@ class Table:
         self._next_row_id += 1
         self._rows[row_id] = Row(row_id=row_id, columns=tuple(columns))
         self.packed_bins = None
+        self.agg_tree = None
         return row_id
 
     def fetch(self, row_id: int) -> Row:
@@ -98,6 +104,7 @@ class Table:
             )
         self._rows[row_id] = Row(row_id=row_id, columns=tuple(columns))
         self.packed_bins = None
+        self.agg_tree = None
 
     def delete(self, row_id: int) -> None:
         """Tombstone a row; its id is never reused."""
@@ -105,6 +112,7 @@ class Table:
             raise StorageError(f"table {self.name!r} has no row {row_id}")
         del self._rows[row_id]
         self.packed_bins = None
+        self.agg_tree = None
 
     def scan(self) -> Iterator[Row]:
         """Yield all live rows in row-id order."""

@@ -49,12 +49,15 @@ def make_stack(
     verify: bool = False,
     fake_strategy: FakeStrategy = FakeStrategy.SIMULATED,
     seed: int = 1,
+    engine=None,
     **config,
 ):
     """Build a provisioned provider/service pair with one ingested epoch.
 
     Extra keyword arguments flow into :class:`ServiceConfig` (e.g.
-    ``bin_cache_bins=8`` to enable the batching bin cache).
+    ``bin_cache_bins=8`` to enable the batching bin cache).  ``engine``
+    lets a test supply its own storage engine (e.g. a replicated or
+    Byzantine-wrapped group).
     """
     provider = DataProvider(
         WIFI_SCHEMA,
@@ -68,6 +71,7 @@ def make_stack(
     service = ServiceProvider(
         WIFI_SCHEMA,
         ServiceConfig(oblivious=oblivious, verify=verify, **config),
+        engine=engine,
     )
     provider.provision_enclave(service.enclave)
     service.ingest_epoch(provider.encrypt_epoch(records, epoch_id=0))
